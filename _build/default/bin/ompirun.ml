@@ -1,0 +1,66 @@
+(* ompirun — compile an OpenMP C program and execute it end-to-end on
+   the simulated Jetson Nano 2GB, reporting device statistics. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cmd input entry binary_mode verbose =
+  let source = read_file input in
+  let stem = Filename.remove_extension (Filename.basename input) in
+  let mode = if binary_mode = "ptx" then Gpusim.Nvcc.Ptx else Gpusim.Nvcc.Cubin in
+  let config = { Ompi.default_config with binary_mode = mode } in
+  try
+    let compiled = Ompi.compile ~config ~name:stem source in
+    let instance = Ompi.load ~config compiled in
+    let result = Ompi.run instance ~entry () in
+    print_string result.Ompi.run_output;
+    Printf.eprintf "[%s on %s]\n" stem Gpusim.Spec.jetson_nano_2gb.Gpusim.Spec.name;
+    Printf.eprintf "[simulated time: %.6f s, %d kernel launch(es), exit code %d]\n"
+      result.Ompi.run_time_s result.Ompi.run_kernel_launches result.Ompi.run_exit;
+    if verbose then begin
+      let dev = Hostrt.Rt.device instance.Ompi.i_rt 0 in
+      List.iter
+        (fun (s : Gpusim.Driver.launch_stats) ->
+          Printf.eprintf "  launch %s grid=(%d,%d,%d) block=(%d,%d,%d): %s\n"
+            s.Gpusim.Driver.st_entry s.Gpusim.Driver.st_grid.Gpusim.Simt.x
+            s.Gpusim.Driver.st_grid.Gpusim.Simt.y s.Gpusim.Driver.st_grid.Gpusim.Simt.z
+            s.Gpusim.Driver.st_block.Gpusim.Simt.x s.Gpusim.Driver.st_block.Gpusim.Simt.y
+            s.Gpusim.Driver.st_block.Gpusim.Simt.z
+            (Format.asprintf "%a" Gpusim.Costmodel.pp_breakdown s.Gpusim.Driver.st_breakdown))
+        (List.rev dev.Hostrt.Rt.dev_driver.Gpusim.Driver.launches)
+    end;
+    exit result.Ompi.run_exit
+  with
+  | Minic.Parser.Parse_error (msg, loc) ->
+    Printf.eprintf "%s:%d:%d: syntax error: %s\n" input loc.Minic.Token.line loc.Minic.Token.col msg;
+    exit 1
+  | Translator.Pipeline.Translate_error msg | Translator.Region.Unsupported msg ->
+    Printf.eprintf "%s: translation error: %s\n" input msg;
+    exit 1
+  | Cinterp.Interp.Runtime_error msg ->
+    Printf.eprintf "%s: runtime error: %s\n" input msg;
+    exit 1
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc:"OpenMP C source file")
+
+let entry_arg = Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"FN" ~doc:"Entry function")
+
+let mode_arg =
+  Arg.(value & opt string "cubin" & info [ "b"; "binary-mode" ] ~docv:"MODE" ~doc:"cubin or ptx")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
+
+let cmd =
+  let doc = "run an OpenMP C program on the simulated Jetson Nano 2GB" in
+  Cmd.v
+    (Cmd.info "ompirun" ~doc)
+    Term.(const run_cmd $ input_arg $ entry_arg $ mode_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

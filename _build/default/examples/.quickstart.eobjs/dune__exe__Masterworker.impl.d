@@ -1,0 +1,1 @@
+examples/masterworker.ml: List Ompi Printf

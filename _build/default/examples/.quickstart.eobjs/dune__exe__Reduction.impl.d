@@ -1,0 +1,1 @@
+examples/reduction.ml: Ompi Printf

@@ -1,0 +1,1 @@
+examples/scheduling.ml: List Ompi Printf String

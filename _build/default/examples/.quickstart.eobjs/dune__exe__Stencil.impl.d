@@ -1,0 +1,1 @@
+examples/stencil.ml: List Ompi Polybench Printf

@@ -1,0 +1,1 @@
+examples/target_data.mli:

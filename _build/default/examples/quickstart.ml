@@ -1,0 +1,55 @@
+(* Quickstart: the paper's Fig. 1 SAXPY example, end to end.
+
+     dune exec examples/quickstart.exe
+
+   The OpenMP C program below is translated by the OMPi-style compiler
+   (host file + one CUDA kernel file), the kernel is "compiled" in CUBIN
+   mode, and the program runs on the simulated Jetson Nano 2GB. *)
+
+let source =
+  {|
+/* Host function that performs SAXPY on the device (paper Fig. 1) */
+void saxpy_device(float a, float x[], float y[], int size)
+{
+  #pragma omp target map(to: a, size, x[0:size]) \
+                     map(tofrom: y[0:size])
+  {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < size; i++)
+      y[i] = a * x[i] + y[i];
+  }
+}
+
+int main(void)
+{
+  float x[1024];
+  float y[1024];
+  int i;
+  for (i = 0; i < 1024; i++) {
+    x[i] = i * 1.0f;
+    y[i] = 1000.0f;
+  }
+  saxpy_device(2.0f, x, y, 1024);
+  printf("y[0]    = %f (expect 1000)\n", y[0]);
+  printf("y[1]    = %f (expect 1002)\n", y[1]);
+  printf("y[1023] = %f (expect 3046)\n", y[1023]);
+  return 0;
+}
+|}
+
+let () =
+  print_endline "=== compiling (ompicc pipeline) ===";
+  let compiled = Ompi.compile ~name:"saxpy" source in
+  Printf.printf "host file: %d bytes of C; %d kernel file(s): %s\n\n"
+    (String.length compiled.Ompi.c_host_text)
+    (List.length compiled.Ompi.c_kernel_texts)
+    (String.concat ", " (List.map fst compiled.Ompi.c_kernel_texts));
+  print_endline "=== generated kernel file ===";
+  List.iter (fun (_, text) -> print_string text) compiled.Ompi.c_kernel_texts;
+  print_endline "\n=== running on the simulated Jetson Nano 2GB ===";
+  let instance = Ompi.load compiled in
+  let result = Ompi.run instance () in
+  print_string result.Ompi.run_output;
+  Printf.printf "\n[simulated time %.6f s, %d kernel launch(es)]\n" result.Ompi.run_time_s
+    result.Ompi.run_kernel_launches

@@ -1,0 +1,77 @@
+(* Device data environments (paper §2): the same Jacobi-style update is
+   launched many times; a [target data] region keeps the arrays resident
+   on the device, so only the first map and the final unmap move data.
+
+     dune exec examples/target_data.exe
+
+   The example runs the naive version (maps per launch) and the
+   target-data version and compares the simulated transfer volumes. *)
+
+let source_naive =
+  {|
+void step(int n, float in[], float out[])
+{
+  #pragma omp target teams distribute parallel for num_teams(32) num_threads(128) \
+      map(to: n, in[0:n]) map(tofrom: out[0:n])
+  for (int i = 1; i < n - 1; i++)
+    out[i] = 0.5f * in[i] + 0.25f * (in[i - 1] + in[i + 1]);
+}
+
+int main(void)
+{
+  float a[4096];
+  float b[4096];
+  int i;
+  for (i = 0; i < 4096; i++) a[i] = i % 17;
+  for (i = 0; i < 20; i++) {
+    step(4096, a, b);
+    step(4096, b, a);
+  }
+  printf("naive: a[2048] = %f\n", a[2048]);
+  return 0;
+}
+|}
+
+let source_data =
+  {|
+void step(int n, float in[], float out[])
+{
+  #pragma omp target teams distribute parallel for num_teams(32) num_threads(128) \
+      map(to: n, in[0:n]) map(tofrom: out[0:n])
+  for (int i = 1; i < n - 1; i++)
+    out[i] = 0.5f * in[i] + 0.25f * (in[i - 1] + in[i + 1]);
+}
+
+int main(void)
+{
+  float a[4096];
+  float b[4096];
+  int i;
+  for (i = 0; i < 4096; i++) a[i] = i % 17;
+  /* keep both arrays resident for the whole iteration */
+  #pragma omp target data map(tofrom: a[0:4096]) map(alloc: b[0:4096])
+  {
+    for (i = 0; i < 20; i++) {
+      step(4096, a, b);
+      step(4096, b, a);
+    }
+  }
+  printf("target data: a[2048] = %f\n", a[2048]);
+  return 0;
+}
+|}
+
+let run name source =
+  let result = Ompi.compile_and_run ~name source in
+  print_string result.Ompi.run_output;
+  Printf.printf "  %-12s %.6f simulated s, %d launches\n" name result.Ompi.run_time_s
+    result.Ompi.run_kernel_launches;
+  result.Ompi.run_time_s
+
+let () =
+  print_endline "=== 40 stencil launches: per-launch maps vs one target data region ===";
+  let t_naive = run "naive" source_naive in
+  let t_data = run "target-data" source_data in
+  Printf.printf
+    "\ntarget data saves %.1f ms of simulated time (transfer elimination;\n the one-time 180 ms device initialisation dominates both totals)\n"
+    ((t_naive -. t_data) *. 1000.0)

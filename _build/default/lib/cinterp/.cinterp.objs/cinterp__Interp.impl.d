@@ -1,0 +1,1 @@
+lib/cinterp/interp.pp.ml: Addr Ast Buffer Char Cty Float Format Fun Hashtbl Int64 List Machine Mem Minic Option Pretty Printf Scanf String Value

@@ -1,0 +1,1 @@
+lib/cinterp/interp.pp.mli: Addr Ast Buffer Cty Format Hashtbl Machine Mem Minic Value

@@ -1,0 +1,646 @@
+(* Tree-walking interpreter for the mini-C AST.
+
+   The same engine is used in two roles:
+   - host role: executes the translated host program, with the ORT host
+     runtime registered as builtins;
+   - device role: one instance per GPU thread, with the cudadev device
+     library registered as builtins, driven by the SIMT scheduler.
+
+   Per-operation hooks ([on_step], [on_access]) feed the performance
+   model without contaminating the semantics. *)
+
+open Machine
+open Minic
+
+exception Runtime_error of string
+
+let runtime_error fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+(* Instruction classes for the cost model. *)
+type step =
+  | St_arith (* add/sub/logic/compare/convert *)
+  | St_mul
+  | St_div
+  | St_branch
+  | St_call
+  | St_special (* sqrt and friends *)
+
+type access = { acc_kind : [ `Load | `Store ]; acc_addr : Addr.t; acc_bytes : int }
+
+type frame = { vars : (string, Cty.t * Addr.t) Hashtbl.t; saved_mark : int }
+
+type t = {
+  structs : Cty.layout_env;
+  funcs : (string, Ast.fundef) Hashtbl.t;
+  builtins : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+  resolve : Addr.space -> Mem.t; (* address space -> backing memory *)
+  local : Mem.t; (* this execution context's stack *)
+  globals : (string, Cty.t * Addr.t) Hashtbl.t;
+  strings : (string, Addr.t) Hashtbl.t;
+  mutable on_step : step -> unit;
+  mutable on_access : access -> unit;
+  (* Shared-variable registry: declarations marked __shared__ resolve
+     here so that all threads of a block see a single instance. *)
+  shared_decl : (string -> Cty.t -> Addr.t) option;
+  output : Buffer.t;
+  fn_ptrs : (string, int) Hashtbl.t;
+  mutable frames : frame list;
+  mutable depth : int;
+  max_depth : int;
+}
+
+let create ~structs ~funcs ~resolve ~local ?shared_decl ?(output = Buffer.create 256) () =
+  (* Interned string literals live in a private arena outside any frame
+     so that stack rollback cannot invalidate the intern cache. *)
+  let strings_arena = Mem.create ~initial:1024 ~space:Addr.Strings "strings" in
+  let resolve = function Addr.Strings -> strings_arena | sp -> resolve sp in
+  {
+    structs;
+    funcs;
+    builtins = Hashtbl.create 64;
+    resolve;
+    local;
+    globals = Hashtbl.create 16;
+    strings = Hashtbl.create 16;
+    on_step = (fun _ -> ());
+    on_access = (fun _ -> ());
+    shared_decl;
+    output;
+    fn_ptrs = Hashtbl.create 8;
+    frames = [];
+    depth = 0;
+    max_depth = 256;
+  }
+
+let register_builtin ctx name fn = Hashtbl.replace ctx.builtins name fn
+
+let register_global ctx name ty addr = Hashtbl.replace ctx.globals name (ty, addr)
+
+(* Function pointers: encoded as integer ids so that generated code can
+   pass kernel-internal thread functions (e.g. thrFunc0) to the device
+   runtime by name, as OMPi's master/worker scheme does. *)
+let fn_ptr_tag = 0x7F00_0000_0000_0000L
+
+let function_pointer ctx (name : string) : Value.t =
+  if not (Hashtbl.mem ctx.funcs name) then runtime_error "unknown function '%s'" name;
+  let id =
+    match Hashtbl.find_opt ctx.fn_ptrs name with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length ctx.fn_ptrs in
+      Hashtbl.replace ctx.fn_ptrs name id;
+      id
+  in
+  Value.int ~ty:Cty.Long (Int64.logor fn_ptr_tag (Int64.of_int id))
+
+let function_of_pointer ctx (v : Value.t) : Ast.fundef =
+  let i = Value.as_int v in
+  if Int64.logand i fn_ptr_tag <> fn_ptr_tag then
+    runtime_error "value %s is not a function pointer" (Value.show v);
+  let id = Int64.to_int (Int64.logand i 0xFFFFL) in
+  let found = Hashtbl.fold (fun name i acc -> if i = id then Some name else acc) ctx.fn_ptrs None in
+  match found with
+  | Some name -> Hashtbl.find ctx.funcs name
+  | None -> runtime_error "dangling function pointer"
+
+(* ---------------------------------------------------------------- *)
+(* Memory                                                             *)
+(* ---------------------------------------------------------------- *)
+
+let sizeof ctx ty = Cty.sizeof ctx.structs ty
+
+let load ctx (a : Addr.t) (ty : Cty.t) : Value.t =
+  let m = ctx.resolve a.Addr.space in
+  (match ty with
+  | Cty.Array _ | Cty.Struct _ | Cty.Func _ -> ()
+  | _ -> ctx.on_access { acc_kind = `Load; acc_addr = a; acc_bytes = sizeof ctx ty });
+  match ty with
+  | Cty.Struct _ -> Value.ptr a (* struct rvalues are handled by address *)
+  | Cty.Func _ -> runtime_error "load of function type"
+  | _ -> Mem.load_scalar m ctx.structs a ty
+
+let store ctx (a : Addr.t) (ty : Cty.t) (v : Value.t) : unit =
+  let m = ctx.resolve a.Addr.space in
+  ctx.on_access { acc_kind = `Store; acc_addr = a; acc_bytes = sizeof ctx ty };
+  Mem.store_scalar m ctx.structs a ty (Value.cast (Cty.decay ty) v)
+
+let intern_string ctx (s : string) : Addr.t =
+  match Hashtbl.find_opt ctx.strings s with
+  | Some a -> a
+  | None ->
+    let m = ctx.resolve Addr.Strings in
+    let a = Mem.alloc m (String.length s + 1) in
+    String.iteri (fun i c -> Mem.store_scalar m ctx.structs (Addr.add a i) Cty.Uchar (Value.of_int ~ty:Cty.Uchar (Char.code c))) s;
+    Hashtbl.replace ctx.strings s a;
+    a
+
+let read_c_string ctx (a : Addr.t) : string =
+  let m = ctx.resolve a.Addr.space in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    let c = Value.to_int (Mem.load_scalar m ctx.structs (Addr.add a i) Cty.Uchar) in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr (c land 0xFF));
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- *)
+(* Variable binding                                                   *)
+(* ---------------------------------------------------------------- *)
+
+let push_frame ctx =
+  ctx.frames <- { vars = Hashtbl.create 16; saved_mark = Mem.mark ctx.local } :: ctx.frames
+
+let pop_frame ctx =
+  match ctx.frames with
+  | [] -> runtime_error "pop_frame on empty stack"
+  | f :: rest ->
+    Mem.release ctx.local f.saved_mark;
+    ctx.frames <- rest
+
+let declare_var ctx name ty : Addr.t =
+  let addr = Mem.push ctx.local (sizeof ctx ty) in
+  (match ctx.frames with
+  | [] -> runtime_error "declaration outside any frame"
+  | f :: _ -> Hashtbl.replace f.vars name (ty, addr));
+  addr
+
+let declare_shared_var ctx name ty : Addr.t =
+  match ctx.shared_decl with
+  | None -> runtime_error "__shared__ declaration outside device code"
+  | Some f ->
+    let addr = f name ty in
+    (match ctx.frames with
+    | [] -> runtime_error "declaration outside any frame"
+    | fr :: _ -> Hashtbl.replace fr.vars name (ty, addr));
+    addr
+
+let lookup_var ctx name : (Cty.t * Addr.t) option =
+  let rec go = function
+    | [] -> Hashtbl.find_opt ctx.globals name
+    | (f : frame) :: rest -> (
+      match Hashtbl.find_opt f.vars name with Some x -> Some x | None -> go rest)
+  in
+  go ctx.frames
+
+(* ---------------------------------------------------------------- *)
+(* Expression evaluation                                              *)
+(* ---------------------------------------------------------------- *)
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+
+let step ctx k = ctx.on_step k
+
+(* Type of an expression as seen at runtime; cheaper than full typing
+   because values carry their types. *)
+let rec eval ctx (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.IntLit (i, ty) -> Value.int ~ty i
+  | Ast.FloatLit (f, ty) -> Value.flt ~ty f
+  | Ast.CharLit c -> Value.of_int (Char.code c)
+  | Ast.StrLit s -> Value.ptr ~ty:Cty.Char (intern_string ctx s)
+  | Ast.Ident x when lookup_var ctx x = None && Hashtbl.mem ctx.funcs x ->
+    function_pointer ctx x
+  | Ast.Ident _ | Ast.Index _ | Ast.Member _ | Ast.Arrow _ | Ast.Deref _ ->
+    let addr, ty = eval_lvalue ctx e in
+    (match ty with
+    | Cty.Array (elt, _) -> Value.ptr ~ty:elt addr (* decay *)
+    | Cty.Func _ -> runtime_error "function used as value"
+    | _ -> load ctx addr ty)
+  | Ast.Unop (op, a) -> eval_unop ctx op a
+  | Ast.Binop (op, a, b) -> eval_binop ctx op a b
+  | Ast.Assign (op, lhs, rhs) ->
+    let addr, ty = eval_lvalue ctx lhs in
+    let v =
+      match op with
+      | None -> eval ctx rhs
+      | Some bop ->
+        let cur = load ctx addr ty in
+        apply_binop ctx bop cur (eval ctx rhs)
+    in
+    let v = Value.cast (Cty.decay ty) v in
+    store ctx addr ty v;
+    v
+  | Ast.Call (f, args) -> call ctx f (List.map (eval ctx) args)
+  | Ast.AddrOf a ->
+    let addr, ty = eval_lvalue ctx a in
+    Value.ptr ~ty addr
+  | Ast.Cast (ty, a) ->
+    step ctx St_arith;
+    Value.cast (Cty.decay ty) (eval ctx a)
+  | Ast.SizeofT ty -> Value.of_int ~ty:Cty.Ulong (sizeof ctx ty)
+  | Ast.SizeofE a ->
+    let ty = type_of_lvalue_or_value ctx a in
+    Value.of_int ~ty:Cty.Ulong (sizeof ctx ty)
+  | Ast.Cond (c, t, f) ->
+    step ctx St_branch;
+    if Value.is_true (eval ctx c) then eval ctx t else eval ctx f
+  | Ast.Comma (a, b) ->
+    ignore (eval ctx a);
+    eval ctx b
+
+and type_of_lvalue_or_value ctx (e : Ast.expr) : Cty.t =
+  (* sizeof(expr) needs the unconverted type of the operand. *)
+  match e with
+  | Ast.Ident _ | Ast.Index _ | Ast.Member _ | Ast.Arrow _ | Ast.Deref _ ->
+    snd (eval_lvalue ctx e)
+  | _ -> Value.ty_of (eval ctx e)
+
+and eval_lvalue ctx (e : Ast.expr) : Addr.t * Cty.t =
+  match e with
+  | Ast.Ident x -> (
+    match lookup_var ctx x with
+    | Some (ty, addr) -> (addr, ty)
+    | None -> runtime_error "unbound variable '%s'" x)
+  | Ast.Index (a, i) ->
+    let base = eval ctx a in
+    let idx = Value.to_int (eval ctx i) in
+    step ctx St_arith;
+    (match base with
+    | Value.VPtr (addr, elt) -> (Addr.add addr (idx * sizeof ctx elt), elt)
+    | v -> runtime_error "indexing non-pointer %s" (Value.show v))
+  | Ast.Deref a -> (
+    match eval ctx a with
+    | Value.VPtr (addr, elt) -> (addr, elt)
+    | v -> runtime_error "dereferencing non-pointer %s" (Value.show v))
+  | Ast.Member (a, fld) ->
+    let addr, ty = eval_lvalue ctx a in
+    (match ty with
+    | Cty.Struct s ->
+      let f = Cty.find_field ctx.structs s fld in
+      (Addr.add addr f.fld_off, f.fld_ty)
+    | ty -> runtime_error "member access on %s" (Cty.show ty))
+  | Ast.Arrow (a, fld) -> (
+    match eval ctx a with
+    | Value.VPtr (addr, Cty.Struct s) ->
+      let f = Cty.find_field ctx.structs s fld in
+      (Addr.add addr f.fld_off, f.fld_ty)
+    | v -> runtime_error "arrow access on %s" (Value.show v))
+  | e -> runtime_error "expression is not an lvalue: %s" (Ast.show_expr e)
+
+and eval_unop ctx op a : Value.t =
+  match op with
+  | Ast.Neg ->
+    step ctx St_arith;
+    (match eval ctx a with
+    | Value.VInt (i, ty) -> Value.int ~ty (Int64.neg i)
+    | Value.VFlt (f, ty) -> Value.flt ~ty (-.f)
+    | v -> runtime_error "negation of %s" (Value.show v))
+  | Ast.Not ->
+    step ctx St_arith;
+    Value.bool (not (Value.is_true (eval ctx a)))
+  | Ast.BitNot ->
+    step ctx St_arith;
+    (match eval ctx a with
+    | Value.VInt (i, ty) -> Value.int ~ty (Int64.lognot i)
+    | v -> runtime_error "bitwise not of %s" (Value.show v))
+  | Ast.PreInc | Ast.PreDec | Ast.PostInc | Ast.PostDec ->
+    step ctx St_arith;
+    let addr, ty = eval_lvalue ctx a in
+    let old = load ctx addr ty in
+    let delta = if op = Ast.PreInc || op = Ast.PostInc then 1 else -1 in
+    let updated =
+      match old with
+      | Value.VInt (i, ity) -> Value.int ~ty:ity (Int64.add i (Int64.of_int delta))
+      | Value.VFlt (f, fty) -> Value.flt ~ty:fty (f +. float_of_int delta)
+      | Value.VPtr (p, elt) -> Value.ptr ~ty:elt (Addr.add p (delta * sizeof ctx elt))
+      | Value.VVoid -> runtime_error "increment of void"
+    in
+    store ctx addr ty updated;
+    if op = Ast.PostInc || op = Ast.PostDec then old else updated
+
+and apply_binop ctx op (va : Value.t) (vb : Value.t) : Value.t =
+  let arith_step () =
+    match op with
+    | Ast.Mul -> step ctx St_mul
+    | Ast.Div | Ast.Mod -> step ctx St_div
+    | _ -> step ctx St_arith
+  in
+  arith_step ();
+  match (op, va, vb) with
+  (* pointer arithmetic *)
+  | Ast.Add, Value.VPtr (p, elt), v -> Value.ptr ~ty:elt (Addr.add p (Value.to_int v * sizeof ctx elt))
+  | Ast.Add, v, Value.VPtr (p, elt) -> Value.ptr ~ty:elt (Addr.add p (Value.to_int v * sizeof ctx elt))
+  | Ast.Sub, Value.VPtr (p, elt), Value.VPtr (q, _) ->
+    Value.of_int ~ty:Cty.Long (Addr.diff p q / sizeof ctx elt)
+  | Ast.Sub, Value.VPtr (p, elt), v -> Value.ptr ~ty:elt (Addr.add p (-Value.to_int v * sizeof ctx elt))
+  (* pointer comparison *)
+  | (Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge), Value.VPtr (p, _), Value.VPtr (q, _) ->
+    let c = Addr.compare p q in
+    Value.bool
+      (match op with
+      | Ast.Eq -> c = 0
+      | Ast.Ne -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Gt -> c > 0
+      | Ast.Le -> c <= 0
+      | _ -> c >= 0)
+  | (Ast.Eq | Ast.Ne), Value.VPtr (p, _), Value.VInt (i, _) ->
+    Value.bool (if op = Ast.Eq then Addr.to_int64 p = i || (Addr.is_null p && i = 0L) else not (Addr.is_null p && i = 0L) && Addr.to_int64 p <> i)
+  | (Ast.Eq | Ast.Ne), Value.VInt (i, _), Value.VPtr (p, _) ->
+    Value.bool (if op = Ast.Eq then Addr.is_null p && i = 0L else not (Addr.is_null p && i = 0L))
+  | _ -> (
+    let common = Cty.common_arith (Cty.decay (Value.ty_of va)) (Cty.decay (Value.ty_of vb)) in
+    match common with
+    | Cty.Float | Cty.Double ->
+      let a = Value.as_float va and b = Value.as_float vb in
+      let flt f = Value.flt ~ty:common f in
+      (match op with
+      | Ast.Add -> flt (a +. b)
+      | Ast.Sub -> flt (a -. b)
+      | Ast.Mul -> flt (a *. b)
+      | Ast.Div -> flt (a /. b)
+      | Ast.Lt -> Value.bool (a < b)
+      | Ast.Gt -> Value.bool (a > b)
+      | Ast.Le -> Value.bool (a <= b)
+      | Ast.Ge -> Value.bool (a >= b)
+      | Ast.Eq -> Value.bool (a = b)
+      | Ast.Ne -> Value.bool (a <> b)
+      | Ast.LogAnd -> Value.bool (a <> 0.0 && b <> 0.0)
+      | Ast.LogOr -> Value.bool (a <> 0.0 || b <> 0.0)
+      | _ -> runtime_error "invalid float operation")
+    | ity ->
+      let a = Value.as_int va and b = Value.as_int vb in
+      let wrap i = Value.int ~ty:ity i in
+      let unsigned = Cty.is_unsigned ity in
+      let cmp f_signed f_unsigned =
+        Value.bool (if unsigned then f_unsigned (Int64.unsigned_compare a b) else f_signed (Int64.compare a b))
+      in
+      (match op with
+      | Ast.Add -> wrap (Int64.add a b)
+      | Ast.Sub -> wrap (Int64.sub a b)
+      | Ast.Mul -> wrap (Int64.mul a b)
+      | Ast.Div ->
+        if b = 0L then runtime_error "integer division by zero";
+        wrap (if unsigned then Int64.unsigned_div a b else Int64.div a b)
+      | Ast.Mod ->
+        if b = 0L then runtime_error "integer modulo by zero";
+        wrap (if unsigned then Int64.unsigned_rem a b else Int64.rem a b)
+      | Ast.Shl -> wrap (Int64.shift_left a (Int64.to_int b land 63))
+      | Ast.Shr ->
+        wrap
+          (if unsigned then Int64.shift_right_logical a (Int64.to_int b land 63)
+           else Int64.shift_right a (Int64.to_int b land 63))
+      | Ast.BitAnd -> wrap (Int64.logand a b)
+      | Ast.BitOr -> wrap (Int64.logor a b)
+      | Ast.BitXor -> wrap (Int64.logxor a b)
+      | Ast.Lt -> cmp (fun c -> c < 0) (fun c -> c < 0)
+      | Ast.Gt -> cmp (fun c -> c > 0) (fun c -> c > 0)
+      | Ast.Le -> cmp (fun c -> c <= 0) (fun c -> c <= 0)
+      | Ast.Ge -> cmp (fun c -> c >= 0) (fun c -> c >= 0)
+      | Ast.Eq -> Value.bool (a = b)
+      | Ast.Ne -> Value.bool (a <> b)
+      | Ast.LogAnd -> Value.bool (a <> 0L && b <> 0L)
+      | Ast.LogOr -> Value.bool (a <> 0L || b <> 0L)))
+
+and eval_binop ctx op a b : Value.t =
+  match op with
+  (* short-circuit evaluation *)
+  | Ast.LogAnd ->
+    step ctx St_branch;
+    if Value.is_true (eval ctx a) then Value.bool (Value.is_true (eval ctx b)) else Value.bool false
+  | Ast.LogOr ->
+    step ctx St_branch;
+    if Value.is_true (eval ctx a) then Value.bool true else Value.bool (Value.is_true (eval ctx b))
+  | _ -> apply_binop ctx op (eval ctx a) (eval ctx b)
+
+(* ---------------------------------------------------------------- *)
+(* Calls                                                              *)
+(* ---------------------------------------------------------------- *)
+
+and call ctx (f : string) (args : Value.t list) : Value.t =
+  step ctx St_call;
+  match Hashtbl.find_opt ctx.builtins f with
+  | Some fn -> fn ctx args
+  | None -> (
+    match Hashtbl.find_opt ctx.funcs f with
+    | Some fd -> call_fundef ctx fd args
+    | None -> runtime_error "call to undefined function '%s'" f)
+
+and call_fundef ctx (fd : Ast.fundef) (args : Value.t list) : Value.t =
+  if ctx.depth >= ctx.max_depth then runtime_error "call stack overflow in '%s'" fd.f_name;
+  if List.length args <> List.length fd.f_params then
+    runtime_error "'%s' expects %d arguments, got %d" fd.f_name (List.length fd.f_params)
+      (List.length args);
+  ctx.depth <- ctx.depth + 1;
+  push_frame ctx;
+  let finally () =
+    pop_frame ctx;
+    ctx.depth <- ctx.depth - 1
+  in
+  Fun.protect ~finally (fun () ->
+      List.iter2
+        (fun (name, ty) v ->
+          let ty = Cty.decay ty in
+          let addr = declare_var ctx name ty in
+          store ctx addr ty v)
+        fd.f_params args;
+      match exec ctx fd.f_body with
+      | () -> Value.VVoid
+      | exception Return_exc v ->
+        if fd.f_ret = Cty.Void then Value.VVoid else Value.cast (Cty.decay fd.f_ret) v)
+
+(* ---------------------------------------------------------------- *)
+(* Statements                                                         *)
+(* ---------------------------------------------------------------- *)
+
+and exec_init ctx (addr : Addr.t) (ty : Cty.t) (init : Ast.init) : unit =
+  match (init, ty) with
+  | Ast.Iexpr e, _ -> store ctx addr ty (eval ctx e)
+  | Ast.Ilist items, Cty.Array (elt, _) ->
+    let esz = sizeof ctx elt in
+    List.iteri (fun i item -> exec_init ctx (Addr.add addr (i * esz)) elt item) items
+  | Ast.Ilist items, Cty.Struct s ->
+    let lay = Cty.lookup_layout ctx.structs s in
+    List.iteri
+      (fun i item ->
+        match List.nth_opt lay.lay_fields i with
+        | Some f -> exec_init ctx (Addr.add addr f.fld_off) f.fld_ty item
+        | None -> runtime_error "too many initializers for struct %s" s)
+      items
+  | Ast.Ilist _, ty -> runtime_error "brace initializer for scalar %s" (Cty.show ty)
+
+and exec ctx (s : Ast.stmt) : unit =
+  match s with
+  | Ast.Snop -> ()
+  | Ast.Sexpr e -> ignore (eval ctx e)
+  | Ast.Sdecl ds ->
+    List.iter
+      (fun (d : Ast.decl) ->
+        let addr =
+          if d.d_shared then declare_shared_var ctx d.d_name d.d_ty
+          else declare_var ctx d.d_name d.d_ty
+        in
+        match d.d_init with
+        | Some init -> exec_init ctx addr d.d_ty init
+        | None -> ())
+      ds
+  | Ast.Sblock ss ->
+    push_frame ctx;
+    Fun.protect ~finally:(fun () -> pop_frame ctx) (fun () -> List.iter (exec ctx) ss)
+  | Ast.Sif (c, t, e) ->
+    step ctx St_branch;
+    if Value.is_true (eval ctx c) then exec ctx t else Option.iter (exec ctx) e
+  | Ast.Swhile (c, body) -> (
+    try
+      while
+        step ctx St_branch;
+        Value.is_true (eval ctx c)
+      do
+        try exec ctx body with Continue_exc -> ()
+      done
+    with Break_exc -> ())
+  | Ast.Sdo (body, c) -> (
+    try
+      let continue_loop = ref true in
+      while !continue_loop do
+        (try exec ctx body with Continue_exc -> ());
+        step ctx St_branch;
+        continue_loop := Value.is_true (eval ctx c)
+      done
+    with Break_exc -> ())
+  | Ast.Sfor (init, cond, update, body) ->
+    push_frame ctx;
+    Fun.protect
+      ~finally:(fun () -> pop_frame ctx)
+      (fun () ->
+        Option.iter (exec ctx) init;
+        try
+          while
+            step ctx St_branch;
+            match cond with None -> true | Some c -> Value.is_true (eval ctx c)
+          do
+            (try exec ctx body with Continue_exc -> ());
+            Option.iter (fun u -> ignore (eval ctx u)) update
+          done
+        with Break_exc -> ())
+  | Ast.Sreturn None -> raise (Return_exc Value.VVoid)
+  | Ast.Sreturn (Some e) -> raise (Return_exc (eval ctx e))
+  | Ast.Sbreak -> raise Break_exc
+  | Ast.Scontinue -> raise Continue_exc
+  | Ast.Spragma (Ast.Omp dir, _) ->
+    runtime_error "unlowered OpenMP directive reached the interpreter: %s"
+      (Format.asprintf "%a" Pretty.pp_directive dir)
+  | Ast.Spragma (Ast.Raw _, body) ->
+    (* Unknown non-OpenMP pragma: execute the body, ignore the pragma. *)
+    Option.iter (exec ctx) body
+
+(* ---------------------------------------------------------------- *)
+(* printf                                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* A small printf supporting %d %ld %u %f %g %e %c %s %p and width
+   modifiers like %5d / %0.3f, enough for the benchmark programs. *)
+let format_printf ctx (fmt_string : string) (args : Value.t list) : string =
+  let buf = Buffer.create (String.length fmt_string) in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> runtime_error "printf: not enough arguments for format %S" fmt_string
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt_string in
+  let i = ref 0 in
+  while !i < n do
+    let c = fmt_string.[!i] in
+    if c <> '%' then begin
+      Buffer.add_char buf c;
+      incr i
+    end
+    else begin
+      (* scan the conversion spec *)
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        && match fmt_string.[!i] with
+           | '0' .. '9' | '.' | '-' | '+' | ' ' | 'l' | 'h' -> true
+           | _ -> false
+      do
+        incr i
+      done;
+      if !i >= n then Buffer.add_string buf (String.sub fmt_string start (n - start))
+      else begin
+        let conv = fmt_string.[!i] in
+        incr i;
+        let spec = String.sub fmt_string start (!i - start) in
+        let clean = String.concat "" (String.split_on_char 'l' spec) in
+        match conv with
+        | '%' -> Buffer.add_char buf '%'
+        | 'd' | 'i' ->
+          let spec64 = String.sub clean 0 (String.length clean - 1) ^ "Ld" in
+          Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string spec64 "%Ld") (Value.as_int (next ())))
+        | 'u' ->
+          let spec64 = String.sub clean 0 (String.length clean - 1) ^ "Lu" in
+          Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string spec64 "%Lu") (Value.as_int (next ())))
+        | 'x' ->
+          let spec64 = String.sub clean 0 (String.length clean - 1) ^ "Lx" in
+          Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string spec64 "%Lx") (Value.as_int (next ())))
+        | 'f' | 'g' | 'e' ->
+          Buffer.add_string buf (Printf.sprintf (Scanf.format_from_string clean "%f") (Value.as_float (next ())))
+        | 'c' ->
+          Buffer.add_char buf (Char.chr (Value.to_int (next ()) land 0xFF))
+        | 's' -> Buffer.add_string buf (read_c_string ctx (Value.as_addr (next ())))
+        | 'p' -> Buffer.add_string buf (Printf.sprintf "0x%Lx" (Value.as_int (next ())))
+        | c -> runtime_error "printf: unsupported conversion '%%%c'" c
+      end
+    end
+  done;
+  Buffer.contents buf
+
+(* Default builtins shared by host and device roles. *)
+let install_common_builtins ctx =
+  register_builtin ctx "printf" (fun ctx args ->
+      match args with
+      | fmt :: rest ->
+        let s = format_printf ctx (read_c_string ctx (Value.as_addr fmt)) rest in
+        Buffer.add_string ctx.output s;
+        Value.of_int (String.length s)
+      | [] -> runtime_error "printf: missing format");
+  let float1 name fn cost =
+    register_builtin ctx name (fun ctx args ->
+        step ctx cost;
+        match args with
+        | [ a ] -> Value.flt ~ty:Cty.Double (fn (Value.as_float a))
+        | _ -> runtime_error "%s expects 1 argument" name)
+  in
+  let float1f name fn =
+    register_builtin ctx name (fun ctx args ->
+        step ctx St_special;
+        match args with
+        | [ a ] -> Value.flt ~ty:Cty.Float (fn (Value.as_float a))
+        | _ -> runtime_error "%s expects 1 argument" name)
+  in
+  float1 "sqrt" sqrt St_special;
+  float1 "fabs" abs_float St_arith;
+  float1 "exp" exp St_special;
+  float1 "log" log St_special;
+  float1f "sqrtf" sqrt;
+  float1f "fabsf" abs_float;
+  float1f "expf" exp;
+  register_builtin ctx "pow" (fun ctx args ->
+      step ctx St_special;
+      match args with
+      | [ a; b ] -> Value.flt ~ty:Cty.Double (Float.pow (Value.as_float a) (Value.as_float b))
+      | _ -> runtime_error "pow expects 2 arguments");
+  register_builtin ctx "abs" (fun ctx args ->
+      step ctx St_arith;
+      match args with
+      | [ a ] -> Value.int ~ty:Cty.Int (Int64.abs (Value.as_int a))
+      | _ -> runtime_error "abs expects 1 argument")
+
+(* Load a program's function definitions into the context's table. *)
+let load_program ctx (p : Ast.program) =
+  List.iter
+    (function
+      | Ast.Gfun f -> Hashtbl.replace ctx.funcs f.f_name f
+      | Ast.Gstruct (name, fields) -> ignore (Cty.define_struct ctx.structs name fields)
+      | Ast.Gvar _ | Ast.Gfundecl _ | Ast.Gpragma _ -> ())
+    p

@@ -1,0 +1,109 @@
+(** Tree-walking interpreter for the mini-C AST.
+
+    The same engine is used in two roles:
+    - host role: executes the translated host program, with the ORT host
+      runtime registered as builtins;
+    - device role: one instance per GPU thread, with the cudadev device
+      library registered as builtins, driven by the SIMT scheduler.
+
+    Per-operation hooks ({!t.on_step}, {!t.on_access}) feed the
+    performance model without contaminating the semantics. *)
+
+open Machine
+open Minic
+
+exception Runtime_error of string
+
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Instruction classes for the cost model. *)
+type step = St_arith | St_mul | St_div | St_branch | St_call | St_special
+
+type access = { acc_kind : [ `Load | `Store ]; acc_addr : Addr.t; acc_bytes : int }
+
+type frame = { vars : (string, Cty.t * Addr.t) Hashtbl.t; saved_mark : int }
+
+type t = {
+  structs : Cty.layout_env;
+  funcs : (string, Ast.fundef) Hashtbl.t;
+  builtins : (string, t -> Value.t list -> Value.t) Hashtbl.t;
+  resolve : Addr.space -> Mem.t;  (** address space -> backing memory *)
+  local : Mem.t;  (** this context's stack (all declared variables) *)
+  globals : (string, Cty.t * Addr.t) Hashtbl.t;
+  strings : (string, Addr.t) Hashtbl.t;
+  mutable on_step : step -> unit;
+  mutable on_access : access -> unit;
+  shared_decl : (string -> Cty.t -> Addr.t) option;
+      (** resolver for [__shared__] declarations (device role only) *)
+  output : Buffer.t;  (** printf destination *)
+  fn_ptrs : (string, int) Hashtbl.t;
+  mutable frames : frame list;
+  mutable depth : int;
+  max_depth : int;
+}
+
+val create :
+  structs:Cty.layout_env ->
+  funcs:(string, Ast.fundef) Hashtbl.t ->
+  resolve:(Addr.space -> Mem.t) ->
+  local:Mem.t ->
+  ?shared_decl:(string -> Cty.t -> Addr.t) ->
+  ?output:Buffer.t ->
+  unit ->
+  t
+
+val register_builtin : t -> string -> (t -> Value.t list -> Value.t) -> unit
+
+val register_global : t -> string -> Cty.t -> Addr.t -> unit
+
+(** {1 Memory access} (bounds-checked, accounted through [on_access]) *)
+
+val sizeof : t -> Cty.t -> int
+
+val load : t -> Addr.t -> Cty.t -> Value.t
+
+val store : t -> Addr.t -> Cty.t -> Value.t -> unit
+
+val intern_string : t -> string -> Addr.t
+
+val read_c_string : t -> Addr.t -> string
+
+(** {1 Frames and variables} *)
+
+val push_frame : t -> unit
+
+val pop_frame : t -> unit
+
+val declare_var : t -> string -> Cty.t -> Addr.t
+
+val lookup_var : t -> string -> (Cty.t * Addr.t) option
+
+(** {1 Function pointers}
+
+    Encoded as tagged integers so that generated code can pass
+    kernel-internal thread functions to the device runtime by name, as
+    OMPi's master/worker scheme does. *)
+
+val function_pointer : t -> string -> Value.t
+
+val function_of_pointer : t -> Value.t -> Ast.fundef
+
+(** {1 Execution} *)
+
+val eval : t -> Ast.expr -> Value.t
+
+val exec : t -> Ast.stmt -> unit
+
+val exec_init : t -> Addr.t -> Cty.t -> Ast.init -> unit
+
+val call : t -> string -> Value.t list -> Value.t
+
+val call_fundef : t -> Ast.fundef -> Value.t list -> Value.t
+
+(** printf/math builtins shared by the host and device roles. *)
+val install_common_builtins : t -> unit
+
+(** Load a program's function definitions and struct layouts. *)
+val load_program : t -> Ast.program -> unit
+
+val format_printf : t -> string -> Value.t list -> string

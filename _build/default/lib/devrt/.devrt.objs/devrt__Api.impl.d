@@ -1,0 +1,1 @@
+lib/devrt/api.pp.ml: Addr Cinterp Config Counters Cty Float Format Gpusim Hashtbl Int64 List Machine Mem Minic Sched Simt Spec Stack Value

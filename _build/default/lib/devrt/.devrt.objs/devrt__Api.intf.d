@@ -1,0 +1,1 @@
+lib/devrt/api.pp.mli: Cinterp Gpusim

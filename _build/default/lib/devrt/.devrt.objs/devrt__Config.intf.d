@@ -1,0 +1,1 @@
+lib/devrt/config.pp.mli: Hashtbl

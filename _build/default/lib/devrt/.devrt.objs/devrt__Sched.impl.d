@@ -1,0 +1,1 @@
+lib/devrt/sched.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/devrt/sched.pp.mli: Format

@@ -1,0 +1,442 @@
+(* The cudadev device runtime library (paper §4.2.2), exposed to kernel
+   code as interpreter builtins.  One [install] call per GPU thread wires
+   the library to that thread's interpreter instance, closing over the
+   SIMT block/thread state. *)
+
+open Machine
+open Gpusim
+
+exception Devrt_error of string
+
+let devrt_error fmt = Format.kasprintf (fun s -> raise (Devrt_error s)) fmt
+
+(* Per-thread OpenMP execution context.  Defaults describe the combined
+   target teams distribute parallel for mode, where every launched
+   thread is a team member; the master/worker engine overrides them for
+   the duration of a parallel region. *)
+type omp_ctx = { mutable omp_id : int; mutable omp_num : int }
+
+let int_arg = Value.to_int
+
+let ret_int i = Value.of_int i
+
+let ret_void = Value.VVoid
+
+let store_int ctx addr_v (i : int) =
+  let addr = Value.as_addr addr_v in
+  Cinterp.Interp.store ctx addr Cty.Int (Value.of_int i)
+
+let bad_args name = devrt_error "%s: bad argument list" name
+
+(* Participants of the B1 barrier: the master thread plus all worker
+   threads (block size minus the masked-out master warp). *)
+let b1_participants (bs : Simt.block_state) =
+  1 + (Simt.dim3_total bs.bs_block_dim - bs.bs_spec.Spec.warp_size)
+
+let barrier_id_b1 = 1
+
+let barrier_id_b2 = 2
+
+let barrier_id_user = 3
+
+(* ---------------------------------------------------------------- *)
+(* Worksharing helpers                                                *)
+(* ---------------------------------------------------------------- *)
+
+let team_linear (bs : Simt.block_state) = bs.bs_block_lin
+
+let num_teams (bs : Simt.block_state) = Simt.dim3_total bs.bs_grid_dim
+
+let dyn_counter (bs : Simt.block_state) rid ~init =
+  match Hashtbl.find_opt bs.bs_dyn_counters rid with
+  | Some r -> r
+  | None ->
+    let r = ref init in
+    Hashtbl.replace bs.bs_dyn_counters rid r;
+    r
+
+let section_counter (bs : Simt.block_state) rid =
+  match Hashtbl.find_opt bs.bs_section_counters rid with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace bs.bs_section_counters rid r;
+    r
+
+(* End-of-worksharing bookkeeping: the last participant to reach the
+   closing barrier clears the region's shared counters, making the
+   region re-enterable (e.g. a worksharing loop nested in a sequential
+   loop).  Runs before the bar.sync, so no participant can re-enter the
+   region while state is being recycled. *)
+let ws_finish (bs : Simt.block_state) rid nthr =
+  let done_r =
+    match Hashtbl.find_opt bs.bs_ws_done rid with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace bs.bs_ws_done rid r;
+      r
+  in
+  incr done_r;
+  if !done_r >= nthr then begin
+    Hashtbl.remove bs.bs_ws_done rid;
+    Hashtbl.remove bs.bs_dyn_counters rid;
+    Hashtbl.remove bs.bs_section_counters rid
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Atomic read-modify-write on device memory                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Threads are scheduled cooperatively, so a builtin body is atomic by
+   construction; we still count the operation for the cost model. *)
+let atomic_rmw ctx (bs : Simt.block_state) (ptr : Value.t) (f : Value.t -> Value.t) : Value.t =
+  bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
+  match ptr with
+  | Value.VPtr (addr, ty) ->
+    let old = Cinterp.Interp.load ctx addr ty in
+    Cinterp.Interp.store ctx addr ty (f old);
+    old
+  | v -> devrt_error "atomic operation on non-pointer %s" (Value.show v)
+
+(* ---------------------------------------------------------------- *)
+(* Installation                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_state) : unit =
+  let spec = bs.bs_spec in
+  let block_threads = Simt.dim3_total bs.bs_block_dim in
+  let omp = { omp_id = ts.ts_lin; omp_num = block_threads } in
+  let reg name fn = Cinterp.Interp.register_builtin ctx name fn in
+
+  (* -------- identity -------- *)
+  reg "cudadev_thread_id" (fun _ _ -> ret_int ts.ts_lin);
+  reg "cudadev_team_id" (fun _ _ -> ret_int (team_linear bs));
+  reg "cudadev_num_teams" (fun _ _ -> ret_int (num_teams bs));
+  reg "cudadev_num_threads" (fun _ _ -> ret_int block_threads);
+  reg "omp_get_thread_num" (fun _ _ -> ret_int omp.omp_id);
+  reg "omp_get_num_threads" (fun _ _ -> ret_int omp.omp_num);
+  reg "omp_get_team_num" (fun _ _ -> ret_int (team_linear bs));
+  reg "omp_get_num_teams" (fun _ _ -> ret_int (num_teams bs));
+  reg "omp_is_initial_device" (fun _ _ -> ret_int 0);
+
+  (* -------- master/worker scheme (§3.2) -------- *)
+  reg "cudadev_in_masterwarp" (fun _ args ->
+      match args with
+      | [ thrid ] -> ret_int (if int_arg thrid < spec.Spec.warp_size then 1 else 0)
+      | _ -> bad_args "cudadev_in_masterwarp");
+  reg "cudadev_is_masterthr" (fun _ args ->
+      match args with
+      | [ thrid ] -> ret_int (if int_arg thrid = 0 then 1 else 0)
+      | _ -> bad_args "cudadev_is_masterthr");
+  reg "cudadev_register_parallel" (fun ctx args ->
+      match args with
+      | [ fnptr; vars; nthreads ] ->
+        let fd = Cinterp.Interp.function_of_pointer ctx fnptr in
+        let workers = block_threads - spec.Spec.warp_size in
+        let requested = int_arg nthreads in
+        let n = if requested <= 0 then workers else min requested workers in
+        bs.bs_region <- Some { Simt.pr_fn = fd.Minic.Ast.f_name; pr_args = [ vars ]; pr_nthreads = n };
+        Simt.bar_sync barrier_id_b1 (b1_participants bs); (* release workers *)
+        Simt.bar_sync barrier_id_b1 (b1_participants bs); (* wait for completion *)
+        bs.bs_region <- None;
+        ret_void
+      | _ -> bad_args "cudadev_register_parallel");
+  reg "cudadev_workerfunc" (fun ctx args ->
+      match args with
+      | [ thrid ] ->
+        let thrid = int_arg thrid in
+        let wid = thrid - spec.Spec.warp_size in
+        if wid < 0 then devrt_error "cudadev_workerfunc called from the master warp";
+        let rec serve () =
+          Simt.bar_sync barrier_id_b1 (b1_participants bs);
+          if not bs.bs_target_done then begin
+            (match bs.bs_region with
+            | Some r when wid < r.Simt.pr_nthreads ->
+              let saved_id = omp.omp_id and saved_num = omp.omp_num in
+              omp.omp_id <- wid;
+              omp.omp_num <- r.Simt.pr_nthreads;
+              let fd =
+                match Hashtbl.find_opt ctx.Cinterp.Interp.funcs r.Simt.pr_fn with
+                | Some fd -> fd
+                | None -> devrt_error "worker: unknown thread function '%s'" r.Simt.pr_fn
+              in
+              ignore (Cinterp.Interp.call_fundef ctx fd r.Simt.pr_args);
+              omp.omp_id <- saved_id;
+              omp.omp_num <- saved_num;
+              Simt.bar_sync barrier_id_b2 r.Simt.pr_nthreads
+            | Some _ | None -> ());
+            Simt.bar_sync barrier_id_b1 (b1_participants bs);
+            serve ()
+          end
+        in
+        serve ();
+        ret_void
+      | _ -> bad_args "cudadev_workerfunc");
+  reg "cudadev_exit_target" (fun _ args ->
+      match args with
+      | [] ->
+        bs.bs_target_done <- true;
+        Simt.bar_sync barrier_id_b1 (b1_participants bs);
+        ret_void
+      | _ -> bad_args "cudadev_exit_target");
+
+  (* -------- shared-memory stack (§3.2) -------- *)
+  reg "cudadev_push_shmem" (fun ctx args ->
+      match args with
+      | [ Value.VPtr (origin, ty); size ] ->
+        let size = int_arg size in
+        let mark = Mem.mark bs.bs_shared in
+        let sh = Mem.push bs.bs_shared size in
+        Mem.copy ~src:(ctx.Cinterp.Interp.resolve origin.Addr.space) ~src_off:origin.Addr.off
+          ~dst:bs.bs_shared ~dst_off:sh.Addr.off ~len:size;
+        Stack.push (sh, origin, size, mark) bs.bs_shmem_stack;
+        Value.ptr ~ty sh
+      | _ -> bad_args "cudadev_push_shmem");
+  reg "cudadev_pop_shmem" (fun ctx args ->
+      match args with
+      | [ Value.VPtr (origin, _); size ] ->
+        let size = int_arg size in
+        (match Stack.pop_opt bs.bs_shmem_stack with
+        | Some (sh, origin', size', mark) ->
+          if not (Addr.equal origin origin') || size <> size' then
+            devrt_error "cudadev_pop_shmem: mismatched push/pop pair";
+          Mem.copy ~src:bs.bs_shared ~src_off:sh.Addr.off
+            ~dst:(ctx.Cinterp.Interp.resolve origin.Addr.space) ~dst_off:origin.Addr.off ~len:size;
+          Mem.release bs.bs_shared mark
+        | None -> devrt_error "cudadev_pop_shmem: empty shared-memory stack");
+        ret_void
+      | _ -> bad_args "cudadev_pop_shmem");
+  reg "cudadev_getaddr" (fun _ args ->
+      (* Kernel parameters already carry device addresses; the lookup the
+         real runtime performs is an identity here. *)
+      match args with
+      | [ v ] -> v
+      | _ -> bad_args "cudadev_getaddr");
+
+  (* -------- worksharing (§3.1, §4.2.2) -------- *)
+  reg "cudadev_get_distribute_chunk" (fun ctx args ->
+      match args with
+      | [ lb_out; ub_out; lo; hi ] ->
+        let r =
+          Sched.distribute_chunk ~team:(team_linear bs) ~num_teams:(num_teams bs)
+            { Sched.lo = int_arg lo; hi = int_arg hi }
+        in
+        store_int ctx lb_out r.Sched.lo;
+        store_int ctx ub_out r.Sched.hi;
+        ret_void
+      | _ -> bad_args "cudadev_get_distribute_chunk");
+  reg "cudadev_get_distribute_cyclic" (fun ctx args ->
+      (* dist_schedule(static, c): the team's k-th block-cyclic chunk *)
+      match args with
+      | [ k; chunk; lo; hi; lb_out; ub_out ] ->
+        let range = { Sched.lo = int_arg lo; hi = int_arg hi } in
+        (match
+           Sched.static_cyclic_chunk ~thread:(team_linear bs) ~num_threads:(num_teams bs)
+             ~chunk:(max 1 (int_arg chunk)) ~k:(int_arg k) range
+         with
+        | Some r ->
+          store_int ctx lb_out r.Sched.lo;
+          store_int ctx ub_out r.Sched.hi;
+          ret_int 1
+        | None -> ret_int 0)
+      | _ -> bad_args "cudadev_get_distribute_cyclic");
+  reg "cudadev_get_static_chunk" (fun ctx args ->
+      match args with
+      | [ lb_out; ub_out; lo; hi ] ->
+        let r =
+          Sched.static_chunk ~thread:omp.omp_id ~num_threads:omp.omp_num
+            { Sched.lo = int_arg lo; hi = int_arg hi }
+        in
+        store_int ctx lb_out r.Sched.lo;
+        store_int ctx ub_out r.Sched.hi;
+        ret_int (if Sched.range_len r > 0 then 1 else 0)
+      | _ -> bad_args "cudadev_get_static_chunk");
+  reg "cudadev_get_dynamic_chunk" (fun ctx args ->
+      match args with
+      | [ rid; chunk; lo; hi; lb_out; ub_out ] ->
+        let rid = int_arg rid and chunk = max 1 (int_arg chunk) in
+        let range = { Sched.lo = int_arg lo; hi = int_arg hi } in
+        let counter = dyn_counter bs rid ~init:range.Sched.lo in
+        bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
+        (match Sched.dynamic_chunk ~counter:!counter ~chunk range with
+        | Some r ->
+          counter := r.Sched.hi;
+          store_int ctx lb_out r.Sched.lo;
+          store_int ctx ub_out r.Sched.hi;
+          (* yield so that other threads interleave their grabs, as the
+             hardware scheduler would *)
+          Simt.yield ();
+          ret_int 1
+        | None -> ret_int 0)
+      | _ -> bad_args "cudadev_get_dynamic_chunk");
+  reg "cudadev_get_guided_chunk" (fun ctx args ->
+      match args with
+      | [ rid; minchunk; lo; hi; lb_out; ub_out ] ->
+        let rid = int_arg rid and minchunk = max 1 (int_arg minchunk) in
+        let range = { Sched.lo = int_arg lo; hi = int_arg hi } in
+        let counter = dyn_counter bs rid ~init:range.Sched.lo in
+        bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
+        (match Sched.guided_chunk ~counter:!counter ~num_threads:(max 1 omp.omp_num) ~min_chunk:minchunk range with
+        | Some r ->
+          counter := r.Sched.hi;
+          store_int ctx lb_out r.Sched.lo;
+          store_int ctx ub_out r.Sched.hi;
+          Simt.yield ();
+          ret_int 1
+        | None -> ret_int 0)
+      | _ -> bad_args "cudadev_get_guided_chunk");
+  reg "cudadev_ws_barrier" (fun _ args ->
+      match args with
+      | [ rid; nthr ] ->
+        let nthr = int_arg nthr in
+        let nthr = if nthr <= 0 then omp.omp_num else nthr in
+        ws_finish bs (int_arg rid) nthr;
+        Simt.bar_sync barrier_id_user nthr;
+        ret_void
+      | _ -> bad_args "cudadev_ws_barrier");
+  reg "cudadev_barrier" (fun _ args ->
+      match args with
+      | [ nthr ] ->
+        let n = int_arg nthr in
+        let n = if n <= 0 then omp.omp_num else n in
+        (* The paper's rounding rule X = W * ceil(N/W) is applied for the
+           cost side inside the scheduler; participation is exact. *)
+        Simt.bar_sync barrier_id_user n;
+        ret_void
+      | _ -> bad_args "cudadev_barrier");
+
+  (* -------- sections -------- *)
+  (* "To avoid warp divergence, each section is assigned to threads from
+     different warps" (§4.2.2): the first sections are reserved for one
+     leader lane per warp; only once every warp leader is busy does the
+     shared counter hand sections to arbitrary threads. *)
+  reg "cudadev_sections_next" (fun _ args ->
+      match args with
+      | [ rid; nsections ] ->
+        let rid = int_arg rid and nsections = int_arg nsections in
+        let c = section_counter bs rid in
+        bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
+        let warp = spec.Spec.warp_size in
+        let my_warp = ts.Simt.ts_lin / warp in
+        let grant mine =
+          incr c;
+          (* ablation bookkeeping: did this warp already own a section? *)
+          incr Config.sections_total_grants;
+          (match Hashtbl.find_opt Config.sections_warp_owners (bs.bs_block_lin, rid) with
+          | Some warps ->
+            if List.mem my_warp !warps then incr Config.sections_same_warp_grants
+            else warps := my_warp :: !warps
+          | None -> Hashtbl.replace Config.sections_warp_owners (bs.bs_block_lin, rid) (ref [ my_warp ]));
+          Simt.yield ();
+          ret_int mine
+        in
+        let reserved =
+          if !Config.sections_anti_divergence then min nsections ((omp.omp_num + warp - 1) / warp)
+          else 0
+        in
+        let is_leader = omp.omp_id mod warp = 0 && omp.omp_id / warp < reserved in
+        if is_leader && !c <= omp.omp_id / warp then begin
+          (* leaders take their reserved section exactly once *)
+          let mine = omp.omp_id / warp in
+          if !c = mine then grant mine
+          else begin
+            (* another leader has not arrived yet; wait for our slot *)
+            while !c < mine do
+              Simt.yield ()
+            done;
+            if !c = mine then grant mine else ret_int (-1)
+          end
+        end
+        else if !c >= nsections then ret_int (-1)
+        else if !c < reserved then begin
+          (* reserved slots pending: non-leaders wait their turn *)
+          while !c < reserved && !c < nsections do
+            Simt.yield ()
+          done;
+          if !c >= nsections then ret_int (-1) else grant !c
+        end
+        else grant !c
+      | _ -> bad_args "cudadev_sections_next");
+
+  (* -------- locks / critical (§4.2.2) -------- *)
+  reg "cudadev_lock" (fun ctx args ->
+      match args with
+      | [ Value.VPtr (addr, _) ] ->
+        let rec spin () =
+          bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
+          let cur = Value.to_int (Cinterp.Interp.load ctx addr Cty.Int) in
+          if cur = 0 then Cinterp.Interp.store ctx addr Cty.Int (Value.of_int 1)
+          else begin
+            Simt.yield ();
+            spin ()
+          end
+        in
+        spin ();
+        ret_void
+      | _ -> bad_args "cudadev_lock");
+  reg "cudadev_unlock" (fun ctx args ->
+      match args with
+      | [ Value.VPtr (addr, _) ] ->
+        Cinterp.Interp.store ctx addr Cty.Int (Value.of_int 0);
+        ret_void
+      | _ -> bad_args "cudadev_unlock");
+
+  (* -------- reductions -------- *)
+  let reduce name f =
+    reg name (fun ctx args ->
+        match args with
+        | [ ptr; v ] -> ignore (atomic_rmw ctx bs ptr (fun old -> f old v)); ret_void
+        | _ -> bad_args name)
+  in
+  reduce "cudadev_reduce_fadd" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old) (Value.as_float old +. Value.as_float v));
+  reduce "cudadev_reduce_iadd" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (Int64.add (Value.as_int old) (Value.as_int v)));
+  reduce "cudadev_reduce_fmul" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old) (Value.as_float old *. Value.as_float v));
+  reduce "cudadev_reduce_imul" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (Int64.mul (Value.as_int old) (Value.as_int v)));
+  reduce "cudadev_reduce_fmax" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old) (Float.max (Value.as_float old) (Value.as_float v)));
+  reduce "cudadev_reduce_fmin" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old) (Float.min (Value.as_float old) (Value.as_float v)));
+  reduce "cudadev_reduce_imax" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (if Value.as_int v > Value.as_int old then Value.as_int v else Value.as_int old));
+  reduce "cudadev_reduce_imin" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (if Value.as_int v < Value.as_int old then Value.as_int v else Value.as_int old));
+  reduce "cudadev_reduce_iand" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (Int64.logand (Value.as_int old) (Value.as_int v)));
+  reduce "cudadev_reduce_ior" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (Int64.logor (Value.as_int old) (Value.as_int v)));
+  reduce "cudadev_reduce_ixor" (fun old v ->
+      Value.int ~ty:(Value.ty_of old) (Int64.logxor (Value.as_int old) (Value.as_int v)));
+  reduce "cudadev_reduce_iland" (fun old v ->
+      Value.int ~ty:(Value.ty_of old)
+        (if Value.as_int old <> 0L && Value.as_int v <> 0L then 1L else 0L));
+
+  (* -------- CUDA intrinsics for hand-written kernels -------- *)
+  reg "__syncthreads" (fun _ args ->
+      match args with
+      | [] ->
+        Simt.bar_sync 0 0 (* all live threads *);
+        ret_void
+      | _ -> bad_args "__syncthreads");
+  reg "atomicAdd" (fun ctx args ->
+      match args with
+      | [ ptr; v ] ->
+        atomic_rmw ctx bs ptr (fun old ->
+            match old with
+            | Value.VFlt (f, ty) -> Value.flt ~ty (f +. Value.as_float v)
+            | Value.VInt (i, ty) -> Value.int ~ty (Int64.add i (Value.as_int v))
+            | o -> devrt_error "atomicAdd on %s" (Value.show o))
+      | _ -> bad_args "atomicAdd");
+  reg "atomicCAS" (fun ctx args ->
+      match args with
+      | [ ptr; cmp; v ] ->
+        atomic_rmw ctx bs ptr (fun old -> if Value.as_int old = Value.as_int cmp then v else old)
+      | _ -> bad_args "atomicCAS");
+  reg "atomicExch" (fun ctx args ->
+      match args with
+      | [ ptr; v ] -> atomic_rmw ctx bs ptr (fun _ -> v)
+      | _ -> bad_args "atomicExch")

@@ -1,0 +1,22 @@
+(* Tunable policies of the device runtime, exposed for the ablation
+   benchmarks. *)
+
+(* Assign sections to lanes of different warps first (paper §4.2.2).
+   Disabling reverts to a plain shared counter, which tends to hand all
+   sections to lanes of the same warp and serialise them under SIMT. *)
+let sections_anti_divergence = ref true
+
+(* Ablation statistics: how often a section was granted to a warp that
+   already owned one (same-warp co-location causes SIMT serialisation on
+   real hardware). *)
+let sections_same_warp_grants = ref 0
+
+let sections_total_grants = ref 0
+
+(* (block, region) -> warps that own a section of that region *)
+let sections_warp_owners : (int * int, int list ref) Hashtbl.t = Hashtbl.create 32
+
+let reset_sections_stats () =
+  sections_same_warp_grants := 0;
+  sections_total_grants := 0;
+  Hashtbl.reset sections_warp_owners

@@ -1,0 +1,16 @@
+(** Tunable policies of the device runtime, exposed for the ablation
+    benchmarks (bench/main.exe ablate-sections). *)
+
+(** Assign sections to lanes of different warps first (paper 4.2.2).
+    Disabling reverts to a plain shared counter, which tends to hand all
+    sections to lanes of the same warp and serialise them under SIMT. *)
+val sections_anti_divergence : bool ref
+
+(** Ablation statistics: grants to a warp that already owned a section. *)
+val sections_same_warp_grants : int ref
+
+val sections_total_grants : int ref
+
+val sections_warp_owners : (int * int, int list ref) Hashtbl.t
+
+val reset_sections_stats : unit -> unit

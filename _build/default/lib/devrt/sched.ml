@@ -1,0 +1,85 @@
+(* Pure worksharing arithmetic of the cudadev device library: how
+   iteration spaces are cut into chunks for distribute (among teams) and
+   for static / dynamic / guided for-loops (among the threads of a
+   team).  Kept side-effect free so the invariants — full coverage, no
+   overlap, monotone bounds — can be property-tested directly. *)
+
+(* Half-open iteration range [lo, hi). *)
+type range = { lo : int; hi : int } [@@deriving show { with_path = false }, eq]
+
+let range_len r = max 0 (r.hi - r.lo)
+
+let empty_range = { lo = 0; hi = 0 }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* distribute: team [team] of [num_teams] takes a contiguous slice of
+   [total].  OMPi gives every team ceil(n/T) iterations, the tail team
+   getting the remainder. *)
+let distribute_chunk ~(team : int) ~(num_teams : int) (total : range) : range =
+  if num_teams <= 0 then invalid_arg "distribute_chunk: num_teams <= 0";
+  if team < 0 || team >= num_teams then invalid_arg "distribute_chunk: team out of range";
+  let n = range_len total in
+  if n = 0 then empty_range
+  else begin
+    let per_team = ceil_div n num_teams in
+    let lo = total.lo + (team * per_team) in
+    let hi = min total.hi (lo + per_team) in
+    if lo >= total.hi then empty_range else { lo; hi }
+  end
+
+(* schedule(static): contiguous even split of the team chunk among the
+   [num_threads] threads. *)
+let static_chunk ~(thread : int) ~(num_threads : int) (team_range : range) : range =
+  if num_threads <= 0 then invalid_arg "static_chunk: num_threads <= 0";
+  if thread < 0 || thread >= num_threads then invalid_arg "static_chunk: thread out of range";
+  let n = range_len team_range in
+  if n = 0 then empty_range
+  else begin
+    let per_thread = ceil_div n num_threads in
+    let lo = team_range.lo + (thread * per_thread) in
+    let hi = min team_range.hi (lo + per_thread) in
+    if lo >= team_range.hi then empty_range else { lo; hi }
+  end
+
+(* schedule(static, c): block-cyclic.  Returns the [k]-th chunk owned by
+   [thread], or None when exhausted. *)
+let static_cyclic_chunk ~(thread : int) ~(num_threads : int) ~(chunk : int) ~(k : int)
+    (team_range : range) : range option =
+  if chunk <= 0 then invalid_arg "static_cyclic_chunk: chunk <= 0";
+  let lo = team_range.lo + (((k * num_threads) + thread) * chunk) in
+  if lo >= team_range.hi then None else Some { lo; hi = min team_range.hi (lo + chunk) }
+
+(* schedule(dynamic, c): given the shared counter value, the next chunk.
+   The counter state itself lives in the device runtime. *)
+let dynamic_chunk ~(counter : int) ~(chunk : int) (team_range : range) : range option =
+  if chunk <= 0 then invalid_arg "dynamic_chunk: chunk <= 0";
+  if counter >= team_range.hi then None
+  else Some { lo = counter; hi = min team_range.hi (counter + chunk) }
+
+(* schedule(guided, c): chunk size proportional to the remaining
+   iterations divided by the thread count, never below [chunk]. *)
+let guided_chunk_size ~(remaining : int) ~(num_threads : int) ~(min_chunk : int) : int =
+  max min_chunk (ceil_div remaining (2 * num_threads))
+
+let guided_chunk ~(counter : int) ~(num_threads : int) ~(min_chunk : int) (team_range : range) :
+    range option =
+  if min_chunk <= 0 then invalid_arg "guided_chunk: min_chunk <= 0";
+  if counter >= team_range.hi then None
+  else begin
+    let size = guided_chunk_size ~remaining:(team_range.hi - counter) ~num_threads ~min_chunk in
+    Some { lo = counter; hi = min team_range.hi (counter + size) }
+  end
+
+(* Collapse: map a flat index back to the [n]-dimensional loop indices
+   given the extent of each dimension (row-major, innermost last). *)
+let uncollapse ~(extents : int list) (flat : int) : int list =
+  let rec go acc flat = function
+    | [] -> acc
+    | extent :: rest ->
+      if extent <= 0 then invalid_arg "uncollapse: non-positive extent";
+      go ((flat mod extent) :: acc) (flat / extent) rest
+  in
+  go [] flat (List.rev extents)
+
+let collapsed_total (extents : int list) = List.fold_left ( * ) 1 extents

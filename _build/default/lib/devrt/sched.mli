@@ -1,0 +1,48 @@
+(** Pure worksharing arithmetic of the cudadev device library: how
+    iteration spaces are cut into chunks for [distribute] (among teams)
+    and for static / dynamic / guided [for] loops (among the threads of
+    a team).  Side-effect free, so the invariants — full coverage, no
+    overlap, monotone bounds — are property-tested directly
+    ([test/test_sched.ml]). *)
+
+(** Half-open iteration range [lo, hi). *)
+type range = { lo : int; hi : int }
+
+val pp_range : Format.formatter -> range -> unit
+
+val show_range : range -> string
+
+val equal_range : range -> range -> bool
+
+val range_len : range -> int
+
+val empty_range : range
+
+val ceil_div : int -> int -> int
+
+(** Contiguous slice for one team: every team gets ceil(n/T) iterations,
+    the tail teams the remainder (OMPi's distribute policy). *)
+val distribute_chunk : team:int -> num_teams:int -> range -> range
+
+(** schedule(static): contiguous even split of the team chunk. *)
+val static_chunk : thread:int -> num_threads:int -> range -> range
+
+(** schedule(static, c): the [k]-th block-cyclic chunk owned by
+    [thread], or [None] when exhausted. *)
+val static_cyclic_chunk :
+  thread:int -> num_threads:int -> chunk:int -> k:int -> range -> range option
+
+(** schedule(dynamic, c): the next chunk given the shared counter value
+    (the counter itself lives in the device runtime). *)
+val dynamic_chunk : counter:int -> chunk:int -> range -> range option
+
+(** schedule(guided, c): chunk sized max(c, remaining / 2T). *)
+val guided_chunk : counter:int -> num_threads:int -> min_chunk:int -> range -> range option
+
+val guided_chunk_size : remaining:int -> num_threads:int -> min_chunk:int -> int
+
+(** Map a flat collapsed index back to the n-dimensional loop indices
+    (row-major, innermost last). *)
+val uncollapse : extents:int list -> int -> int list
+
+val collapsed_total : int list -> int

@@ -1,0 +1,1 @@
+lib/gpusim/costmodel.pp.ml: Counters Float Format Spec

@@ -1,0 +1,1 @@
+lib/gpusim/costmodel.pp.mli: Counters Format Spec

@@ -1,0 +1,1 @@
+lib/gpusim/counters.pp.ml: Addr Array Cinterp Hashtbl Int Machine Set Spec

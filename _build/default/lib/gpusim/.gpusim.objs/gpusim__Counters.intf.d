@@ -1,0 +1,1 @@
+lib/gpusim/counters.pp.mli: Cinterp Hashtbl Set Spec

@@ -1,0 +1,1 @@
+lib/gpusim/driver.pp.ml: Addr Array Ast Buffer Bytes Cinterp Costmodel Counters Format Hashtbl List Machine Mem Minic Nvcc Simclock Simt Spec Value

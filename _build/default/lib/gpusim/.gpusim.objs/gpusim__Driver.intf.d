@@ -1,0 +1,1 @@
+lib/gpusim/driver.pp.mli: Addr Ast Buffer Cinterp Costmodel Counters Hashtbl Machine Mem Minic Nvcc Simclock Simt Spec Value

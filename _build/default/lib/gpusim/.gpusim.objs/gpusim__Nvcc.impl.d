@@ -1,0 +1,1 @@
+lib/gpusim/nvcc.pp.ml: Ast Digest Hashtbl Minic Ppx_deriving_runtime Pretty String

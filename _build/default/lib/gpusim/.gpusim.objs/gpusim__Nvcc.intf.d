@@ -1,0 +1,1 @@
+lib/gpusim/nvcc.pp.mli: Ast Format Hashtbl Minic

@@ -1,0 +1,1 @@
+lib/gpusim/simt.pp.ml: Addr Array Ast Buffer Cinterp Counters Cty Effect Format Hashtbl List Machine Mem Minic Ppx_deriving_runtime Printf Queue Spec Stack String Value

@@ -1,0 +1,1 @@
+lib/gpusim/simt.pp.mli: Addr Ast Buffer Cinterp Counters Cty Format Hashtbl Machine Mem Minic Queue Spec Stack Value

@@ -1,0 +1,1 @@
+lib/gpusim/spec.pp.mli:

@@ -1,0 +1,200 @@
+(* Dynamic statistics of a kernel launch, feeding the cost model.
+
+   Instruction counts are kept per thread within the running block and
+   folded into per-warp maxima at block retirement, which approximates
+   SIMT lockstep cost under divergence.  Global-memory coalescing is
+   sampled on warp 0 of the first executed block: the k-th access of
+   each lane to a given allocation is assumed to correspond to the same
+   static memory instruction, so the number of distinct transaction
+   segments covered by the 32 lanes at position k estimates the
+   transactions issued for that warp-instruction. *)
+
+open Machine
+
+module Int_set = Set.Make (Int)
+
+type class_counts = {
+  mutable arith : int;
+  mutable mul : int;
+  mutable div : int;
+  mutable branch : int;
+  mutable call : int;
+  mutable special : int;
+}
+
+let zero_classes () = { arith = 0; mul = 0; div = 0; branch = 0; call = 0; special = 0 }
+
+let class_total c = c.arith + c.mul + c.div + c.branch + c.call + c.special
+
+type alloc_stats = {
+  mutable a_loads : int;
+  mutable a_stores : int;
+  (* warp-0 sampling: (block, access index) -> segment set + lane count *)
+  samples : (int, Int_set.t ref * int ref) Hashtbl.t;
+}
+
+type t = {
+  spec : Spec.t;
+  classes : class_counts;
+  mutable thread_insts : int array; (* per linear thread of current block *)
+  mutable warp_inst_sum : float; (* sum over retired warps of max-in-warp *)
+  mutable warp_inst_max : float; (* heaviest single warp (makespan floor) *)
+  mutable thread_inst_sum : float;
+  mutable shared_accesses : int;
+  mutable local_accesses : int;
+  mutable barrier_warp_arrivals : int; (* rounded, for cost *)
+  mutable atomics : int;
+  mutable blocks_executed : int;
+  mutable blocks_total : int; (* including non-simulated (sampled-out) ones *)
+  per_alloc : (int, alloc_stats) Hashtbl.t;
+  (* allocation table for addr -> allocation id: sorted (off, len, id) *)
+  mutable alloc_table : (int * int * int) array;
+  (* Coalescing is sampled on warp 0 of the first [max_sample_blocks]
+     simulated blocks; [sample_block_seq] is the index of the block
+     currently contributing samples, or -1 when sampling is off. *)
+  mutable sample_block_seq : int;
+  mutable block_contributed : bool; (* did the current sampled block produce any sample? *)
+  max_sample_blocks : int;
+  sample_cap : int;
+}
+
+let create spec =
+  {
+    spec;
+    classes = zero_classes ();
+    thread_insts = [||];
+    warp_inst_sum = 0.0;
+    warp_inst_max = 0.0;
+    thread_inst_sum = 0.0;
+    shared_accesses = 0;
+    local_accesses = 0;
+    barrier_warp_arrivals = 0;
+    atomics = 0;
+    blocks_executed = 0;
+    blocks_total = 0;
+    per_alloc = Hashtbl.create 16;
+    alloc_table = [||];
+    sample_block_seq = -1;
+    block_contributed = false;
+    max_sample_blocks = 8;
+    sample_cap = 2048;
+  }
+
+let set_alloc_table t (allocs : (int * int * int) array) =
+  let allocs = Array.copy allocs in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) allocs;
+  t.alloc_table <- allocs
+
+let find_alloc t off : int option =
+  let arr = t.alloc_table in
+  let n = Array.length arr in
+  let rec bsearch lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      let o, len, id = arr.(mid) in
+      if off < o then bsearch lo mid
+      else if off >= o + len then bsearch (mid + 1) hi
+      else Some id
+  in
+  bsearch 0 n
+
+let alloc_stats t id =
+  match Hashtbl.find_opt t.per_alloc id with
+  | Some s -> s
+  | None ->
+    let s = { a_loads = 0; a_stores = 0; samples = Hashtbl.create 64 } in
+    Hashtbl.replace t.per_alloc id s;
+    s
+
+let begin_block t n_threads =
+  if Array.length t.thread_insts < n_threads then t.thread_insts <- Array.make n_threads 0
+  else Array.fill t.thread_insts 0 n_threads 0
+
+let retire_block t n_threads =
+  t.blocks_executed <- t.blocks_executed + 1;
+  let w = t.spec.Spec.warp_size in
+  let nwarps = (n_threads + w - 1) / w in
+  for wi = 0 to nwarps - 1 do
+    let m = ref 0 in
+    for lane = wi * w to min ((wi + 1) * w) n_threads - 1 do
+      if t.thread_insts.(lane) > !m then m := t.thread_insts.(lane);
+      t.thread_inst_sum <- t.thread_inst_sum +. float_of_int t.thread_insts.(lane)
+    done;
+    t.warp_inst_sum <- t.warp_inst_sum +. float_of_int !m;
+    if float_of_int !m > t.warp_inst_max then t.warp_inst_max <- float_of_int !m
+  done
+
+let on_step t (lin : int) (k : Cinterp.Interp.step) =
+  t.thread_insts.(lin) <- t.thread_insts.(lin) + 1;
+  let c = t.classes in
+  match k with
+  | Cinterp.Interp.St_arith -> c.arith <- c.arith + 1
+  | Cinterp.Interp.St_mul -> c.mul <- c.mul + 1
+  | Cinterp.Interp.St_div -> c.div <- c.div + 1
+  | Cinterp.Interp.St_branch -> c.branch <- c.branch + 1
+  | Cinterp.Interp.St_call -> c.call <- c.call + 1
+  | Cinterp.Interp.St_special -> c.special <- c.special + 1
+
+(* [seq] is the per-thread per-allocation access counter, provided by the
+   thread state so that lanes can be aligned. *)
+let on_global_access t ~(lin : int) ~(seq : (int, int ref) Hashtbl.t) (acc : Cinterp.Interp.access) =
+  let off = acc.acc_addr.Addr.off in
+  match find_alloc t off with
+  | None -> ()
+  | Some id ->
+    let s = alloc_stats t id in
+    (match acc.acc_kind with
+    | `Load -> s.a_loads <- s.a_loads + 1
+    | `Store -> s.a_stores <- s.a_stores + 1);
+    if t.sample_block_seq >= 0 then begin
+      let warp = lin / t.spec.Spec.warp_size in
+      let k =
+        match Hashtbl.find_opt seq id with
+        | Some r ->
+          incr r;
+          !r - 1
+        | None ->
+          Hashtbl.replace seq id (ref 1);
+          0
+      in
+      if k < t.sample_cap then begin
+        t.block_contributed <- true;
+        let seg = off / t.spec.Spec.transaction_bytes in
+        let key = (((t.sample_block_seq * 32) + warp) * t.sample_cap) + k in
+        match Hashtbl.find_opt s.samples key with
+        | Some (set, count) ->
+          set := Int_set.add seg !set;
+          incr count
+        | None -> Hashtbl.replace s.samples key (ref (Int_set.singleton seg), ref 1)
+      end
+    end
+
+(* Estimated DRAM transactions for one allocation: transactions per
+   sampled access (so partially-populated edge warps are weighted by
+   their actual lane count), scaled to all accesses. *)
+let alloc_transactions t (s : alloc_stats) : float =
+  let accesses = s.a_loads + s.a_stores in
+  if accesses = 0 then 0.0
+  else begin
+    let total_tx, total_sampled =
+      Hashtbl.fold
+        (fun _ (set, count) (tx, n) -> (tx + Int_set.cardinal !set, n + !count))
+        s.samples (0, 0)
+    in
+    if total_sampled = 0 then
+      (* no sample: assume perfectly coalesced *)
+      float_of_int accesses /. float_of_int t.spec.Spec.warp_size
+    else float_of_int accesses *. float_of_int total_tx /. float_of_int total_sampled
+  end
+
+let global_transactions t =
+  Hashtbl.fold (fun _ s acc -> acc +. alloc_transactions t s) t.per_alloc 0.0
+
+let global_accesses t =
+  Hashtbl.fold (fun _ s acc -> acc + s.a_loads + s.a_stores) t.per_alloc 0
+
+(* Scale factor applied when only a subset of blocks was simulated. *)
+let block_scale t =
+  if t.blocks_executed = 0 then 1.0
+  else float_of_int t.blocks_total /. float_of_int t.blocks_executed

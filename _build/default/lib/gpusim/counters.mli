@@ -1,0 +1,80 @@
+(** Dynamic statistics of one kernel launch, feeding the cost model.
+
+    Instruction counts are kept per thread within the running block and
+    folded into per-warp maxima at block retirement, approximating SIMT
+    lockstep cost under divergence.  Global-memory coalescing is sampled
+    on the first blocks that touch memory: the k-th access of each lane
+    of a warp to a given allocation is assumed to correspond to the same
+    static memory instruction, so the distinct transaction segments
+    covered by the lanes at position k estimate the transactions issued
+    for that warp-instruction. *)
+
+module Int_set : Set.S with type elt = int
+
+type class_counts = {
+  mutable arith : int;
+  mutable mul : int;
+  mutable div : int;
+  mutable branch : int;
+  mutable call : int;
+  mutable special : int;
+}
+
+val zero_classes : unit -> class_counts
+
+val class_total : class_counts -> int
+
+type alloc_stats = {
+  mutable a_loads : int;
+  mutable a_stores : int;
+  samples : (int, Int_set.t ref * int ref) Hashtbl.t;
+      (** (block, access index) -> segment set + sampled lane count *)
+}
+
+type t = {
+  spec : Spec.t;
+  classes : class_counts;
+  mutable thread_insts : int array;  (** per linear thread of the running block *)
+  mutable warp_inst_sum : float;  (** sum over retired warps of max-in-warp *)
+  mutable warp_inst_max : float;  (** heaviest single warp (makespan floor) *)
+  mutable thread_inst_sum : float;
+  mutable shared_accesses : int;
+  mutable local_accesses : int;
+  mutable barrier_warp_arrivals : int;  (** rounded per the paper's X = W ceil(N/W) *)
+  mutable atomics : int;
+  mutable blocks_executed : int;
+  mutable blocks_total : int;
+  per_alloc : (int, alloc_stats) Hashtbl.t;
+  mutable alloc_table : (int * int * int) array;
+  mutable sample_block_seq : int;
+  mutable block_contributed : bool;
+  max_sample_blocks : int;
+  sample_cap : int;
+}
+
+val create : Spec.t -> t
+
+(** Sorted (offset, length, id) table used to attribute accesses. *)
+val set_alloc_table : t -> (int * int * int) array -> unit
+
+val find_alloc : t -> int -> int option
+
+val begin_block : t -> int -> unit
+
+val retire_block : t -> int -> unit
+
+val on_step : t -> int -> Cinterp.Interp.step -> unit
+
+val on_global_access : t -> lin:int -> seq:(int, int ref) Hashtbl.t -> Cinterp.Interp.access -> unit
+
+(** Estimated DRAM transactions for one allocation (sampled
+    transactions-per-access scaled to all accesses; perfectly coalesced
+    when nothing was sampled). *)
+val alloc_transactions : t -> alloc_stats -> float
+
+val global_transactions : t -> float
+
+val global_accesses : t -> int
+
+(** Scale factor when only a subset of blocks was simulated. *)
+val block_scale : t -> float

@@ -1,0 +1,183 @@
+(* CUDA-driver-style API over the simulated device: contexts, module
+   loading, memory management, transfers and kernel launches.  This is
+   the layer the paper's cudadev host module calls into (cuMemAlloc,
+   cuMemcpyHtoD/DtoH, cuModuleLoad, cuLaunchKernel). *)
+
+open Machine
+open Minic
+
+exception Cuda_error of string
+
+let cuda_error fmt = Format.kasprintf (fun s -> raise (Cuda_error s)) fmt
+
+type loaded_module = { lm_artifact : Nvcc.artifact; lm_source : Simt.kernel_source }
+
+type launch_stats = {
+  st_entry : string;
+  st_grid : Simt.dim3;
+  st_block : Simt.dim3;
+  st_breakdown : Costmodel.breakdown;
+  st_blocks_simulated : int;
+  st_blocks_total : int;
+  st_counters : Counters.t; (* raw dynamic statistics of the launch *)
+}
+
+type t = {
+  spec : Spec.t;
+  clock : Simclock.t;
+  global : Mem.t;
+  jit_cache : (string, unit) Hashtbl.t; (* survives across contexts: disk cache *)
+  mutable initialized : bool;
+  mutable context_alive : bool;
+  modules : (string, loaded_module) Hashtbl.t;
+  mutable allocs : (int * int * int) list; (* off, len, id *)
+  mutable next_alloc_id : int;
+  output : Buffer.t; (* device-side printf *)
+  mutable launches : launch_stats list; (* most recent first *)
+  mutable kernels_launched : int;
+}
+
+let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
+  {
+    spec;
+    clock;
+    global = Mem.create ~initial:(1 lsl 20) ~limit:spec.Spec.global_mem_bytes ~space:Addr.Global "device-global";
+    jit_cache = Hashtbl.create 16;
+    initialized = false;
+    context_alive = false;
+    modules = Hashtbl.create 16;
+    allocs = [];
+    next_alloc_id = 0;
+    output = Buffer.create 256;
+    launches = [];
+    kernels_launched = 0;
+  }
+
+(* Lazy device initialisation (paper §4.2.1): the first real use pays
+   for cuInit + primary-context creation, a sizeable cost on the Nano. *)
+let ensure_initialized t =
+  if not t.initialized then begin
+    t.initialized <- true;
+    t.context_alive <- true;
+    Simclock.advance_ms t.clock 180.0
+  end
+
+let properties t =
+  ensure_initialized t;
+  t.spec
+
+(* ---------------------------------------------------------------- *)
+(* Memory management                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let mem_alloc t (bytes : int) : Addr.t =
+  ensure_initialized t;
+  if bytes <= 0 then cuda_error "cuMemAlloc of %d bytes" bytes;
+  Simclock.advance_us t.clock 6.0;
+  let a = Mem.alloc t.global bytes in
+  let id = t.next_alloc_id in
+  t.next_alloc_id <- id + 1;
+  t.allocs <- (a.Addr.off, bytes, id) :: t.allocs;
+  a
+
+let mem_free t (a : Addr.t) : unit =
+  ensure_initialized t;
+  Simclock.advance_us t.clock 4.0;
+  Mem.free t.global a;
+  t.allocs <- List.filter (fun (off, _, _) -> off <> a.Addr.off) t.allocs
+
+let transfer_cost t len = (float_of_int len /. t.spec.Spec.memcpy_bandwidth *. 1e9)
+                          +. (t.spec.Spec.memcpy_latency_us *. 1e3)
+
+let memcpy_h2d t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
+  ensure_initialized t;
+  if dst.Addr.space <> Addr.Global then cuda_error "cuMemcpyHtoD: destination is not device memory";
+  Simclock.advance_ns t.clock (transfer_cost t len);
+  Mem.copy ~src:host ~src_off:src.Addr.off ~dst:t.global ~dst_off:dst.Addr.off ~len
+
+let memcpy_d2h t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
+  ensure_initialized t;
+  if src.Addr.space <> Addr.Global then cuda_error "cuMemcpyDtoH: source is not device memory";
+  Simclock.advance_ns t.clock (transfer_cost t len);
+  Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len
+
+let memset_d t ~(dst : Addr.t) ~(len : int) : unit =
+  ensure_initialized t;
+  Simclock.advance_ns t.clock (transfer_cost t len /. 4.0);
+  Bytes.fill t.global.Mem.data dst.Addr.off len '\000'
+
+(* ---------------------------------------------------------------- *)
+(* Module loading (paper §4.2.1, loading phase)                       *)
+(* ---------------------------------------------------------------- *)
+
+let load_module t (artifact : Nvcc.artifact) : loaded_module =
+  ensure_initialized t;
+  match Hashtbl.find_opt t.modules artifact.Nvcc.art_hash with
+  | Some m ->
+    Simclock.advance_us t.clock 2.0 (* already resident *);
+    m
+  | None ->
+    let cost = Nvcc.load_cost ~jit_cache:t.jit_cache artifact in
+    Simclock.advance_ns t.clock cost.Nvcc.lc_ns;
+    let alloc_global bytes = Mem.alloc t.global bytes in
+    let m =
+      {
+        lm_artifact = artifact;
+        lm_source = Simt.kernel_source_of_program ~alloc_global artifact.Nvcc.art_program;
+      }
+    in
+    Hashtbl.replace t.modules artifact.Nvcc.art_hash m;
+    m
+
+let get_function (m : loaded_module) (name : string) : Ast.fundef =
+  match Hashtbl.find_opt m.lm_source.Simt.ks_funcs name with
+  | Some f -> f
+  | None -> cuda_error "cuModuleGetFunction: no kernel '%s' in module '%s'" name m.lm_artifact.Nvcc.art_name
+
+(* ---------------------------------------------------------------- *)
+(* Kernel launch (paper §4.2.1, launch phase)                         *)
+(* ---------------------------------------------------------------- *)
+
+let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim3)
+    ~(block : Simt.dim3) ~(args : Value.t list)
+    ~(install_builtins : Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit)
+    ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
+  ensure_initialized t;
+  ignore (get_function modul entry);
+  let counters = Counters.create t.spec in
+  Counters.set_alloc_table counters (Array.of_list t.allocs);
+  let config =
+    { Simt.lc_grid = grid; lc_block = block; lc_entry = entry; lc_args = args; lc_block_filter = block_filter }
+  in
+  Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global } ~source:modul.lm_source ~counters
+    ~install_builtins ~output:t.output config;
+  let breakdown =
+    Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
+      ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()
+  in
+  Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
+  Simclock.advance_ns t.clock breakdown.Costmodel.bd_time_ns;
+  t.kernels_launched <- t.kernels_launched + 1;
+  let stats =
+    {
+      st_entry = entry;
+      st_grid = grid;
+      st_block = block;
+      st_breakdown = breakdown;
+      st_blocks_simulated = counters.Counters.blocks_executed;
+      st_blocks_total = counters.Counters.blocks_total;
+      st_counters = counters;
+    }
+  in
+  t.launches <- stats :: t.launches;
+  stats
+
+let take_output t =
+  let s = Buffer.contents t.output in
+  Buffer.clear t.output;
+  s
+
+let reset t =
+  Hashtbl.reset t.modules;
+  t.launches <- [];
+  t.kernels_launched <- 0

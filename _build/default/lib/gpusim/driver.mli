@@ -1,0 +1,84 @@
+(** CUDA-driver-style API over the simulated device: contexts, module
+    loading, memory management, transfers and kernel launches.  This is
+    the layer the paper's cudadev host module calls into (cuMemAlloc,
+    cuMemcpyHtoD/DtoH, cuModuleLoad, cuLaunchKernel — paper 4.2.1). *)
+
+open Machine
+open Minic
+
+exception Cuda_error of string
+
+type loaded_module = { lm_artifact : Nvcc.artifact; lm_source : Simt.kernel_source }
+
+type launch_stats = {
+  st_entry : string;
+  st_grid : Simt.dim3;
+  st_block : Simt.dim3;
+  st_breakdown : Costmodel.breakdown;
+  st_blocks_simulated : int;
+  st_blocks_total : int;
+  st_counters : Counters.t;  (** raw dynamic statistics of the launch *)
+}
+
+type t = {
+  spec : Spec.t;
+  clock : Simclock.t;
+  global : Mem.t;  (** device global memory *)
+  jit_cache : (string, unit) Hashtbl.t;  (** the on-disk JIT cache (survives contexts) *)
+  mutable initialized : bool;
+  mutable context_alive : bool;
+  modules : (string, loaded_module) Hashtbl.t;
+  mutable allocs : (int * int * int) list;
+  mutable next_alloc_id : int;
+  output : Buffer.t;  (** device-side printf *)
+  mutable launches : launch_stats list;  (** most recent first *)
+  mutable kernels_launched : int;
+}
+
+val create : ?spec:Spec.t -> Simclock.t -> t
+
+(** Lazy device initialisation (paper 4.2.1): the first real use pays
+    for cuInit + primary-context creation. *)
+val ensure_initialized : t -> unit
+
+val properties : t -> Spec.t
+
+(** {1 Memory management} *)
+
+val mem_alloc : t -> int -> Addr.t
+
+val mem_free : t -> Addr.t -> unit
+
+val memcpy_h2d : t -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+
+val memcpy_d2h : t -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+
+val memset_d : t -> dst:Addr.t -> len:int -> unit
+
+(** {1 Modules and launch} *)
+
+(** Loading phase: charge the artifact's load cost (JIT on a PTX cache
+    miss) and build the executable kernel source; cached per context. *)
+val load_module : t -> Nvcc.artifact -> loaded_module
+
+val get_function : loaded_module -> string -> Ast.fundef
+
+(** Launch phase: run the grid on the SIMT engine, convert the measured
+    counts to time, and advance the simulated clock. *)
+val launch_kernel :
+  t ->
+  modul:loaded_module ->
+  entry:string ->
+  grid:Simt.dim3 ->
+  block:Simt.dim3 ->
+  args:Value.t list ->
+  install_builtins:(Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit) ->
+  ?block_filter:(int -> bool) ->
+  ?occupancy_penalty:float ->
+  unit ->
+  launch_stats
+
+(** Drain the device-side printf buffer. *)
+val take_output : t -> string
+
+val reset : t -> unit

@@ -1,0 +1,66 @@
+(* Emulation of the NVIDIA compilation tools that OMPi drives via
+   scripts (paper §3.3): kernel files are "compiled" into either PTX
+   (architecture-agnostic, finished by JIT at first launch, with a disk
+   cache) or CUBIN (fully compiled, larger, loaded directly).
+
+   The "binary" keeps the kernel AST as its payload — the simulator
+   executes ASTs — plus the emitted CUDA C text, whose size drives the
+   modelled compile/load costs. *)
+
+open Minic
+
+type binary_mode = Ptx | Cubin [@@deriving show { with_path = false }, eq]
+
+type artifact = {
+  art_name : string; (* kernel file name, e.g. "saxpy_device_kernel0" *)
+  art_mode : binary_mode;
+  art_program : Ast.program; (* the kernel file contents as an AST *)
+  art_text : string; (* CUDA C source emitted for the kernel file *)
+  art_size_bytes : int; (* modelled binary size *)
+  art_hash : string; (* content hash, used by the JIT disk cache *)
+  art_arch : string; (* "sm_53" for cubins, "compute_53" for ptx *)
+}
+
+(* Modelled size ratios: PTX is lighter than a fat cubin (paper §3.3:
+   "tends to produce lighter kernel binaries"). *)
+let compile ~(mode : binary_mode) ~(name : string) (program : Ast.program) : artifact =
+  let text = Pretty.program_to_string program in
+  let src_len = String.length text in
+  let size, arch =
+    match mode with
+    | Ptx -> (src_len * 2, "compute_53")
+    | Cubin -> (src_len * 5 + 4096, "sm_53")
+  in
+  {
+    art_name = name;
+    art_mode = mode;
+    art_program = program;
+    art_text = text;
+    art_size_bytes = size;
+    art_hash = Digest.to_hex (Digest.string text);
+    art_arch = arch;
+  }
+
+(* Load-time costs (charged to the simulated clock by the driver):
+   - cubin: plain file load, proportional to size;
+   - ptx, cache miss: JIT compilation (dominant, roughly linear in the
+     source size) followed by linking with the device library;
+   - ptx, cache hit: the CUDA disk cache returns the compiled module. *)
+type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
+
+let load_cost ~(jit_cache : (string, unit) Hashtbl.t) (a : artifact) : load_cost =
+  match a.art_mode with
+  | Cubin ->
+    { lc_ns = 150_000.0 +. (float_of_int a.art_size_bytes *. 2.0); lc_jit_compiled = false; lc_cache_hit = false }
+  | Ptx ->
+    if Hashtbl.mem jit_cache a.art_hash then
+      { lc_ns = 400_000.0 +. (float_of_int a.art_size_bytes *. 2.0); lc_jit_compiled = false; lc_cache_hit = true }
+    else begin
+      Hashtbl.replace jit_cache a.art_hash ();
+      (* JIT of a small kernel on the Nano's A57 takes tens of ms. *)
+      {
+        lc_ns = 30_000_000.0 +. (float_of_int a.art_size_bytes *. 2500.0);
+        lc_jit_compiled = true;
+        lc_cache_hit = false;
+      }
+    end

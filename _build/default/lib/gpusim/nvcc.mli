@@ -1,0 +1,37 @@
+(** Emulation of the NVIDIA compilation tools that OMPi drives via
+    scripts (paper section 3.3): kernel files are "compiled" into either
+    PTX (architecture-agnostic, finished by JIT at first load, with a
+    disk cache) or CUBIN (fully compiled ahead of time, OMPi's default).
+
+    The "binary" keeps the kernel AST as its payload — the simulator
+    executes ASTs — plus the emitted CUDA C text, whose size drives the
+    modelled compile/load costs. *)
+
+open Minic
+
+type binary_mode = Ptx | Cubin
+
+val pp_binary_mode : Format.formatter -> binary_mode -> unit
+
+val show_binary_mode : binary_mode -> string
+
+val equal_binary_mode : binary_mode -> binary_mode -> bool
+
+type artifact = {
+  art_name : string;
+  art_mode : binary_mode;
+  art_program : Ast.program;  (** the kernel file contents *)
+  art_text : string;  (** emitted CUDA C source *)
+  art_size_bytes : int;  (** modelled binary size; cubins are heavier *)
+  art_hash : string;  (** content hash, the JIT disk-cache key *)
+  art_arch : string;  (** "sm_53" or "compute_53" *)
+}
+
+val compile : mode:binary_mode -> name:string -> Ast.program -> artifact
+
+type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
+
+(** Cost of loading the artifact into a context: plain file load for
+    cubins; for PTX either a JIT compilation (cache miss, dominant) or a
+    disk-cache hit.  Updates [jit_cache]. *)
+val load_cost : jit_cache:(string, unit) Hashtbl.t -> artifact -> load_cost

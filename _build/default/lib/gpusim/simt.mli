@@ -1,0 +1,111 @@
+(** SIMT execution engine.
+
+    Each GPU thread is a coroutine (OCaml effect-handler fiber) running
+    one mini-C interpreter instance over the kernel AST.  Blocks execute
+    sequentially; threads within a block are interleaved cooperatively.
+    Named barriers (PTX bar.sync) suspend threads until the expected
+    number of participants arrive — the mechanism behind the paper's
+    B1/B2 master/worker protocol.  Divergence, locks and atomics are
+    modelled at scheduling points ({!yield}) rather than in instruction
+    lockstep; cost is reconstructed per warp from per-thread instruction
+    counts. *)
+
+open Machine
+open Minic
+
+exception Simt_error of string
+
+val simt_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type dim3 = { x : int; y : int; z : int }
+
+val pp_dim3 : Format.formatter -> dim3 -> unit
+
+val show_dim3 : dim3 -> string
+
+val equal_dim3 : dim3 -> dim3 -> bool
+
+val dim3 : ?y:int -> ?z:int -> int -> dim3
+
+val dim3_total : dim3 -> int
+
+(** {1 Scheduling effects} (performed by device-runtime builtins) *)
+
+(** Arrive at named barrier [id], expecting [n] arrivals; [n <= 0] means
+    "all currently live threads" (__syncthreads semantics, re-evaluated
+    when threads retire). *)
+val bar_sync : int -> int -> unit
+
+(** Let other threads of the block run (spin locks, chunk grabs). *)
+val yield : unit -> unit
+
+type barrier = {
+  mutable arrived : int;
+  mutable expected : int;
+  mutable live_count : bool;
+  mutable waiting : (unit -> unit) list;
+}
+
+type thread_state = {
+  ts_lin : int;  (** linear id within the block *)
+  ts_tid : dim3;
+  ts_alloc_seq : (int, int ref) Hashtbl.t;  (** per-allocation access counters *)
+}
+
+(** Master/worker region descriptor registered by the master thread
+    (cudadev_register_parallel) and consumed by the workers. *)
+type parallel_region = { pr_fn : string; pr_args : Value.t list; pr_nthreads : int }
+
+type block_state = {
+  bs_block_idx : dim3;
+  bs_block_dim : dim3;
+  bs_grid_dim : dim3;
+  bs_block_lin : int;
+  bs_shared : Mem.t;
+  bs_shared_vars : (string, Addr.t) Hashtbl.t;
+  bs_barriers : barrier array;
+  bs_runq : (unit -> unit) Queue.t;
+  mutable bs_live : int;
+  mutable bs_region : parallel_region option;
+  mutable bs_target_done : bool;
+  bs_dyn_counters : (int, int ref) Hashtbl.t;
+  bs_section_counters : (int, int ref) Hashtbl.t;
+  bs_ws_done : (int, int ref) Hashtbl.t;
+  bs_shmem_stack : (Addr.t * Addr.t * int * int) Stack.t;
+  bs_counters : Counters.t;
+  bs_spec : Spec.t;
+}
+
+type kernel_source = {
+  ks_structs : Cty.layout_env;
+  ks_funcs : (string, Ast.fundef) Hashtbl.t;
+  ks_globals : (string, Cty.t * Addr.t) Hashtbl.t;
+}
+
+(** Build the executable kernel source of a module; [alloc_global]
+    places device globals (lock words etc.) in global memory. *)
+val kernel_source_of_program : ?alloc_global:(int -> Addr.t) -> Ast.program -> kernel_source
+
+val ensure_dim3 : Cty.layout_env -> unit
+
+type launch_config = {
+  lc_grid : dim3;
+  lc_block : dim3;
+  lc_entry : string;
+  lc_args : Value.t list;
+  lc_block_filter : (int -> bool) option;
+}
+
+type device_memories = { dm_global : Mem.t }
+
+(** Launch a kernel over the grid (subject to the block filter),
+    detecting barrier deadlocks and illegal memory-space accesses. *)
+val launch :
+  spec:Spec.t ->
+  mem:device_memories ->
+  source:kernel_source ->
+  counters:Counters.t ->
+  install_builtins:(Cinterp.Interp.t -> block_state -> thread_state -> unit) ->
+  output:Buffer.t ->
+  launch_config ->
+  unit

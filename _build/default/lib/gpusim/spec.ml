@@ -1,0 +1,60 @@
+(* Hardware description of the simulated device.  The default instance
+   models the NVIDIA Jetson Nano 2GB developer kit used in the paper:
+   a single Maxwell SM with 128 CUDA cores (sm_53) next to a quad-core
+   Cortex-A57, sharing 2GB of LPDDR4. *)
+
+type t = {
+  name : string;
+  compute_capability : int * int;
+  sm_count : int;
+  cores_per_sm : int;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_named_barriers : int; (* PTX bar.sync ids per block *)
+  shared_mem_per_block : int; (* bytes *)
+  global_mem_bytes : int;
+  gpu_clock_hz : float;
+  mem_bandwidth : float; (* device-visible DRAM bandwidth, bytes/s *)
+  memcpy_bandwidth : float; (* effective cudaMemcpy H<->D bandwidth, bytes/s *)
+  kernel_launch_overhead_us : float;
+  memcpy_latency_us : float; (* fixed per-transfer cost *)
+  (* cost-model calibration *)
+  cycles_per_interp_step : float; (* interpreter steps are coarser than ISA instructions *)
+  mem_issue_cycles : float; (* pipeline occupancy of one warp-level memory instruction *)
+  transaction_bytes : int; (* DRAM transaction granularity *)
+  warp_schedulers : int; (* concurrently issuing warps per SM *)
+  l2_hit_fraction : float; (* share of transactions served by the L2/L1 caches *)
+}
+
+let jetson_nano_2gb =
+  {
+    name = "NVIDIA Jetson Nano 2GB (Maxwell sm_53)";
+    compute_capability = (5, 3);
+    sm_count = 1;
+    cores_per_sm = 128;
+    warp_size = 32;
+    max_threads_per_block = 1024;
+    max_named_barriers = 16;
+    shared_mem_per_block = 48 * 1024;
+    global_mem_bytes = 2 * 1024 * 1024 * 1024;
+    gpu_clock_hz = 921.6e6;
+    mem_bandwidth = 25.6e9;
+    memcpy_bandwidth = 1.8e9;
+    kernel_launch_overhead_us = 12.0;
+    memcpy_latency_us = 15.0;
+    cycles_per_interp_step = 0.55;
+    mem_issue_cycles = 6.0;
+    transaction_bytes = 32;
+    warp_schedulers = 4;
+    l2_hit_fraction = 0.57;
+  }
+
+(* Host CPU model (used to time host-interpreted code). *)
+type cpu = { cpu_name : string; cores : int; cpu_clock_hz : float; cycles_per_interp_step : float }
+
+let cortex_a57 = { cpu_name = "quad-core ARM Cortex-A57"; cores = 4; cpu_clock_hz = 1.43e9; cycles_per_interp_step = 1.3 }
+
+let warps_per_block spec block_threads = (block_threads + spec.warp_size - 1) / spec.warp_size
+
+(* The paper's named-barrier rounding rule: X = W * ceil(N / W). *)
+let barrier_round spec n = spec.warp_size * ((n + spec.warp_size - 1) / spec.warp_size)

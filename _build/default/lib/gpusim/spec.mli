@@ -1,0 +1,39 @@
+(** Hardware description of the simulated device and the calibration
+    constants of the cost model.  The default instance models the NVIDIA
+    Jetson Nano 2GB developer kit used in the paper: one Maxwell SM with
+    128 CUDA cores (sm_53) next to a quad-core Cortex-A57, sharing 2GB
+    of LPDDR4. *)
+
+type t = {
+  name : string;
+  compute_capability : int * int;
+  sm_count : int;
+  cores_per_sm : int;
+  warp_size : int;
+  max_threads_per_block : int;
+  max_named_barriers : int;  (** PTX bar.sync ids per block *)
+  shared_mem_per_block : int;
+  global_mem_bytes : int;
+  gpu_clock_hz : float;
+  mem_bandwidth : float;  (** device-visible DRAM bandwidth, bytes/s *)
+  memcpy_bandwidth : float;  (** effective cudaMemcpy bandwidth, bytes/s *)
+  kernel_launch_overhead_us : float;
+  memcpy_latency_us : float;
+  cycles_per_interp_step : float;  (** calibration: interpreter steps vs ISA *)
+  mem_issue_cycles : float;  (** LSU occupancy per warp memory instruction *)
+  transaction_bytes : int;  (** DRAM transaction granularity *)
+  warp_schedulers : int;
+  l2_hit_fraction : float;  (** share of transactions served by the caches *)
+}
+
+val jetson_nano_2gb : t
+
+(** Host CPU model, used to time interpreted host code. *)
+type cpu = { cpu_name : string; cores : int; cpu_clock_hz : float; cycles_per_interp_step : float }
+
+val cortex_a57 : cpu
+
+val warps_per_block : t -> int -> int
+
+(** The paper's named-barrier rounding rule: X = W * ceil(N / W). *)
+val barrier_round : t -> int -> int

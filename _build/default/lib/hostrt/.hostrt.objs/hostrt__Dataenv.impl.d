@@ -1,0 +1,1 @@
+lib/hostrt/dataenv.pp.ml: Addr Driver Format Gpusim List Machine Mem Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/hostrt/dataenv.pp.mli: Addr Driver Format Gpusim Machine Mem

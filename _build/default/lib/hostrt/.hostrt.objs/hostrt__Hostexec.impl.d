@@ -1,0 +1,1 @@
+lib/hostrt/hostexec.pp.ml: Addr Ast Buffer Cinterp Cty Dataenv Format Hashtbl List Machine Mem Minic Offload Option Rt Simclock Value

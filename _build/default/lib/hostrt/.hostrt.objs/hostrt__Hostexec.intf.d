@@ -1,0 +1,1 @@
+lib/hostrt/hostexec.pp.mli: Ast Cinterp Machine Minic Rt

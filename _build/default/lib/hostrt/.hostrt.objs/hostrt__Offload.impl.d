@@ -1,0 +1,1 @@
+lib/hostrt/offload.pp.ml: Addr Cty Dataenv Devrt Driver Gpusim List Machine Minic Rt Simt Value

@@ -1,0 +1,1 @@
+lib/hostrt/offload.pp.mli: Addr Driver Gpusim Machine Rt Value

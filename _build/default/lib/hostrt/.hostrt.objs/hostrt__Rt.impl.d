@@ -1,0 +1,1 @@
+lib/hostrt/rt.pp.ml: Addr Array Dataenv Driver Format Gpusim Hashtbl Machine Mem Nvcc Simclock Simt Spec

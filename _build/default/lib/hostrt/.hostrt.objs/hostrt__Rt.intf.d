@@ -1,0 +1,1 @@
+lib/hostrt/rt.pp.mli: Dataenv Driver Format Gpusim Hashtbl Machine Mem Nvcc Simclock Simt Spec

@@ -1,0 +1,108 @@
+(* Device data environment (paper §2, §4.2.1): tracks which host ranges
+   are mapped to device memory, with OpenMP present/refcount semantics:
+
+   - mapping an already-present range only increments its refcount (no
+     transfer), which is what makes [target data] regions effective at
+     eliminating redundant movement;
+   - the final unmap performs the from/tofrom copy-back and frees the
+     device buffer;
+   - [target update] moves data for present ranges without changing
+     refcounts. *)
+
+open Machine
+open Gpusim
+
+exception Map_error of string
+
+let map_error fmt = Format.kasprintf (fun s -> raise (Map_error s)) fmt
+
+type map_type = Alloc | To | From | Tofrom [@@deriving show { with_path = false }, eq]
+
+let map_type_of_int = function
+  | 0 -> Alloc
+  | 1 -> To
+  | 2 -> From
+  | 3 -> Tofrom
+  | n -> map_error "bad map type code %d" n
+
+type entry = {
+  e_host : Addr.t;
+  e_bytes : int;
+  e_dev : Addr.t;
+  mutable e_refcount : int;
+  e_map : map_type; (* type used at initial mapping *)
+}
+
+type t = { mutable entries : entry list; host : Mem.t; driver : Driver.t }
+
+let create ~(host : Mem.t) ~(driver : Driver.t) = { entries = []; host; driver }
+
+let find_containing t (haddr : Addr.t) ~bytes =
+  List.find_opt
+    (fun e ->
+      Addr.equal_space e.e_host.Addr.space haddr.Addr.space
+      && haddr.Addr.off >= e.e_host.Addr.off
+      && haddr.Addr.off + bytes <= e.e_host.Addr.off + e.e_bytes)
+    t.entries
+
+(* Translate a host address inside a mapped range to its device image. *)
+let lookup t (haddr : Addr.t) : Addr.t option =
+  match find_containing t haddr ~bytes:1 with
+  | Some e -> Some (Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+  | None -> None
+
+let lookup_exn t haddr =
+  match lookup t haddr with
+  | Some d -> d
+  | None -> map_error "host address %s is not mapped on the device" (Addr.show haddr)
+
+let is_present t haddr ~bytes = find_containing t haddr ~bytes <> None
+
+(* Map a host range; returns the corresponding device address. *)
+let map t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
+  if bytes <= 0 then map_error "mapping of %d bytes" bytes;
+  match find_containing t haddr ~bytes with
+  | Some e ->
+    e.e_refcount <- e.e_refcount + 1;
+    Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
+  | None ->
+    let dev = Driver.mem_alloc t.driver bytes in
+    (match mt with
+    | To | Tofrom -> Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes
+    | Alloc | From -> ());
+    t.entries <- { e_host = haddr; e_bytes = bytes; e_dev = dev; e_refcount = 1; e_map = mt } :: t.entries;
+    dev
+
+(* Unmap (end of construct / target exit data).  The map type decides
+   whether data flows back on the final release. *)
+let unmap t (haddr : Addr.t) (mt : map_type) : unit =
+  match find_containing t haddr ~bytes:1 with
+  | None -> map_error "unmap of address %s that is not mapped" (Addr.show haddr)
+  | Some e ->
+    e.e_refcount <- e.e_refcount - 1;
+    if e.e_refcount <= 0 then begin
+      (match mt with
+      | From | Tofrom ->
+        Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes
+      | Alloc | To -> ());
+      Driver.mem_free t.driver e.e_dev;
+      t.entries <- List.filter (fun e' -> e' != e) t.entries
+    end
+
+let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
+  match find_containing t haddr ~bytes with
+  | None -> map_error "target update to: range not mapped"
+  | Some e ->
+    Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr
+      ~dst:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+      ~len:bytes
+
+let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
+  match find_containing t haddr ~bytes with
+  | None -> map_error "target update from: range not mapped"
+  | Some e ->
+    Driver.memcpy_d2h t.driver ~host:t.host
+      ~src:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+      ~dst:haddr ~len:bytes
+
+let active_mappings t = List.length t.entries

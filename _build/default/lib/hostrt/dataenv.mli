@@ -1,0 +1,53 @@
+(** Device data environment (paper sections 2 and 4.2.1): tracks which
+    host ranges are mapped to device memory, with OpenMP
+    present/refcount semantics:
+
+    - mapping an already-present range only increments its refcount (no
+      transfer) — this is what makes [target data] regions effective at
+      eliminating redundant movement;
+    - the final unmap performs the from/tofrom copy-back and frees the
+      device buffer;
+    - [target update] moves data for present ranges without touching
+      refcounts. *)
+
+open Machine
+open Gpusim
+
+exception Map_error of string
+
+type map_type = Alloc | To | From | Tofrom
+
+val pp_map_type : Format.formatter -> map_type -> unit
+
+val show_map_type : map_type -> string
+
+val equal_map_type : map_type -> map_type -> bool
+
+(** Decode the integer codes used by the generated ort_map calls
+    (0 alloc, 1 to, 2 from, 3 tofrom). *)
+val map_type_of_int : int -> map_type
+
+type t
+
+val create : host:Mem.t -> driver:Driver.t -> t
+
+(** Map a host range; returns the corresponding device address.
+    Present ranges are reference-counted and reused. *)
+val map : t -> Addr.t -> bytes:int -> map_type -> Addr.t
+
+(** Decrement; on the final release perform the map type's copy-back and
+    free the device buffer. *)
+val unmap : t -> Addr.t -> map_type -> unit
+
+(** Translate a host address inside a mapped range to its device image. *)
+val lookup : t -> Addr.t -> Addr.t option
+
+val lookup_exn : t -> Addr.t -> Addr.t
+
+val is_present : t -> Addr.t -> bytes:int -> bool
+
+val update_to : t -> Addr.t -> bytes:int -> unit
+
+val update_from : t -> Addr.t -> bytes:int -> unit
+
+val active_mappings : t -> int

@@ -1,0 +1,136 @@
+(* Executes a translated host program (mini-C) under the interpreter,
+   with the ORT runtime entry points installed as builtins.  This is the
+   execution half of `ompirun`: the translator turns target constructs
+   into ort_* calls, and those calls land here, driving the data
+   environment and the simulated device. *)
+
+open Machine
+open Minic
+
+exception Host_error of string
+
+let host_error fmt = Format.kasprintf (fun s -> raise (Host_error s)) fmt
+
+type run_result = { rr_output : string; rr_exit : int; rr_time_s : float }
+
+let int_arg = Value.to_int
+
+let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
+  let reg name fn = Cinterp.Interp.register_builtin ctx name fn in
+  let dev_of args =
+    (* device id is currently always 0; kept for API fidelity *)
+    match args with d :: rest -> (int_arg d, rest) | [] -> host_error "missing device argument"
+  in
+  reg "ort_map" (fun _ args ->
+      let dev, args = dev_of args in
+      match args with
+      | [ h; bytes; mt ] ->
+        let device = Rt.device rt dev in
+        let daddr =
+          Dataenv.map device.Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes)
+            (Dataenv.map_type_of_int (int_arg mt))
+        in
+        Value.ptr daddr
+      | _ -> host_error "ort_map: bad arguments");
+  reg "ort_unmap" (fun _ args ->
+      let dev, args = dev_of args in
+      match args with
+      | [ h; mt ] ->
+        let device = Rt.device rt dev in
+        Dataenv.unmap device.Rt.dev_dataenv (Value.as_addr h) (Dataenv.map_type_of_int (int_arg mt));
+        Value.VVoid
+      | _ -> host_error "ort_unmap: bad arguments");
+  reg "ort_update_to" (fun _ args ->
+      let dev, args = dev_of args in
+      match args with
+      | [ h; bytes ] ->
+        Dataenv.update_to (Rt.device rt dev).Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes);
+        Value.VVoid
+      | _ -> host_error "ort_update_to: bad arguments");
+  reg "ort_update_from" (fun _ args ->
+      let dev, args = dev_of args in
+      match args with
+      | [ h; bytes ] ->
+        Dataenv.update_from (Rt.device rt dev).Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes);
+        Value.VVoid
+      | _ -> host_error "ort_update_from: bad arguments");
+  reg "ort_offload" (fun ctx args ->
+      let dev, args = dev_of args in
+      match args with
+      | file :: entry :: teams :: threads :: kargs ->
+        let kernel_file = Cinterp.Interp.read_c_string ctx (Value.as_addr file) in
+        let entry = Cinterp.Interp.read_c_string ctx (Value.as_addr entry) in
+        let args = List.map (fun v -> Offload.Mapped (Value.as_addr v)) kargs in
+        let result =
+          Offload.launch_typed rt ~dev ~kernel_file ~entry ~num_teams:(int_arg teams)
+            ~num_threads:(int_arg threads) ~args ~translated:true ()
+        in
+        Buffer.add_string ctx.Cinterp.Interp.output result.Offload.r_output;
+        Value.VVoid
+      | _ -> host_error "ort_offload: bad arguments");
+  reg "omp_get_wtime" (fun _ _ -> Value.flt ~ty:Cty.Double (Rt.now_s rt));
+  reg "omp_get_num_devices" (fun _ _ -> Value.of_int (Rt.num_devices rt));
+  reg "omp_is_initial_device" (fun _ _ -> Value.of_int 1);
+  (* The host side runs the program single-threaded (host parallelism is
+     outside the paper's scope); the API remains available. *)
+  reg "omp_get_thread_num" (fun _ _ -> Value.of_int 0);
+  reg "omp_get_num_threads" (fun _ _ -> Value.of_int 1);
+  reg "malloc" (fun _ args ->
+      match args with
+      | [ n ] -> Value.ptr ~ty:Cty.Void (Mem.alloc rt.Rt.host_mem (int_arg n))
+      | _ -> host_error "malloc: bad arguments");
+  reg "free" (fun _ args ->
+      match args with
+      | [ p ] ->
+        Mem.free rt.Rt.host_mem (Value.as_addr p);
+        Value.VVoid
+      | _ -> host_error "free: bad arguments")
+
+let make_context (rt : Rt.t) (program : Ast.program) : Cinterp.Interp.t =
+  let structs = Cty.create_layout_env () in
+  let funcs = Hashtbl.create 32 in
+  let resolve = function
+    | Addr.Host -> rt.Rt.host_mem
+    | Addr.Global ->
+      (* Direct dereferences of device pointers from host code are a bug
+         in the translated program; unified memory is not modelled. *)
+      host_error "host code dereferenced a device pointer"
+    | Addr.Shared _ | Addr.Local _ -> host_error "host code accessed device-internal memory"
+    | Addr.Strings -> host_error "unreachable: string arena is resolved inside the interpreter"
+  in
+  (* host locals also live in host memory *)
+  let ctx = Cinterp.Interp.create ~structs ~funcs ~resolve ~local:rt.Rt.host_mem () in
+  Cinterp.Interp.install_common_builtins ctx;
+  install_ort_builtins rt ctx;
+  (* charge host execution to the simulated clock *)
+  let cost = Rt.host_step_cost_ns rt in
+  ctx.Cinterp.Interp.on_step <- (fun _ -> Simclock.advance_ns rt.Rt.clock cost);
+  Cinterp.Interp.load_program ctx program;
+  (* allocate and initialise host globals *)
+  Cinterp.Interp.push_frame ctx;
+  List.iter
+    (function
+      | Ast.Gvar (d, _) ->
+        let addr = Mem.alloc rt.Rt.host_mem (Cty.sizeof structs d.Ast.d_ty) in
+        Cinterp.Interp.register_global ctx d.Ast.d_name d.Ast.d_ty addr;
+        Option.iter (fun init -> Cinterp.Interp.exec_init ctx addr d.Ast.d_ty init) d.Ast.d_init
+      | Ast.Gfun _ | Ast.Gstruct _ | Ast.Gfundecl _ | Ast.Gpragma _ -> ())
+    program;
+  ctx
+
+(* Run [entry] (default "main") of a translated host program. *)
+let run (rt : Rt.t) (program : Ast.program) ?(entry = "main") ?(args = []) () : run_result =
+  let ctx = make_context rt program in
+  let t0 = Rt.now_s rt in
+  let fd =
+    match Hashtbl.find_opt ctx.Cinterp.Interp.funcs entry with
+    | Some fd -> fd
+    | None -> host_error "host program has no '%s' function" entry
+  in
+  let ret = Cinterp.Interp.call_fundef ctx fd args in
+  let exit_code = match ret with Value.VVoid -> 0 | v -> Value.to_int v in
+  {
+    rr_output = Buffer.contents ctx.Cinterp.Interp.output;
+    rr_exit = exit_code;
+    rr_time_s = Rt.now_s rt -. t0;
+  }

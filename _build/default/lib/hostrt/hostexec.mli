@@ -1,0 +1,24 @@
+(** Executes a translated host program (mini-C) under the interpreter,
+    with the ORT runtime entry points installed as builtins.  This is
+    the execution half of [ompirun]: the translator turns target
+    constructs into ort_* calls, and those calls land here, driving the
+    data environment and the simulated device. *)
+
+open Minic
+
+exception Host_error of string
+
+type run_result = {
+  rr_output : string;  (** everything printf produced (host and device) *)
+  rr_exit : int;
+  rr_time_s : float;  (** simulated seconds *)
+}
+
+(** Build an interpreter context over the translated program: ort_* and
+    omp_* builtins installed, globals allocated and initialised, host
+    execution charged to the runtime's simulated clock. *)
+val make_context : Rt.t -> Ast.program -> Cinterp.Interp.t
+
+(** Run [entry] (default ["main"]). *)
+val run :
+  Rt.t -> Ast.program -> ?entry:string -> ?args:Machine.Value.t list -> unit -> run_result

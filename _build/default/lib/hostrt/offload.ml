@@ -1,0 +1,91 @@
+(* The cudadev host module's central operation: kernel launch in three
+   phases (paper §4.2.1):
+   1. loading    — locate the kernel file, load (JIT if PTX) the module;
+   2. parameters — translate each host argument to its device image
+                   through the data environment;
+   3. launch     — set grid/block dimensions and call cuLaunchKernel. *)
+
+open Machine
+open Gpusim
+
+type arg =
+  | Mapped of Addr.t (* host address of a mapped variable: passed as device pointer *)
+  | Scalar of Value.t (* passed by value *)
+
+type result = { r_stats : Driver.launch_stats; r_output : string }
+
+(* [translated] marks kernels produced by the OMPi translator (as
+   opposed to hand-written CUDA); they carry the extra runtime machinery
+   and the occupancy penalty hook. *)
+let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(num_teams : int)
+    ~(num_threads : int) ~(args : arg list) ?(translated = true) ?(block_filter : (int -> bool) option)
+    () : result =
+  let device = Rt.device rt dev in
+  (* Phase 1: loading. *)
+  let artifact = Rt.find_kernel rt ~dev kernel_file in
+  let modul = Driver.load_module device.Rt.dev_driver artifact in
+  (* Phase 2: parameter preparation. *)
+  let values =
+    List.map
+      (function
+        | Scalar v -> v
+        | Mapped haddr ->
+          let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
+          Value.ptr ~ty:Cty.Void daddr)
+      args
+  in
+  (* Phase 3: launch. *)
+  let grid, block = Rt.geometry ~num_teams ~num_threads in
+  let total_blocks = Simt.dim3_total grid in
+  let occupancy_penalty = if translated then rt.Rt.translated_kernel_penalty total_blocks else 1.0 in
+  let block_filter =
+    match block_filter with
+    | Some _ -> block_filter
+    | None -> Rt.sampling_filter ~total_blocks rt.Rt.sample_max_blocks
+  in
+  let stats =
+    Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+      ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()
+  in
+  { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }
+
+(* Typed-parameter variant used by OCaml-level callers: the kernel entry
+   declares pointer parameter types; coerce the raw device addresses so
+   that pointer arithmetic inside the kernel uses the right element
+   size. *)
+let launch_typed (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string)
+    ~(num_teams : int) ~(num_threads : int) ~(args : arg list) ?(translated = true)
+    ?(block_filter : (int -> bool) option) () : result =
+  let device = Rt.device rt dev in
+  let artifact = Rt.find_kernel rt ~dev kernel_file in
+  let modul = Driver.load_module device.Rt.dev_driver artifact in
+  let entry_fn = Driver.get_function modul entry in
+  let params = entry_fn.Minic.Ast.f_params in
+  if List.length params <> List.length args then
+    Rt.ort_error "kernel '%s' expects %d parameters, got %d" entry (List.length params)
+      (List.length args);
+  let values =
+    List.map2
+      (fun (_, pty) a ->
+        match a with
+        | Scalar v -> Value.cast (Cty.decay pty) v
+        | Mapped haddr ->
+          let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
+          (match Cty.decay pty with
+          | Cty.Ptr elt -> Value.ptr ~ty:elt daddr
+          | ty -> Rt.ort_error "mapped argument bound to non-pointer kernel parameter %s" (Cty.show ty)))
+      params args
+  in
+  let grid, block = Rt.geometry ~num_teams ~num_threads in
+  let total_blocks = Simt.dim3_total grid in
+  let occupancy_penalty = if translated then rt.Rt.translated_kernel_penalty total_blocks else 1.0 in
+  let block_filter =
+    match block_filter with
+    | Some _ -> block_filter
+    | None -> Rt.sampling_filter ~total_blocks rt.Rt.sample_max_blocks
+  in
+  let stats =
+    Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+      ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()
+  in
+  { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }

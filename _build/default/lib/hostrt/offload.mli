@@ -1,0 +1,31 @@
+(** The cudadev host module's central operation: kernel launch in three
+    phases (paper 4.2.1):
+    + loading — locate the kernel file, load (JIT if PTX) the module;
+    + parameter preparation — translate each host argument to its device
+      image through the data environment;
+    + launch — set grid/block dimensions and call the driver's
+      launch_kernel. *)
+
+open Machine
+open Gpusim
+
+type arg =
+  | Mapped of Addr.t  (** host address of a mapped variable: passed as its device pointer *)
+  | Scalar of Value.t  (** passed by value *)
+
+type result = { r_stats : Driver.launch_stats; r_output : string }
+
+(** [translated] marks kernels produced by the OMPi translator (they
+    carry the occupancy-penalty hook); hand-written CUDA passes
+    [~translated:false]. *)
+val launch :
+  Rt.t -> dev:int -> kernel_file:string -> entry:string -> num_teams:int -> num_threads:int ->
+  args:arg list -> ?translated:bool -> ?block_filter:(int -> bool) -> unit -> result
+
+(** Like {!launch}, but coerces arguments against the kernel entry's
+    declared parameter types so pointer arithmetic inside the kernel
+    uses the right element sizes.  This is the path the generated
+    ort_offload calls take. *)
+val launch_typed :
+  Rt.t -> dev:int -> kernel_file:string -> entry:string -> num_teams:int -> num_threads:int ->
+  args:arg list -> ?translated:bool -> ?block_filter:(int -> bool) -> unit -> result

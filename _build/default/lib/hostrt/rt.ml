@@ -1,0 +1,106 @@
+(* The ORT-style host runtime: device registry with lazy initialisation,
+   kernel-file registry (OMPi keeps kernels as separate files located at
+   run time, §3.3), and the three-phase kernel launch of the cudadev
+   host module (§4.2.1). *)
+
+open Machine
+open Gpusim
+
+exception Ort_error of string
+
+let ort_error fmt = Format.kasprintf (fun s -> raise (Ort_error s)) fmt
+
+type device = {
+  dev_id : int;
+  dev_driver : Driver.t;
+  dev_dataenv : Dataenv.t;
+  (* the "kernel files next to the executable" *)
+  dev_kernels : (string, Nvcc.artifact) Hashtbl.t;
+}
+
+type t = {
+  clock : Simclock.t;
+  host_mem : Mem.t;
+  cpu : Spec.cpu;
+  devices : device array;
+  mutable default_device : int;
+  binary_mode : Nvcc.binary_mode;
+  (* occupancy penalty applied to translated (OMPi) kernels at large
+     grids; the stand-in for the unexplained gemm@2048 gap, cf. DESIGN.md *)
+  mutable translated_kernel_penalty : int -> float; (* total_blocks -> factor *)
+  (* when set, launches simulate at most this many blocks (evenly
+     spaced) and scale the measured counts to the full grid *)
+  mutable sample_max_blocks : int option;
+}
+
+(* Evenly-spaced block sampling filter.  The sample is offset by half a
+   stride so that boundary blocks (partially guarded out in most
+   kernels) are not over-represented. *)
+let sampling_filter ~(total_blocks : int) (max_blocks : int option) : (int -> bool) option =
+  match max_blocks with
+  | None -> None
+  | Some k when total_blocks <= k -> None
+  | Some k ->
+    let stride = (total_blocks + k - 1) / k in
+    let offset = stride / 2 in
+    Some (fun b -> b mod stride = offset)
+
+let default_penalty _total_blocks = 1.0
+
+let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) () : t =
+  let clock = Simclock.create () in
+  let host_mem = Mem.create ~initial:(1 lsl 20) ~space:Addr.Host "host" in
+  let driver = Driver.create ~spec clock in
+  let device =
+    { dev_id = 0; dev_driver = driver; dev_dataenv = Dataenv.create ~host:host_mem ~driver; dev_kernels = Hashtbl.create 16 }
+  in
+  {
+    clock;
+    host_mem;
+    cpu = Spec.cortex_a57;
+    devices = [| device |];
+    default_device = 0;
+    binary_mode;
+    translated_kernel_penalty = default_penalty;
+    sample_max_blocks = None;
+  }
+
+let device t id =
+  if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;
+  t.devices.(id)
+
+let default_dev t = device t t.default_device
+
+let num_devices t = Array.length t.devices
+
+(* Register a compiled kernel file with a device (what OMPi's scripts do
+   by placing the nvcc output next to the executable). *)
+let register_kernel t ~(dev : int) (artifact : Nvcc.artifact) : unit =
+  Hashtbl.replace (device t dev).dev_kernels artifact.Nvcc.art_name artifact
+
+let find_kernel t ~(dev : int) (name : string) : Nvcc.artifact =
+  match Hashtbl.find_opt (device t dev).dev_kernels name with
+  | Some a -> a
+  | None -> ort_error "kernel file '%s' not found (was the program compiled with ompicc?)" name
+
+(* Map the scalar num_teams / num_threads values onto CUDA grid/block
+   dimensions.  CUDA limits each grid dimension to 65535, so large team
+   counts are folded into two dimensions (paper §5: "ompi maps these
+   values to two dimensions"). *)
+let geometry ~(num_teams : int) ~(num_threads : int) : Simt.dim3 * Simt.dim3 =
+  if num_teams <= 0 then ort_error "num_teams must be positive (got %d)" num_teams;
+  if num_threads <= 0 then ort_error "num_threads must be positive (got %d)" num_threads;
+  let grid =
+    if num_teams <= 65535 then Simt.dim3 num_teams
+    else begin
+      let x = 65535 in
+      Simt.dim3 x ~y:((num_teams + x - 1) / x)
+    end
+  in
+  let block = if num_threads mod 32 = 0 then Simt.dim3 32 ~y:(num_threads / 32) else Simt.dim3 num_threads in
+  (grid, block)
+
+(* Host-side time accounting for interpreted host code. *)
+let host_step_cost_ns t = t.cpu.Spec.cycles_per_interp_step /. t.cpu.Spec.cpu_clock_hz *. 1e9
+
+let now_s t = Simclock.now_s t.clock

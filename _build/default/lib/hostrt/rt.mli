@@ -1,0 +1,61 @@
+(** The ORT-style host runtime: device registry with lazy
+    initialisation, kernel-file registry (OMPi locates kernels as
+    separate files next to the executable, paper 3.3), and the glue the
+    three-phase launch builds on (paper 4.2.1). *)
+
+open Machine
+open Gpusim
+
+exception Ort_error of string
+
+val ort_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type device = {
+  dev_id : int;
+  dev_driver : Driver.t;
+  dev_dataenv : Dataenv.t;
+  dev_kernels : (string, Nvcc.artifact) Hashtbl.t;  (** the "kernel files on disk" *)
+}
+
+type t = {
+  clock : Simclock.t;
+  host_mem : Mem.t;
+  cpu : Spec.cpu;
+  devices : device array;
+  mutable default_device : int;
+  binary_mode : Nvcc.binary_mode;
+  mutable translated_kernel_penalty : int -> float;
+      (** occupancy penalty for translated kernels as a function of the
+          total block count; the stand-in for the unexplained gemm@2048
+          gap (EXPERIMENTS.md, deviation D2) *)
+  mutable sample_max_blocks : int option;
+      (** when set, launches simulate at most this many blocks (evenly
+          spaced) and scale the measured counts to the full grid *)
+}
+
+val default_penalty : int -> float
+
+val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> unit -> t
+
+val device : t -> int -> device
+
+val default_dev : t -> device
+
+val num_devices : t -> int
+
+val register_kernel : t -> dev:int -> Nvcc.artifact -> unit
+
+val find_kernel : t -> dev:int -> string -> Nvcc.artifact
+
+(** Map num_teams / num_threads onto CUDA grid/block dimensions; team
+    counts beyond 65535 fold into two grid dimensions (paper section 5:
+    "ompi maps these values to two dimensions"). *)
+val geometry : num_teams:int -> num_threads:int -> Simt.dim3 * Simt.dim3
+
+(** Evenly-spaced block-sampling filter, offset by half a stride so that
+    boundary blocks are not over-represented. *)
+val sampling_filter : total_blocks:int -> int option -> (int -> bool) option
+
+val host_step_cost_ns : t -> float
+
+val now_s : t -> float

@@ -1,0 +1,1 @@
+lib/machine/addr.pp.ml: Int64 Ppx_deriving_runtime Printf

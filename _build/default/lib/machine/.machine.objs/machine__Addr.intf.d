@@ -1,0 +1,1 @@
+lib/machine/addr.pp.mli: Format

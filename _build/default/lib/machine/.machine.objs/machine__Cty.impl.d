@@ -1,0 +1,1 @@
+lib/machine/cty.pp.ml: Format Hashtbl List Ppx_deriving_runtime String

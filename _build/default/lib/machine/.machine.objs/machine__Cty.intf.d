@@ -1,0 +1,1 @@
+lib/machine/cty.pp.mli: Format

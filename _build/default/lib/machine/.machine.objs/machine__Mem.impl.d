@@ -1,0 +1,1 @@
+lib/machine/mem.pp.ml: Addr Bytes Char Cty Hashtbl Int32 Int64 List Printf Value

@@ -1,0 +1,1 @@
+lib/machine/mem.pp.mli: Addr Bytes Cty Hashtbl Value

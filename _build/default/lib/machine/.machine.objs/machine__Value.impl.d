@@ -1,0 +1,1 @@
+lib/machine/value.pp.ml: Addr Cty Format Int32 Int64 Ppx_deriving_runtime

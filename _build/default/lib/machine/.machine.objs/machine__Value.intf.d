@@ -1,0 +1,1 @@
+lib/machine/value.pp.mli: Addr Cty Format

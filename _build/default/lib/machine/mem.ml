@@ -1,0 +1,179 @@
+(* A byte-addressed memory region backing one address space.  Device
+   global memory uses [alloc]/[free] (first-fit free list, mirroring
+   cuMemAlloc/cuMemFree); shared memory and thread-local stacks use the
+   [push]/[pop] stack discipline. *)
+
+type t = {
+  name : string;
+  space : Addr.space;
+  mutable data : Bytes.t;
+  mutable brk : int; (* high-water mark of the bump/stack region *)
+  mutable free_list : (int * int) list; (* (offset, length), sorted by offset *)
+  sizes : (int, int) Hashtbl.t; (* allocation sizes for [free] *)
+  mutable limit : int; (* capacity cap; grows lazily up to this *)
+}
+
+exception Out_of_memory of string
+exception Bad_access of string
+
+let create ?(initial = 4096) ?(limit = 1 lsl 31) ~space name =
+  (* Offset 0 is reserved so that a zero offset can act as NULL. *)
+  { name; space; data = Bytes.make initial '\000'; brk = 16; free_list = []; sizes = Hashtbl.create 64; limit }
+
+let capacity t = Bytes.length t.data
+
+let ensure t upto =
+  if upto > t.limit then
+    raise (Out_of_memory (Printf.sprintf "%s: request for %d bytes exceeds limit %d" t.name upto t.limit));
+  if upto > Bytes.length t.data then begin
+    let cap = ref (Bytes.length t.data) in
+    while !cap < upto do
+      cap := !cap * 2
+    done;
+    let cap = min !cap t.limit in
+    let data = Bytes.make cap '\000' in
+    Bytes.blit t.data 0 data 0 t.brk;
+    t.data <- data
+  end
+
+let align_up off align = (off + align - 1) / align * align
+
+(* First-fit allocation with an 8-byte minimum alignment. *)
+let alloc t size =
+  let size = max 1 (align_up size 8) in
+  let rec take acc = function
+    | [] -> None
+    | (off, len) :: rest when len >= size ->
+      let remainder = if len > size then [ (off + size, len - size) ] else [] in
+      Some (off, List.rev_append acc (remainder @ rest))
+    | hole :: rest -> take (hole :: acc) rest
+  in
+  let off =
+    match take [] t.free_list with
+    | Some (off, free_list) ->
+      t.free_list <- free_list;
+      off
+    | None ->
+      let off = align_up t.brk 8 in
+      ensure t (off + size);
+      t.brk <- off + size;
+      off
+  in
+  Hashtbl.replace t.sizes off size;
+  Bytes.fill t.data off size '\000';
+  { Addr.space = t.space; off }
+
+let free t (a : Addr.t) =
+  if a.space <> t.space then raise (Bad_access (t.name ^ ": free of foreign address"));
+  match Hashtbl.find_opt t.sizes a.off with
+  | None -> raise (Bad_access (Printf.sprintf "%s: free of unallocated offset %d" t.name a.off))
+  | Some size ->
+    Hashtbl.remove t.sizes a.off;
+    (* Insert sorted and coalesce with neighbours. *)
+    let rec insert = function
+      | [] -> [ (a.off, size) ]
+      | (o, l) :: rest when a.off + size = o -> (a.off, size + l) :: rest
+      | (o, l) :: rest when o + l = a.off -> insert_merge o l rest
+      | (o, l) :: rest when o > a.off -> (a.off, size) :: (o, l) :: rest
+      | hole :: rest -> hole :: insert rest
+    and insert_merge o l = function
+      | (o2, l2) :: rest when o + l + size = o2 -> (o, l + size + l2) :: rest
+      | rest -> (o, l + size) :: rest
+    in
+    t.free_list <- insert t.free_list
+
+let allocated_bytes t = Hashtbl.fold (fun _ s acc -> acc + s) t.sizes 0
+
+(* Stack discipline used for shared-memory and local stacks. *)
+let push t size =
+  let off = align_up t.brk 8 in
+  let size = max 1 (align_up size 8) in
+  ensure t (off + size);
+  t.brk <- off + size;
+  Bytes.fill t.data off size '\000';
+  { Addr.space = t.space; off }
+
+let mark t = t.brk
+
+let release t mark = t.brk <- mark
+
+let check t off len =
+  if off < 0 || off + len > Bytes.length t.data then
+    raise (Bad_access (Printf.sprintf "%s: access [%d,%d) outside capacity %d" t.name off len (Bytes.length t.data)))
+
+(* Raw accessors -------------------------------------------------------- *)
+
+let load_scalar t (env : Cty.layout_env) (a : Addr.t) (ty : Cty.t) : Value.t =
+  let off = a.off in
+  match ty with
+  | Cty.Char ->
+    check t off 1;
+    Value.int ~ty (Int64.of_int (Char.code (Bytes.get t.data off) - if Char.code (Bytes.get t.data off) > 127 then 256 else 0))
+  | Cty.Uchar ->
+    check t off 1;
+    Value.int ~ty (Int64.of_int (Char.code (Bytes.get t.data off)))
+  | Cty.Short | Cty.Ushort ->
+    check t off 2;
+    Value.int ~ty (Int64.of_int (Bytes.get_uint16_le t.data off))
+  | Cty.Int | Cty.Uint ->
+    check t off 4;
+    Value.int ~ty (Int64.of_int32 (Bytes.get_int32_le t.data off))
+  | Cty.Long | Cty.Ulong ->
+    check t off 8;
+    Value.int ~ty (Bytes.get_int64_le t.data off)
+  | Cty.Float ->
+    check t off 4;
+    Value.flt ~ty (Int32.float_of_bits (Bytes.get_int32_le t.data off))
+  | Cty.Double ->
+    check t off 8;
+    Value.flt ~ty (Int64.float_of_bits (Bytes.get_int64_le t.data off))
+  | Cty.Ptr p ->
+    check t off 8;
+    Value.ptr ~ty:p (Addr.of_int64 (Bytes.get_int64_le t.data off))
+  | Cty.Array (elt, _) -> Value.ptr ~ty:elt a (* array lvalue decays to pointer *)
+  | (Cty.Void | Cty.Struct _ | Cty.Func _) as ty ->
+    ignore env;
+    raise (Bad_access ("load of non-scalar type " ^ Cty.show ty))
+
+let store_scalar t (_env : Cty.layout_env) (a : Addr.t) (ty : Cty.t) (v : Value.t) =
+  let off = a.off in
+  match ty with
+  | Cty.Char | Cty.Uchar ->
+    check t off 1;
+    Bytes.set_uint8 t.data off (Int64.to_int (Value.as_int v) land 0xFF)
+  | Cty.Short | Cty.Ushort ->
+    check t off 2;
+    Bytes.set_uint16_le t.data off (Int64.to_int (Value.as_int v) land 0xFFFF)
+  | Cty.Int | Cty.Uint ->
+    check t off 4;
+    Bytes.set_int32_le t.data off (Int64.to_int32 (Value.as_int v))
+  | Cty.Long | Cty.Ulong ->
+    check t off 8;
+    Bytes.set_int64_le t.data off (Value.as_int v)
+  | Cty.Float ->
+    check t off 4;
+    Bytes.set_int32_le t.data off (Int32.bits_of_float (Value.as_float v))
+  | Cty.Double ->
+    check t off 8;
+    Bytes.set_int64_le t.data off (Int64.bits_of_float (Value.as_float v))
+  | Cty.Ptr _ ->
+    check t off 8;
+    Bytes.set_int64_le t.data off (Addr.to_int64 (Value.as_addr v))
+  | (Cty.Void | Cty.Array _ | Cty.Struct _ | Cty.Func _) as ty ->
+    raise (Bad_access ("store of non-scalar type " ^ Cty.show ty))
+
+let blit_out t ~src_off ~len : Bytes.t =
+  check t src_off len;
+  Bytes.sub t.data src_off len
+
+let blit_in t ~dst_off (b : Bytes.t) =
+  let len = Bytes.length b in
+  ensure t (dst_off + len);
+  if dst_off + len > t.brk then t.brk <- dst_off + len;
+  Bytes.blit b 0 t.data dst_off len
+
+let copy ~src ~src_off ~dst ~dst_off ~len =
+  check src src_off len;
+  ensure dst (dst_off + len);
+  if dst_off + len > dst.brk then dst.brk <- dst_off + len;
+  Bytes.blit src.data src_off dst.data dst_off len

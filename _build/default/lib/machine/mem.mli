@@ -1,0 +1,61 @@
+(** A byte-addressed memory region backing one address space.
+
+    Device global memory uses {!alloc}/{!free} (first-fit free list with
+    coalescing, mirroring cuMemAlloc/cuMemFree); shared memory and
+    thread-local stacks use the {!push}/{!mark}/{!release} stack
+    discipline.  Offset 0 is reserved so a zero offset can act as NULL. *)
+
+type t = {
+  name : string;
+  space : Addr.space;
+  mutable data : Bytes.t;  (** raw storage; grows lazily up to [limit] *)
+  mutable brk : int;
+  mutable free_list : (int * int) list;
+  sizes : (int, int) Hashtbl.t;
+  mutable limit : int;
+}
+
+exception Out_of_memory of string
+
+exception Bad_access of string
+
+val create : ?initial:int -> ?limit:int -> space:Addr.space -> string -> t
+
+val capacity : t -> int
+
+(** {1 Heap discipline} *)
+
+(** First-fit allocation, 8-byte aligned, zero-filled. *)
+val alloc : t -> int -> Addr.t
+
+(** Raises {!Bad_access} on double free or foreign addresses; coalesces
+    adjacent holes. *)
+val free : t -> Addr.t -> unit
+
+val allocated_bytes : t -> int
+
+(** {1 Stack discipline} *)
+
+val push : t -> int -> Addr.t
+
+val mark : t -> int
+
+val release : t -> int -> unit
+
+(** {1 Scalar access}
+
+    Bounds-checked little-endian loads/stores of C scalars.  Loading an
+    array type yields the decayed pointer; struct access goes through
+    field offsets at a higher layer. *)
+
+val load_scalar : t -> Cty.layout_env -> Addr.t -> Cty.t -> Value.t
+
+val store_scalar : t -> Cty.layout_env -> Addr.t -> Cty.t -> Value.t -> unit
+
+(** {1 Bulk transfer} *)
+
+val blit_out : t -> src_off:int -> len:int -> Bytes.t
+
+val blit_in : t -> dst_off:int -> Bytes.t -> unit
+
+val copy : src:t -> src_off:int -> dst:t -> dst_off:int -> len:int -> unit

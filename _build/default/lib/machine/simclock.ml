@@ -1,0 +1,28 @@
+(* Simulated wall clock.  All components of the virtual platform advance
+   this clock with modelled durations; benchmark harnesses read it to
+   report "execution time" the way the paper reports seconds on the real
+   board. *)
+
+type t = { mutable ns : float }
+
+let create () = { ns = 0.0 }
+
+let now_ns t = t.ns
+
+let now_s t = t.ns *. 1e-9
+
+let advance_ns t d =
+  if d < 0.0 then invalid_arg "Simclock.advance_ns: negative duration";
+  t.ns <- t.ns +. d
+
+let advance_us t d = advance_ns t (d *. 1e3)
+
+let advance_ms t d = advance_ns t (d *. 1e6)
+
+let reset t = t.ns <- 0.0
+
+(* Time an action: returns the simulated duration it accounted for. *)
+let time t f =
+  let before = t.ns in
+  let result = f () in
+  (result, (t.ns -. before) *. 1e-9)

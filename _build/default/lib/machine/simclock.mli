@@ -1,0 +1,24 @@
+(** Simulated wall clock.  All components of the virtual platform
+    advance it with modelled durations; benchmark harnesses read it to
+    report "execution time" the way the paper reports seconds. *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : t -> float
+
+val now_s : t -> float
+
+(** Raises [Invalid_argument] on negative durations. *)
+val advance_ns : t -> float -> unit
+
+val advance_us : t -> float -> unit
+
+val advance_ms : t -> float -> unit
+
+val reset : t -> unit
+
+(** [time t f] runs [f] and returns its result together with the
+    simulated seconds it accounted for. *)
+val time : t -> (unit -> 'a) -> 'a * float

@@ -1,0 +1,94 @@
+(* Runtime values of the interpreted C subset.  Integer values are kept in
+   an Int64 normalised to the width/signedness of their C type; floats of
+   C type [float] are rounded to binary32 on creation so that arithmetic
+   matches what the Jetson's FP32 units produce. *)
+
+type t =
+  | VInt of int64 * Cty.t
+  | VFlt of float * Cty.t
+  | VPtr of Addr.t * Cty.t (* pointee type *)
+  | VVoid
+[@@deriving show { with_path = false }, eq]
+
+exception Value_error of string
+
+let value_error fmt = Format.kasprintf (fun s -> raise (Value_error s)) fmt
+
+let round32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+(* Truncate an int64 to the representation of the given integer type. *)
+let normalise_int ty (i : int64) =
+  let open Int64 in
+  match ty with
+  | Cty.Char ->
+    let v = logand i 0xFFL in
+    if compare v 0x7FL > 0 then sub v 0x100L else v
+  | Cty.Uchar -> logand i 0xFFL
+  | Cty.Short ->
+    let v = logand i 0xFFFFL in
+    if compare v 0x7FFFL > 0 then sub v 0x10000L else v
+  | Cty.Ushort -> logand i 0xFFFFL
+  | Cty.Int ->
+    let v = logand i 0xFFFFFFFFL in
+    if compare v 0x7FFFFFFFL > 0 then sub v 0x100000000L else v
+  | Cty.Uint -> logand i 0xFFFFFFFFL
+  | Cty.Long | Cty.Ulong -> i
+  | ty -> value_error "normalise_int: not an integer type %s" (Cty.show ty)
+
+let int ?(ty = Cty.Int) i = VInt (normalise_int ty i, ty)
+
+let of_int ?(ty = Cty.Int) i = int ~ty (Int64.of_int i)
+
+let flt ?(ty = Cty.Double) f =
+  match ty with
+  | Cty.Float -> VFlt (round32 f, Cty.Float)
+  | Cty.Double -> VFlt (f, Cty.Double)
+  | ty -> value_error "flt: not a float type %s" (Cty.show ty)
+
+let ptr ?(ty = Cty.Void) a = VPtr (a, ty)
+
+let ty_of = function
+  | VInt (_, ty) -> ty
+  | VFlt (_, ty) -> ty
+  | VPtr (_, ty) -> Cty.Ptr ty
+  | VVoid -> Cty.Void
+
+let as_int = function
+  | VInt (i, _) -> i
+  | VFlt (f, _) -> Int64.of_float f
+  | VPtr (a, _) -> Addr.to_int64 a
+  | VVoid -> value_error "as_int: void value"
+
+let to_int v = Int64.to_int (as_int v)
+
+let as_float = function
+  | VInt (i, ty) when Cty.is_unsigned ty ->
+    (* Unsigned conversion: reinterpret the low 64 bits as non-negative. *)
+    if Int64.compare i 0L >= 0 then Int64.to_float i
+    else Int64.to_float i +. 18446744073709551616.0
+  | VInt (i, _) -> Int64.to_float i
+  | VFlt (f, _) -> f
+  | VPtr _ | VVoid -> value_error "as_float: not a number"
+
+let as_addr = function
+  | VPtr (a, _) -> a
+  | VInt (i, _) -> Addr.of_int64 i
+  | v -> value_error "as_addr: not a pointer: %s" (show v)
+
+let is_true = function
+  | VInt (i, _) -> i <> 0L
+  | VFlt (f, _) -> f <> 0.0
+  | VPtr (a, _) -> not (Addr.is_null a)
+  | VVoid -> value_error "is_true: void value"
+
+let bool b = int ~ty:Cty.Int (if b then 1L else 0L)
+
+(* Convert [v] to type [ty] following C conversion rules. *)
+let cast ty v =
+  match (ty, v) with
+  | Cty.Void, _ -> VVoid
+  | (Cty.Float | Cty.Double), _ -> flt ~ty (as_float v)
+  | ty, _ when Cty.is_integer ty -> int ~ty (as_int v)
+  | Cty.Ptr p, VPtr (a, _) -> VPtr (a, p)
+  | Cty.Ptr p, VInt (i, _) -> VPtr (Addr.of_int64 i, p)
+  | ty, v -> value_error "cast: cannot cast %s to %s" (show v) (Cty.show ty)

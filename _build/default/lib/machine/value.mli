@@ -1,0 +1,54 @@
+(** Runtime values of the interpreted C subset.  Integers are normalised
+    to the width and signedness of their C type; [float]-typed values
+    are rounded to binary32 on creation, matching the FP32 units of the
+    simulated GPU. *)
+
+type t =
+  | VInt of int64 * Cty.t
+  | VFlt of float * Cty.t
+  | VPtr of Addr.t * Cty.t  (** address and pointee type *)
+  | VVoid
+
+val pp : Format.formatter -> t -> unit
+
+val show : t -> string
+
+val equal : t -> t -> bool
+
+exception Value_error of string
+
+(** Round to binary32 (the C [float] type). *)
+val round32 : float -> float
+
+(** Truncate/sign-extend an [int64] to the representation of the given
+    integer type. *)
+val normalise_int : Cty.t -> int64 -> int64
+
+(** {1 Constructors} *)
+
+val int : ?ty:Cty.t -> int64 -> t
+
+val of_int : ?ty:Cty.t -> int -> t
+
+val flt : ?ty:Cty.t -> float -> t
+
+val ptr : ?ty:Cty.t -> Addr.t -> t
+
+val bool : bool -> t
+
+(** {1 Accessors and conversions} *)
+
+val ty_of : t -> Cty.t
+
+val as_int : t -> int64
+
+val to_int : t -> int
+
+val as_float : t -> float
+
+val as_addr : t -> Addr.t
+
+val is_true : t -> bool
+
+(** C conversion rules ([(ty) v]). *)
+val cast : Cty.t -> t -> t

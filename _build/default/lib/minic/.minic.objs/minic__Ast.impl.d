@@ -1,0 +1,1 @@
+lib/minic/ast.pp.ml: Char Cty Int64 List Machine Option Ppx_deriving_runtime Token

@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Buffer Format Int64 List String Token

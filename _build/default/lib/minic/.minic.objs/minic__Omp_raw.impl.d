@@ -1,0 +1,1 @@
+lib/minic/omp_raw.pp.ml: List Token

@@ -1,0 +1,1 @@
+lib/minic/parser.pp.ml: Ast Buffer Cty Format Int64 Lexer List Machine Omp_raw Option Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/parser.pp.mli: Ast Token

@@ -1,0 +1,1 @@
+lib/minic/pretty.pp.ml: Ast Cty Format List Machine String Token

@@ -1,0 +1,1 @@
+lib/minic/pretty.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minic/token.pp.ml: Int64 List Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.ml: Ast Cty Format Fun Hashtbl List Machine Option

@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.mli: Ast Cty Format Hashtbl Machine

@@ -1,0 +1,310 @@
+(* Abstract syntax of the C subset, including OpenMP directive nodes.
+   The parser attaches pragmas as [Raw] token lists; the OpenMP pragma
+   parser (lib/omp) rewrites them into typed [Omp] directives before the
+   translator runs — the same two-stage structure OMPi uses. *)
+
+open Machine
+
+type unop =
+  | Neg
+  | Not
+  | BitNot
+  | PreInc
+  | PreDec
+  | PostInc
+  | PostDec
+[@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Ne
+  | BitAnd
+  | BitXor
+  | BitOr
+  | LogAnd
+  | LogOr
+[@@deriving show { with_path = false }, eq]
+
+type expr =
+  | IntLit of int64 * Cty.t
+  | FloatLit of float * Cty.t
+  | CharLit of char
+  | StrLit of string
+  | Ident of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of binop option * expr * expr (* lhs (op)= rhs *)
+  | Call of string * expr list
+  | Index of expr * expr
+  | Member of expr * string
+  | Arrow of expr * string
+  | Deref of expr
+  | AddrOf of expr
+  | Cast of Cty.t * expr
+  | SizeofT of Cty.t
+  | SizeofE of expr
+  | Cond of expr * expr * expr
+  | Comma of expr * expr
+[@@deriving show { with_path = false }, eq]
+
+(* ---------------------------------------------------------------- *)
+(* OpenMP directives                                                 *)
+(* ---------------------------------------------------------------- *)
+
+type sched_kind = Sch_static | Sch_dynamic | Sch_guided | Sch_auto | Sch_runtime
+[@@deriving show { with_path = false }, eq]
+
+type map_type = Map_to | Map_from | Map_tofrom | Map_alloc
+[@@deriving show { with_path = false }, eq]
+
+(* x[lb:len] array sections; a bare variable has no sections. *)
+type map_item = { mi_var : string; mi_sections : (expr option * expr option) list }
+[@@deriving show { with_path = false }, eq]
+
+type reduction_op = Rd_add | Rd_mul | Rd_max | Rd_min | Rd_land | Rd_lor | Rd_band | Rd_bor | Rd_bxor
+[@@deriving show { with_path = false }, eq]
+
+type clause =
+  | Cnum_teams of expr
+  | Cnum_threads of expr
+  | Cthread_limit of expr
+  | Cmap of map_type * map_item list
+  | Cprivate of string list
+  | Cfirstprivate of string list
+  | Cshared of string list
+  | Cdefault_shared
+  | Cdefault_none
+  | Cschedule of sched_kind * expr option
+  | Cdist_schedule of sched_kind * expr option
+  | Ccollapse of int
+  | Creduction of reduction_op * string list
+  | Cif of expr
+  | Cdevice of expr
+  | Cnowait
+  | Cupdate_to of map_item list
+  | Cupdate_from of map_item list
+[@@deriving show { with_path = false }, eq]
+
+(* A directive is an ordered combination of base constructs, e.g.
+   "target teams distribute parallel for" = [Target;Teams;Distribute;
+   Parallel;For].  Stand-alone directives appear with [body = None] at
+   the statement level. *)
+type construct =
+  | C_target
+  | C_teams
+  | C_distribute
+  | C_parallel
+  | C_for
+  | C_sections
+  | C_section
+  | C_single
+  | C_master
+  | C_critical of string option
+  | C_barrier
+  | C_atomic
+  | C_target_data
+  | C_target_enter_data
+  | C_target_exit_data
+  | C_target_update
+  | C_declare_target
+  | C_end_declare_target
+[@@deriving show { with_path = false }, eq]
+
+type directive = { dir_constructs : construct list; dir_clauses : clause list }
+[@@deriving show { with_path = false }, eq]
+
+type pragma =
+  | Raw of Token.t list
+  | Omp of directive
+[@@deriving show { with_path = false }, eq]
+
+(* ---------------------------------------------------------------- *)
+(* Statements and declarations                                       *)
+(* ---------------------------------------------------------------- *)
+
+type init = Iexpr of expr | Ilist of init list [@@deriving show { with_path = false }, eq]
+
+type decl = { d_name : string; d_ty : Cty.t; d_init : init option; d_shared : bool }
+[@@deriving show { with_path = false }, eq]
+
+let mk_decl ?(shared = false) ?init name ty = { d_name = name; d_ty = ty; d_init = init; d_shared = shared }
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+      (* init is Sexpr or Sdecl *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Snop
+  | Spragma of pragma * stmt option (* None for stand-alone directives *)
+[@@deriving show { with_path = false }, eq]
+
+type fundef = {
+  f_name : string;
+  f_ret : Cty.t;
+  f_params : (string * Cty.t) list;
+  f_body : stmt;
+  f_static : bool;
+  f_device : bool; (* inside a declare-target region *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type global =
+  | Gfun of fundef
+  | Gfundecl of string * Cty.t * (string * Cty.t) list
+  | Gvar of decl * bool (* decl, is_device (declare target) *)
+  | Gstruct of string * (string * Cty.t) list
+  | Gpragma of pragma
+[@@deriving show { with_path = false }, eq]
+
+type program = global list [@@deriving show { with_path = false }, eq]
+
+(* ---------------------------------------------------------------- *)
+(* Convenience constructors used heavily by the translator.          *)
+(* ---------------------------------------------------------------- *)
+
+let int_lit i = IntLit (Int64.of_int i, Cty.Int)
+
+let ident x = Ident x
+
+let call f args = Call (f, args)
+
+let assign lhs rhs = Assign (None, lhs, rhs)
+
+let expr_stmt e = Sexpr e
+
+let block stmts = Sblock stmts
+
+let lt a b = Binop (Lt, a, b)
+
+let add a b = Binop (Add, a, b)
+
+let sub a b = Binop (Sub, a, b)
+
+let mul a b = Binop (Mul, a, b)
+
+(* Fold integer constant expressions (array dimensions, collapse args). *)
+let rec const_eval_opt (e : expr) : int64 option =
+  let open Int64 in
+  let bin f a b =
+    match (const_eval_opt a, const_eval_opt b) with
+    | Some x, Some y -> Some (f x y)
+    | _ -> None
+  in
+  match e with
+  | IntLit (i, _) -> Some i
+  | CharLit c -> Some (of_int (Char.code c))
+  | Unop (Neg, a) -> Option.map neg (const_eval_opt a)
+  | Unop (BitNot, a) -> Option.map lognot (const_eval_opt a)
+  | Unop (Not, a) -> Option.map (fun v -> if v = 0L then 1L else 0L) (const_eval_opt a)
+  | Binop (Add, a, b) -> bin add a b
+  | Binop (Sub, a, b) -> bin sub a b
+  | Binop (Mul, a, b) -> bin mul a b
+  | Binop (Div, a, b) -> (
+    match bin div a b with exception Division_by_zero -> None | v -> v)
+  | Binop (Mod, a, b) -> (
+    match bin rem a b with exception Division_by_zero -> None | v -> v)
+  | Binop (Shl, a, b) -> bin (fun x y -> shift_left x (to_int y)) a b
+  | Binop (Shr, a, b) -> bin (fun x y -> shift_right x (to_int y)) a b
+  | Binop (BitAnd, a, b) -> bin logand a b
+  | Binop (BitOr, a, b) -> bin logor a b
+  | Binop (BitXor, a, b) -> bin logxor a b
+  | Cast (ty, a) when Cty.is_integer ty -> const_eval_opt a
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Generic traversal helpers                                         *)
+(* ---------------------------------------------------------------- *)
+
+let rec iter_expr f (e : expr) =
+  f e;
+  match e with
+  | IntLit _ | FloatLit _ | CharLit _ | StrLit _ | Ident _ | SizeofT _ -> ()
+  | Unop (_, a) | Cast (_, a) | SizeofE a | Deref a | AddrOf a | Member (a, _) | Arrow (a, _) ->
+    iter_expr f a
+  | Binop (_, a, b) | Assign (_, a, b) | Index (a, b) | Comma (a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Cond (a, b, c) ->
+    iter_expr f a;
+    iter_expr f b;
+    iter_expr f c
+  | Call (_, args) -> List.iter (iter_expr f) args
+
+let rec iter_stmt ?(enter_pragma = true) ~on_expr ~on_stmt (s : stmt) =
+  on_stmt s;
+  let iter_e = iter_expr on_expr in
+  let iter_s = iter_stmt ~enter_pragma ~on_expr ~on_stmt in
+  match s with
+  | Sexpr e -> iter_e e
+  | Sdecl ds ->
+    List.iter
+      (fun d ->
+        match d.d_init with
+        | Some i ->
+          let rec init = function Iexpr e -> iter_e e | Ilist l -> List.iter init l in
+          init i
+        | None -> ())
+      ds
+  | Sblock ss -> List.iter iter_s ss
+  | Sif (c, t, e) ->
+    iter_e c;
+    iter_s t;
+    Option.iter iter_s e
+  | Swhile (c, b) ->
+    iter_e c;
+    iter_s b
+  | Sdo (b, c) ->
+    iter_s b;
+    iter_e c
+  | Sfor (i, c, u, b) ->
+    Option.iter iter_s i;
+    Option.iter iter_e c;
+    Option.iter iter_e u;
+    iter_s b
+  | Sreturn e -> Option.iter iter_e e
+  | Sbreak | Scontinue | Snop -> ()
+  | Spragma (_, body) -> if enter_pragma then Option.iter iter_s body
+
+(* Map over statements bottom-up; used by rewrite passes. *)
+let rec map_stmt (f : stmt -> stmt) (s : stmt) : stmt =
+  let recurse = map_stmt f in
+  let s' =
+    match s with
+    | Sexpr _ | Sdecl _ | Sreturn _ | Sbreak | Scontinue | Snop -> s
+    | Sblock ss -> Sblock (List.map recurse ss)
+    | Sif (c, t, e) -> Sif (c, recurse t, Option.map recurse e)
+    | Swhile (c, b) -> Swhile (c, recurse b)
+    | Sdo (b, c) -> Sdo (recurse b, c)
+    | Sfor (i, c, u, b) -> Sfor (Option.map recurse i, c, u, recurse b)
+    | Spragma (p, body) -> Spragma (p, Option.map recurse body)
+  in
+  f s'
+
+(* Collect free identifiers referenced in an expression. *)
+let expr_idents e =
+  let acc = ref [] in
+  iter_expr (function Ident x -> if not (List.mem x !acc) then acc := x :: !acc | _ -> ()) e;
+  List.rev !acc
+
+let find_clause (dir : directive) (pick : clause -> 'a option) : 'a option =
+  List.find_map pick dir.dir_clauses
+
+let has_construct (dir : directive) (c : construct) = List.mem c dir.dir_constructs

@@ -1,0 +1,9 @@
+(** Hand-written lexer for the C subset.  ["#pragma"] lines are lexed
+    into a single {!Token.TPRAGMA} carrying the tokens of the rest of
+    the line (honouring backslash continuations); other preprocessor
+    lines ([#include], [#define], ...) are skipped. *)
+
+exception Lex_error of string * Token.loc
+
+(** Lex a whole source string; the result always ends with {!Token.EOF}. *)
+val tokenize : string -> Token.spanned list

@@ -1,0 +1,23 @@
+(* Shallow classification of raw pragma token lists, needed by the C
+   parser to decide whether a pragma swallows the following statement.
+   Full pragma parsing lives in lib/omp. *)
+
+let words (toks : Token.t list) : string list =
+  List.filter_map (function Token.TIDENT w -> Some w | _ -> None) toks
+
+let is_omp toks = match toks with Token.TIDENT "omp" :: _ -> true | _ -> false
+
+(* Stand-alone OpenMP directives never apply to a following statement. *)
+let is_standalone (toks : Token.t list) : bool =
+  is_omp toks
+  &&
+  match words toks with
+  | "omp" :: "barrier" :: _ -> true
+  | "omp" :: "target" :: "update" :: _ -> true
+  | "omp" :: "target" :: "enter" :: "data" :: _ -> true
+  | "omp" :: "target" :: "exit" :: "data" :: _ -> true
+  | "omp" :: "declare" :: "target" :: _ -> true
+  | "omp" :: "end" :: "declare" :: "target" :: _ -> true
+  | "omp" :: "taskwait" :: _ -> true
+  | "omp" :: "flush" :: _ -> true
+  | _ -> false

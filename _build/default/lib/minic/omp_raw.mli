@@ -1,0 +1,10 @@
+(** Shallow classification of raw pragma token lists, needed by the C
+    parser to decide whether a pragma swallows the following statement.
+    Full pragma parsing lives in lib/omp. *)
+
+val is_omp : Token.t list -> bool
+
+(** Stand-alone OpenMP directives (barrier, target update, target
+    enter/exit data, declare target markers, ...) never apply to a
+    following statement. *)
+val is_standalone : Token.t list -> bool

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the C subset.  Understands full C
+    declarator syntax (pointers, arrays, pointer-to-array, function
+    parameters): the master/worker code generator relies on
+    pointer-to-array parameter types, cf. Fig. 3 of the paper. *)
+
+
+
+exception Parse_error of string * Token.loc
+
+val parse_program : string -> Ast.program
+
+val parse_program_tokens : Token.spanned list -> Ast.program
+
+val parse_expr_string : string -> Ast.expr
+
+(** Parse one assignment-level expression from a raw token list,
+    returning the remaining tokens (used by the pragma parser to read
+    clause arguments, which are comma-separated). *)
+val parse_assignment_tokens : Token.t list -> Ast.expr * Token.t list

@@ -1,0 +1,1 @@
+lib/omp/pragma_parser.pp.ml: Ast Format Int64 List Minic Parser String Token

@@ -1,0 +1,1 @@
+lib/omp/pragma_parser.pp.mli: Ast Minic Token

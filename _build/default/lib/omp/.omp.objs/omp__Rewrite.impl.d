@@ -1,0 +1,1 @@
+lib/omp/rewrite.pp.ml: Ast List Minic Pragma_parser

@@ -1,0 +1,1 @@
+lib/omp/rewrite.pp.mli: Ast Minic

@@ -1,0 +1,1 @@
+lib/omp/validate.pp.ml: Ast Format List Minic Pretty String

@@ -1,0 +1,1 @@
+lib/omp/validate.pp.mli: Ast Minic

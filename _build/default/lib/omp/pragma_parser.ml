@@ -1,0 +1,327 @@
+(* Parser for OpenMP pragma lines (the token lists stored in [Ast.Raw]).
+   Produces the typed [Ast.directive] representation consumed by the
+   translator.  The construct combination is kept ordered, so the
+   combined form "target teams distribute parallel for" round-trips. *)
+
+open Minic
+
+exception Pragma_error of string
+
+let pragma_error fmt = Format.kasprintf (fun s -> raise (Pragma_error s)) fmt
+
+type cursor = { mutable toks : Token.t list }
+
+let peek c = match c.toks with [] -> None | t :: _ -> Some t
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let eat_word c w =
+  match peek c with
+  | Some (Token.TIDENT x) when x = w ->
+    advance c;
+    true
+  | _ -> false
+
+let expect c tok =
+  match peek c with
+  | Some t when Token.equal t tok -> advance c
+  | Some t -> pragma_error "expected '%s', found '%s'" (Token.to_source tok) (Token.to_source t)
+  | None -> pragma_error "expected '%s' at end of pragma" (Token.to_source tok)
+
+let expect_ident c =
+  match peek c with
+  | Some (Token.TIDENT x) ->
+    advance c;
+    x
+  | Some t -> pragma_error "expected identifier, found '%s'" (Token.to_source t)
+  | None -> pragma_error "expected identifier at end of pragma"
+
+(* Take the tokens up to the ')' closing the currently open '(' paren,
+   respecting nesting; the cursor is left after the ')'. *)
+let take_paren_contents c : Token.t list =
+  let rec go depth acc =
+    match peek c with
+    | None -> pragma_error "unterminated clause parenthesis"
+    | Some Token.RPAREN when depth = 0 ->
+      advance c;
+      List.rev acc
+    | Some t ->
+      advance c;
+      let depth =
+        match t with Token.LPAREN -> depth + 1 | Token.RPAREN -> depth - 1 | _ -> depth
+      in
+      go depth (t :: acc)
+  in
+  go 0 []
+
+(* Split a token list on top-level commas. *)
+let split_commas (toks : Token.t list) : Token.t list list =
+  let rec go depth cur acc = function
+    | [] -> List.rev (List.rev cur :: acc)
+    | Token.COMMA :: rest when depth = 0 -> go 0 [] (List.rev cur :: acc) rest
+    | (Token.LPAREN as t) :: rest | (Token.LBRACKET as t) :: rest ->
+      go (depth + 1) (t :: cur) acc rest
+    | (Token.RPAREN as t) :: rest | (Token.RBRACKET as t) :: rest ->
+      go (depth - 1) (t :: cur) acc rest
+    | t :: rest -> go depth (t :: cur) acc rest
+  in
+  match toks with [] -> [] | _ -> go 0 [] [] toks
+
+let parse_expr_exactly (toks : Token.t list) : Ast.expr =
+  match Parser.parse_assignment_tokens toks with
+  | e, [] -> e
+  | _, t :: _ -> pragma_error "trailing token '%s' in clause expression" (Token.to_source t)
+
+(* Parse one list item of a map/update clause: IDENT ([lb?:len?])* *)
+let parse_map_item (toks : Token.t list) : Ast.map_item =
+  let c = { toks } in
+  let var = expect_ident c in
+  let rec sections acc =
+    match peek c with
+    | Some Token.LBRACKET ->
+      advance c;
+      (* collect until matching ']' with a top-level ':' separator *)
+      let rec collect depth pre post in_post =
+        match peek c with
+        | None -> pragma_error "unterminated array section in map clause"
+        | Some Token.RBRACKET when depth = 0 ->
+          advance c;
+          (List.rev pre, List.rev post)
+        | Some Token.COLON when depth = 0 && not in_post ->
+          advance c;
+          collect depth pre post true
+        | Some t ->
+          advance c;
+          let depth =
+            match t with
+            | Token.LBRACKET | Token.LPAREN -> depth + 1
+            | Token.RBRACKET | Token.RPAREN -> depth - 1
+            | _ -> depth
+          in
+          if in_post then collect depth pre (t :: post) true else collect depth (t :: pre) post false
+      in
+      let pre, post = collect 0 [] [] false in
+      let lb = if pre = [] then None else Some (parse_expr_exactly pre) in
+      let len = if post = [] then None else Some (parse_expr_exactly post) in
+      sections ((lb, len) :: acc)
+    | Some t -> pragma_error "unexpected '%s' in map item" (Token.to_source t)
+    | None -> List.rev acc
+  in
+  { Ast.mi_var = var; mi_sections = sections [] }
+
+let parse_var_list (toks : Token.t list) : string list =
+  List.map
+    (function
+      | [ Token.TIDENT x ] -> x
+      | ts ->
+        pragma_error "expected variable name in clause list, found '%s'"
+          (String.concat " " (List.map Token.to_source ts)))
+    (split_commas toks)
+
+let sched_kind_of_string = function
+  | "static" -> Ast.Sch_static
+  | "dynamic" -> Ast.Sch_dynamic
+  | "guided" -> Ast.Sch_guided
+  | "auto" -> Ast.Sch_auto
+  | "runtime" -> Ast.Sch_runtime
+  | s -> pragma_error "unknown schedule kind '%s'" s
+
+let map_type_of_string = function
+  | "to" -> Ast.Map_to
+  | "from" -> Ast.Map_from
+  | "tofrom" -> Ast.Map_tofrom
+  | "alloc" -> Ast.Map_alloc
+  | s -> pragma_error "unknown map type '%s'" s
+
+let reduction_op_of_tokens = function
+  | [ Token.PLUS ] -> Ast.Rd_add
+  | [ Token.STAR ] -> Ast.Rd_mul
+  | [ Token.TIDENT "max" ] -> Ast.Rd_max
+  | [ Token.TIDENT "min" ] -> Ast.Rd_min
+  | [ Token.ANDAND ] -> Ast.Rd_land
+  | [ Token.OROR ] -> Ast.Rd_lor
+  | [ Token.AMP ] -> Ast.Rd_band
+  | [ Token.PIPE ] -> Ast.Rd_bor
+  | [ Token.CARET ] -> Ast.Rd_bxor
+  | ts -> pragma_error "unknown reduction operator '%s'" (String.concat "" (List.map Token.to_source ts))
+
+(* Split "head: rest" at the first top-level colon. *)
+let split_colon (toks : Token.t list) : Token.t list option * Token.t list =
+  let rec go depth acc = function
+    | [] -> (None, List.rev acc)
+    | Token.COLON :: rest when depth = 0 -> (Some (List.rev acc), rest)
+    | (Token.LPAREN as t) :: rest | (Token.LBRACKET as t) :: rest -> go (depth + 1) (t :: acc) rest
+    | (Token.RPAREN as t) :: rest | (Token.RBRACKET as t) :: rest -> go (depth - 1) (t :: acc) rest
+    | t :: rest -> go depth (t :: acc) rest
+  in
+  go 0 [] toks
+
+let parse_clause c (name : string) ~(is_update : bool) : Ast.clause =
+  let with_args f =
+    expect c Token.LPAREN;
+    f (take_paren_contents c)
+  in
+  match name with
+  | "num_teams" -> with_args (fun ts -> Ast.Cnum_teams (parse_expr_exactly ts))
+  | "num_threads" -> with_args (fun ts -> Ast.Cnum_threads (parse_expr_exactly ts))
+  | "thread_limit" -> with_args (fun ts -> Ast.Cthread_limit (parse_expr_exactly ts))
+  | "if" -> with_args (fun ts -> Ast.Cif (parse_expr_exactly ts))
+  | "device" -> with_args (fun ts -> Ast.Cdevice (parse_expr_exactly ts))
+  | "collapse" ->
+    with_args (fun ts ->
+        match Ast.const_eval_opt (parse_expr_exactly ts) with
+        | Some n when n > 0L -> Ast.Ccollapse (Int64.to_int n)
+        | _ -> pragma_error "collapse requires a positive constant")
+  | "private" -> with_args (fun ts -> Ast.Cprivate (parse_var_list ts))
+  | "firstprivate" -> with_args (fun ts -> Ast.Cfirstprivate (parse_var_list ts))
+  | "shared" -> with_args (fun ts -> Ast.Cshared (parse_var_list ts))
+  | "default" ->
+    with_args (function
+      | [ Token.TIDENT "shared" ] -> Ast.Cdefault_shared
+      | [ Token.TIDENT "none" ] -> Ast.Cdefault_none
+      | _ -> pragma_error "default expects shared or none")
+  | "schedule" | "dist_schedule" ->
+    let kind_of = function
+      | [ Token.TIDENT kind ] -> sched_kind_of_string kind
+      | [ Token.KW_STATIC ] -> Ast.Sch_static (* "static" lexes as a C keyword *)
+      | ts ->
+        pragma_error "bad schedule kind '%s'" (String.concat " " (List.map Token.to_source ts))
+    in
+    let dist = name = "dist_schedule" in
+    let mk kind chunk =
+      if dist then begin
+        if kind <> Ast.Sch_static then pragma_error "dist_schedule only supports static";
+        Ast.Cdist_schedule (kind, chunk)
+      end
+      else Ast.Cschedule (kind, chunk)
+    in
+    with_args (fun ts ->
+        match split_commas ts with
+        | [ kind ] -> mk (kind_of kind) None
+        | [ kind; chunk ] -> mk (kind_of kind) (Some (parse_expr_exactly chunk))
+        | _ -> pragma_error "malformed schedule clause")
+  | "reduction" ->
+    with_args (fun ts ->
+        match split_colon ts with
+        | Some op_toks, rest -> Ast.Creduction (reduction_op_of_tokens op_toks, parse_var_list rest)
+        | None, _ -> pragma_error "reduction clause requires 'op: list'")
+  | "map" ->
+    with_args (fun ts ->
+        let mt, items_toks =
+          match split_colon ts with
+          | Some [ Token.TIDENT mt ], rest -> (map_type_of_string mt, rest)
+          | Some other, _ ->
+            pragma_error "bad map type '%s'" (String.concat " " (List.map Token.to_source other))
+          | None, rest -> (Ast.Map_tofrom, rest)
+        in
+        Ast.Cmap (mt, List.map parse_map_item (split_commas items_toks)))
+  | "to" when is_update -> with_args (fun ts -> Ast.Cupdate_to (List.map parse_map_item (split_commas ts)))
+  | "from" when is_update ->
+    with_args (fun ts -> Ast.Cupdate_from (List.map parse_map_item (split_commas ts)))
+  | "nowait" -> Ast.Cnowait
+  | name -> pragma_error "unsupported clause '%s'" name
+
+(* Parse the construct-name prefix of the directive. *)
+let parse_constructs c : Ast.construct list =
+  let rec go acc =
+    match peek c with
+    | Some (Token.TIDENT "target") ->
+      advance c;
+      if eat_word c "data" then go (Ast.C_target_data :: acc)
+      else if eat_word c "enter" then begin
+        if not (eat_word c "data") then pragma_error "expected 'data' after 'target enter'";
+        go (Ast.C_target_enter_data :: acc)
+      end
+      else if eat_word c "exit" then begin
+        if not (eat_word c "data") then pragma_error "expected 'data' after 'target exit'";
+        go (Ast.C_target_exit_data :: acc)
+      end
+      else if eat_word c "update" then go (Ast.C_target_update :: acc)
+      else go (Ast.C_target :: acc)
+    | Some (Token.TIDENT "teams") ->
+      advance c;
+      go (Ast.C_teams :: acc)
+    | Some (Token.TIDENT "distribute") ->
+      advance c;
+      go (Ast.C_distribute :: acc)
+    | Some (Token.TIDENT "parallel") ->
+      advance c;
+      go (Ast.C_parallel :: acc)
+    | Some Token.KW_FOR ->
+      advance c;
+      go (Ast.C_for :: acc)
+    | Some (Token.TIDENT "sections") ->
+      advance c;
+      go (Ast.C_sections :: acc)
+    | Some (Token.TIDENT "section") ->
+      advance c;
+      go (Ast.C_section :: acc)
+    | Some (Token.TIDENT "single") ->
+      advance c;
+      go (Ast.C_single :: acc)
+    | Some (Token.TIDENT "master") ->
+      advance c;
+      go (Ast.C_master :: acc)
+    | Some (Token.TIDENT "barrier") ->
+      advance c;
+      go (Ast.C_barrier :: acc)
+    | Some (Token.TIDENT "atomic") ->
+      advance c;
+      (* optional atomic-clause keyword; only the update form is
+         supported (read/write/capture would need result capture) *)
+      (match peek c with
+      | Some (Token.TIDENT "update") -> advance c
+      | Some (Token.TIDENT (("read" | "write" | "capture") as k)) ->
+        pragma_error "atomic %s is not supported (only atomic update)" k
+      | _ -> ());
+      go (Ast.C_atomic :: acc)
+    | Some (Token.TIDENT "critical") ->
+      advance c;
+      let name =
+        match peek c with
+        | Some Token.LPAREN ->
+          advance c;
+          let n = expect_ident c in
+          expect c Token.RPAREN;
+          Some n
+        | _ -> None
+      in
+      go (Ast.C_critical name :: acc)
+    | Some (Token.TIDENT "declare") ->
+      advance c;
+      if not (eat_word c "target") then pragma_error "expected 'target' after 'declare'";
+      go (Ast.C_declare_target :: acc)
+    | Some (Token.TIDENT "end") ->
+      advance c;
+      if not (eat_word c "declare") then pragma_error "expected 'declare' after 'end'";
+      if not (eat_word c "target") then pragma_error "expected 'target' after 'end declare'";
+      go (Ast.C_end_declare_target :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* Entry point: parse the token list of an "#pragma omp ..." line.
+   Returns [None] for non-OpenMP pragmas, which are left untouched. *)
+let parse (toks : Token.t list) : Ast.directive option =
+  match toks with
+  | Token.TIDENT "omp" :: rest ->
+    let c = { toks = rest } in
+    let constructs = parse_constructs c in
+    if constructs = [] then pragma_error "empty OpenMP directive";
+    let is_update = List.mem Ast.C_target_update constructs in
+    let rec clauses acc =
+      match peek c with
+      | None -> List.rev acc
+      | Some Token.COMMA ->
+        advance c;
+        clauses acc
+      | Some (Token.TIDENT name) ->
+        advance c;
+        clauses (parse_clause c name ~is_update :: acc)
+      | Some Token.KW_IF ->
+        advance c;
+        clauses (parse_clause c "if" ~is_update :: acc)
+      | Some t -> pragma_error "unexpected token '%s' in clause list" (Token.to_source t)
+    in
+    Some { Ast.dir_constructs = constructs; dir_clauses = clauses [] }
+  | _ -> None

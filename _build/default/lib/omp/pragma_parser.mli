@@ -1,0 +1,13 @@
+(** Parser for OpenMP pragma lines (the token lists stored in
+    [Minic.Ast.Raw]).  Produces the typed directive representation
+    consumed by the translator; the construct combination is kept
+    ordered, so "target teams distribute parallel for" round-trips. *)
+
+open Minic
+
+exception Pragma_error of string
+
+(** Parse the token list of one ["#pragma ..."] line.  Returns [None]
+    for non-OpenMP pragmas (which are left untouched in the program);
+    raises {!Pragma_error} on malformed OpenMP directives. *)
+val parse : Token.t list -> Ast.directive option

@@ -1,0 +1,39 @@
+(* Rewrites raw pragma nodes produced by the C parser into typed OpenMP
+   directives, and resolves declare-target regions by marking the
+   functions and globals they enclose as device entities. *)
+
+open Minic
+
+let rewrite_stmt (s : Ast.stmt) : Ast.stmt =
+  Ast.map_stmt
+    (function
+      | Ast.Spragma (Ast.Raw toks, body) as s -> (
+        match Pragma_parser.parse toks with
+        | Some dir -> Ast.Spragma (Ast.Omp dir, body)
+        | None -> s (* non-OpenMP pragma: keep verbatim *))
+      | s -> s)
+    s
+
+(* Process the top level: rewrite pragmas inside every function body and
+   apply declare-target regions to the globals they span. *)
+let rewrite_program (p : Ast.program) : Ast.program =
+  let in_declare_target = ref false in
+  List.filter_map
+    (fun g ->
+      match g with
+      | Ast.Gpragma (Ast.Raw toks) -> (
+        match Pragma_parser.parse toks with
+        | Some { Ast.dir_constructs = [ Ast.C_declare_target ]; _ } ->
+          in_declare_target := true;
+          None (* region markers are consumed *)
+        | Some { Ast.dir_constructs = [ Ast.C_end_declare_target ]; _ } ->
+          in_declare_target := false;
+          None
+        | Some dir -> Some (Ast.Gpragma (Ast.Omp dir))
+        | None -> Some g)
+      | Ast.Gpragma (Ast.Omp _) -> Some g
+      | Ast.Gfun f ->
+        Some (Ast.Gfun { f with f_body = rewrite_stmt f.f_body; f_device = !in_declare_target })
+      | Ast.Gvar (d, _) -> Some (Ast.Gvar (d, !in_declare_target))
+      | Ast.Gstruct _ | Ast.Gfundecl _ -> Some g)
+    p

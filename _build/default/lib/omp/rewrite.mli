@@ -1,0 +1,10 @@
+(** Rewrites raw pragma nodes produced by the C parser into typed OpenMP
+    directives, and resolves [declare target] regions by marking the
+    functions and globals they enclose as device entities (consuming the
+    region markers). *)
+
+open Minic
+
+val rewrite_stmt : Ast.stmt -> Ast.stmt
+
+val rewrite_program : Ast.program -> Ast.program

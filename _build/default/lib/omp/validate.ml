@@ -1,0 +1,111 @@
+(* Semantic validation of OpenMP directives: clause/construct
+   compatibility and combined-construct well-formedness.  Reports
+   human-readable diagnostics; the translator refuses to run on a
+   program with validation errors. *)
+
+open Minic
+
+type diagnostic = { diag_msg : string; diag_directive : Ast.directive }
+
+let clause_name = function
+  | Ast.Cnum_teams _ -> "num_teams"
+  | Ast.Cnum_threads _ -> "num_threads"
+  | Ast.Cthread_limit _ -> "thread_limit"
+  | Ast.Cmap _ -> "map"
+  | Ast.Cprivate _ -> "private"
+  | Ast.Cfirstprivate _ -> "firstprivate"
+  | Ast.Cshared _ -> "shared"
+  | Ast.Cdefault_shared | Ast.Cdefault_none -> "default"
+  | Ast.Cschedule _ -> "schedule"
+  | Ast.Cdist_schedule _ -> "dist_schedule"
+  | Ast.Ccollapse _ -> "collapse"
+  | Ast.Creduction _ -> "reduction"
+  | Ast.Cif _ -> "if"
+  | Ast.Cdevice _ -> "device"
+  | Ast.Cnowait -> "nowait"
+  | Ast.Cupdate_to _ -> "to"
+  | Ast.Cupdate_from _ -> "from"
+
+(* Which construct of a (possibly combined) directive accepts a clause. *)
+let clause_allowed (constructs : Ast.construct list) (c : Ast.clause) : bool =
+  let has c = List.mem c constructs in
+  let data_dir =
+    has Ast.C_target || has Ast.C_target_data || has Ast.C_target_enter_data
+    || has Ast.C_target_exit_data
+  in
+  match c with
+  | Ast.Cnum_teams _ | Ast.Cthread_limit _ -> has Ast.C_teams
+  | Ast.Cnum_threads _ -> has Ast.C_parallel
+  | Ast.Cmap _ -> data_dir
+  | Ast.Cschedule _ -> has Ast.C_for
+  | Ast.Cdist_schedule _ -> has Ast.C_distribute
+  | Ast.Ccollapse _ -> has Ast.C_for || has Ast.C_distribute
+  | Ast.Creduction _ -> has Ast.C_parallel || has Ast.C_for || has Ast.C_teams || has Ast.C_sections
+  | Ast.Cprivate _ | Ast.Cfirstprivate _ ->
+    has Ast.C_parallel || has Ast.C_for || has Ast.C_teams || has Ast.C_distribute
+    || has Ast.C_target || has Ast.C_sections || has Ast.C_single
+  | Ast.Cshared _ | Ast.Cdefault_shared | Ast.Cdefault_none -> has Ast.C_parallel || has Ast.C_teams
+  | Ast.Cif _ -> has Ast.C_target || has Ast.C_parallel || data_dir || has Ast.C_target_update
+  | Ast.Cdevice _ -> data_dir || has Ast.C_target_update
+  | Ast.Cnowait ->
+    has Ast.C_for || has Ast.C_sections || has Ast.C_single || has Ast.C_target
+  | Ast.Cupdate_to _ | Ast.Cupdate_from _ -> has Ast.C_target_update
+
+(* Legal orderings of combined constructs (a strict nesting chain). *)
+let legal_combination (constructs : Ast.construct list) : bool =
+  match constructs with
+  | [ _ ] -> true
+  | [ Ast.C_target; Ast.C_teams ]
+  | [ Ast.C_target; Ast.C_parallel ]
+  | [ Ast.C_target; Ast.C_parallel; Ast.C_for ]
+  | [ Ast.C_target; Ast.C_teams; Ast.C_distribute ]
+  | [ Ast.C_target; Ast.C_teams; Ast.C_distribute; Ast.C_parallel; Ast.C_for ]
+  | [ Ast.C_teams; Ast.C_distribute ]
+  | [ Ast.C_teams; Ast.C_distribute; Ast.C_parallel; Ast.C_for ]
+  | [ Ast.C_distribute; Ast.C_parallel; Ast.C_for ]
+  | [ Ast.C_parallel; Ast.C_for ]
+  | [ Ast.C_parallel; Ast.C_sections ] -> true
+  | _ -> false
+
+let check_directive (dir : Ast.directive) : diagnostic list =
+  let errs = ref [] in
+  let err fmt =
+    Format.kasprintf (fun diag_msg -> errs := { diag_msg; diag_directive = dir } :: !errs) fmt
+  in
+  if not (legal_combination dir.dir_constructs) then
+    err "illegal construct combination '%s'"
+      (String.concat " " (List.map Pretty.construct_str dir.dir_constructs));
+  List.iter
+    (fun c ->
+      if not (clause_allowed dir.dir_constructs c) then
+        err "clause '%s' is not valid on '%s'" (clause_name c)
+          (String.concat " " (List.map Pretty.construct_str dir.dir_constructs)))
+    dir.dir_clauses;
+  (* duplicate unique clauses *)
+  let uniques = [ "num_teams"; "num_threads"; "thread_limit"; "schedule"; "dist_schedule"; "collapse"; "if"; "device"; "default" ] in
+  List.iter
+    (fun name ->
+      let n = List.length (List.filter (fun c -> clause_name c = name) dir.dir_clauses) in
+      if n > 1 then err "clause '%s' appears %d times" name n)
+    uniques;
+  List.rev !errs
+
+(* Collect diagnostics over a whole (rewritten) program. *)
+let check_program (p : Ast.program) : diagnostic list =
+  let diags = ref [] in
+  let on_stmt s =
+    match s with
+    | Ast.Spragma (Ast.Omp dir, body) ->
+      diags := check_directive dir @ !diags;
+      (match (body, Ast.has_construct dir Ast.C_target) with
+      | None, _ -> ()
+      | Some _, _ -> ())
+    | _ -> ()
+  in
+  List.iter
+    (function
+      | Ast.Gfun f -> Ast.iter_stmt ~on_expr:(fun _ -> ()) ~on_stmt f.f_body
+      | Ast.Gpragma (Ast.Omp dir) -> diags := check_directive dir @ !diags
+      | _ -> ())
+    p;
+  List.rev !diags

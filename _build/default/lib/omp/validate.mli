@@ -1,0 +1,19 @@
+(** Semantic validation of OpenMP directives: clause/construct
+    compatibility, legal combined-construct orderings, duplicate unique
+    clauses.  The translator refuses to run on a program with
+    validation errors. *)
+
+open Minic
+
+type diagnostic = { diag_msg : string; diag_directive : Ast.directive }
+
+val clause_name : Ast.clause -> string
+
+val clause_allowed : Ast.construct list -> Ast.clause -> bool
+
+val legal_combination : Ast.construct list -> bool
+
+val check_directive : Ast.directive -> diagnostic list
+
+(** All diagnostics of a pragma-rewritten program (empty = valid). *)
+val check_program : Ast.program -> diagnostic list

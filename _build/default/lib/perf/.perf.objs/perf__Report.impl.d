@@ -1,0 +1,1 @@
+lib/perf/report.pp.ml: Float List Printf String

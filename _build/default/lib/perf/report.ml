@@ -1,0 +1,78 @@
+(* Result tables for the benchmark harness: per-figure series in the
+   shape the paper plots them (problem size on the x-axis, one line per
+   implementation), printed both as aligned text and as CSV. *)
+
+type series = { s_label : string; s_points : (int * float) list (* size, seconds *) }
+
+type figure = {
+  f_id : string; (* e.g. "fig4e" *)
+  f_title : string; (* e.g. "gemm kernel" *)
+  f_series : series list;
+  f_notes : string list;
+}
+
+let find_point series size = List.assoc_opt size series.s_points
+
+let sizes_of figure =
+  List.concat_map (fun s -> List.map fst s.s_points) figure.f_series
+  |> List.sort_uniq compare
+
+let print_figure ?(oc = stdout) (f : figure) : unit =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "\n=== %s: %s ===\n" f.f_id f.f_title;
+  let sizes = sizes_of f in
+  pr "%-10s" "size";
+  List.iter (fun s -> pr "%14s" s.s_label) f.f_series;
+  if List.length f.f_series = 2 then pr "%10s" "ratio";
+  pr "\n";
+  List.iter
+    (fun size ->
+      pr "%-10d" size;
+      List.iter
+        (fun s ->
+          match find_point s size with
+          | Some t -> pr "%14.4f" t
+          | None -> pr "%14s" "-")
+        f.f_series;
+      (match f.f_series with
+      | [ a; b ] -> (
+        match (find_point a size, find_point b size) with
+        | Some ta, Some tb when ta > 0.0 -> pr "%10.3f" (tb /. ta)
+        | _ -> pr "%10s" "-")
+      | _ -> ());
+      pr "\n")
+    sizes;
+  List.iter (fun n -> pr "  note: %s\n" n) f.f_notes
+
+let print_csv ?(oc = stdout) (f : figure) : unit =
+  let pr fmt = Printf.fprintf oc fmt in
+  pr "# %s,%s\n" f.f_id f.f_title;
+  pr "size%s\n" (String.concat "" (List.map (fun s -> "," ^ s.s_label) f.f_series));
+  List.iter
+    (fun size ->
+      pr "%d" size;
+      List.iter
+        (fun s ->
+          match find_point s size with
+          | Some t -> pr ",%.6f" t
+          | None -> pr ",")
+        f.f_series;
+      pr "\n")
+    (sizes_of f)
+
+(* Shape checks used by EXPERIMENTS.md: is the second series within
+   [tolerance] (relative) of the first at every size? *)
+let max_relative_gap (f : figure) : (int * float) option =
+  match f.f_series with
+  | [ a; b ] ->
+    List.fold_left
+      (fun acc size ->
+        match (find_point a size, find_point b size) with
+        | Some ta, Some tb when ta > 0.0 ->
+          let gap = Float.abs (tb -. ta) /. ta in
+          (match acc with
+          | Some (_, g) when g >= gap -> acc
+          | _ -> Some (size, gap))
+        | _ -> acc)
+      None (sizes_of f)
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Result tables for the benchmark harness: per-figure series in the
+    shape the paper plots them (problem size on the x-axis, one line per
+    implementation). *)
+
+type series = { s_label : string; s_points : (int * float) list  (** size, seconds *) }
+
+type figure = {
+  f_id : string;  (** e.g. "fig4e" *)
+  f_title : string;
+  f_series : series list;
+  f_notes : string list;
+}
+
+val find_point : series -> int -> float option
+
+val sizes_of : figure -> int list
+
+(** Aligned text table; with exactly two series an OMPi/CUDA ratio
+    column is appended. *)
+val print_figure : ?oc:out_channel -> figure -> unit
+
+val print_csv : ?oc:out_channel -> figure -> unit
+
+(** Largest relative gap between the first two series, with the size at
+    which it occurs. *)
+val max_relative_gap : figure -> (int * float) option

@@ -1,0 +1,1 @@
+lib/polybench/atax.pp.ml: Array Cty Gpusim Harness List Machine Refmath Value

@@ -1,0 +1,1 @@
+lib/polybench/atax.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/bicg.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/conv3d.pp.ml: Array Cty Gpusim Harness List Machine Printf Refmath Value

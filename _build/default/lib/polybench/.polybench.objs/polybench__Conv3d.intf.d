@@ -1,0 +1,1 @@
+lib/polybench/conv3d.pp.mli: Harness

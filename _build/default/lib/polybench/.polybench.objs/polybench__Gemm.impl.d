@@ -1,0 +1,1 @@
+lib/polybench/gemm.pp.ml: Array Cty Gpusim Harness Machine Refmath Value

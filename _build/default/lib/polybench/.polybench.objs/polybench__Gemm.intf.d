@@ -1,0 +1,1 @@
+lib/polybench/gemm.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/gesummv.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/gramschmidt.pp.ml: Array Cty Fun Gpusim Harness Hostrt List Machine Refmath Value

@@ -1,0 +1,1 @@
+lib/polybench/gramschmidt.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/harness.pp.mli: Addr Cinterp Driver Format Gpusim Hostrt Machine Nvcc Ompi Simt Value

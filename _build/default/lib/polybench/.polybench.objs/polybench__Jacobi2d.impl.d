@@ -1,0 +1,1 @@
+lib/polybench/jacobi2d.pp.ml: Array Cty Gpusim Harness List Machine Refmath Value

@@ -1,0 +1,1 @@
+lib/polybench/jacobi2d.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/mm2.pp.ml: Array Cty Gpusim Harness List Machine Refmath Value

@@ -1,0 +1,1 @@
+lib/polybench/mm2.pp.mli: Harness

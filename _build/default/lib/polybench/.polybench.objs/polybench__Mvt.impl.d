@@ -1,0 +1,1 @@
+lib/polybench/mvt.pp.ml: Array Cty Gpusim Harness List Machine Refmath Value

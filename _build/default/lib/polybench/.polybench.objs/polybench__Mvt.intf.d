@@ -1,0 +1,1 @@
+lib/polybench/mvt.pp.mli: Harness

@@ -1,0 +1,1 @@
+lib/polybench/refmath.pp.ml: Int32

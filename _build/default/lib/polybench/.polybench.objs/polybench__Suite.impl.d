@@ -1,0 +1,1 @@
+lib/polybench/suite.pp.ml: Array Atax Bicg Conv3d Gemm Gesummv Gramschmidt Harness Jacobi2d List Mm2 Mvt Option Perf Printexc Printf Syrk

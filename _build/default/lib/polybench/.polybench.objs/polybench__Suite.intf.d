@@ -1,0 +1,1 @@
+lib/polybench/suite.pp.mli: Harness Perf

@@ -1,0 +1,1 @@
+lib/polybench/syrk.pp.mli: Harness

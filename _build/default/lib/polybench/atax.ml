@@ -1,0 +1,128 @@
+(* atax: y = A^T (A x) (Fig. 4c).  Two kernels: tmp = A x (one thread
+   per row, coalesced along the reduction) and y = A^T tmp (one thread
+   per column, strided accesses).  Sizes 512..8192, 256 threads/block. *)
+
+open Machine
+open Refmath
+
+let name = "atax"
+
+let figure = "fig4c"
+
+let sizes = [ 512; 1024; 2048; 4096; 8192 ]
+
+let validate_sizes = [ 32; 96 ]
+
+let threads = 256
+
+let init_a n i j = r32 (float_of_int ((i + j) mod 17) /. (17.0 *. float_of_int n))
+
+let init_x _n i = r32 (1.0 +. (float_of_int (i mod 5) /. 5.0))
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let x = Array.init n (init_x n) in
+  let tmp = Array.make n 0.0 in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      tmp.(i) <- tmp.(i) +% (a.((i * n) + j) *% x.(j))
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      y.(j) <- y.(j) +% (a.((i * n) + j) *% tmp.(i))
+    done
+  done;
+  y
+
+let cuda_source =
+  {|
+void atax_kernel1(int n, float *a, float *x, float *tmp)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    tmp[i] = 0.0f;
+    int j;
+    for (j = 0; j < n; j++)
+      tmp[i] += a[i * n + j] * x[j];
+  }
+}
+
+void atax_kernel2(int n, float *a, float *y, float *tmp)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < n) {
+    y[j] = 0.0f;
+    int i;
+    for (i = 0; i < n; i++)
+      y[j] += a[i * n + j] * tmp[i];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void atax_omp(int n, int teams, float a[], float x[], float y[], float tmp[])
+{
+  #pragma omp target data map(to: a[0:n*n], x[0:n]) map(from: y[0:n]) map(alloc: tmp[0:n])
+  {
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], x[0:n]) map(tofrom: tmp[0:n])
+    for (int i = 0; i < n; i++) {
+      tmp[i] = 0.0f;
+      for (int j = 0; j < n; j++)
+        tmp[i] += a[i * n + j] * x[j];
+    }
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], tmp[0:n]) map(tofrom: y[0:n])
+    for (int j = 0; j < n; j++) {
+      y[j] = 0.0f;
+      for (int i = 0; i < n; i++)
+        y[j] += a[i * n + j] * tmp[i];
+    }
+  }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and x = alloc_f32 ctx n and y = alloc_f32 ctx n and tmp = alloc_f32 ctx n in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  fill_f32 ctx x n (init_x n);
+  (a, x, y, tmp)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, x, y, _tmp = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"atax_cuda" ~source:cuda_source in
+  let nn = 4 * n * n and nb = 4 * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and dx = dev_alloc ctx nb and dy = dev_alloc ctx nb and dt = dev_alloc ctx nb in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:x ~dst:dx ~bytes:nb;
+        let grid = Gpusim.Simt.dim3 ((n + threads - 1) / threads) in
+        let block = Gpusim.Simt.dim3 threads in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"atax_kernel1" ~grid ~block [ vint n; fp da; fp dx; fp dt ]);
+        ignore (launch_cuda ctx m ~entry:"atax_kernel2" ~grid ~block [ vint n; fp da; fp dy; fp dt ]);
+        d2h ctx ~src:dy ~dst:y ~bytes:nb;
+        List.iter (dev_free ctx) [ da; dx; dy; dt ])
+  in
+  (time, read_f32_array ctx y n)
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, x, y, tmp = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"atax" omp_source in
+  let teams = (n + threads - 1) / threads in
+  let time =
+    measure ctx (fun () -> call_omp p "atax_omp" [ vint n; vint teams; fptr a; fptr x; fptr y; fptr tmp ])
+  in
+  (time, read_f32_array ctx y n)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,141 @@
+(* bicg: the BiCG sub-kernel of BiCGStab — s = A^T r (one thread per
+   column) and q = A p (one thread per row) (Fig. 4b).  Sizes 512..8192,
+   256 threads per block. *)
+
+open Machine
+open Refmath
+
+let name = "bicg"
+
+let figure = "fig4b"
+
+let sizes = [ 512; 1024; 2048; 4096; 8192 ]
+
+let validate_sizes = [ 32; 96 ]
+
+let threads = 256
+
+let init_a n i j = r32 (float_of_int ((i * (j + 1)) mod 19) /. (19.0 *. float_of_int n))
+
+let init_r _n i = r32 (float_of_int (i mod 7) /. 7.0)
+
+let init_p _n i = r32 (float_of_int (i mod 3) /. 3.0)
+
+(* Returns s followed by q. *)
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let r = Array.init n (init_r n) in
+  let p = Array.init n (init_p n) in
+  let s = Array.make n 0.0 in
+  let q = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      s.(j) <- s.(j) +% (r.(i) *% a.((i * n) + j))
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      q.(i) <- q.(i) +% (a.((i * n) + j) *% p.(j))
+    done
+  done;
+  Array.append s q
+
+let cuda_source =
+  {|
+void bicg_kernel1(int n, float *a, float *r, float *s)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j < n) {
+    s[j] = 0.0f;
+    int i;
+    for (i = 0; i < n; i++)
+      s[j] += r[i] * a[i * n + j];
+  }
+}
+
+void bicg_kernel2(int n, float *a, float *p, float *q)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    q[i] = 0.0f;
+    int j;
+    for (j = 0; j < n; j++)
+      q[i] += a[i * n + j] * p[j];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void bicg_omp(int n, int teams, float a[], float r[], float p[], float s[], float q[])
+{
+  #pragma omp target data map(to: a[0:n*n], r[0:n], p[0:n]) map(from: s[0:n], q[0:n])
+  {
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], r[0:n]) map(tofrom: s[0:n])
+    for (int j = 0; j < n; j++) {
+      s[j] = 0.0f;
+      for (int i = 0; i < n; i++)
+        s[j] += r[i] * a[i * n + j];
+    }
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], p[0:n]) map(tofrom: q[0:n])
+    for (int i = 0; i < n; i++) {
+      q[i] = 0.0f;
+      for (int j = 0; j < n; j++)
+        q[i] += a[i * n + j] * p[j];
+    }
+  }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) in
+  let r = alloc_f32 ctx n and p = alloc_f32 ctx n and s = alloc_f32 ctx n and q = alloc_f32 ctx n in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  fill_f32 ctx r n (init_r n);
+  fill_f32 ctx p n (init_p n);
+  (a, r, p, s, q)
+
+let read_result ctx s q n =
+  Array.append (Harness.read_f32_array ctx s n) (Harness.read_f32_array ctx q n)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, r, p, s, q = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"bicg_cuda" ~source:cuda_source in
+  let nn = 4 * n * n and nb = 4 * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn in
+        let dr = dev_alloc ctx nb and dp = dev_alloc ctx nb and ds = dev_alloc ctx nb and dq = dev_alloc ctx nb in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:r ~dst:dr ~bytes:nb;
+        h2d ctx ~src:p ~dst:dp ~bytes:nb;
+        let grid = Gpusim.Simt.dim3 ((n + threads - 1) / threads) in
+        let block = Gpusim.Simt.dim3 threads in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"bicg_kernel1" ~grid ~block [ vint n; fp da; fp dr; fp ds ]);
+        ignore (launch_cuda ctx m ~entry:"bicg_kernel2" ~grid ~block [ vint n; fp da; fp dp; fp dq ]);
+        d2h ctx ~src:ds ~dst:s ~bytes:nb;
+        d2h ctx ~src:dq ~dst:q ~bytes:nb;
+        List.iter (dev_free ctx) [ da; dr; dp; ds; dq ])
+  in
+  (time, read_result ctx s q n)
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, r, p, s, q = fill_inputs ctx ~n in
+  let prog = prepare_omp ctx ~name:"bicg" omp_source in
+  let teams = (n + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp prog "bicg_omp" [ vint n; vint teams; fptr a; fptr r; fptr p; fptr s; fptr q ])
+  in
+  (time, read_result ctx s q n)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,145 @@
+(* 3dconv: 3D convolution stencil (Fig. 4a).  Every interior cell of B
+   is a weighted combination of 11 neighbours of A, as in the
+   Polybench-ACC 3DConvolution code.  One thread per cell, 2x4x32 = 256
+   threads per block (the geometry the paper reports). *)
+
+open Machine
+open Refmath
+
+let name = "3dconv"
+
+let figure = "fig4a"
+
+let sizes = [ 32; 64; 128; 256; 384 ]
+
+let validate_sizes = [ 8; 16 ]
+
+(* 2x4x32 threads per block (paper section 5) *)
+let threads = 256
+
+(* coefficients of the Polybench 3DConvolution stencil *)
+let c11 = 0.2
+and c21 = 0.5
+and c31 = -0.8
+
+let c12 = -0.3
+and c22 = 0.6
+and c32 = -0.9
+
+let c13 = 0.4
+and c23 = 0.7
+and c33 = 0.10
+
+let init_a n i j k =
+  r32 (float_of_int (((i * n) + (j * 7) + k) mod 13) /. 13.0)
+
+let stencil a n i j k =
+  let at di dj dk = a.(((i + di) * n * n) + ((j + dj) * n) + (k + dk)) in
+  r32 c11 *% at (-1) (-1) (-1)
+  +% (r32 c13 *% at 1 (-1) (-1))
+  +% (r32 c21 *% at (-1) (-1) (-1))
+  +% (r32 c23 *% at 1 (-1) (-1))
+  +% (r32 c31 *% at (-1) (-1) (-1))
+  +% (r32 c33 *% at 1 (-1) (-1))
+  +% (r32 c12 *% at 0 (-1) 0)
+  +% (r32 c22 *% at 0 0 0)
+  +% (r32 c32 *% at 0 1 0)
+  +% (r32 c11 *% at (-1) (-1) 1)
+  +% (r32 c13 *% at 1 (-1) 1)
+
+let reference ~n : float array =
+  let a = Array.init (n * n * n) (fun t -> init_a n (t / (n * n)) (t / n mod n) (t mod n)) in
+  let b = Array.make (n * n * n) 0.0 in
+  for i = 1 to n - 2 do
+    for j = 1 to n - 2 do
+      for k = 1 to n - 2 do
+        b.((i * n * n) + (j * n) + k) <- stencil a n i j k
+      done
+    done
+  done;
+  b
+
+(* The same 11-term expression in C, shared by both variants. *)
+let stencil_c =
+  "0.2f * a[(i - 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + 0.4f * a[(i + 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + 0.5f * a[(i - 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + 0.7f * a[(i + 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + -0.8f * a[(i - 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + 0.10f * a[(i + 1) * n * n + (j - 1) * n + (k - 1)]\n\
+  \      + -0.3f * a[i * n * n + (j - 1) * n + k]\n\
+  \      + 0.6f * a[i * n * n + j * n + k]\n\
+  \      + -0.9f * a[i * n * n + (j + 1) * n + k]\n\
+  \      + 0.2f * a[(i - 1) * n * n + (j - 1) * n + (k + 1)]\n\
+  \      + 0.4f * a[(i + 1) * n * n + (j - 1) * n + (k + 1)]"
+
+let cuda_source =
+  Printf.sprintf
+    {|
+void conv3d_kernel(int n, float *a, float *b)
+{
+  int k = blockIdx.x * blockDim.x + threadIdx.x;
+  int j = blockIdx.y * blockDim.y + threadIdx.y;
+  int i = blockIdx.z * blockDim.z + threadIdx.z;
+  if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1 && k >= 1 && k < n - 1) {
+    b[i * n * n + j * n + k] = %s;
+  }
+}
+|}
+    stencil_c
+
+let omp_source =
+  Printf.sprintf
+    {|
+void conv3d_omp(int n, int teams, float a[], float b[])
+{
+  #pragma omp target teams distribute parallel for collapse(3) \
+      num_teams(teams) num_threads(256) \
+      map(to: n, a[0:n*n*n]) map(tofrom: b[0:n*n*n])
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      for (int k = 1; k < n - 1; k++) {
+        b[i * n * n + j * n + k] = %s;
+      }
+}
+|}
+    stencil_c
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n * n) and b = alloc_f32 ctx (n * n * n) in
+  fill_f32 ctx a (n * n * n) (fun t -> init_a n (t / (n * n)) (t / n mod n) (t mod n));
+  (a, b)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, b = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"conv3d_cuda" ~source:cuda_source in
+  let bytes = 4 * n * n * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx bytes and db = dev_alloc ctx bytes in
+        h2d ctx ~src:a ~dst:da ~bytes;
+        (* 2x4x32 threads per block (paper §5) *)
+        let block = Gpusim.Simt.dim3 32 ~y:4 ~z:2 in
+        let grid = Gpusim.Simt.dim3 ((n + 31) / 32) ~y:((n + 3) / 4) ~z:((n + 1) / 2) in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"conv3d_kernel" ~grid ~block [ vint n; fp da; fp db ]);
+        d2h ctx ~src:db ~dst:b ~bytes;
+        List.iter (dev_free ctx) [ da; db ])
+  in
+  (time, read_f32_array ctx b (n * n * n))
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, b = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"conv3d" omp_source in
+  let total = (n - 2) * (n - 2) * (n - 2) in
+  let teams = (total + 255) / 256 in
+  let time = measure ctx (fun () -> call_omp p "conv3d_omp" [ vint n; vint (max 1 teams); fptr a; fptr b ]) in
+  (time, read_f32_array ctx b (n * n * n))
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

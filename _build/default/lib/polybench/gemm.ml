@@ -1,0 +1,123 @@
+(* gemm: C = alpha * A * B + beta * C (Fig. 4e).
+
+   Problem sizes 128..2048 with 32x8 = 256 threads per block, following
+   the paper's configuration.  The CUDA version is the naive
+   Polybench-ACC kernel (one thread per C element, accumulating in
+   global memory); the OpenMP version is the same loop nest under the
+   recommended combined construct with collapse(2). *)
+
+open Machine
+open Refmath
+
+let name = "gemm"
+
+let figure = "fig4e"
+
+let sizes = [ 128; 256; 512; 1024; 2048 ]
+
+let validate_sizes = [ 32; 64 ]
+
+let threads = 256 (* 32 x 8 *)
+
+let alpha = 1.5
+
+let beta = 1.2
+
+let init_a _n i j = r32 (float_of_int ((i * j) mod 13) /. 13.0)
+
+let init_b _n i j = r32 (float_of_int ((i * (j + 1)) mod 7) /. 7.0)
+
+let init_c _n i j = r32 (float_of_int ((i + j) mod 11) /. 11.0)
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun x -> init_a n (x / n) (x mod n)) in
+  let b = Array.init (n * n) (fun x -> init_b n (x / n) (x mod n)) in
+  let c = Array.init (n * n) (fun x -> init_c n (x / n) (x mod n)) in
+  let alpha = r32 alpha and beta = r32 beta in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      c.((i * n) + j) <- c.((i * n) + j) *% beta;
+      for k = 0 to n - 1 do
+        c.((i * n) + j) <- c.((i * n) + j) +% (alpha *% a.((i * n) + k) *% b.((k * n) + j))
+      done
+    done
+  done;
+  c
+
+let cuda_source =
+  {|
+void gemm_kernel(int n, float alpha, float beta, float *a, float *b, float *c)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    c[i * n + j] *= beta;
+    int k;
+    for (k = 0; k < n; k++)
+      c[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void gemm_omp(int n, int teams, float alpha, float beta, float a[], float b[], float c[])
+{
+  #pragma omp target teams distribute parallel for collapse(2) \
+      num_teams(teams) num_threads(256) \
+      map(to: n, alpha, beta, a[0:n*n], b[0:n*n]) map(tofrom: c[0:n*n])
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      c[i * n + j] *= beta;
+      for (int k = 0; k < n; k++)
+        c[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+    }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and b = alloc_f32 ctx (n * n) and c = alloc_f32 ctx (n * n) in
+  fill_f32 ctx a (n * n) (fun x -> init_a n (x / n) (x mod n));
+  fill_f32 ctx b (n * n) (fun x -> init_b n (x / n) (x mod n));
+  fill_f32 ctx c (n * n) (fun x -> init_c n (x / n) (x mod n));
+  (a, b, c)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, b, c = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"gemm_cuda" ~source:cuda_source in
+  let bytes = 4 * n * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx bytes and db = dev_alloc ctx bytes and dc = dev_alloc ctx bytes in
+        h2d ctx ~src:a ~dst:da ~bytes;
+        h2d ctx ~src:b ~dst:db ~bytes;
+        h2d ctx ~src:c ~dst:dc ~bytes;
+        let grid = Gpusim.Simt.dim3 ((n + 31) / 32) ~y:((n + 7) / 8) in
+        let block = Gpusim.Simt.dim3 32 ~y:8 in
+        ignore
+          (launch_cuda ctx m ~entry:"gemm_kernel" ~grid ~block
+             [ vint n; vf32 alpha; vf32 beta; Value.ptr ~ty:Cty.Float da; Value.ptr ~ty:Cty.Float db; Value.ptr ~ty:Cty.Float dc ]);
+        d2h ctx ~src:dc ~dst:c ~bytes;
+        dev_free ctx da;
+        dev_free ctx db;
+        dev_free ctx dc)
+  in
+  (time, read_f32_array ctx c (n * n))
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, b, c = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"gemm" omp_source in
+  let teams = ((n * n) + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "gemm_omp" [ vint n; vint teams; vf32 alpha; vf32 beta; fptr a; fptr b; fptr c ])
+  in
+  (time, read_f32_array ctx c (n * n))
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

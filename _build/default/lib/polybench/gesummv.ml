@@ -1,0 +1,128 @@
+(* gesummv: y = alpha*A*x + beta*B*x (scalar, vector and matrix
+   multiplication).  Not one of the paper's six plotted applications,
+   but part of the Unibench set the paper says behaves the same way;
+   kept as extra evidence.  One thread per row. *)
+
+open Machine
+open Refmath
+
+let name = "gesummv"
+
+let figure = "extra-gesummv"
+
+let sizes = [ 512; 1024; 2048; 4096 ]
+
+let validate_sizes = [ 32; 96 ]
+
+let threads = 256
+
+let alpha = 1.25
+
+let beta = 0.75
+
+let init_a n i j = r32 (float_of_int ((i * j + 1) mod 13) /. (13.0 *. float_of_int n))
+
+let init_b n i j = r32 (float_of_int ((i + j) mod 11) /. (11.0 *. float_of_int n))
+
+let init_x _n i = r32 (float_of_int (i mod 5) /. 5.0)
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let b = Array.init (n * n) (fun t -> init_b n (t / n) (t mod n)) in
+  let x = Array.init n (init_x n) in
+  let y = Array.make n 0.0 in
+  let alpha = r32 alpha and beta = r32 beta in
+  for i = 0 to n - 1 do
+    let t1 = ref 0.0 and t2 = ref 0.0 in
+    for j = 0 to n - 1 do
+      t1 := !t1 +% (a.((i * n) + j) *% x.(j));
+      t2 := !t2 +% (b.((i * n) + j) *% x.(j))
+    done;
+    y.(i) <- (alpha *% !t1) +% (beta *% !t2)
+  done;
+  y
+
+let cuda_source =
+  {|
+void gesummv_kernel(int n, float alpha, float beta, float *a, float *b, float *x, float *y)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float t1 = 0.0f;
+    float t2 = 0.0f;
+    int j;
+    for (j = 0; j < n; j++) {
+      t1 += a[i * n + j] * x[j];
+      t2 += b[i * n + j] * x[j];
+    }
+    y[i] = alpha * t1 + beta * t2;
+  }
+}
+|}
+
+let omp_source =
+  {|
+void gesummv_omp(int n, int teams, float alpha, float beta, float a[], float b[], float x[], float y[])
+{
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+      map(to: n, alpha, beta, a[0:n*n], b[0:n*n], x[0:n]) map(tofrom: y[0:n])
+  for (int i = 0; i < n; i++) {
+    float t1 = 0.0f;
+    float t2 = 0.0f;
+    for (int j = 0; j < n; j++) {
+      t1 += a[i * n + j] * x[j];
+      t2 += b[i * n + j] * x[j];
+    }
+    y[i] = alpha * t1 + beta * t2;
+  }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and b = alloc_f32 ctx (n * n) in
+  let x = alloc_f32 ctx n and y = alloc_f32 ctx n in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  fill_f32 ctx b (n * n) (fun t -> init_b n (t / n) (t mod n));
+  fill_f32 ctx x n (init_x n);
+  (a, b, x, y)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, b, x, y = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"gesummv_cuda" ~source:cuda_source in
+  let nn = 4 * n * n and nb = 4 * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and db = dev_alloc ctx nn in
+        let dx = dev_alloc ctx nb and dy = dev_alloc ctx nb in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:b ~dst:db ~bytes:nn;
+        h2d ctx ~src:x ~dst:dx ~bytes:nb;
+        let grid = Gpusim.Simt.dim3 ((n + threads - 1) / threads) in
+        let block = Gpusim.Simt.dim3 threads in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore
+          (launch_cuda ctx m ~entry:"gesummv_kernel" ~grid ~block
+             [ vint n; vf32 alpha; vf32 beta; fp da; fp db; fp dx; fp dy ]);
+        d2h ctx ~src:dy ~dst:y ~bytes:nb;
+        List.iter (dev_free ctx) [ da; db; dx; dy ])
+  in
+  (time, read_f32_array ctx y n)
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, b, x, y = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"gesummv" omp_source in
+  let teams = (n + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "gesummv_omp"
+          [ vint n; vint teams; vf32 alpha; vf32 beta; fptr a; fptr b; fptr x; fptr y ])
+  in
+  (time, read_f32_array ctx y n)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

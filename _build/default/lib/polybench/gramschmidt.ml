@@ -1,0 +1,226 @@
+(* gramschmidt: modified Gram-Schmidt QR factorisation (Fig. 4f).
+
+   Like the Polybench-ACC CUDA code, the column loop k runs on the host
+   and launches three kernels per iteration:
+     k1: the column norm and R[k][k]  (inherently sequential — a single
+         working thread; in the OpenMP version this is a bare [target]
+         region, i.e. the master/worker scheme with no parallel region);
+     k2: Q[.][k] = A[.][k] / R[k][k]  (one thread per row);
+     k3: for each j > k, R[k][j] = Q[.][k] . A[.][j] and the update
+         A[.][j] -= Q[.][k] * R[k][j]  (one thread per column j).
+
+   At large sizes the harness simulates a subset of the k iterations and
+   integrates the measured per-iteration times (trapezoidal rule); the
+   full factorisation is validated at small sizes. *)
+
+open Machine
+open Refmath
+
+let name = "gramschmidt"
+
+let figure = "fig4f"
+
+let sizes = [ 128; 256; 512; 1024; 2048 ]
+
+let validate_sizes = [ 16; 48 ]
+
+let threads = 256 (* 256 x 1 (paper §5) *)
+
+let init_a n i j = r32 (((float_of_int ((i * j) mod 29) /. 29.0) +. 1.0) /. float_of_int n)
+
+(* Returns A' (in-place result) followed by R and Q. *)
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let r = Array.make (n * n) 0.0 in
+  let q = Array.make (n * n) 0.0 in
+  for k = 0 to n - 1 do
+    let nrm = ref 0.0 in
+    for i = 0 to n - 1 do
+      nrm := !nrm +% (a.((i * n) + k) *% a.((i * n) + k))
+    done;
+    r.((k * n) + k) <- sqrt32 !nrm;
+    for i = 0 to n - 1 do
+      q.((i * n) + k) <- a.((i * n) + k) /% r.((k * n) + k)
+    done;
+    for j = k + 1 to n - 1 do
+      let s = ref 0.0 in
+      for i = 0 to n - 1 do
+        s := !s +% (q.((i * n) + k) *% a.((i * n) + j))
+      done;
+      r.((k * n) + j) <- !s;
+      for i = 0 to n - 1 do
+        a.((i * n) + j) <- a.((i * n) + j) -% (q.((i * n) + k) *% r.((k * n) + j))
+      done
+    done
+  done;
+  Array.concat [ a; r; q ]
+
+let cuda_source =
+  {|
+void gs_kernel1(int n, int k, float *a, float *r)
+{
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid == 0) {
+    float nrm = 0.0f;
+    int i;
+    for (i = 0; i < n; i++)
+      nrm += a[i * n + k] * a[i * n + k];
+    r[k * n + k] = sqrtf(nrm);
+  }
+}
+
+void gs_kernel2(int n, int k, float *a, float *r, float *q)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n)
+    q[i * n + k] = a[i * n + k] / r[k * n + k];
+}
+
+void gs_kernel3(int n, int k, float *a, float *r, float *q)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  if (j > k && j < n) {
+    float s = 0.0f;
+    int i;
+    for (i = 0; i < n; i++)
+      s += q[i * n + k] * a[i * n + j];
+    r[k * n + j] = s;
+    for (i = 0; i < n; i++)
+      a[i * n + j] -= q[i * n + k] * s;
+  }
+}
+|}
+
+let omp_source =
+  {|
+void gs_begin(int n, float a[], float r[], float q[])
+{
+  #pragma omp target enter data map(to: a[0:n*n]) map(alloc: r[0:n*n], q[0:n*n])
+}
+
+void gs_step(int n, int teams, int k, float a[], float r[], float q[])
+{
+  #pragma omp target map(to: n, k) map(tofrom: a[0:n*n], r[0:n*n])
+  {
+    float nrm = 0.0f;
+    for (int i = 0; i < n; i++)
+      nrm += a[i * n + k] * a[i * n + k];
+    r[k * n + k] = sqrtf(nrm);
+  }
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+      map(to: n, k, a[0:n*n], r[0:n*n]) map(tofrom: q[0:n*n])
+  for (int i = 0; i < n; i++)
+    q[i * n + k] = a[i * n + k] / r[k * n + k];
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+      map(to: n, k, q[0:n*n]) map(tofrom: a[0:n*n], r[0:n*n])
+  for (int j = k + 1; j < n; j++) {
+    float s = 0.0f;
+    for (int i = 0; i < n; i++)
+      s += q[i * n + k] * a[i * n + j];
+    r[k * n + j] = s;
+    for (int i = 0; i < n; i++)
+      a[i * n + j] -= q[i * n + k] * s;
+  }
+}
+
+void gs_end(int n, float a[], float r[], float q[])
+{
+  #pragma omp target exit data map(from: a[0:n*n], r[0:n*n], q[0:n*n])
+}
+|}
+
+(* The k iterations whose kernels are actually simulated.  Small
+   problems run in full; large ones sample ~48 evenly spaced iterations
+   (always including first and last). *)
+let k_schedule n : int list =
+  if n <= 64 then List.init n Fun.id
+  else begin
+    let stride = n / 32 in
+    let ks = ref [] in
+    let k = ref 0 in
+    while !k < n do
+      ks := !k :: !ks;
+      k := !k + stride
+    done;
+    if not (List.mem (n - 1) !ks) then ks := (n - 1) :: !ks;
+    List.rev !ks
+  end
+
+(* Run [step k] for the sampled iterations and integrate the simulated
+   time over all n iterations (trapezoid between samples). *)
+let integrate_k ctx ~n (step : int -> unit) : unit =
+  let clock = ctx.Harness.rt.Hostrt.Rt.clock in
+  let sampled = k_schedule n in
+  let timed =
+    List.map
+      (fun k ->
+        let t = Harness.measure ctx (fun () -> step k) in
+        (k, t))
+      sampled
+  in
+  (* add the estimated time of the skipped iterations *)
+  let rec fill = function
+    | (k1, t1) :: ((k2, t2) :: _ as rest) ->
+      let missing = k2 - k1 - 1 in
+      if missing > 0 then
+        Machine.Simclock.advance_ns clock (float_of_int missing *. (t1 +. t2) /. 2.0 *. 1e9);
+      fill rest
+    | [ _ ] | [] -> ()
+  in
+  fill timed
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and r = alloc_f32 ctx (n * n) and q = alloc_f32 ctx (n * n) in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  (a, r, q)
+
+let read_result ctx a r q n =
+  Array.concat
+    [
+      Harness.read_f32_array ctx a (n * n);
+      Harness.read_f32_array ctx r (n * n);
+      Harness.read_f32_array ctx q (n * n);
+    ]
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, r, q = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"gramschmidt_cuda" ~source:cuda_source in
+  let nn = 4 * n * n in
+  let grid = Gpusim.Simt.dim3 ((n + threads - 1) / threads) in
+  let block = Gpusim.Simt.dim3 threads (* 256 x 1 *) in
+  let fp = Value.ptr ~ty:Cty.Float in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and dr = dev_alloc ctx nn and dq = dev_alloc ctx nn in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        integrate_k ctx ~n (fun k ->
+            ignore (launch_cuda ctx m ~entry:"gs_kernel1" ~grid:(Gpusim.Simt.dim3 1) ~block [ vint n; vint k; fp da; fp dr ]);
+            ignore (launch_cuda ctx m ~entry:"gs_kernel2" ~grid ~block [ vint n; vint k; fp da; fp dr; fp dq ]);
+            ignore (launch_cuda ctx m ~entry:"gs_kernel3" ~grid ~block [ vint n; vint k; fp da; fp dr; fp dq ]));
+        d2h ctx ~src:da ~dst:a ~bytes:nn;
+        d2h ctx ~src:dr ~dst:r ~bytes:nn;
+        d2h ctx ~src:dq ~dst:q ~bytes:nn;
+        List.iter (dev_free ctx) [ da; dr; dq ])
+  in
+  (time, read_result ctx a r q n)
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, r, q = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"gramschmidt" omp_source in
+  let teams = (n + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "gs_begin" [ vint n; fptr a; fptr r; fptr q ];
+        integrate_k ctx ~n (fun k ->
+            call_omp p "gs_step" [ vint n; vint teams; vint k; fptr a; fptr r; fptr q ]);
+        call_omp p "gs_end" [ vint n; fptr a; fptr r; fptr q ])
+  in
+  (time, read_result ctx a r q n)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,189 @@
+(* Shared machinery for the Unibench/Polybench reproduction (paper §5).
+
+   Each application exists in three forms:
+   - a sequential OCaml reference (ground truth for validation);
+   - a hand-written "pure CUDA" version: mini-C kernels using
+     threadIdx/blockIdx, launched through the driver API;
+   - an OpenMP version: C source with target constructs, compiled by the
+     translator; its host side is the interpreted translated code.
+
+   Array initialisation is performed directly on host memory from OCaml
+   (the paper measures kernel time plus required memory operations, not
+   initialisation), then the measured phase runs map + kernels + unmap. *)
+
+open Machine
+open Gpusim
+
+type ctx = {
+  rt : Hostrt.Rt.t;
+  mutable cuda_modules : (string * Driver.loaded_module) list;
+}
+
+type variant = Cuda | Ompi_cudadev [@@deriving show { with_path = false }, eq]
+
+let variant_label = function Cuda -> "CUDA" | Ompi_cudadev -> "OMPi CUDADEV"
+
+let create ?(binary_mode = Nvcc.Cubin) () : ctx =
+  let rt = Hostrt.Rt.create ~binary_mode () in
+  (* Pay the lazy device-initialisation cost up front so that timing
+     windows only contain transfers and kernel work, as in the paper. *)
+  Driver.ensure_initialized (Hostrt.Rt.device rt 0).Hostrt.Rt.dev_driver;
+  { rt; cuda_modules = [] }
+
+let driver ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_driver
+
+let dataenv ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv
+
+let set_sampling ctx max_blocks = ctx.rt.Hostrt.Rt.sample_max_blocks <- max_blocks
+
+let set_translated_penalty ctx f = ctx.rt.Hostrt.Rt.translated_kernel_penalty <- f
+
+(* ---------------------------------------------------------------- *)
+(* Host arrays (float32)                                              *)
+(* ---------------------------------------------------------------- *)
+
+let alloc_f32 ctx (n : int) : Addr.t = Mem.alloc ctx.rt.Hostrt.Rt.host_mem (4 * n)
+
+let mem_of ctx (a : Addr.t) : Mem.t =
+  match a.Addr.space with
+  | Addr.Host -> ctx.rt.Hostrt.Rt.host_mem
+  | Addr.Global -> (driver ctx).Driver.global
+  | Addr.Shared _ | Addr.Local _ | Addr.Strings -> invalid_arg "mem_of: device-internal space"
+
+let set_f32 ctx (a : Addr.t) (i : int) (v : float) : unit =
+  let m = mem_of ctx a in
+  Bytes.set_int32_le m.Mem.data (a.Addr.off + (4 * i)) (Int32.bits_of_float v)
+
+let get_f32 ctx (a : Addr.t) (i : int) : float =
+  let m = mem_of ctx a in
+  Int32.float_of_bits (Bytes.get_int32_le m.Mem.data (a.Addr.off + (4 * i)))
+
+let fill_f32 ctx (a : Addr.t) (n : int) (f : int -> float) : unit =
+  for i = 0 to n - 1 do
+    set_f32 ctx a i (f i)
+  done
+
+let read_f32_array ctx (a : Addr.t) (n : int) : float array = Array.init n (get_f32 ctx a)
+
+let checksum ctx (a : Addr.t) (n : int) : float =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs (get_f32 ctx a i)
+  done;
+  !acc
+
+(* Maximum relative error against a reference array. *)
+let max_rel_error (got : float array) (want : float array) : float =
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      let g = got.(i) in
+      let scale = Float.max 1e-3 (Float.abs w) in
+      let e = Float.abs (g -. w) /. scale in
+      if e > !err then err := e)
+    want;
+  !err
+
+(* ---------------------------------------------------------------- *)
+(* CUDA-variant helpers                                               *)
+(* ---------------------------------------------------------------- *)
+
+(* Compile + load a hand-written CUDA kernel file (cached per ctx). *)
+let cuda_module ctx ~(name : string) ~(source : string) : Driver.loaded_module =
+  match List.assoc_opt name ctx.cuda_modules with
+  | Some m -> m
+  | None ->
+    let program = Minic.Parser.parse_program source in
+    (match Minic.Typecheck.check_program ~cuda:true program with
+    | [] -> ()
+    | errs -> failwith (Printf.sprintf "CUDA kernel '%s' type errors: %s" name (String.concat "; " errs)));
+    let artifact = Nvcc.compile ~mode:ctx.rt.Hostrt.Rt.binary_mode ~name program in
+    let m = Driver.load_module (driver ctx) artifact in
+    ctx.cuda_modules <- (name, m) :: ctx.cuda_modules;
+    m
+
+(* Launch with argument coercion against the kernel's parameter types. *)
+let launch_cuda ctx (m : Driver.loaded_module) ~(entry : string) ~(grid : Simt.dim3)
+    ~(block : Simt.dim3) (args : Value.t list) : Driver.launch_stats =
+  let fn = Driver.get_function m entry in
+  let values =
+    List.map2
+      (fun (_, pty) v ->
+        match (Cty.decay pty, v) with
+        | Cty.Ptr elt, Value.VPtr (a, _) -> Value.ptr ~ty:elt a
+        | ty, v -> Value.cast ty v)
+      fn.Minic.Ast.f_params args
+  in
+  let total_blocks = Simt.dim3_total grid in
+  let block_filter = Hostrt.Rt.sampling_filter ~total_blocks ctx.rt.Hostrt.Rt.sample_max_blocks in
+  Driver.launch_kernel (driver ctx) ~modul:m ~entry ~grid ~block ~args:values
+    ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty:1.0 ()
+
+(* Device buffers for the CUDA variant (explicit cudaMalloc/cudaMemcpy
+   style, as in the Polybench CUDA codes). *)
+let dev_alloc ctx (bytes : int) : Addr.t = Driver.mem_alloc (driver ctx) bytes
+
+let h2d ctx ~(src : Addr.t) ~(dst : Addr.t) ~(bytes : int) =
+  Driver.memcpy_h2d (driver ctx) ~host:ctx.rt.Hostrt.Rt.host_mem ~src ~dst ~len:bytes
+
+let d2h ctx ~(src : Addr.t) ~(dst : Addr.t) ~(bytes : int) =
+  Driver.memcpy_d2h (driver ctx) ~host:ctx.rt.Hostrt.Rt.host_mem ~src ~dst ~len:bytes
+
+let dev_free ctx (a : Addr.t) = Driver.mem_free (driver ctx) a
+
+(* ---------------------------------------------------------------- *)
+(* OpenMP-variant helpers                                             *)
+(* ---------------------------------------------------------------- *)
+
+type omp_program = {
+  op_compiled : Ompi.compiled;
+  op_ctx : Cinterp.Interp.t; (* interpreter over the translated host code *)
+}
+
+(* Compile an OpenMP source and prepare its translated host program for
+   interpretation inside this harness's runtime. *)
+let prepare_omp ctx ~(name : string) (source : string) : omp_program =
+  let compiled = Ompi.compile ~name source in
+  List.iter
+    (fun (k : Translator.Kernelgen.kernel) ->
+      let artifact =
+        Nvcc.compile ~mode:ctx.rt.Hostrt.Rt.binary_mode ~name:k.Translator.Kernelgen.k_entry
+          k.Translator.Kernelgen.k_program
+      in
+      Hostrt.Rt.register_kernel ctx.rt ~dev:0 artifact)
+    compiled.Ompi.c_kernels;
+  let ictx = Hostrt.Hostexec.make_context ctx.rt compiled.Ompi.c_host in
+  { op_compiled = compiled; op_ctx = ictx }
+
+(* Call a function of the translated host program with OCaml-prepared
+   arguments (host-memory pointers and scalars). *)
+let call_omp (p : omp_program) (fn : string) (args : Value.t list) : unit =
+  let fd =
+    match Hashtbl.find_opt p.op_ctx.Cinterp.Interp.funcs fn with
+    | Some fd -> fd
+    | None -> failwith (Printf.sprintf "translated program has no function '%s'" fn)
+  in
+  ignore (Cinterp.Interp.call_fundef p.op_ctx fd args)
+
+let fptr (a : Addr.t) = Value.ptr ~ty:Cty.Float a
+
+let vint (i : int) = Value.of_int i
+
+let vf32 (f : float) = Value.flt ~ty:Cty.Float f
+
+(* ---------------------------------------------------------------- *)
+(* Measurement                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let measure ctx (f : unit -> unit) : float =
+  let t0 = Simclock.now_s ctx.rt.Hostrt.Rt.clock in
+  f ();
+  Simclock.now_s ctx.rt.Hostrt.Rt.clock -. t0
+
+type result = {
+  r_app : string;
+  r_variant : variant;
+  r_n : int;
+  r_time_s : float;
+  r_verified : bool option; (* Some ok at validation sizes, None when sampled *)
+}

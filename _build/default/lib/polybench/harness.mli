@@ -1,0 +1,98 @@
+(** Shared machinery for the Unibench/Polybench reproduction (paper
+    section 5).
+
+    Each application exists in three forms: a sequential OCaml reference
+    (ground truth), a hand-written "pure CUDA" version (mini-C kernels
+    using threadIdx/blockIdx, launched through the driver API), and an
+    OpenMP version compiled by the translator whose host side runs
+    interpreted.  Array initialisation happens directly on host memory
+    from OCaml — the paper measures kernel time plus required memory
+    operations, not initialisation — and the measured phase runs
+    map + kernels + unmap. *)
+
+open Machine
+open Gpusim
+
+type ctx = { rt : Hostrt.Rt.t; mutable cuda_modules : (string * Driver.loaded_module) list }
+
+type variant = Cuda | Ompi_cudadev
+
+val pp_variant : Format.formatter -> variant -> unit
+
+val show_variant : variant -> string
+
+val equal_variant : variant -> variant -> bool
+
+val variant_label : variant -> string
+
+(** Fresh runtime with the device initialisation cost already paid. *)
+val create : ?binary_mode:Nvcc.binary_mode -> unit -> ctx
+
+val driver : ctx -> Driver.t
+
+val dataenv : ctx -> Hostrt.Dataenv.t
+
+val set_sampling : ctx -> int option -> unit
+
+val set_translated_penalty : ctx -> (int -> float) -> unit
+
+(** {1 Host float32 arrays} *)
+
+val alloc_f32 : ctx -> int -> Addr.t
+
+val set_f32 : ctx -> Addr.t -> int -> float -> unit
+
+val get_f32 : ctx -> Addr.t -> int -> float
+
+val fill_f32 : ctx -> Addr.t -> int -> (int -> float) -> unit
+
+val read_f32_array : ctx -> Addr.t -> int -> float array
+
+val checksum : ctx -> Addr.t -> int -> float
+
+val max_rel_error : float array -> float array -> float
+
+(** {1 CUDA-variant helpers} *)
+
+val cuda_module : ctx -> name:string -> source:string -> Driver.loaded_module
+
+val launch_cuda :
+  ctx -> Driver.loaded_module -> entry:string -> grid:Simt.dim3 -> block:Simt.dim3 ->
+  Value.t list -> Driver.launch_stats
+
+val dev_alloc : ctx -> int -> Addr.t
+
+val h2d : ctx -> src:Addr.t -> dst:Addr.t -> bytes:int -> unit
+
+val d2h : ctx -> src:Addr.t -> dst:Addr.t -> bytes:int -> unit
+
+val dev_free : ctx -> Addr.t -> unit
+
+(** {1 OpenMP-variant helpers} *)
+
+type omp_program = { op_compiled : Ompi.compiled; op_ctx : Cinterp.Interp.t }
+
+(** Compile an OpenMP source, register its kernels with this runtime and
+    prepare the translated host program for interpretation. *)
+val prepare_omp : ctx -> name:string -> string -> omp_program
+
+(** Call a function of the translated host program with OCaml-prepared
+    arguments (host-memory pointers and scalars). *)
+val call_omp : omp_program -> string -> Value.t list -> unit
+
+val fptr : Addr.t -> Value.t
+
+val vint : int -> Value.t
+
+val vf32 : float -> Value.t
+
+(** Simulated seconds spent inside [f]. *)
+val measure : ctx -> (unit -> unit) -> float
+
+type result = {
+  r_app : string;
+  r_variant : variant;
+  r_n : int;
+  r_time_s : float;
+  r_verified : bool option;
+}

@@ -1,0 +1,140 @@
+(* jacobi2d: the 2D Jacobi iteration — TSTEPS sweeps of a 5-point
+   stencil with double buffering.  The host loop launches two kernels
+   per time step against a [target enter data]-resident pair of arrays:
+   the workload that shows the data environment's value most directly.
+   Extra Unibench application. *)
+
+open Machine
+open Refmath
+
+let name = "jacobi2d"
+
+let figure = "extra-jacobi2d"
+
+let sizes = [ 128; 256; 512; 1024 ]
+
+let validate_sizes = [ 12; 32 ]
+
+let threads = 256
+
+let tsteps = 10
+
+let init_a n i j = r32 (float_of_int ((i * (j + 2)) mod 17) /. 17.0 +. (float_of_int i /. float_of_int n))
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let b = Array.make (n * n) 0.0 in
+  let fifth = r32 0.2 in
+  for _t = 0 to tsteps - 1 do
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        b.((i * n) + j) <-
+          fifth
+          *% (a.((i * n) + j) +% a.((i * n) + j - 1) +% a.((i * n) + j + 1)
+             +% a.(((i + 1) * n) + j)
+             +% a.(((i - 1) * n) + j))
+      done
+    done;
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        a.((i * n) + j) <- b.((i * n) + j)
+      done
+    done
+  done;
+  a
+
+let cuda_source =
+  {|
+void jacobi_step(int n, float *a, float *b)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1)
+    b[i * n + j] = 0.2f * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                           + a[(i + 1) * n + j] + a[(i - 1) * n + j]);
+}
+
+void jacobi_copy(int n, float *a, float *b)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i >= 1 && i < n - 1 && j >= 1 && j < n - 1)
+    a[i * n + j] = b[i * n + j];
+}
+|}
+
+let omp_source =
+  {|
+void jacobi_begin(int n, float a[], float b[])
+{
+  #pragma omp target enter data map(to: a[0:n*n]) map(alloc: b[0:n*n])
+}
+
+void jacobi_step(int n, int teams, float a[], float b[])
+{
+  #pragma omp target teams distribute parallel for collapse(2) \
+      num_teams(teams) num_threads(256) map(to: n) map(tofrom: a[0:n*n], b[0:n*n])
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      b[i * n + j] = 0.2f * (a[i * n + j] + a[i * n + j - 1] + a[i * n + j + 1]
+                             + a[(i + 1) * n + j] + a[(i - 1) * n + j]);
+  #pragma omp target teams distribute parallel for collapse(2) \
+      num_teams(teams) num_threads(256) map(to: n) map(tofrom: a[0:n*n], b[0:n*n])
+  for (int i = 1; i < n - 1; i++)
+    for (int j = 1; j < n - 1; j++)
+      a[i * n + j] = b[i * n + j];
+}
+
+void jacobi_end(int n, float a[], float b[])
+{
+  #pragma omp target exit data map(from: a[0:n*n]) map(from: b[0:n*n])
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and b = alloc_f32 ctx (n * n) in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  (a, b)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, _b = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"jacobi2d_cuda" ~source:cuda_source in
+  let nn = 4 * n * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and db = dev_alloc ctx nn in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        let grid = Gpusim.Simt.dim3 ((n + 31) / 32) ~y:((n + 7) / 8) in
+        let block = Gpusim.Simt.dim3 32 ~y:8 in
+        let fp = Value.ptr ~ty:Cty.Float in
+        for _t = 1 to tsteps do
+          ignore (launch_cuda ctx m ~entry:"jacobi_step" ~grid ~block [ vint n; fp da; fp db ]);
+          ignore (launch_cuda ctx m ~entry:"jacobi_copy" ~grid ~block [ vint n; fp da; fp db ])
+        done;
+        d2h ctx ~src:da ~dst:a ~bytes:nn;
+        List.iter (dev_free ctx) [ da; db ])
+  in
+  (time, read_f32_array ctx a (n * n))
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, b = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"jacobi2d" omp_source in
+  let total = (n - 2) * (n - 2) in
+  let teams = max 1 ((total + threads - 1) / threads) in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "jacobi_begin" [ vint n; fptr a; fptr b ];
+        for _t = 1 to tsteps do
+          call_omp p "jacobi_step" [ vint n; vint teams; fptr a; fptr b ]
+        done;
+        call_omp p "jacobi_end" [ vint n; fptr a; fptr b ])
+  in
+  (time, read_f32_array ctx a (n * n))
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,158 @@
+(* 2mm: D = alpha*A*B*C + beta*D, staged through tmp = alpha*A*B.
+   Two dependent matrix kernels sharing a device-resident tmp buffer —
+   a natural [target data] workload.  Extra Unibench application. *)
+
+open Machine
+open Refmath
+
+let name = "2mm"
+
+let figure = "extra-2mm"
+
+let sizes = [ 128; 256; 512; 1024 ]
+
+let validate_sizes = [ 16; 40 ]
+
+let threads = 256
+
+let alpha = 1.2
+
+let beta = 0.8
+
+let init_a n i j = r32 (float_of_int ((i * j) mod 9) /. (9.0 *. float_of_int n))
+
+let init_b n i j = r32 (float_of_int ((i * (j + 1)) mod 7) /. (7.0 *. float_of_int n))
+
+let init_c n i j = r32 (float_of_int (((i + 3) * j) mod 11) /. (11.0 *. float_of_int n))
+
+let init_d _n i j = r32 (float_of_int ((i + j) mod 5) /. 5.0)
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let b = Array.init (n * n) (fun t -> init_b n (t / n) (t mod n)) in
+  let c = Array.init (n * n) (fun t -> init_c n (t / n) (t mod n)) in
+  let d = Array.init (n * n) (fun t -> init_d n (t / n) (t mod n)) in
+  let tmp = Array.make (n * n) 0.0 in
+  let alpha = r32 alpha and beta = r32 beta in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        tmp.((i * n) + j) <- tmp.((i * n) + j) +% (alpha *% a.((i * n) + k) *% b.((k * n) + j))
+      done
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      d.((i * n) + j) <- d.((i * n) + j) *% beta;
+      for k = 0 to n - 1 do
+        d.((i * n) + j) <- d.((i * n) + j) +% (tmp.((i * n) + k) *% c.((k * n) + j))
+      done
+    done
+  done;
+  d
+
+let cuda_source =
+  {|
+void mm2_kernel1(int n, float alpha, float *a, float *b, float *tmp)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    tmp[i * n + j] = 0.0f;
+    int k;
+    for (k = 0; k < n; k++)
+      tmp[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+  }
+}
+
+void mm2_kernel2(int n, float beta, float *tmp, float *c, float *d)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    d[i * n + j] *= beta;
+    int k;
+    for (k = 0; k < n; k++)
+      d[i * n + j] += tmp[i * n + k] * c[k * n + j];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void mm2_omp(int n, int teams, float alpha, float beta,
+             float a[], float b[], float c[], float d[], float tmp[])
+{
+  #pragma omp target data map(to: a[0:n*n], b[0:n*n], c[0:n*n]) \
+      map(tofrom: d[0:n*n]) map(alloc: tmp[0:n*n])
+  {
+    #pragma omp target teams distribute parallel for collapse(2) \
+        num_teams(teams) num_threads(256) \
+        map(to: n, alpha, a[0:n*n], b[0:n*n]) map(tofrom: tmp[0:n*n])
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        tmp[i * n + j] = 0.0f;
+        for (int k = 0; k < n; k++)
+          tmp[i * n + j] += alpha * a[i * n + k] * b[k * n + j];
+      }
+    #pragma omp target teams distribute parallel for collapse(2) \
+        num_teams(teams) num_threads(256) \
+        map(to: n, beta, tmp[0:n*n], c[0:n*n]) map(tofrom: d[0:n*n])
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++) {
+        d[i * n + j] *= beta;
+        for (int k = 0; k < n; k++)
+          d[i * n + j] += tmp[i * n + k] * c[k * n + j];
+      }
+  }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let mk f =
+    let buf = alloc_f32 ctx (n * n) in
+    fill_f32 ctx buf (n * n) (fun t -> f n (t / n) (t mod n));
+    buf
+  in
+  (mk init_a, mk init_b, mk init_c, mk init_d, alloc_f32 ctx (n * n))
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, b, c, d, _tmp = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"mm2_cuda" ~source:cuda_source in
+  let nn = 4 * n * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and db = dev_alloc ctx nn and dc = dev_alloc ctx nn in
+        let dd = dev_alloc ctx nn and dt = dev_alloc ctx nn in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:b ~dst:db ~bytes:nn;
+        h2d ctx ~src:c ~dst:dc ~bytes:nn;
+        h2d ctx ~src:d ~dst:dd ~bytes:nn;
+        let grid = Gpusim.Simt.dim3 ((n + 31) / 32) ~y:((n + 7) / 8) in
+        let block = Gpusim.Simt.dim3 32 ~y:8 in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"mm2_kernel1" ~grid ~block [ vint n; vf32 alpha; fp da; fp db; fp dt ]);
+        ignore (launch_cuda ctx m ~entry:"mm2_kernel2" ~grid ~block [ vint n; vf32 beta; fp dt; fp dc; fp dd ]);
+        d2h ctx ~src:dd ~dst:d ~bytes:nn;
+        List.iter (dev_free ctx) [ da; db; dc; dd; dt ])
+  in
+  (time, read_f32_array ctx d (n * n))
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, b, c, d, tmp = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"mm2" omp_source in
+  let teams = ((n * n) + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "mm2_omp"
+          [ vint n; vint teams; vf32 alpha; vf32 beta; fptr a; fptr b; fptr c; fptr d; fptr tmp ])
+  in
+  (time, read_f32_array ctx d (n * n))
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,29 @@
+(** 2mm: D = alpha*A*B*C + beta*D staged through a device-resident
+    tmp buffer inside one target data region (extra application).
+
+    Exposes the three-variant structure shared by all suite
+    applications: a sequential binary32 reference, a hand-written CUDA
+    version and the OpenMP version compiled by the translator. *)
+
+val name : string
+
+val figure : string
+
+val sizes : int list
+
+val validate_sizes : int list
+
+val threads : int
+
+(** OpenMP C source of the translated variant (also used by goldens and
+    the micro-benchmarks). *)
+val omp_source : string
+
+(** Hand-written CUDA C kernels of the reference variant. *)
+val cuda_source : string
+
+(** Sequential binary32 reference of the output array(s). *)
+val reference : n:int -> float array
+
+(** Run one variant; returns (simulated seconds, result array). *)
+val run : Harness.ctx -> Harness.variant -> n:int -> float * float array

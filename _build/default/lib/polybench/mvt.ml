@@ -1,0 +1,145 @@
+(* mvt: matrix-vector product and transpose — x1 += A y1 and
+   x2 += A^T y2 (Fig. 4d).  Two independent kernels, one thread per
+   vector element.  Sizes 512..8192, 256 threads per block. *)
+
+open Machine
+open Refmath
+
+let name = "mvt"
+
+let figure = "fig4d"
+
+let sizes = [ 512; 1024; 2048; 4096; 8192 ]
+
+let validate_sizes = [ 32; 96 ]
+
+let threads = 256
+
+let init_a n i j = r32 (float_of_int ((i + (2 * j)) mod 23) /. (23.0 *. float_of_int n))
+
+let init_x1 _n i = r32 (float_of_int (i mod 9) /. 9.0)
+
+let init_x2 _n i = r32 (float_of_int (i mod 4) /. 4.0)
+
+let init_y1 _n i = r32 (float_of_int (i mod 6) /. 6.0)
+
+let init_y2 _n i = r32 (float_of_int (i mod 8) /. 8.0)
+
+(* Returns x1 followed by x2. *)
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let x1 = Array.init n (init_x1 n) in
+  let x2 = Array.init n (init_x2 n) in
+  let y1 = Array.init n (init_y1 n) in
+  let y2 = Array.init n (init_y2 n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      x1.(i) <- x1.(i) +% (a.((i * n) + j) *% y1.(j))
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      x2.(i) <- x2.(i) +% (a.((j * n) + i) *% y2.(j))
+    done
+  done;
+  Array.append x1 x2
+
+let cuda_source =
+  {|
+void mvt_kernel1(int n, float *a, float *x1, float *y1)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int j;
+    for (j = 0; j < n; j++)
+      x1[i] += a[i * n + j] * y1[j];
+  }
+}
+
+void mvt_kernel2(int n, float *a, float *x2, float *y2)
+{
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    int j;
+    for (j = 0; j < n; j++)
+      x2[i] += a[j * n + i] * y2[j];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void mvt_omp(int n, int teams, float a[], float x1[], float x2[], float y1[], float y2[])
+{
+  #pragma omp target data map(to: a[0:n*n], y1[0:n], y2[0:n]) map(tofrom: x1[0:n], x2[0:n])
+  {
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], y1[0:n]) map(tofrom: x1[0:n])
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++)
+        x1[i] += a[i * n + j] * y1[j];
+    }
+    #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+        map(to: n, a[0:n*n], y2[0:n]) map(tofrom: x2[0:n])
+    for (int i = 0; i < n; i++) {
+      for (int j = 0; j < n; j++)
+        x2[i] += a[j * n + i] * y2[j];
+    }
+  }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) in
+  let x1 = alloc_f32 ctx n and x2 = alloc_f32 ctx n and y1 = alloc_f32 ctx n and y2 = alloc_f32 ctx n in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  fill_f32 ctx x1 n (init_x1 n);
+  fill_f32 ctx x2 n (init_x2 n);
+  fill_f32 ctx y1 n (init_y1 n);
+  fill_f32 ctx y2 n (init_y2 n);
+  (a, x1, x2, y1, y2)
+
+let read_result ctx x1 x2 n =
+  Array.append (Harness.read_f32_array ctx x1 n) (Harness.read_f32_array ctx x2 n)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, x1, x2, y1, y2 = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"mvt_cuda" ~source:cuda_source in
+  let nn = 4 * n * n and nb = 4 * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn in
+        let d1 = dev_alloc ctx nb and d2 = dev_alloc ctx nb and e1 = dev_alloc ctx nb and e2 = dev_alloc ctx nb in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:x1 ~dst:d1 ~bytes:nb;
+        h2d ctx ~src:x2 ~dst:d2 ~bytes:nb;
+        h2d ctx ~src:y1 ~dst:e1 ~bytes:nb;
+        h2d ctx ~src:y2 ~dst:e2 ~bytes:nb;
+        let grid = Gpusim.Simt.dim3 ((n + threads - 1) / threads) in
+        let block = Gpusim.Simt.dim3 threads in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"mvt_kernel1" ~grid ~block [ vint n; fp da; fp d1; fp e1 ]);
+        ignore (launch_cuda ctx m ~entry:"mvt_kernel2" ~grid ~block [ vint n; fp da; fp d2; fp e2 ]);
+        d2h ctx ~src:d1 ~dst:x1 ~bytes:nb;
+        d2h ctx ~src:d2 ~dst:x2 ~bytes:nb;
+        List.iter (dev_free ctx) [ da; d1; d2; e1; e2 ])
+  in
+  (time, read_result ctx x1 x2 n)
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, x1, x2, y1, y2 = fill_inputs ctx ~n in
+  let prog = prepare_omp ctx ~name:"mvt" omp_source in
+  let teams = (n + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp prog "mvt_omp" [ vint n; vint teams; fptr a; fptr x1; fptr x2; fptr y1; fptr y2 ])
+  in
+  (time, read_result ctx x1 x2 n)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,16 @@
+(* Binary32 arithmetic for the sequential reference implementations:
+   every operation rounds to float32, mirroring what the simulated GPU
+   (and a real Maxwell) computes, so references and kernels can be
+   compared with tight tolerances. *)
+
+let r32 (f : float) = Int32.float_of_bits (Int32.bits_of_float f)
+
+let ( +% ) a b = r32 (a +. b)
+
+let ( -% ) a b = r32 (a -. b)
+
+let ( *% ) a b = r32 (a *. b)
+
+let ( /% ) a b = r32 (a /. b)
+
+let sqrt32 a = r32 (sqrt a)

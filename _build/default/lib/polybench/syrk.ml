@@ -1,0 +1,111 @@
+(* syrk: symmetric rank-k update, C = alpha*A*A^T + beta*C.  An extra
+   Unibench application beyond the paper's six plots; exercise for the
+   combined construct with collapse(2) on a second matrix kernel. *)
+
+open Machine
+open Refmath
+
+let name = "syrk"
+
+let figure = "extra-syrk"
+
+let sizes = [ 128; 256; 512; 1024 ]
+
+let validate_sizes = [ 24; 48 ]
+
+let threads = 256
+
+let alpha = 0.5
+
+let beta = 1.5
+
+let init_a n i j = r32 (float_of_int ((i + (3 * j)) mod 7) /. (7.0 *. float_of_int n))
+
+let init_c _n i j = r32 (float_of_int ((i * j) mod 9) /. 9.0)
+
+let reference ~n : float array =
+  let a = Array.init (n * n) (fun t -> init_a n (t / n) (t mod n)) in
+  let c = Array.init (n * n) (fun t -> init_c n (t / n) (t mod n)) in
+  let alpha = r32 alpha and beta = r32 beta in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      c.((i * n) + j) <- c.((i * n) + j) *% beta;
+      for k = 0 to n - 1 do
+        c.((i * n) + j) <- c.((i * n) + j) +% (alpha *% a.((i * n) + k) *% a.((j * n) + k))
+      done
+    done
+  done;
+  c
+
+let cuda_source =
+  {|
+void syrk_kernel(int n, float alpha, float beta, float *a, float *c)
+{
+  int j = blockIdx.x * blockDim.x + threadIdx.x;
+  int i = blockIdx.y * blockDim.y + threadIdx.y;
+  if (i < n && j < n) {
+    c[i * n + j] *= beta;
+    int k;
+    for (k = 0; k < n; k++)
+      c[i * n + j] += alpha * a[i * n + k] * a[j * n + k];
+  }
+}
+|}
+
+let omp_source =
+  {|
+void syrk_omp(int n, int teams, float alpha, float beta, float a[], float c[])
+{
+  #pragma omp target teams distribute parallel for collapse(2) \
+      num_teams(teams) num_threads(256) \
+      map(to: n, alpha, beta, a[0:n*n]) map(tofrom: c[0:n*n])
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      c[i * n + j] *= beta;
+      for (int k = 0; k < n; k++)
+        c[i * n + j] += alpha * a[i * n + k] * a[j * n + k];
+    }
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let a = alloc_f32 ctx (n * n) and c = alloc_f32 ctx (n * n) in
+  fill_f32 ctx a (n * n) (fun t -> init_a n (t / n) (t mod n));
+  fill_f32 ctx c (n * n) (fun t -> init_c n (t / n) (t mod n));
+  (a, c)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let a, c = fill_inputs ctx ~n in
+  let m = cuda_module ctx ~name:"syrk_cuda" ~source:cuda_source in
+  let nn = 4 * n * n in
+  let time =
+    measure ctx (fun () ->
+        let da = dev_alloc ctx nn and dc = dev_alloc ctx nn in
+        h2d ctx ~src:a ~dst:da ~bytes:nn;
+        h2d ctx ~src:c ~dst:dc ~bytes:nn;
+        let grid = Gpusim.Simt.dim3 ((n + 31) / 32) ~y:((n + 7) / 8) in
+        let block = Gpusim.Simt.dim3 32 ~y:8 in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"syrk_kernel" ~grid ~block [ vint n; vf32 alpha; vf32 beta; fp da; fp dc ]);
+        d2h ctx ~src:dc ~dst:c ~bytes:nn;
+        List.iter (dev_free ctx) [ da; dc ])
+  in
+  (time, read_f32_array ctx c (n * n))
+
+let run_ompi ctx ~n : float * float array =
+  let open Harness in
+  let a, c = fill_inputs ctx ~n in
+  let p = prepare_omp ctx ~name:"syrk" omp_source in
+  let teams = ((n * n) + threads - 1) / threads in
+  let time =
+    measure ctx (fun () ->
+        call_omp p "syrk_omp" [ vint n; vint teams; vf32 alpha; vf32 beta; fptr a; fptr c ])
+  in
+  (time, read_f32_array ctx c (n * n))
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n

@@ -1,0 +1,28 @@
+(** syrk: C = alpha*A*A^T + beta*C (extra Unibench application).
+
+    Exposes the three-variant structure shared by all suite
+    applications: a sequential binary32 reference, a hand-written CUDA
+    version and the OpenMP version compiled by the translator. *)
+
+val name : string
+
+val figure : string
+
+val sizes : int list
+
+val validate_sizes : int list
+
+val threads : int
+
+(** OpenMP C source of the translated variant (also used by goldens and
+    the micro-benchmarks). *)
+val omp_source : string
+
+(** Hand-written CUDA C kernels of the reference variant. *)
+val cuda_source : string
+
+(** Sequential binary32 reference of the output array(s). *)
+val reference : n:int -> float array
+
+(** Run one variant; returns (simulated seconds, result array). *)
+val run : Harness.ctx -> Harness.variant -> n:int -> float * float array

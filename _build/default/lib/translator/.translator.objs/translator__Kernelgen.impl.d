@@ -1,0 +1,1 @@
+lib/translator/kernelgen.pp.ml: Ast Cty Hashtbl Int32 Int64 List Loops Machine Minic Option Ppx_deriving_runtime Pretty Printf Region String Strip Subst Typecheck

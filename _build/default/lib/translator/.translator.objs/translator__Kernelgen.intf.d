@@ -1,0 +1,1 @@
+lib/translator/kernelgen.pp.mli: Ast Format Minic Region Typecheck

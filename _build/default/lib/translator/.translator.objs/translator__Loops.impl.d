@@ -1,0 +1,1 @@
+lib/translator/loops.pp.ml: Ast Format List Machine Minic Simplify

@@ -1,0 +1,1 @@
+lib/translator/loops.pp.mli: Ast Minic

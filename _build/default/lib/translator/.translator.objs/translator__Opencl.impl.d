@@ -1,0 +1,1 @@
+lib/translator/opencl.pp.ml: Ast Buffer Cty Format Kernelgen List Machine Minic Option Pretty Printf String Subst

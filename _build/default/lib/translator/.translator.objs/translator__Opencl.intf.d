@@ -1,0 +1,1 @@
+lib/translator/opencl.pp.mli: Kernelgen

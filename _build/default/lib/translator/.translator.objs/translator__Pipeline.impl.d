@@ -1,0 +1,1 @@
+lib/translator/pipeline.pp.ml: Ast Cty Format Kernelgen List Machine Minic Omp Option Parser Pretty Printf Region String Strip Typecheck

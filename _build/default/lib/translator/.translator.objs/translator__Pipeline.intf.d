@@ -1,0 +1,1 @@
+lib/translator/pipeline.pp.mli: Ast Kernelgen Minic

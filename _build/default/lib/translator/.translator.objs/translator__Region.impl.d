@@ -1,0 +1,1 @@
+lib/translator/region.pp.ml: Ast Cty Format List Machine Minic Typecheck

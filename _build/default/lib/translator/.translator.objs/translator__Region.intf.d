@@ -1,0 +1,1 @@
+lib/translator/region.pp.mli: Ast Cty Format Machine Minic Typecheck

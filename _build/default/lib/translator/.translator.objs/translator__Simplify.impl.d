@@ -1,0 +1,1 @@
+lib/translator/simplify.pp.ml: Ast Cty Int64 Machine Minic Subst

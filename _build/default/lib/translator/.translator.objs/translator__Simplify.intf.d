@@ -1,0 +1,1 @@
+lib/translator/simplify.pp.mli: Ast Minic

@@ -1,0 +1,1 @@
+lib/translator/strip.pp.ml: Ast List Minic

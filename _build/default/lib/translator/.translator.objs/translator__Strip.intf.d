@@ -1,0 +1,1 @@
+lib/translator/strip.pp.mli: Ast Minic

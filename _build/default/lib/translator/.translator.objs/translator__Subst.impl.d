@@ -1,0 +1,1 @@
+lib/translator/subst.pp.ml: Ast List Minic Option

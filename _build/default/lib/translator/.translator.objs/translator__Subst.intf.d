@@ -1,0 +1,1 @@
+lib/translator/subst.pp.mli: Ast Minic

@@ -1,0 +1,43 @@
+(** Kernel construction for target regions (paper section 3).
+
+    Two lowering strategies, as in OMPi:
+    - combined constructs ([target teams distribute parallel for] and
+      friends) map the iteration space onto the grid through the device
+      library's chunk calculators (3.1);
+    - any other target body goes through the master/worker
+      transformation (3.2, Fig. 3): the kernel is launched with 128
+      threads, warp 0's lane 0 becomes the master executing sequential
+      code, the other 96 threads become workers serving parallel regions
+      registered by the master. *)
+
+open Minic
+
+exception Unsupported of string
+
+type mode = Combined | Masterworker
+
+val pp_mode : Format.formatter -> mode -> unit
+
+val show_mode : mode -> string
+
+val equal_mode : mode -> mode -> bool
+
+type kernel = {
+  k_entry : string;  (** kernel function and file name *)
+  k_program : Ast.program;  (** the generated kernel file *)
+  k_params : Region.mapped_var list;  (** in kernel-parameter order *)
+  k_teams : Ast.expr;  (** host-side num_teams expression *)
+  k_threads : Ast.expr;  (** host-side num_threads expression *)
+  k_mode : mode;
+}
+
+(** Fixed launch size for master/worker kernels (128 threads: one master
+    warp + 96 workers, paper 4.2.2). *)
+val mw_block_threads : int
+
+val default_threads : int
+
+(** Build the kernel for a directive whose constructs start with
+    [target], choosing the lowering strategy from the combination. *)
+val build : env:Typecheck.env -> program:Ast.program -> name:string -> Ast.directive ->
+  Ast.stmt -> kernel

@@ -1,0 +1,144 @@
+(* Canonical-loop analysis: OpenMP worksharing loops must have the shape
+   for (i = lb; i REL ub; i STEP), which the lowering turns into a flat
+   iteration space distributed via the device library's chunk calls. *)
+
+open Minic
+
+exception Not_canonical of string
+
+let not_canonical fmt = Format.kasprintf (fun s -> raise (Not_canonical s)) fmt
+
+type canon = {
+  cl_var : string;
+  cl_var_decl : bool; (* loop variable declared in the init clause *)
+  cl_lb : Ast.expr;
+  cl_ub : Ast.expr; (* exclusive upper bound *)
+  cl_step : Ast.expr; (* positive *)
+  cl_body : Ast.stmt;
+}
+
+let one = Ast.int_lit 1
+
+(* extent = (ub - lb + step - 1) / step, simplified when step = 1 *)
+let extent (c : canon) : Ast.expr =
+  Simplify.expr
+    (match c.cl_step with
+    | Ast.IntLit (1L, _) -> Ast.sub c.cl_ub c.cl_lb
+    | step -> Ast.Binop (Ast.Div, Ast.sub (Ast.add c.cl_ub (Ast.sub step one)) c.cl_lb, step))
+
+let analyze (s : Ast.stmt) : canon =
+  match s with
+  | Ast.Sfor (init, Some cond, Some update, body) ->
+    let var, lb, var_decl =
+      match init with
+      | Some (Ast.Sexpr (Ast.Assign (None, Ast.Ident v, lb))) -> (v, lb, false)
+      | Some (Ast.Sdecl [ { Ast.d_name = v; d_init = Some (Ast.Iexpr lb); _ } ]) -> (v, lb, true)
+      | _ -> not_canonical "loop initialisation must be 'i = lb' or 'int i = lb'"
+    in
+    let ub =
+      match cond with
+      | Ast.Binop (Ast.Lt, Ast.Ident v, ub) when v = var -> ub
+      | Ast.Binop (Ast.Le, Ast.Ident v, ub) when v = var -> Ast.add ub one
+      | Ast.Binop (Ast.Gt, ub, Ast.Ident v) when v = var -> ub
+      | Ast.Binop (Ast.Ge, ub, Ast.Ident v) when v = var -> Ast.add ub one
+      | _ -> not_canonical "loop condition must compare the loop variable against a bound"
+    in
+    let step =
+      match update with
+      | Ast.Unop ((Ast.PreInc | Ast.PostInc), Ast.Ident v) when v = var -> one
+      | Ast.Assign (Some Ast.Add, Ast.Ident v, step) when v = var -> step
+      | Ast.Assign (None, Ast.Ident v, Ast.Binop (Ast.Add, Ast.Ident v', step)) when v = var && v' = var ->
+        step
+      | _ -> not_canonical "loop update must be i++, i += c or i = i + c"
+    in
+    { cl_var = var; cl_var_decl = var_decl; cl_lb = lb; cl_ub = ub; cl_step = step; cl_body = body }
+  | _ -> not_canonical "worksharing construct must be applied to a for loop"
+
+(* Peel [n] perfectly nested canonical loops for collapse(n).  Returns
+   the loops outermost-first and the innermost body. *)
+let rec analyze_nest (n : int) (s : Ast.stmt) : canon list * Ast.stmt =
+  if n <= 0 then invalid_arg "analyze_nest";
+  let c = analyze s in
+  if n = 1 then ([ c ], c.cl_body)
+  else begin
+    let inner =
+      match c.cl_body with
+      | Ast.Sblock [ (Ast.Sfor _ as f) ] -> f
+      | Ast.Sfor _ as f -> f
+      | _ -> not_canonical "collapse requires perfectly nested loops"
+    in
+    let rest, body = analyze_nest (n - 1) inner in
+    (c :: rest, body)
+  end
+
+(* Build the index-recovery declarations for a collapsed nest: given the
+   flat index variable [flat], declare each original loop variable.
+   For loops [c1; c2; c3], with extents e2, e3:
+     i1 = lb1 + (flat / (e2*e3)) * s1
+     i2 = lb2 + ((flat / e3) mod e2) * s2
+     i3 = lb3 + (flat mod e3) * s3
+   [extents] lets callers supply hoisted extent variables. *)
+let index_recovery ?(extents : Ast.expr list option) (loops : canon list) ~(flat : Ast.expr) :
+    Ast.stmt list =
+  let extents = match extents with Some e -> e | None -> List.map extent loops in
+  let n = List.length loops in
+  List.mapi
+    (fun i c ->
+      (* product of extents of the loops strictly inner to i *)
+      let inner_prod =
+        List.filteri (fun j _ -> j > i) extents
+        |> List.fold_left (fun acc e -> match acc with None -> Some e | Some p -> Some (Ast.mul p e)) None
+      in
+      let quotient = match inner_prod with None -> flat | Some p -> Ast.Binop (Ast.Div, flat, p) in
+      let index =
+        if i = 0 then quotient
+        else Ast.Binop (Ast.Mod, quotient, List.nth extents i)
+      in
+      let scaled =
+        match c.cl_step with Ast.IntLit (1L, _) -> index | s -> Ast.mul index s
+      in
+      let value =
+        Simplify.expr (match c.cl_lb with Ast.IntLit (0L, _) -> scaled | lb -> Ast.add lb scaled)
+      in
+      Ast.Sdecl [ Ast.mk_decl ~init:(Ast.Iexpr value) c.cl_var Machine.Cty.Int ])
+    loops
+  |> fun l ->
+  ignore n;
+  l
+
+let total_extent ?(extents : Ast.expr list option) (loops : canon list) : Ast.expr =
+  let extents = match extents with Some e -> e | None -> List.map extent loops in
+  match extents with
+  | [] -> invalid_arg "total_extent: empty nest"
+  | e :: rest -> Simplify.expr (List.fold_left Ast.mul e rest)
+
+(* Incremental (strength-reduced) index recovery for contiguous chunks:
+   the indices are recovered with div/mod once at the chunk start and
+   then maintained by carry propagation, avoiding the per-iteration
+   divisions a naive flattening would pay.  Returns the initial
+   declarations and the carry expression to append to the loop update.
+   Only valid when consecutive flat indices are executed in order. *)
+let incremental_recovery ?(extents : Ast.expr list option) (loops : canon list)
+    ~(flat_start : Ast.expr) : Ast.stmt list * Ast.expr option =
+  let inits = index_recovery ?extents loops ~flat:flat_start in
+  match loops with
+  | [] -> (inits, None)
+  | _ ->
+    (* innermost-first carry chain:
+       (k += s3, k >= ub3 ? (k = lb3, j += s2, j >= ub2 ? (j = lb2, i += s1) : 0) : 0) *)
+    let rec chain = function
+      | [] -> invalid_arg "incremental_recovery"
+      | [ (c : canon) ] ->
+        (* outermost: plain increment, no reset *)
+        Ast.Assign (Some Ast.Add, Ast.Ident c.cl_var, c.cl_step)
+      | (c : canon) :: rest ->
+        let bump = Ast.Assign (Some Ast.Add, Ast.Ident c.cl_var, c.cl_step) in
+        let reset = Ast.Assign (None, Ast.Ident c.cl_var, c.cl_lb) in
+        Ast.Comma
+          ( bump,
+            Ast.Cond
+              ( Ast.Binop (Ast.Ge, Ast.Ident c.cl_var, c.cl_ub),
+                Ast.Comma (reset, chain rest),
+                Ast.int_lit 0 ) )
+    in
+    (inits, Some (chain (List.rev loops)))

@@ -1,0 +1,43 @@
+(** Canonical-loop analysis: OpenMP worksharing loops must have the
+    shape [for (i = lb; i REL ub; i STEP)]; the lowering turns a
+    (possibly collapsed) nest into a flat iteration space distributed
+    through the device library's chunk calls. *)
+
+open Minic
+
+exception Not_canonical of string
+
+type canon = {
+  cl_var : string;
+  cl_var_decl : bool;  (** loop variable declared in the init clause *)
+  cl_lb : Ast.expr;
+  cl_ub : Ast.expr;  (** exclusive upper bound *)
+  cl_step : Ast.expr;  (** positive *)
+  cl_body : Ast.stmt;
+}
+
+(** Raises {!Not_canonical} with a diagnostic when the statement is not
+    an OpenMP canonical loop. *)
+val analyze : Ast.stmt -> canon
+
+(** Peel [n] perfectly nested canonical loops (collapse(n)); returns the
+    loops outermost-first and the innermost body. *)
+val analyze_nest : int -> Ast.stmt -> canon list * Ast.stmt
+
+(** Iteration count of one loop: (ub - lb + step - 1) / step. *)
+val extent : canon -> Ast.expr
+
+(** Product of the nest's extents.  [extents] lets callers supply
+    hoisted extent variables. *)
+val total_extent : ?extents:Ast.expr list -> canon list -> Ast.expr
+
+(** Declarations recovering each original loop variable from a flat
+    index. *)
+val index_recovery : ?extents:Ast.expr list -> canon list -> flat:Ast.expr -> Ast.stmt list
+
+(** Strength-reduced recovery for contiguous chunks: div/mod once at the
+    chunk start ([flat_start]), then a carry-chain expression to append
+    to the loop update.  Valid only when consecutive flat indices are
+    executed in order. *)
+val incremental_recovery :
+  ?extents:Ast.expr list -> canon list -> flat_start:Ast.expr -> Ast.stmt list * Ast.expr option

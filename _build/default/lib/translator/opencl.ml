@@ -1,0 +1,124 @@
+(* Preliminary OpenCL back end (paper §3: "there also exists preliminary
+   support for OpenCL devices, offered by a corresponding OpenCL
+   module"; the conclusion lists extending it as ongoing work).
+
+   The transformation set reuses the kernels built for the CUDA module
+   and retargets them to OpenCL C:
+   - the entry point becomes a [__kernel] function and its pointer
+     parameters are qualified [__global];
+   - the device-library calls are renamed to their ocldev_* equivalents;
+   - thread/team identity maps onto get_local_id / get_group_id /
+     get_local_size / get_num_groups;
+   - [__shared__] declarations become [__local].
+
+   Like OMPi's, this back end is code-generation only: the simulator
+   executes the CUDA-module kernels, and the OpenCL files are emitted
+   for inspection ([ompicc --opencl]) and golden-tested. *)
+
+open Machine
+open Minic
+
+(* cudadev entry points whose OpenCL runtime twin keeps the same shape *)
+let renamed_call = function
+  | "cudadev_thread_id" -> Some ("get_local_linear_id", [])
+  | "cudadev_team_id" -> Some ("get_group_linear_id", [])
+  | "cudadev_num_threads" -> Some ("get_local_size", [ Ast.int_lit 0 ])
+  | "cudadev_num_teams" -> Some ("get_num_groups", [ Ast.int_lit 0 ])
+  | "__syncthreads" -> Some ("barrier", [ Ast.ident "CLK_LOCAL_MEM_FENCE" ])
+  | name ->
+    if String.length name > 8 && String.sub name 0 8 = "cudadev_" then
+      Some ("ocldev_" ^ String.sub name 8 (String.length name - 8), [])
+    else None
+
+let retarget_expr (e : Ast.expr) : Ast.expr =
+  Subst.map_expr
+    (function
+      | Ast.Call (f, args) -> (
+        match renamed_call f with
+        | Some (f', extra) -> Ast.Call (f', (if args = [] then extra else args))
+        | None -> Ast.Call (f, args))
+      | e -> e)
+    e
+
+let rec retarget_stmt (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Sexpr e -> Ast.Sexpr (retarget_expr e)
+  | Ast.Sdecl ds ->
+    Ast.Sdecl
+      (List.map
+         (fun (d : Ast.decl) ->
+           let init =
+             match d.Ast.d_init with
+             | Some (Ast.Iexpr e) -> Some (Ast.Iexpr (retarget_expr e))
+             | other -> other
+           in
+           { d with Ast.d_init = init })
+         ds)
+  | Ast.Sblock ss -> Ast.Sblock (List.map retarget_stmt ss)
+  | Ast.Sif (c, t, e) -> Ast.Sif (retarget_expr c, retarget_stmt t, Option.map retarget_stmt e)
+  | Ast.Swhile (c, b) -> Ast.Swhile (retarget_expr c, retarget_stmt b)
+  | Ast.Sdo (b, c) -> Ast.Sdo (retarget_stmt b, retarget_expr c)
+  | Ast.Sfor (i, c, u, b) ->
+    Ast.Sfor
+      (Option.map retarget_stmt i, Option.map retarget_expr c, Option.map retarget_expr u, retarget_stmt b)
+  | Ast.Sreturn e -> Ast.Sreturn (Option.map retarget_expr e)
+  | Ast.Sbreak | Ast.Scontinue | Ast.Snop -> s
+  | Ast.Spragma (p, b) -> Ast.Spragma (p, Option.map retarget_stmt b)
+
+let retarget_fundef ~(is_entry : bool) (f : Ast.fundef) : string =
+  let body = retarget_stmt f.Ast.f_body in
+  let param (n, ty) =
+    match Cty.decay ty with
+    | Cty.Ptr _ when is_entry -> "__global " ^ Cty.to_c_string ~name:n (Cty.decay ty)
+    | ty -> Cty.to_c_string ~name:n ty
+  in
+  let params =
+    match f.Ast.f_params with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.map param ps)
+  in
+  let qual = if is_entry then "__kernel " else "" in
+  Format.asprintf "@[<v>%s%s(%s)@,%a@]" qual
+    (Cty.to_c_string ~name:f.Ast.f_name f.Ast.f_ret)
+    params Pretty.pp_stmt body
+
+(* Emit the OpenCL C translation of one kernel file. *)
+let of_kernel (k : Kernelgen.kernel) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "/* OpenCL translation of kernel %s (preliminary OpenCL module) */\n\n"
+       k.Kernelgen.k_entry);
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gstruct (name, fields) ->
+        Buffer.add_string buf
+          (Format.asprintf "@[<v>struct %s {@;<0 2>@[<v>%a@]@,};@]@.@." name
+             (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun fmt (n, ty) ->
+                  Format.fprintf fmt "%s;" (Cty.to_c_string ~name:n ty)))
+             fields)
+      | Ast.Gvar (d, _) ->
+        Buffer.add_string buf (Printf.sprintf "__global %s;\n\n" (Cty.to_c_string ~name:d.Ast.d_name d.Ast.d_ty))
+      | Ast.Gfun f ->
+        let is_entry = f.Ast.f_name = k.Kernelgen.k_entry in
+        Buffer.add_string buf (retarget_fundef ~is_entry f);
+        Buffer.add_string buf "\n\n"
+      | Ast.Gfundecl _ | Ast.Gpragma _ -> ())
+    k.Kernelgen.k_program;
+  (* local-memory qualifier: the mini-C AST carries the CUDA spelling *)
+  let text = Buffer.contents buf in
+  let b = Buffer.create (String.length text) in
+  let shared = "__shared__" in
+  let n = String.length text and m = String.length shared in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub text !i m = shared then begin
+      Buffer.add_string b "__local";
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char b text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b

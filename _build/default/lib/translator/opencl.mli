@@ -1,0 +1,11 @@
+(** Preliminary OpenCL back end (paper section 3 mentions it; the
+    conclusion lists extending it as ongoing work).  Retargets the
+    kernels built for the CUDA module to OpenCL C — [__kernel] entry
+    points, [__global] pointer parameters, get_local_id-style identity,
+    ocldev_* runtime names, [__local] shared declarations.
+
+    Code generation only, as in OMPi: the simulator executes the CUDA
+    kernels; the OpenCL files are emitted for inspection
+    ([ompicc --opencl]). *)
+
+val of_kernel : Kernelgen.kernel -> string

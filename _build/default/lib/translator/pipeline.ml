@@ -1,0 +1,205 @@
+(* Whole-program translation driver (the ompicc pipeline of Fig. 2):
+
+     source --parse--> AST --pragma rewrite--> typed directives
+            --transform--> host AST with ort_* calls  +  kernel files
+
+   Each target construct is outlined into its own kernel file, named
+   <function>_kernel<N>, matching OMPi's one-file-per-kernel layout
+   (§3.3). *)
+
+open Machine
+open Minic
+
+exception Translate_error of string
+
+let translate_error fmt = Format.kasprintf (fun s -> raise (Translate_error s)) fmt
+
+type output = {
+  out_host : Ast.program;
+  out_kernels : Kernelgen.kernel list;
+}
+
+type state = {
+  s_env : Typecheck.env;
+  s_program : Ast.program;
+  mutable s_kernels : Kernelgen.kernel list;
+  mutable s_counter : int;
+}
+
+let dev0 = Ast.int_lit 0
+
+let cvoid e = Ast.Cast (Cty.Ptr Cty.Void, e)
+
+(* ort_map / ort_unmap / offload call builders *)
+let map_call (mv : Region.mapped_var) =
+  Ast.expr_stmt
+    (Ast.call "ort_map"
+       [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+
+let unmap_call (mv : Region.mapped_var) =
+  Ast.expr_stmt
+    (Ast.call "ort_unmap" [ dev0; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+
+let offload_call (k : Kernelgen.kernel) =
+  Ast.expr_stmt
+    (Ast.call "ort_offload"
+       ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
+       @ List.map (fun (mv : Region.mapped_var) -> cvoid mv.Region.mv_base) k.Kernelgen.k_params))
+
+(* Lower a target-family construct at the host level. *)
+let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : Ast.stmt option) :
+    Ast.stmt =
+  let has c = Ast.has_construct dir c in
+  if has Ast.C_target then begin
+    match body with
+    | None -> translate_error "target construct requires a body"
+    | Some body ->
+      st.s_counter <- st.s_counter + 1;
+      let name = Printf.sprintf "%s_kernel%d" enclosing_fn (st.s_counter - 1) in
+      let kernel = Kernelgen.build ~env:st.s_env ~program:st.s_program ~name dir body in
+      st.s_kernels <- st.s_kernels @ [ kernel ];
+      let offload_block =
+        Ast.Sblock
+          (List.map map_call kernel.Kernelgen.k_params
+          @ [ offload_call kernel ]
+          @ List.rev_map unmap_call kernel.Kernelgen.k_params)
+      in
+      (* if() clause: host fallback executes the stripped body *)
+      (match Ast.find_clause dir (function Ast.Cif e -> Some e | _ -> None) with
+      | Some cond -> Ast.Sif (cond, offload_block, Some (Strip.strip_stmt body))
+      | None -> offload_block)
+  end
+  else if has Ast.C_target_data then begin
+    match body with
+    | None -> translate_error "target data requires a body"
+    | Some body ->
+      let items = data_maps st dir in
+      let body' = xform_stmt st enclosing_fn body in
+      Ast.Sblock (List.map map_call items @ [ body' ] @ List.rev_map unmap_call items)
+  end
+  else if has Ast.C_target_enter_data then Ast.Sblock (List.map map_call (data_maps st dir))
+  else if has Ast.C_target_exit_data then Ast.Sblock (List.map unmap_call (data_maps st dir))
+  else if has Ast.C_target_update then begin
+    let updates =
+      List.concat_map
+        (function
+          | Ast.Cupdate_to items ->
+            List.map
+              (fun item ->
+                let mv = Region.plan_one st.s_env Ast.Map_to item in
+                Ast.expr_stmt
+                  (Ast.call "ort_update_to" [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
+              items
+          | Ast.Cupdate_from items ->
+            List.map
+              (fun item ->
+                let mv = Region.plan_one st.s_env Ast.Map_from item in
+                Ast.expr_stmt
+                  (Ast.call "ort_update_from" [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
+              items
+          | _ -> [])
+        dir.Ast.dir_clauses
+    in
+    Ast.Sblock updates
+  end
+  else
+    translate_error "unexpected host-level OpenMP construct '%s'"
+      (String.concat " " (List.map Pretty.construct_str dir.Ast.dir_constructs))
+
+and data_maps st (dir : Ast.directive) : Region.mapped_var list =
+  List.concat_map
+    (function
+      | Ast.Cmap (mt, items) -> List.map (Region.plan_one st.s_env mt) items
+      | _ -> [])
+    dir.Ast.dir_clauses
+
+(* Host-level statement transformation, maintaining the typing scope. *)
+and xform_stmt st (fn : string) (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Sdecl ds ->
+    List.iter (fun (d : Ast.decl) -> Typecheck.add_var st.s_env d.Ast.d_name d.Ast.d_ty) ds;
+    s
+  | Ast.Sblock ss ->
+    Typecheck.in_scope (fun () -> Ast.Sblock (List.map (xform_stmt st fn) ss)) st.s_env
+  | Ast.Sif (c, t, e) -> Ast.Sif (c, xform_stmt st fn t, Option.map (xform_stmt st fn) e)
+  | Ast.Swhile (c, b) -> Ast.Swhile (c, xform_stmt st fn b)
+  | Ast.Sdo (b, c) -> Ast.Sdo (xform_stmt st fn b, c)
+  | Ast.Sfor (init, c, u, b) ->
+    Typecheck.in_scope
+      (fun () ->
+        let init' = Option.map (xform_stmt st fn) init in
+        Ast.Sfor (init', c, u, xform_stmt st fn b))
+      st.s_env
+  | Ast.Spragma (Ast.Omp dir, body) ->
+    if
+      List.exists
+        (fun c ->
+          match c with
+          | Ast.C_target | Ast.C_target_data | Ast.C_target_enter_data | Ast.C_target_exit_data
+          | Ast.C_target_update -> true
+          | _ -> false)
+        dir.Ast.dir_constructs
+    then lower_target st fn dir body
+    else
+      (* host-side parallel/worksharing constructs: sequential lowering
+         (the host side is beyond the paper's scope) *)
+      Strip.strip_stmt s
+  | Ast.Spragma (Ast.Raw _, body) -> (
+    match body with Some b -> xform_stmt st fn b | None -> Ast.Snop)
+  | s -> s
+
+let translate (program : Ast.program) : output =
+  let env = Typecheck.of_program program in
+  let st = { s_env = env; s_program = program; s_kernels = []; s_counter = 0 } in
+  let host =
+    List.map
+      (fun g ->
+        match g with
+        | Ast.Gfun f ->
+          let body' =
+            Typecheck.in_scope
+              (fun () ->
+                List.iter (fun (n, ty) -> Typecheck.add_var env n ty) f.Ast.f_params;
+                xform_stmt st f.Ast.f_name f.Ast.f_body)
+              env
+          in
+          Ast.Gfun { f with f_body = body' }
+        | Ast.Gpragma (Ast.Omp _) -> Ast.Gpragma (Ast.Raw []) (* consumed *)
+        | g -> g)
+      program
+  in
+  (* drop consumed pragma markers *)
+  let host = List.filter (function Ast.Gpragma (Ast.Raw []) -> false | _ -> true) host in
+  { out_host = host; out_kernels = st.s_kernels }
+
+(* Front-to-back compilation of a source string. *)
+type compiled = {
+  c_source_name : string;
+  c_host : Ast.program;
+  c_kernels : Kernelgen.kernel list;
+  c_host_text : string;
+  c_kernel_texts : (string * string) list; (* kernel file name -> CUDA C *)
+}
+
+let compile_source ~(name : string) (source : string) : compiled =
+  let program = Parser.parse_program source in
+  let program = Omp.Rewrite.rewrite_program program in
+  (match Omp.Validate.check_program program with
+  | [] -> ()
+  | diags ->
+    translate_error "OpenMP validation failed:\n%s"
+      (String.concat "\n" (List.map (fun d -> "  " ^ d.Omp.Validate.diag_msg) diags)));
+  (match Typecheck.check_program program with
+  | [] -> ()
+  | errs -> translate_error "type errors:\n%s" (String.concat "\n" (List.map (fun e -> "  " ^ e) errs)));
+  let { out_host; out_kernels } = translate program in
+  {
+    c_source_name = name;
+    c_host = out_host;
+    c_kernels = out_kernels;
+    c_host_text = Pretty.program_to_string out_host;
+    c_kernel_texts =
+      List.map
+        (fun (k : Kernelgen.kernel) -> (k.Kernelgen.k_entry, Pretty.program_to_string k.Kernelgen.k_program))
+        out_kernels;
+  }

@@ -1,0 +1,33 @@
+(** Whole-program translation driver (the ompicc pipeline of the paper's
+    Fig. 2):
+
+    {v
+    source --parse--> AST --pragma rewrite--> typed directives
+           --transform--> host AST with ort_* calls  +  kernel files
+    v}
+
+    Each target construct is outlined into its own kernel file, named
+    [<function>_kernel<N>], matching OMPi's one-file-per-kernel layout
+    (paper 3.3). *)
+
+open Minic
+
+exception Translate_error of string
+
+type output = { out_host : Ast.program; out_kernels : Kernelgen.kernel list }
+
+(** Translate a pragma-rewritten program. *)
+val translate : Ast.program -> output
+
+type compiled = {
+  c_source_name : string;
+  c_host : Ast.program;
+  c_kernels : Kernelgen.kernel list;
+  c_host_text : string;
+  c_kernel_texts : (string * string) list;  (** kernel file name -> CUDA C *)
+}
+
+(** Front-to-back: parse, rewrite pragmas, validate, typecheck,
+    translate, pretty-print.  Raises {!Translate_error} (with collected
+    diagnostics) on invalid programs. *)
+val compile_source : name:string -> string -> compiled

@@ -1,0 +1,126 @@
+(* Data-environment planning for a target region: reconcile the map
+   clauses with the variables actually referenced in the region body and
+   derive, for each variable, the host base-address and byte-size
+   expressions (used by the generated ort_map calls) and the kernel
+   parameter type. *)
+
+open Machine
+open Minic
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+type mapped_var = {
+  mv_name : string;
+  mv_host_ty : Cty.t;
+  mv_map : Ast.map_type;
+  mv_base : Ast.expr; (* host address expression *)
+  mv_bytes : Ast.expr; (* byte count expression *)
+  mv_param_ty : Cty.t; (* kernel parameter type (always a pointer) *)
+  mv_scalar : bool; (* region references become derefs of the parameter *)
+}
+
+let sizeof_expr ty = Ast.SizeofT ty
+
+(* Section length in elements, for one map item applied to [ty]. *)
+let section_bytes (ty : Cty.t) (sections : (Ast.expr option * Ast.expr option) list) : Ast.expr =
+  match (ty, sections) with
+  | _, [] -> sizeof_expr ty
+  | (Cty.Array (elt, _) | Cty.Ptr elt), [ (lb, len) ] ->
+    (match lb with
+    | None | Some (Ast.IntLit (0L, _)) -> ()
+    | Some _ -> unsupported "array sections must start at 0 (x[0:n] or x[:n])");
+    let len =
+      match (len, ty) with
+      | Some len, _ -> len
+      | None, Cty.Array (_, Some n) -> Ast.int_lit n
+      | None, _ -> unsupported "array section needs an explicit length for pointer types"
+    in
+    Ast.mul len (sizeof_expr elt)
+  | _, _ -> unsupported "multi-dimensional array sections are not supported; map the whole array"
+
+let plan_one (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : mapped_var =
+  let name = item.Ast.mi_var in
+  let ty =
+    match Typecheck.lookup_var env name with
+    | Some ty -> ty
+    | None -> unsupported "mapped variable '%s' is not in scope" name
+  in
+  match ty with
+  | Cty.Void | Cty.Func _ -> unsupported "cannot map variable '%s' of type %s" name (Cty.show ty)
+  | Cty.Array (elt, _) ->
+    ignore elt;
+    {
+      mv_name = name;
+      mv_host_ty = ty;
+      mv_map = mt;
+      mv_base = Ast.Ident name (* decays to the base pointer *);
+      mv_bytes = section_bytes ty item.Ast.mi_sections;
+      mv_param_ty = Cty.decay ty;
+      mv_scalar = false;
+    }
+  | Cty.Ptr elt ->
+    if item.Ast.mi_sections = [] then
+      unsupported "pointer '%s' needs an array section in its map clause (e.g. %s[0:n])" name name;
+    {
+      mv_name = name;
+      mv_host_ty = ty;
+      mv_map = mt;
+      mv_base = Ast.Ident name;
+      mv_bytes = section_bytes ty item.Ast.mi_sections;
+      mv_param_ty = Cty.Ptr elt;
+      mv_scalar = false;
+    }
+  | Cty.Char | Cty.Short | Cty.Int | Cty.Long | Cty.Uchar | Cty.Ushort | Cty.Uint | Cty.Ulong
+  | Cty.Float | Cty.Double | Cty.Struct _ ->
+    {
+      mv_name = name;
+      mv_host_ty = ty;
+      mv_map = mt;
+      mv_base = Ast.AddrOf (Ast.Ident name);
+      mv_bytes = sizeof_expr ty;
+      mv_param_ty = Cty.Ptr ty;
+      mv_scalar = true;
+    }
+
+(* Build the full plan for a target-family directive: explicit map
+   clauses first (in clause order), then implicit captures.  Referenced
+   scalars not mentioned in any map clause are mapped [to] (initialised
+   copies, OMPi's behaviour); unmapped aggregates are an error. *)
+let plan (env : Typecheck.env) (dir : Ast.directive) ~(referenced : string list) : mapped_var list =
+  let explicit =
+    List.concat_map
+      (function
+        | Ast.Cmap (mt, items) -> List.map (plan_one env mt) items
+        | _ -> [])
+      dir.Ast.dir_clauses
+  in
+  let explicit_names = List.map (fun mv -> mv.mv_name) explicit in
+  let implicit =
+    List.filter_map
+      (fun name ->
+        if List.mem name explicit_names then None
+        else
+          match Typecheck.lookup_var env name with
+          | None -> None (* function name or builtin; calls are handled separately *)
+          | Some ty when Cty.is_arith ty ->
+            (* implicit scalars: initialised device copies (OMPi maps them to) *)
+            Some (plan_one env Ast.Map_to { Ast.mi_var = name; mi_sections = [] })
+          | Some (Cty.Array (_, Some _)) ->
+            (* implicit aggregates default to tofrom; if an enclosing
+               target data region already mapped them, the runtime's
+               present check avoids any transfer *)
+            Some (plan_one env Ast.Map_tofrom { Ast.mi_var = name; mi_sections = [] })
+          | Some ty ->
+            unsupported "variable '%s' of type %s is referenced in a target region but not mapped"
+              name (Cty.show ty))
+      referenced
+  in
+  explicit @ implicit
+
+let map_type_code = function
+  | Ast.Map_alloc -> 0
+  | Ast.Map_to -> 1
+  | Ast.Map_from -> 2
+  | Ast.Map_tofrom -> 3

@@ -1,0 +1,36 @@
+(** Data-environment planning for a target region: reconcile the map
+    clauses with the variables actually referenced in the region body
+    and derive, for each variable, the host base-address and byte-size
+    expressions (for the generated ort_map calls) and the kernel
+    parameter type. *)
+
+open Machine
+open Minic
+
+(** Raised for inputs the translator cannot lower (with a diagnostic). *)
+exception Unsupported of string
+
+val unsupported : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+type mapped_var = {
+  mv_name : string;
+  mv_host_ty : Cty.t;
+  mv_map : Ast.map_type;
+  mv_base : Ast.expr;  (** host address expression *)
+  mv_bytes : Ast.expr;  (** byte count expression *)
+  mv_param_ty : Cty.t;  (** kernel parameter type (always a pointer) *)
+  mv_scalar : bool;  (** region references become derefs of the parameter *)
+}
+
+(** Plan one explicit map item against the typing environment. *)
+val plan_one : Typecheck.env -> Ast.map_type -> Ast.map_item -> mapped_var
+
+(** Full plan for a target directive: explicit map clauses first (in
+    clause order), then implicit captures — referenced scalars map [to],
+    complete arrays map [tofrom] (the runtime's present check makes
+    enclosing [target data] regions effective); unmapped pointers are an
+    error. *)
+val plan : Typecheck.env -> Ast.directive -> referenced:string list -> mapped_var list
+
+(** Integer code used by the generated ort_map calls. *)
+val map_type_code : Ast.map_type -> int

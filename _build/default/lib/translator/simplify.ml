@@ -1,0 +1,29 @@
+(* Algebraic cleanup of generated expressions: constant folding and
+   neutral-element elimination.  Keeps the emitted kernel files close to
+   what a human would write (and the golden tests readable). *)
+
+open Machine
+open Minic
+
+let is_zero = function Ast.IntLit (0L, _) -> true | _ -> false
+
+let is_one = function Ast.IntLit (1L, _) -> true | _ -> false
+
+let expr (e : Ast.expr) : Ast.expr =
+  Subst.map_expr
+    (fun e ->
+      match e with
+      | Ast.Binop (op, a, b) -> (
+        match Ast.const_eval_opt e with
+        | Some v when Int64.compare v 0L >= 0 && Int64.compare v 0x7FFFFFFFL <= 0 ->
+          Ast.IntLit (v, Cty.Int)
+        | _ -> (
+          match (op, a, b) with
+          | Ast.Add, a, b when is_zero a -> b
+          | (Ast.Add | Ast.Sub), a, b when is_zero b -> a
+          | Ast.Mul, a, b when is_one a -> b
+          | (Ast.Mul | Ast.Div), a, b when is_one b -> a
+          | Ast.Mul, a, b when is_zero a || is_zero b -> Ast.int_lit 0
+          | _ -> e))
+      | e -> e)
+    e

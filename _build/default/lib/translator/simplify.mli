@@ -1,0 +1,11 @@
+(** Algebraic cleanup of generated expressions: constant folding and
+    neutral-element elimination, keeping emitted kernel files close to
+    what a human would write. *)
+
+open Minic
+
+val is_zero : Ast.expr -> bool
+
+val is_one : Ast.expr -> bool
+
+val expr : Ast.expr -> Ast.expr

@@ -1,0 +1,46 @@
+(* Sequential lowering: removes OpenMP directives while preserving the
+   program's meaning when executed by a single thread.  Used for the
+   host fallback path of an if() clause and for host-side parallel
+   constructs (this implementation runs the host single-threaded; the
+   paper's contribution is the device side). *)
+
+open Minic
+
+let rec strip_stmt (s : Ast.stmt) : Ast.stmt =
+  Ast.map_stmt
+    (function
+      | Ast.Spragma (Ast.Omp dir, body) -> strip_directive dir body
+      | s -> s)
+    s
+
+and strip_directive (dir : Ast.directive) (body : Ast.stmt option) : Ast.stmt =
+  match (dir.Ast.dir_constructs, body) with
+  (* stand-alone directives have no sequential effect *)
+  | _, None -> Ast.Snop
+  | constructs, Some body ->
+    if List.mem Ast.C_sections constructs then
+      (* each section executes once, in order *)
+      strip_sections body
+    else
+      (* target/teams/distribute/parallel/for/single/master/critical all
+         reduce to their body for one thread *)
+      body
+
+and strip_sections (body : Ast.stmt) : Ast.stmt =
+  match body with
+  | Ast.Sblock stmts ->
+    Ast.Sblock
+      (List.map
+         (function
+           | Ast.Spragma (Ast.Omp { Ast.dir_constructs = [ Ast.C_section ]; _ }, Some b) -> b
+           | s -> s)
+         stmts)
+  | s -> s
+
+let strip_program (p : Ast.program) : Ast.program =
+  List.filter_map
+    (function
+      | Ast.Gfun f -> Some (Ast.Gfun { f with f_body = strip_stmt f.f_body })
+      | Ast.Gpragma (Ast.Omp _) -> None
+      | g -> Some g)
+    p

@@ -1,0 +1,13 @@
+(** Sequential lowering: removes OpenMP directives while preserving the
+    program's meaning for single-threaded execution.  Used for the host
+    fallback path of an [if()] clause and for host-side parallel
+    constructs (the paper's contribution is the device side). *)
+
+open Minic
+
+val strip_stmt : Ast.stmt -> Ast.stmt
+
+(** Sections blocks flatten to their sections in order. *)
+val strip_sections : Ast.stmt -> Ast.stmt
+
+val strip_program : Ast.program -> Ast.program

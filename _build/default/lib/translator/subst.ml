@@ -1,0 +1,118 @@
+(* Identifier substitution with shadowing awareness, plus generic
+   expression mapping.  Used to retarget variable references when a
+   region body is outlined into a kernel or a thread function. *)
+
+open Minic
+
+let rec map_expr (f : Ast.expr -> Ast.expr) (e : Ast.expr) : Ast.expr =
+  let r = map_expr f in
+  let e' =
+    match e with
+    | Ast.IntLit _ | Ast.FloatLit _ | Ast.CharLit _ | Ast.StrLit _ | Ast.Ident _ | Ast.SizeofT _ ->
+      e
+    | Ast.Unop (op, a) -> Ast.Unop (op, r a)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, r a, r b)
+    | Ast.Assign (op, a, b) -> Ast.Assign (op, r a, r b)
+    | Ast.Call (fn, args) -> Ast.Call (fn, List.map r args)
+    | Ast.Index (a, b) -> Ast.Index (r a, r b)
+    | Ast.Member (a, fld) -> Ast.Member (r a, fld)
+    | Ast.Arrow (a, fld) -> Ast.Arrow (r a, fld)
+    | Ast.Deref a -> Ast.Deref (r a)
+    | Ast.AddrOf a -> Ast.AddrOf (r a)
+    | Ast.Cast (ty, a) -> Ast.Cast (ty, r a)
+    | Ast.SizeofE a -> Ast.SizeofE (r a)
+    | Ast.Cond (a, b, c) -> Ast.Cond (r a, r b, r c)
+    | Ast.Comma (a, b) -> Ast.Comma (r a, r b)
+  in
+  f e'
+
+(* Substitute free identifier occurrences.  [lookup] returns the
+   replacement expression for a name; names shadowed by local
+   declarations or loop-scope declarations are left alone. *)
+let subst_stmt (lookup : string -> Ast.expr option) (s : Ast.stmt) : Ast.stmt =
+  let rec subst_e bound e =
+    map_expr
+      (function
+        | Ast.Ident x when not (List.mem x bound) -> (
+          match lookup x with Some repl -> repl | None -> Ast.Ident x)
+        | e -> e)
+      e
+    |> fun e' ->
+    ignore bound;
+    e'
+  and subst_init bound = function
+    | Ast.Iexpr e -> Ast.Iexpr (subst_e bound e)
+    | Ast.Ilist l -> Ast.Ilist (List.map (subst_init bound) l)
+  and subst_decls bound ds =
+    (* declarations extend the bound set left-to-right; initialisers of a
+       declaration may still see the outer binding of later names. *)
+    let rec go bound acc = function
+      | [] -> (List.rev acc, bound)
+      | (d : Ast.decl) :: rest ->
+        let d' = { d with d_init = Option.map (subst_init bound) d.d_init } in
+        go (d.d_name :: bound) (d' :: acc) rest
+    in
+    go bound [] ds
+  and subst_block bound stmts =
+    let rec go bound acc = function
+      | [] -> List.rev acc
+      | Ast.Sdecl ds :: rest ->
+        let ds', bound' = subst_decls bound ds in
+        go bound' (Ast.Sdecl ds' :: acc) rest
+      | s :: rest -> go bound (subst_s bound s :: acc) rest
+    in
+    go bound [] stmts
+  and subst_s bound s =
+    match s with
+    | Ast.Sexpr e -> Ast.Sexpr (subst_e bound e)
+    | Ast.Sdecl ds -> Ast.Sdecl (fst (subst_decls bound ds))
+    | Ast.Sblock stmts -> Ast.Sblock (subst_block bound stmts)
+    | Ast.Sif (c, t, e) -> Ast.Sif (subst_e bound c, subst_s bound t, Option.map (subst_s bound) e)
+    | Ast.Swhile (c, b) -> Ast.Swhile (subst_e bound c, subst_s bound b)
+    | Ast.Sdo (b, c) -> Ast.Sdo (subst_s bound b, subst_e bound c)
+    | Ast.Sfor (init, cond, update, b) ->
+      let init', bound' =
+        match init with
+        | Some (Ast.Sdecl ds) ->
+          let ds', bound' = subst_decls bound ds in
+          (Some (Ast.Sdecl ds'), bound')
+        | Some (Ast.Sexpr e) -> (Some (Ast.Sexpr (subst_e bound e)), bound)
+        | Some s -> (Some (subst_s bound s), bound)
+        | None -> (None, bound)
+      in
+      Ast.Sfor (init', Option.map (subst_e bound') cond, Option.map (subst_e bound') update, subst_s bound' b)
+    | Ast.Sreturn e -> Ast.Sreturn (Option.map (subst_e bound) e)
+    | Ast.Sbreak | Ast.Scontinue | Ast.Snop -> s
+    | Ast.Spragma (p, body) -> Ast.Spragma (p, Option.map (subst_s bound) body)
+  in
+  subst_s [] s
+
+let subst_assoc (pairs : (string * Ast.expr) list) (s : Ast.stmt) : Ast.stmt =
+  subst_stmt (fun x -> List.assoc_opt x pairs) s
+
+let subst_expr_assoc (pairs : (string * Ast.expr) list) (e : Ast.expr) : Ast.expr =
+  map_expr
+    (function Ast.Ident x -> (match List.assoc_opt x pairs with Some r -> r | None -> Ast.Ident x) | e -> e)
+    e
+
+(* Free variables of a statement: identifiers referenced but not
+   declared within, in order of first appearance.  Declarations anywhere
+   in the subtree bind their name for the whole analysis (a sound
+   over-approximation for outlining: a name both declared inside and
+   referencing an outer binding would be ill-formed OpenMP anyway). *)
+let free_vars (s : Ast.stmt) : string list =
+  let declared = ref [] in
+  let collect_decls s =
+    match s with
+    | Ast.Sdecl ds -> List.iter (fun (d : Ast.decl) -> declared := d.Ast.d_name :: !declared) ds
+    | _ -> ()
+  in
+  Ast.iter_stmt ~on_expr:(fun _ -> ()) ~on_stmt:collect_decls s;
+  let seen = ref [] in
+  let on_expr e =
+    match e with
+    | Ast.Ident x when (not (List.mem x !declared)) && not (List.mem x !seen) -> seen := x :: !seen
+    | _ -> ()
+  in
+  Ast.iter_stmt ~on_expr ~on_stmt:(fun _ -> ()) s;
+  List.rev !seen

@@ -1,0 +1,21 @@
+(** Identifier substitution with shadowing awareness, plus generic
+    expression mapping.  Used to retarget variable references when a
+    region body is outlined into a kernel or a thread function. *)
+
+open Minic
+
+(** Bottom-up expression rewriting. *)
+val map_expr : (Ast.expr -> Ast.expr) -> Ast.expr -> Ast.expr
+
+(** Substitute free identifier occurrences; names shadowed by local or
+    loop-scope declarations are left alone. *)
+val subst_stmt : (string -> Ast.expr option) -> Ast.stmt -> Ast.stmt
+
+val subst_assoc : (string * Ast.expr) list -> Ast.stmt -> Ast.stmt
+
+val subst_expr_assoc : (string * Ast.expr) list -> Ast.expr -> Ast.expr
+
+(** Identifiers referenced but not declared within, in order of first
+    appearance.  Declarations anywhere in the subtree bind their name
+    for the whole analysis — a sound over-approximation for outlining. *)
+val free_vars : Ast.stmt -> string list

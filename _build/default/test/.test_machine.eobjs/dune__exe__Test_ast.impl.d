@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Ast Int64 Minic Parser Pretty Printf QCheck QCheck_alcotest String Translator

@@ -1,0 +1,1 @@
+test/test_dataenv.ml: Addr Alcotest Bytes Driver Gpusim Hostrt Int32 Machine Mem Simclock

@@ -1,0 +1,1 @@
+test/test_devrt.ml: Addr Alcotest Bytes Cty Devrt Driver Gpusim Int32 Machine Mem Minic Nvcc Simclock Simt String Translator Value

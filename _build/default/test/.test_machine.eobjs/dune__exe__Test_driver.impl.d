@@ -1,0 +1,1 @@
+test/test_driver.ml: Addr Alcotest Bytes Costmodel Cty Devrt Driver Float Gpusim Hashtbl Int32 Machine Mem Minic Nvcc Simclock Simt Value

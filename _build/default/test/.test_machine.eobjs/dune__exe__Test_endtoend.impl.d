@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Alcotest Gpusim Ompi Printf QCheck QCheck_alcotest

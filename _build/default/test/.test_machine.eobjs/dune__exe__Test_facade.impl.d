@@ -1,0 +1,1 @@
+test/test_facade.ml: Alcotest Array Filename Gpusim List Machine Minic Ompi Polybench QCheck QCheck_alcotest String Sys Translator

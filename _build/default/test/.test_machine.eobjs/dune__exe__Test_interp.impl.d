@@ -1,0 +1,1 @@
+test/test_interp.ml: Addr Alcotest Ast Buffer Cinterp Cty Float Hashtbl List Machine Mem Minic Parser QCheck QCheck_alcotest String Typecheck Value

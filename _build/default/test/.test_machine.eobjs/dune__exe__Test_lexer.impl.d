@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Fmt Int64 Lexer List Minic QCheck QCheck_alcotest String Token

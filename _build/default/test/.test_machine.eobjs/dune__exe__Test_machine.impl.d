@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Cty Float Fmt Gen Int32 Int64 List Machine Mem QCheck QCheck_alcotest Simclock Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Fmt List Machine Minic Parser Pretty

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Buffer Costmodel Counters Filename Float Gpusim Hashtbl List Perf Spec String Sys

@@ -1,0 +1,1 @@
+test/test_polybench.ml: Alcotest List Polybench Printf

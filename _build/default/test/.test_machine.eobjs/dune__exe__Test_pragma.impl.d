@@ -1,0 +1,1 @@
+test/test_pragma.ml: Alcotest Ast Fmt Lexer List Minic Omp Parser Printf String Token

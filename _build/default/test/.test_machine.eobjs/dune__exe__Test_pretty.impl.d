@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Format List Minic Ompi Parser Pretty

@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Float Fun Gpusim Hostrt List Polybench Printf

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Devrt Gen Gpusim Int64 List Minic Printf QCheck QCheck_alcotest Translator

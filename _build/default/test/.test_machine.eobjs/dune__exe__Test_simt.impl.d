@@ -1,0 +1,1 @@
+test/test_simt.ml: Addr Alcotest Bytes Costmodel Cty Devrt Driver Gpusim Int32 List Machine Mem Minic Nvcc Printf Simclock Simt String Value

@@ -1,0 +1,1 @@
+test/test_translator.ml: Alcotest Kernelgen List Loops Minic Omp Opencl Parser Pipeline Pretty Printf Region String Strip Translator

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Cty Fmt List Machine Minic Option Parser Typecheck

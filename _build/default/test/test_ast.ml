@@ -1,0 +1,94 @@
+(* AST utility tests: constant folding, traversals, simplification. *)
+
+open Minic
+
+let e = Parser.parse_expr_string
+
+let test_const_eval () =
+  let check src expected =
+    Alcotest.(check (option int64)) src expected
+      (Ast.const_eval_opt (e src))
+  in
+  check "4 * 8" (Some 32L);
+  check "(1 << 10) - 1" (Some 1023L);
+  check "-7 / 2" (Some (-3L));
+  check "100 % 7" (Some 2L);
+  check "1 / 0" None;
+  check "n + 1" None;
+  check "'a'" (Some 97L);
+  check "~0 & 15" (Some 15L);
+  check "!3" (Some 0L)
+
+let prop_const_eval_matches_ocaml =
+  QCheck.Test.make ~name:"const folding matches OCaml arithmetic" ~count:300
+    QCheck.(triple (int_range (-500) 500) (int_range (-500) 500) (int_range 1 40))
+    (fun (a, b, c) ->
+      let src = Printf.sprintf "(%d + %d) * 3 - %d / %d" a b a c in
+      Ast.const_eval_opt (e src) = Some (Int64.of_int (((a + b) * 3) - (a / c))))
+
+let test_simplify () =
+  let s src = Minic.Pretty.expr_to_string (Translator.Simplify.expr (e src)) in
+  Alcotest.(check string) "fold" "12" (s "3 * 4");
+  Alcotest.(check string) "x + 0" "x" (s "x + 0");
+  Alcotest.(check string) "0 + x" "x" (s "0 + x");
+  Alcotest.(check string) "x * 1" "x" (s "x * 1");
+  Alcotest.(check string) "x * 0" "0" (s "x * 0");
+  Alcotest.(check string) "x / 1" "x" (s "x / 1");
+  Alcotest.(check string) "untouched" "x / 2" (s "x / 2");
+  (* negative results are not folded into literals (kept symbolic) *)
+  Alcotest.(check string) "nested" "x" (s "(x + 0) * 1")
+
+let test_free_vars () =
+  let body src =
+    match Parser.parse_program ("void f(void) { " ^ src ^ " }") with
+    | [ Ast.Gfun f ] -> f.Ast.f_body
+    | _ -> Alcotest.fail "parse"
+  in
+  Alcotest.(check (list string)) "order of appearance" [ "b"; "a"; "c" ]
+    (Translator.Subst.free_vars (body "x_unused(); int x = b + a; c[x] = a;"))
+  |> ignore;
+  Alcotest.(check (list string)) "declared names excluded" [ "n" ]
+    (Translator.Subst.free_vars (body "int i; for (i = 0; i < n; i++) { int t = i; t++; }"))
+
+let test_subst_shadowing () =
+  let body src =
+    match Parser.parse_program ("void f(void) { " ^ src ^ " }") with
+    | [ Ast.Gfun f ] -> f.Ast.f_body
+    | _ -> Alcotest.fail "parse"
+  in
+  let s = Translator.Subst.subst_assoc [ ("x", Ast.ident "REPL") ] (body "y = x; { int x = 1; y = x; } y = x;") in
+  let text = Pretty.stmt_to_string s in
+  (* outer x replaced, shadowed x untouched *)
+  Alcotest.(check bool) "outer replaced" true
+    (String.length text > 0
+    && (let count needle =
+          let n = ref 0 in
+          for i = 0 to String.length text - String.length needle do
+            if String.sub text i (String.length needle) = needle then incr n
+          done;
+          !n
+        in
+        count "REPL" = 2 && count "y = x" = 1))
+
+let test_iter_expr_coverage () =
+  let count = ref 0 in
+  Ast.iter_expr (fun _ -> incr count) (e "f(a + b, c ? d[2] : *p)");
+  (* call, 2 args, binop, 2 idents, cond, 3 branches incl index+deref... *)
+  Alcotest.(check bool) "visits all nodes" true (!count >= 10)
+
+let () =
+  Alcotest.run "ast"
+    [
+      ( "const folding",
+        [
+          Alcotest.test_case "const_eval" `Quick test_const_eval;
+          QCheck_alcotest.to_alcotest prop_const_eval_matches_ocaml;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "free variables" `Quick test_free_vars;
+          Alcotest.test_case "substitution shadowing" `Quick test_subst_shadowing;
+          Alcotest.test_case "iter_expr coverage" `Quick test_iter_expr_coverage;
+        ] );
+    ]

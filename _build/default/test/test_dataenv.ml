@@ -1,0 +1,137 @@
+(* Data-environment tests: OpenMP map semantics with refcounts (the
+   machinery behind target data / enter / exit / update). *)
+
+open Machine
+open Gpusim
+
+let make () =
+  let clock = Simclock.create () in
+  let host = Mem.create ~space:Addr.Host "host" in
+  let driver = Driver.create clock in
+  Driver.ensure_initialized driver;
+  let env = Hostrt.Dataenv.create ~host ~driver in
+  (env, host, driver, clock)
+
+let set_f32 (m : Mem.t) (a : Addr.t) i v =
+  Bytes.set_int32_le m.Mem.data (a.Addr.off + (4 * i)) (Int32.bits_of_float v)
+
+let get_f32 (m : Mem.t) (a : Addr.t) i =
+  Int32.float_of_bits (Bytes.get_int32_le m.Mem.data (a.Addr.off + (4 * i)))
+
+let test_map_to_copies () =
+  let env, host, driver, _ = make () in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 3 42.0;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.To in
+  Alcotest.(check bool) "device copy initialised" true (get_f32 driver.Driver.global d 3 = 42.0)
+
+let test_alloc_does_not_copy () =
+  let env, host, driver, _ = make () in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 0 7.0;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Alloc in
+  Alcotest.(check bool) "device buffer zeroed, not copied" true (get_f32 driver.Driver.global d 0 = 0.0)
+
+let test_tofrom_roundtrip () =
+  let env, host, driver, _ = make () in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 1 1.5;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Tofrom in
+  (* device-side mutation *)
+  set_f32 driver.Driver.global d 1 9.75;
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check bool) "copied back on final unmap" true (get_f32 host h 1 = 9.75);
+  Alcotest.(check int) "entry removed" 0 (Hostrt.Dataenv.active_mappings env)
+
+let test_present_reuses () =
+  let env, host, _, clock = make () in
+  let h = Mem.alloc host 1024 in
+  let d1 = Hostrt.Dataenv.map env h ~bytes:1024 Hostrt.Dataenv.To in
+  let t = Simclock.now_s clock in
+  let d2 = Hostrt.Dataenv.map env h ~bytes:1024 Hostrt.Dataenv.Tofrom in
+  Alcotest.(check bool) "same device address" true (Addr.equal d1 d2);
+  Alcotest.(check bool) "no second transfer" true (Simclock.now_s clock -. t < 1e-6);
+  (* inner unmap: still present *)
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check int) "refcount keeps mapping" 1 (Hostrt.Dataenv.active_mappings env);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  Alcotest.(check int) "released at zero" 0 (Hostrt.Dataenv.active_mappings env)
+
+let test_containment_lookup () =
+  let env, host, _, _ = make () in
+  let h = Mem.alloc host 1024 in
+  let d = Hostrt.Dataenv.map env h ~bytes:1024 Hostrt.Dataenv.Alloc in
+  (* interior address translates with the right offset *)
+  let inner = Addr.add h 100 in
+  (match Hostrt.Dataenv.lookup env inner with
+  | Some di -> Alcotest.(check int) "offset preserved" (d.Addr.off + 100) di.Addr.off
+  | None -> Alcotest.fail "interior address should be present");
+  Alcotest.(check bool) "outside not present" true
+    (Hostrt.Dataenv.lookup env (Addr.add h 5000) = None)
+
+let test_update_to_from () =
+  let env, host, driver, _ = make () in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 0 1.0;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.To in
+  set_f32 host h 0 2.0;
+  Hostrt.Dataenv.update_to env h ~bytes:64;
+  Alcotest.(check bool) "update to pushes" true (get_f32 driver.Driver.global d 0 = 2.0);
+  set_f32 driver.Driver.global d 0 3.0;
+  Hostrt.Dataenv.update_from env h ~bytes:64;
+  Alcotest.(check bool) "update from pulls" true (get_f32 host h 0 = 3.0)
+
+let test_errors () =
+  let env, host, _, _ = make () in
+  let h = Mem.alloc host 64 in
+  let fails f = match f () with exception Hostrt.Dataenv.Map_error _ -> true | _ -> false in
+  Alcotest.(check bool) "unmap of unmapped" true
+    (fails (fun () -> Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To));
+  Alcotest.(check bool) "update of unmapped" true
+    (fails (fun () -> Hostrt.Dataenv.update_to env h ~bytes:64));
+  Alcotest.(check bool) "lookup_exn of unmapped" true
+    (match Hostrt.Dataenv.lookup_exn env h with
+    | exception Hostrt.Dataenv.Map_error _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "zero-byte map" true
+    (fails (fun () -> Hostrt.Dataenv.map env h ~bytes:0 Hostrt.Dataenv.To))
+
+let test_from_copies_back_only () =
+  let env, host, driver, _ = make () in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 2 5.0;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.From in
+  Alcotest.(check bool) "from does not initialise device" true (get_f32 driver.Driver.global d 2 = 0.0);
+  set_f32 driver.Driver.global d 2 8.0;
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.From;
+  Alcotest.(check bool) "from copies back at release" true (get_f32 host h 2 = 8.0)
+
+let test_geometry () =
+  let grid, block = Hostrt.Rt.geometry ~num_teams:100 ~num_threads:256 in
+  Alcotest.(check int) "grid 1d" 100 grid.Gpusim.Simt.x;
+  Alcotest.(check int) "block folded to 32xN" 32 block.Gpusim.Simt.x;
+  Alcotest.(check int) "block y" 8 block.Gpusim.Simt.y;
+  let grid2, _ = Hostrt.Rt.geometry ~num_teams:100000 ~num_threads:128 in
+  Alcotest.(check bool) "grid folded into 2D over 65535" true (grid2.Gpusim.Simt.y > 1);
+  Alcotest.(check bool) "total preserved or padded" true
+    (grid2.Gpusim.Simt.x * grid2.Gpusim.Simt.y >= 100000)
+
+let () =
+  Alcotest.run "dataenv"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "map(to:) copies in" `Quick test_map_to_copies;
+          Alcotest.test_case "map(alloc:) does not copy" `Quick test_alloc_does_not_copy;
+          Alcotest.test_case "map(tofrom:) roundtrip" `Quick test_tofrom_roundtrip;
+          Alcotest.test_case "map(from:) copies back only" `Quick test_from_copies_back_only;
+        ] );
+      ( "present table",
+        [
+          Alcotest.test_case "present ranges are reused" `Quick test_present_reuses;
+          Alcotest.test_case "interior-address lookup" `Quick test_containment_lookup;
+          Alcotest.test_case "target update to/from" `Quick test_update_to_from;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("geometry", [ Alcotest.test_case "teams/threads to grid/block" `Quick test_geometry ]);
+    ]

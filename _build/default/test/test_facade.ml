@@ -1,0 +1,137 @@
+(* Facade-level tests: the Ompi public API (compile / load / run /
+   emit_files) and both CLI-relevant error paths. *)
+
+let saxpy =
+  {|
+int main(void)
+{
+  float y[16];
+  int i;
+  for (i = 0; i < 16; i++) y[i] = i;
+  #pragma omp target teams distribute parallel for map(tofrom: y[0:16])
+  for (i = 0; i < 16; i++)
+    y[i] = y[i] * 2.0f;
+  printf("%f\n", y[15]);
+  return 0;
+}
+|}
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_compile_shape () =
+  let c = Ompi.compile ~name:"saxpy" saxpy in
+  Alcotest.(check int) "one kernel" 1 (List.length c.Ompi.c_kernels);
+  Alcotest.(check (list string)) "kernel names" [ "main_kernel0" ] (List.map fst c.Ompi.c_kernel_texts);
+  Alcotest.(check bool) "host text mentions ort_offload" true
+    (contains c.Ompi.c_host_text "ort_offload")
+
+let test_run () =
+  let r = Ompi.compile_and_run ~name:"saxpy" saxpy in
+  Alcotest.(check string) "output" "30.000000\n" r.Ompi.run_output;
+  Alcotest.(check int) "exit" 0 r.Ompi.run_exit;
+  Alcotest.(check int) "launches" 1 r.Ompi.run_kernel_launches;
+  Alcotest.(check bool) "time advanced" true (r.Ompi.run_time_s > 0.0)
+
+let test_ptx_config () =
+  let config = { Ompi.default_config with binary_mode = Gpusim.Nvcc.Ptx } in
+  let r = Ompi.compile_and_run ~config ~name:"saxpy" saxpy in
+  Alcotest.(check string) "ptx output equal" "30.000000\n" r.Ompi.run_output;
+  (* PTX pays the JIT at first launch *)
+  let r2 = Ompi.compile_and_run ~name:"saxpy" saxpy in
+  Alcotest.(check bool) "ptx slower than cubin on first run" true
+    (r.Ompi.run_time_s > r2.Ompi.run_time_s)
+
+let test_emit_files () =
+  let c = Ompi.compile ~name:"saxpy" saxpy in
+  let dir = Filename.temp_file "ompi" "" in
+  Sys.remove dir;
+  let files = Ompi.emit_files c ~dir in
+  Alcotest.(check int) "two files" 2 (List.length files);
+  List.iter (fun f -> Alcotest.(check bool) f true (Sys.file_exists f)) files;
+  List.iter Sys.remove files;
+  Sys.rmdir dir
+
+let test_compile_errors () =
+  let fails src =
+    match Ompi.compile ~name:"bad" src with
+    | exception Translator.Pipeline.Translate_error _ -> true
+    | exception Minic.Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "syntax error" true (fails "int main(void { return 0; }");
+  Alcotest.(check bool) "type error" true (fails "int main(void) { return ghost_var; }");
+  Alcotest.(check bool) "validation error" true
+    (fails "int main(void) { int x;\n#pragma omp parallel num_teams(4)\n{ x = 1; }\nreturn x; }")
+
+let test_custom_entry () =
+  let src =
+    {|
+int helper(int v)
+{
+  int out[1];
+  #pragma omp target map(to: v) map(tofrom: out[0:1])
+  { out[0] = v * 3; }
+  return out[0];
+}
+
+int main(void) { return 0; }
+|}
+  in
+  let inst = Ompi.load (Ompi.compile ~name:"t" src) in
+  (* run main first to make sure both entries work on one instance *)
+  let r = Ompi.run inst () in
+  Alcotest.(check int) "main exit" 0 r.Ompi.run_exit
+
+
+(* property: for arbitrary sizes and scalars, the offloaded SAXPY equals
+   the host-computed float32 reference *)
+let prop_saxpy_correct =
+  let parametric_src =
+    {|
+void saxpy(int n, float alpha, float x[], float y[])
+{
+  #pragma omp target teams distribute parallel for num_threads(64) \
+      map(to: n, alpha, x[0:n]) map(tofrom: y[0:n])
+  for (int i = 0; i < n; i++)
+    y[i] = alpha * x[i] + y[i];
+}
+|}
+  in
+  let ctx = Polybench.Harness.create () in
+  let p = Polybench.Harness.prepare_omp ctx ~name:"saxpy_prop" parametric_src in
+  QCheck.Test.make ~name:"offloaded saxpy matches float32 reference" ~count:25
+    QCheck.(pair (int_range 1 300) (float_range (-4.0) 4.0))
+    (fun (n, alpha) ->
+      let alpha = Machine.Value.round32 alpha in
+      let open Polybench.Harness in
+      let x = alloc_f32 ctx n and y = alloc_f32 ctx n in
+      fill_f32 ctx x n (fun i -> float_of_int (i mod 13) /. 13.0);
+      fill_f32 ctx y n (fun i -> float_of_int (i mod 7) /. 7.0);
+      call_omp p "saxpy" [ vint n; vf32 alpha; fptr x; fptr y ];
+      let got = read_f32_array ctx y n in
+      let want =
+        Array.init n (fun i ->
+            let open Polybench.Refmath in
+            let xi = r32 (float_of_int (i mod 13) /. 13.0) in
+            let yi = r32 (float_of_int (i mod 7) /. 7.0) in
+            (r32 alpha *% xi) +% yi)
+      in
+      max_rel_error got want < 1e-6)
+
+let () =
+  Alcotest.run "facade"
+    [
+      ( "ompi",
+        [
+          Alcotest.test_case "compile shape" `Quick test_compile_shape;
+          Alcotest.test_case "compile_and_run" `Quick test_run;
+          Alcotest.test_case "PTX config" `Quick test_ptx_config;
+          Alcotest.test_case "emit_files" `Quick test_emit_files;
+          Alcotest.test_case "error paths" `Quick test_compile_errors;
+          Alcotest.test_case "multiple entries" `Quick test_custom_entry;
+          QCheck_alcotest.to_alcotest prop_saxpy_correct;
+        ] );
+    ]

@@ -1,0 +1,57 @@
+(* Benchmark-suite validation: every application, in both the CUDA and
+   the OMPi variant, must reproduce the sequential reference bit-for-bit
+   at the validation sizes; the two variants must also agree with each
+   other. *)
+
+let validate_case (app : Polybench.Suite.app) variant n () =
+  match Polybench.Suite.validate app variant ~n with
+  | Ok err -> Alcotest.(check bool) "within tolerance" true (err < 1e-3)
+  | Error msg -> Alcotest.fail msg
+
+let agreement_case (app : Polybench.Suite.app) () =
+  let n = List.hd app.Polybench.Suite.ap_validate_sizes in
+  let ctx = Polybench.Harness.create () in
+  let _, cuda = app.Polybench.Suite.ap_run ctx Polybench.Harness.Cuda ~n in
+  let ctx2 = Polybench.Harness.create () in
+  let _, ompi = app.Polybench.Suite.ap_run ctx2 Polybench.Harness.Ompi_cudadev ~n in
+  let err = Polybench.Harness.max_rel_error ompi cuda in
+  Alcotest.(check bool) "CUDA and OMPi agree" true (err < 1e-5)
+
+let suite_metadata () =
+  Alcotest.(check int) "six applications" 6 (List.length Polybench.Suite.all);
+  Alcotest.(check int) "four extras" 4 (List.length Polybench.Suite.extras);
+  let figures = List.map (fun a -> a.Polybench.Suite.ap_figure) Polybench.Suite.all in
+  Alcotest.(check (list string)) "one per paper sub-figure"
+    [ "fig4a"; "fig4b"; "fig4c"; "fig4d"; "fig4e"; "fig4f" ]
+    (List.sort compare figures);
+  List.iter
+    (fun (a : Polybench.Suite.app) ->
+      Alcotest.(check bool) (a.Polybench.Suite.ap_name ^ " has sizes") true
+        (List.length a.Polybench.Suite.ap_sizes = 5))
+    Polybench.Suite.all
+
+let validation_tests =
+  List.concat_map
+    (fun (app : Polybench.Suite.app) ->
+      let n = List.hd app.Polybench.Suite.ap_validate_sizes in
+      [
+        Alcotest.test_case
+          (Printf.sprintf "%s/CUDA n=%d" app.Polybench.Suite.ap_name n)
+          `Quick
+          (validate_case app Polybench.Harness.Cuda n);
+        Alcotest.test_case
+          (Printf.sprintf "%s/OMPi n=%d" app.Polybench.Suite.ap_name n)
+          `Quick
+          (validate_case app Polybench.Harness.Ompi_cudadev n);
+        Alcotest.test_case
+          (Printf.sprintf "%s variants agree" app.Polybench.Suite.ap_name)
+          `Quick (agreement_case app);
+      ])
+    (Polybench.Suite.all @ Polybench.Suite.extras)
+
+let () =
+  Alcotest.run "polybench"
+    [
+      ("suite", [ Alcotest.test_case "metadata" `Quick suite_metadata ]);
+      ("validation", validation_tests);
+    ]

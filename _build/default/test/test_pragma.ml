@@ -1,0 +1,191 @@
+(* OpenMP pragma parsing and validation tests. *)
+
+open Minic
+
+let parse_dir (line : string) : Ast.directive =
+  match Lexer.tokenize ("#pragma " ^ line ^ "\nx;") |> List.map (fun s -> s.Token.tok) with
+  | Token.TPRAGMA toks :: _ -> (
+    match Omp.Pragma_parser.parse toks with
+    | Some d -> d
+    | None -> Alcotest.fail "not recognised as OpenMP")
+  | _ -> Alcotest.fail "no pragma token"
+
+let constructs line = (parse_dir line).Ast.dir_constructs
+
+let clauses line = (parse_dir line).Ast.dir_clauses
+
+let clist =
+  Alcotest.testable
+    (Fmt.of_to_string (fun cs -> String.concat " " (List.map Ast.show_construct cs)))
+    ( = )
+
+let test_constructs () =
+  Alcotest.check clist "target" [ Ast.C_target ] (constructs "omp target");
+  Alcotest.check clist "combined"
+    [ Ast.C_target; Ast.C_teams; Ast.C_distribute; Ast.C_parallel; Ast.C_for ]
+    (constructs "omp target teams distribute parallel for");
+  Alcotest.check clist "parallel for" [ Ast.C_parallel; Ast.C_for ] (constructs "omp parallel for");
+  Alcotest.check clist "target data" [ Ast.C_target_data ] (constructs "omp target data map(to: x)");
+  Alcotest.check clist "enter data" [ Ast.C_target_enter_data ]
+    (constructs "omp target enter data map(to: x)");
+  Alcotest.check clist "exit data" [ Ast.C_target_exit_data ]
+    (constructs "omp target exit data map(from: x)");
+  Alcotest.check clist "update" [ Ast.C_target_update ] (constructs "omp target update to(x)");
+  Alcotest.check clist "barrier" [ Ast.C_barrier ] (constructs "omp barrier");
+  Alcotest.check clist "critical named" [ Ast.C_critical (Some "lk") ] (constructs "omp critical(lk)");
+  Alcotest.check clist "critical anon" [ Ast.C_critical None ] (constructs "omp critical");
+  Alcotest.check clist "declare target" [ Ast.C_declare_target ] (constructs "omp declare target");
+  Alcotest.check clist "end declare target" [ Ast.C_end_declare_target ]
+    (constructs "omp end declare target");
+  Alcotest.check clist "sections" [ Ast.C_sections ] (constructs "omp sections");
+  Alcotest.check clist "single" [ Ast.C_single ] (constructs "omp single")
+
+let test_scalar_clauses () =
+  (match clauses "omp teams num_teams(16) thread_limit(n * 2)" with
+  | [ Ast.Cnum_teams (Ast.IntLit (16L, _)); Ast.Cthread_limit (Ast.Binop (Ast.Mul, _, _)) ] -> ()
+  | cs -> Alcotest.failf "got %s" (String.concat ";" (List.map Ast.show_clause cs)));
+  (match clauses "omp parallel num_threads(96) if(n > 0)" with
+  | [ Ast.Cnum_threads _; Ast.Cif _ ] -> ()
+  | _ -> Alcotest.fail "num_threads/if");
+  match clauses "omp for collapse(2) nowait" with
+  | [ Ast.Ccollapse 2; Ast.Cnowait ] -> ()
+  | _ -> Alcotest.fail "collapse/nowait"
+
+let test_map_clauses () =
+  (match clauses "omp target map(to: a, x[0:n]) map(tofrom: y[0:n*2])" with
+  | [ Ast.Cmap (Ast.Map_to, [ a; x ]); Ast.Cmap (Ast.Map_tofrom, [ y ]) ] ->
+    Alcotest.(check string) "a" "a" a.Ast.mi_var;
+    Alcotest.(check string) "x" "x" x.Ast.mi_var;
+    Alcotest.(check int) "x sections" 1 (List.length x.Ast.mi_sections);
+    (match y.Ast.mi_sections with
+    | [ (Some (Ast.IntLit (0L, _)), Some (Ast.Binop (Ast.Mul, _, _))) ] -> ()
+    | _ -> Alcotest.fail "y section exprs")
+  | cs -> Alcotest.failf "got %s" (String.concat ";" (List.map Ast.show_clause cs)));
+  (* default map type is tofrom *)
+  (match clauses "omp target map(z)" with
+  | [ Ast.Cmap (Ast.Map_tofrom, [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "default tofrom");
+  (* open-lower-bound section x[:n] *)
+  match clauses "omp target map(alloc: x[:n])" with
+  | [ Ast.Cmap (Ast.Map_alloc, [ { Ast.mi_sections = [ (None, Some _) ]; _ } ]) ] -> ()
+  | _ -> Alcotest.fail "open section"
+
+let test_schedule_clauses () =
+  (match clauses "omp for schedule(static)" with
+  | [ Ast.Cschedule (Ast.Sch_static, None) ] -> ()
+  | _ -> Alcotest.fail "static");
+  (match clauses "omp for schedule(dynamic, 16)" with
+  | [ Ast.Cschedule (Ast.Sch_dynamic, Some (Ast.IntLit (16L, _))) ] -> ()
+  | _ -> Alcotest.fail "dynamic chunk");
+  match clauses "omp for schedule(guided, c + 1)" with
+  | [ Ast.Cschedule (Ast.Sch_guided, Some (Ast.Binop (Ast.Add, _, _))) ] -> ()
+  | _ -> Alcotest.fail "guided expr chunk"
+
+let test_data_sharing_clauses () =
+  (match clauses "omp parallel private(a, b) firstprivate(c) shared(d)" with
+  | [ Ast.Cprivate [ "a"; "b" ]; Ast.Cfirstprivate [ "c" ]; Ast.Cshared [ "d" ] ] -> ()
+  | _ -> Alcotest.fail "data sharing");
+  match clauses "omp parallel default(none)" with
+  | [ Ast.Cdefault_none ] -> ()
+  | _ -> Alcotest.fail "default none"
+
+let test_reduction_clauses () =
+  (match clauses "omp parallel for reduction(+: sum)" with
+  | [ Ast.Creduction (Ast.Rd_add, [ "sum" ]) ] -> ()
+  | _ -> Alcotest.fail "+ reduction");
+  (match clauses "omp parallel for reduction(max: hi) reduction(*: prod)" with
+  | [ Ast.Creduction (Ast.Rd_max, [ "hi" ]); Ast.Creduction (Ast.Rd_mul, [ "prod" ]) ] -> ()
+  | _ -> Alcotest.fail "max/mul");
+  match clauses "omp parallel reduction(&&: all)" with
+  | [ Ast.Creduction (Ast.Rd_land, [ "all" ]) ] -> ()
+  | _ -> Alcotest.fail "logical and"
+
+let test_update_clauses () =
+  match clauses "omp target update to(a[0:n]) from(b)" with
+  | [ Ast.Cupdate_to [ _ ]; Ast.Cupdate_from [ _ ] ] -> ()
+  | _ -> Alcotest.fail "update to/from"
+
+let test_non_omp_pragma () =
+  match
+    Lexer.tokenize "#pragma once\nx;" |> List.map (fun s -> s.Token.tok) |> function
+    | Token.TPRAGMA toks :: _ -> Omp.Pragma_parser.parse toks
+    | _ -> None
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "non-omp pragma should be ignored"
+
+let test_pragma_errors () =
+  let fails line = match parse_dir line with exception Omp.Pragma_parser.Pragma_error _ -> true | _ -> false in
+  Alcotest.(check bool) "bad clause" true (fails "omp parallel bogus_clause(1)");
+  Alcotest.(check bool) "bad schedule" true (fails "omp for schedule(bogus)");
+  Alcotest.(check bool) "bad map type" true (fails "omp target map(sideways: x)");
+  Alcotest.(check bool) "empty directive" true (fails "omp");
+  Alcotest.(check bool) "collapse non-const" true (fails "omp for collapse(n)")
+
+(* ----------------------- validation ----------------------- *)
+
+let diags_of line stmt_body =
+  let src = Printf.sprintf "void f(int n, float x[]) { #pragma %s\n%s }" line stmt_body in
+  let prog = Omp.Rewrite.rewrite_program (Parser.parse_program src) in
+  Omp.Validate.check_program prog
+
+let test_validate_ok () =
+  Alcotest.(check int) "legal combined" 0
+    (List.length
+       (diags_of "omp target teams distribute parallel for map(tofrom: x[0:n])"
+          "for (int i = 0; i < n; i++) x[i] = i;"));
+  Alcotest.(check int) "legal parallel" 0
+    (List.length (diags_of "omp parallel num_threads(4)" "{ x[0] = 1.0f; }"))
+
+let test_validate_bad_combination () =
+  Alcotest.(check bool) "for teams is illegal" true
+    (List.length (diags_of "omp for teams" "for (int i = 0; i < n; i++) x[i] = i;") > 0)
+
+let test_validate_clause_placement () =
+  Alcotest.(check bool) "num_teams without teams" true
+    (List.length (diags_of "omp parallel num_teams(4)" "{ x[0] = 1.0f; }") > 0);
+  Alcotest.(check bool) "map on parallel" true
+    (List.length (diags_of "omp parallel map(to: x)" "{ x[0] = 1.0f; }") > 0);
+  Alcotest.(check bool) "schedule without for" true
+    (List.length (diags_of "omp parallel schedule(static)" "{ x[0] = 1.0f; }") > 0)
+
+let test_validate_duplicates () =
+  Alcotest.(check bool) "duplicate num_threads" true
+    (List.length (diags_of "omp parallel num_threads(2) num_threads(3)" "{ x[0] = 1.0f; }") > 0)
+
+let test_declare_target_region () =
+  let src =
+    "#pragma omp declare target\nint dbl(int v) { return v * 2; }\n#pragma omp end declare target\nint main(void) { return dbl(21); }"
+  in
+  let prog = Omp.Rewrite.rewrite_program (Parser.parse_program src) in
+  let devices =
+    List.filter_map (function Ast.Gfun f when f.Ast.f_device -> Some f.Ast.f_name | _ -> None) prog
+  in
+  Alcotest.(check (list string)) "marked device" [ "dbl" ] devices;
+  Alcotest.(check int) "no leftover pragma globals" 0
+    (List.length (List.filter (function Ast.Gpragma _ -> true | _ -> false) prog))
+
+let () =
+  Alcotest.run "pragma"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "constructs" `Quick test_constructs;
+          Alcotest.test_case "scalar clauses" `Quick test_scalar_clauses;
+          Alcotest.test_case "map clauses" `Quick test_map_clauses;
+          Alcotest.test_case "schedule clauses" `Quick test_schedule_clauses;
+          Alcotest.test_case "data-sharing clauses" `Quick test_data_sharing_clauses;
+          Alcotest.test_case "reduction clauses" `Quick test_reduction_clauses;
+          Alcotest.test_case "update clauses" `Quick test_update_clauses;
+          Alcotest.test_case "non-OpenMP pragmas kept raw" `Quick test_non_omp_pragma;
+          Alcotest.test_case "errors" `Quick test_pragma_errors;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "well-formed directives pass" `Quick test_validate_ok;
+          Alcotest.test_case "illegal combinations" `Quick test_validate_bad_combination;
+          Alcotest.test_case "clause placement" `Quick test_validate_clause_placement;
+          Alcotest.test_case "duplicate unique clauses" `Quick test_validate_duplicates;
+          Alcotest.test_case "declare target regions" `Quick test_declare_target_region;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Pretty-printer tests: C emission fidelity — precedence parentheses,
+   declarators, directives — backed by re-parse checks. *)
+
+open Minic
+
+let expr_str src = Pretty.expr_to_string (Parser.parse_expr_string src)
+
+let check = Alcotest.(check string)
+
+let test_precedence_parens () =
+  check "no spurious parens" "a + b * c" (expr_str "a + b * c");
+  check "needed parens kept" "(a + b) * c" (expr_str "(a + b) * c");
+  check "nested unary" "-(a + b)" (expr_str "-(a + b)");
+  check "assign in condition" "a = b == 1" (expr_str "a = b == 1");
+  check "comparison chain (parens redundant in C)" "a < b == c" (expr_str "(a < b) == c");
+  check "shift vs add (add binds tighter)" "a << b + 1" (expr_str "a << (b + 1)");
+  check "deref of sum" "*(p + i)" (expr_str "*(p + i)");
+  check "addr of index" "&a[i]" (expr_str "&a[i]");
+  check "cast tight binding" "(float)a / b" (expr_str "(float)a / b");
+  check "ternary" "c ? 1 : 2" (expr_str "c ? 1 : 2");
+  check "comma op" "f(a, (b, c))" (expr_str "f(a, (b, c))")
+
+let test_float_literals () =
+  check "float suffix" "1.5f" (expr_str "1.5f");
+  check "double no suffix" "1.5" (expr_str "1.5");
+  check "integral double gets point" "2.0" (expr_str "2.0");
+  check "small float" "0.25f" (expr_str "0.25f")
+
+let test_directive_printing () =
+  let dir =
+    {
+      Ast.dir_constructs = [ Ast.C_target; Ast.C_teams; Ast.C_distribute; Ast.C_parallel; Ast.C_for ];
+      dir_clauses =
+        [
+          Ast.Cnum_teams (Ast.int_lit 8);
+          Ast.Ccollapse 2;
+          Ast.Cmap (Ast.Map_tofrom, [ { Ast.mi_var = "x"; mi_sections = [ (Some (Ast.int_lit 0), Some (Ast.ident "n")) ] } ]);
+          Ast.Creduction (Ast.Rd_add, [ "s" ]);
+        ];
+    }
+  in
+  check "combined directive"
+    "#pragma omp target teams distribute parallel for num_teams(8) collapse(2) map(tofrom: x[0:n]) reduction(+: s)"
+    (Format.asprintf "%a" Pretty.pp_directive dir)
+
+let test_struct_and_globals () =
+  let prog =
+    Parser.parse_program "struct p { int a; float *b; };\nint counter;\nfloat table[4][4];"
+  in
+  let printed = Pretty.program_to_string prog in
+  let reparsed = Parser.parse_program printed in
+  Alcotest.(check bool) "globals roundtrip" true (Ast.equal_program prog reparsed)
+
+let test_statement_shapes () =
+  let roundtrip src =
+    let p = Parser.parse_program src in
+    Alcotest.(check bool) src true (Ast.equal_program p (Parser.parse_program (Pretty.program_to_string p)))
+  in
+  roundtrip "void f(void) { if (1) { } else { g(); } }\nvoid g(void) { }";
+  roundtrip "void f(int n) { do { n--; } while (n > 0); }";
+  roundtrip "void f(int n) { for (int i = 0, j = 1; i < n; i++) j += i; }";
+  roundtrip "void f(int *p) { p[0] = p[1] = 0; }";
+  roundtrip "void f(void) { int a[2][2] = { { 1, 2 }, { 3, 4 } }; }"
+
+let test_kernel_file_emission () =
+  (* a generated kernel file is valid C for our own parser *)
+  let c = Ompi.compile ~name:"t" "void f(int n, float x[]) {\n#pragma omp target teams distribute parallel for map(to: n) map(tofrom: x[0:n])\nfor (int i = 0; i < n; i++) x[i] = i;\n}" in
+  List.iter
+    (fun (_, text) ->
+      match Parser.parse_program text with
+      | _ -> ()
+      | exception Parser.Parse_error (m, _) -> Alcotest.failf "kernel not reparseable: %s\n%s" m text)
+    c.Ompi.c_kernel_texts
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence parentheses" `Quick test_precedence_parens;
+          Alcotest.test_case "float literals" `Quick test_float_literals;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "directive printing" `Quick test_directive_printing;
+          Alcotest.test_case "structs and globals" `Quick test_struct_and_globals;
+          Alcotest.test_case "statement shapes" `Quick test_statement_shapes;
+          Alcotest.test_case "kernel files reparse" `Quick test_kernel_file_emission;
+        ] );
+    ]

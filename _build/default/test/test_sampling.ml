@@ -1,0 +1,64 @@
+(* Block-sampling validation (DESIGN.md section 5): for uniform kernels,
+   the simulated time obtained from a sampled subset of blocks must
+   agree with a full simulation. *)
+
+let gemm_time ~sampling n =
+  let ctx = Polybench.Harness.create () in
+  Polybench.Harness.set_sampling ctx sampling;
+  let t, _ = Polybench.Gemm.run ctx Polybench.Harness.Cuda ~n in
+  t
+
+let test_sampled_vs_full () =
+  let full = gemm_time ~sampling:None 96 in
+  let sampled = gemm_time ~sampling:(Some 2) 96 in
+  let gap = Float.abs (sampled -. full) /. full in
+  Alcotest.(check bool)
+    (Printf.sprintf "gemm n=96: sampled %.6f vs full %.6f (gap %.1f%%)" sampled full (gap *. 100.))
+    true (gap < 0.10)
+
+let test_sampled_vs_full_ompi () =
+  let run sampling =
+    let ctx = Polybench.Harness.create () in
+    Polybench.Harness.set_sampling ctx sampling;
+    fst (Polybench.Atax.run ctx Polybench.Harness.Ompi_cudadev ~n:512)
+  in
+  let full = run None and sampled = run (Some 1) in
+  let gap = Float.abs (sampled -. full) /. full in
+  Alcotest.(check bool)
+    (Printf.sprintf "atax n=512: sampled %.6f vs full %.6f (gap %.1f%%)" sampled full (gap *. 100.))
+    true (gap < 0.10)
+
+let test_block_scale () =
+  let c = Gpusim.Counters.create Gpusim.Spec.jetson_nano_2gb in
+  c.Gpusim.Counters.blocks_total <- 100;
+  c.Gpusim.Counters.blocks_executed <- 4;
+  Alcotest.(check bool) "scale" true (Gpusim.Counters.block_scale c = 25.0);
+  let c2 = Gpusim.Counters.create Gpusim.Spec.jetson_nano_2gb in
+  Alcotest.(check bool) "no execution -> scale 1" true (Gpusim.Counters.block_scale c2 = 1.0)
+
+let test_filter_shape () =
+  (* the filter picks ~k interior blocks *)
+  match Hostrt.Rt.sampling_filter ~total_blocks:100 (Some 4) with
+  | None -> Alcotest.fail "expected a filter"
+  | Some f ->
+    let picked = List.filter f (List.init 100 Fun.id) in
+    Alcotest.(check int) "about k blocks" 4 (List.length picked);
+    Alcotest.(check bool) "block 0 avoided (edge bias)" true (not (List.mem 0 picked));
+    (* no filter when the grid is small enough *)
+    Alcotest.(check bool) "small grids unfiltered" true
+      (Hostrt.Rt.sampling_filter ~total_blocks:3 (Some 4) = None)
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "CUDA gemm sampled vs full" `Slow test_sampled_vs_full;
+          Alcotest.test_case "OMPi atax sampled vs full" `Slow test_sampled_vs_full_ompi;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "block scale factor" `Quick test_block_scale;
+          Alcotest.test_case "filter shape" `Quick test_filter_shape;
+        ] );
+    ]

@@ -1,0 +1,205 @@
+(* Property tests for the device-library worksharing arithmetic: chunk
+   calculators must partition iteration spaces exactly. *)
+
+open Devrt.Sched
+
+let range_gen = QCheck.Gen.(map2 (fun lo len -> { lo; hi = lo + len }) (int_range 0 1000) (int_range 0 5000))
+
+let arb_range = QCheck.make ~print:show_range range_gen
+
+let iter_list r = List.init (range_len r) (fun i -> r.lo + i)
+
+(* distribute chunks over all teams partition the range *)
+let prop_distribute_partition =
+  QCheck.Test.make ~name:"distribute chunks partition the range" ~count:300
+    QCheck.(pair arb_range (int_range 1 40))
+    (fun (total, num_teams) ->
+      let chunks = List.init num_teams (fun team -> distribute_chunk ~team ~num_teams total) in
+      let covered = List.concat_map iter_list chunks in
+      List.sort_uniq compare covered = iter_list total
+      && List.length covered = range_len total (* no duplicates *))
+
+let prop_static_partition =
+  QCheck.Test.make ~name:"static chunks partition the team range" ~count:300
+    QCheck.(pair arb_range (int_range 1 64))
+    (fun (team_range, num_threads) ->
+      let chunks = List.init num_threads (fun thread -> static_chunk ~thread ~num_threads team_range) in
+      let covered = List.concat_map iter_list chunks in
+      List.sort_uniq compare covered = iter_list team_range
+      && List.length covered = range_len team_range)
+
+let prop_static_cyclic_partition =
+  QCheck.Test.make ~name:"block-cyclic chunks partition the range" ~count:200
+    QCheck.(triple arb_range (int_range 1 16) (int_range 1 20))
+    (fun (team_range, num_threads, chunk) ->
+      let covered = ref [] in
+      for thread = 0 to num_threads - 1 do
+        let k = ref 0 in
+        let continue_loop = ref true in
+        while !continue_loop do
+          match static_cyclic_chunk ~thread ~num_threads ~chunk ~k:!k team_range with
+          | Some r ->
+            covered := iter_list r @ !covered;
+            incr k
+          | None -> continue_loop := false
+        done
+      done;
+      List.sort_uniq compare !covered = iter_list team_range
+      && List.length !covered = range_len team_range)
+
+let prop_dynamic_progress =
+  QCheck.Test.make ~name:"dynamic chunks consume the whole range exactly once" ~count:300
+    QCheck.(pair arb_range (int_range 1 50))
+    (fun (range, chunk) ->
+      let counter = ref range.lo in
+      let covered = ref [] in
+      let continue_loop = ref true in
+      while !continue_loop do
+        match dynamic_chunk ~counter:!counter ~chunk range with
+        | Some r ->
+          covered := iter_list r @ !covered;
+          counter := r.hi
+        | None -> continue_loop := false
+      done;
+      List.sort_uniq compare !covered = iter_list range
+      && List.length !covered = range_len range)
+
+let prop_guided_progress =
+  QCheck.Test.make ~name:"guided chunks consume the whole range, sizes never below min" ~count:300
+    QCheck.(triple arb_range (int_range 1 32) (int_range 1 16))
+    (fun (range, num_threads, min_chunk) ->
+      let counter = ref range.lo in
+      let covered = ref [] in
+      let ok_sizes = ref true in
+      let continue_loop = ref true in
+      while !continue_loop do
+        match guided_chunk ~counter:!counter ~num_threads ~min_chunk range with
+        | Some r ->
+          (* chunk is min_chunk or more, except possibly the tail *)
+          if r.hi <> range.hi && range_len r < min_chunk then ok_sizes := false;
+          covered := iter_list r @ !covered;
+          counter := r.hi
+        | None -> continue_loop := false
+      done;
+      !ok_sizes
+      && List.sort_uniq compare !covered = iter_list range
+      && List.length !covered = range_len range)
+
+let prop_guided_decreasing =
+  QCheck.Test.make ~name:"guided chunk sizes are non-increasing" ~count:200
+    QCheck.(pair (int_range 100 5000) (int_range 1 32))
+    (fun (n, num_threads) ->
+      let range = { lo = 0; hi = n } in
+      let counter = ref 0 in
+      let sizes = ref [] in
+      let continue_loop = ref true in
+      while !continue_loop do
+        match guided_chunk ~counter:!counter ~num_threads ~min_chunk:1 range with
+        | Some r ->
+          sizes := range_len r :: !sizes;
+          counter := r.hi
+        | None -> continue_loop := false
+      done;
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_increasing rest
+        | _ -> true
+      in
+      (* sizes were accumulated in reverse *)
+      non_increasing !sizes)
+
+let prop_uncollapse_bijection =
+  QCheck.Test.make ~name:"uncollapse is a bijection onto the index space" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 3) (int_range 1 12))
+    (fun extents ->
+      let total = collapsed_total extents in
+      let all = List.init total (uncollapse ~extents) in
+      List.length (List.sort_uniq compare all) = total
+      && List.for_all (fun idx -> List.for_all2 (fun i e -> i >= 0 && i < e) idx extents) all)
+
+
+(* property: canonical-loop analysis recovers the iteration count of
+   randomly shaped loops *)
+let prop_loop_extent =
+  QCheck.Test.make ~name:"canonical-loop extent matches the executed count" ~count:200
+    QCheck.(triple (int_range (-50) 50) (int_range 0 200) (int_range 1 9))
+    (fun (lb, len, step) ->
+      let ub = lb + len in
+      let src =
+        Printf.sprintf "void f(void) { for (int i = %d; i < %d; i += %d) { } }" lb ub step
+      in
+      match Minic.Parser.parse_program src with
+      | [ Minic.Ast.Gfun { f_body = Minic.Ast.Sblock [ (Minic.Ast.Sfor _ as loop) ]; _ } ] ->
+        let c = Translator.Loops.analyze loop in
+        let expected =
+          let rec count i acc = if i < ub then count (i + step) (acc + 1) else acc in
+          count lb 0
+        in
+        (match Minic.Ast.const_eval_opt (Translator.Loops.extent c) with
+        | Some e -> Int64.to_int e = expected
+        | None -> false)
+      | _ -> false)
+
+let prop_le_bound =
+  QCheck.Test.make ~name:"<= bounds analyze as exclusive + 1" ~count:100
+    QCheck.(int_range 0 100)
+    (fun ub ->
+      let src = Printf.sprintf "void f(void) { for (int i = 0; i <= %d; i++) { } }" ub in
+      match Minic.Parser.parse_program src with
+      | [ Minic.Ast.Gfun { f_body = Minic.Ast.Sblock [ (Minic.Ast.Sfor _ as loop) ]; _ } ] ->
+        let c = Translator.Loops.analyze loop in
+        Minic.Ast.const_eval_opt (Translator.Loops.extent c) = Some (Int64.of_int (ub + 1))
+      | _ -> false)
+
+(* ------------------------- unit cases ------------------------- *)
+
+let test_distribute_examples () =
+  let r = distribute_chunk ~team:0 ~num_teams:4 { lo = 0; hi = 100 } in
+  Alcotest.(check (pair int int)) "team 0" (0, 25) (r.lo, r.hi);
+  let r = distribute_chunk ~team:3 ~num_teams:4 { lo = 0; hi = 100 } in
+  Alcotest.(check (pair int int)) "team 3" (75, 100) (r.lo, r.hi);
+  (* more teams than iterations: tail teams get empty chunks *)
+  let r = distribute_chunk ~team:7 ~num_teams:8 { lo = 0; hi = 4 } in
+  Alcotest.(check int) "surplus team empty" 0 (range_len r)
+
+let test_static_examples () =
+  let r = static_chunk ~thread:1 ~num_threads:3 { lo = 10; hi = 20 } in
+  Alcotest.(check (pair int int)) "middle thread" (14, 18) (r.lo, r.hi);
+  let r = static_chunk ~thread:2 ~num_threads:3 { lo = 10; hi = 20 } in
+  Alcotest.(check (pair int int)) "tail clamped" (18, 20) (r.lo, r.hi)
+
+let test_barrier_round () =
+  let spec = Gpusim.Spec.jetson_nano_2gb in
+  List.iter
+    (fun (n, x) -> Alcotest.(check int) (Printf.sprintf "N=%d" n) x (Gpusim.Spec.barrier_round spec n))
+    [ (1, 32); (32, 32); (33, 64); (64, 64); (65, 96); (96, 96); (97, 128); (128, 128) ]
+
+let test_invalid_args () =
+  let inv f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "zero teams" true (inv (fun () -> distribute_chunk ~team:0 ~num_teams:0 { lo = 0; hi = 1 }));
+  Alcotest.(check bool) "team out of range" true
+    (inv (fun () -> distribute_chunk ~team:5 ~num_teams:3 { lo = 0; hi = 10 }));
+  Alcotest.(check bool) "bad chunk" true (inv (fun () -> dynamic_chunk ~counter:0 ~chunk:0 { lo = 0; hi = 10 }))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_distribute_partition;
+          QCheck_alcotest.to_alcotest prop_static_partition;
+          QCheck_alcotest.to_alcotest prop_static_cyclic_partition;
+          QCheck_alcotest.to_alcotest prop_dynamic_progress;
+          QCheck_alcotest.to_alcotest prop_guided_progress;
+          QCheck_alcotest.to_alcotest prop_guided_decreasing;
+          QCheck_alcotest.to_alcotest prop_uncollapse_bijection;
+          QCheck_alcotest.to_alcotest prop_loop_extent;
+          QCheck_alcotest.to_alcotest prop_le_bound;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "distribute examples" `Quick test_distribute_examples;
+          Alcotest.test_case "static examples" `Quick test_static_examples;
+          Alcotest.test_case "barrier rounding rule" `Quick test_barrier_round;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        ] );
+    ]

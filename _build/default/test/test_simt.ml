@@ -1,0 +1,258 @@
+(* SIMT engine tests: thread identities, barriers, shared memory,
+   atomics, divergence accounting, deadlock detection. *)
+
+open Machine
+open Gpusim
+
+let make_driver () = Driver.create (Simclock.create ())
+
+(* Compile a CUDA-style kernel source and launch it. *)
+let launch ?(grid = Simt.dim3 1) ?(block = Simt.dim3 32) (d : Driver.t) src entry args =
+  let prog = Minic.Parser.parse_program src in
+  (match Minic.Typecheck.check_program ~cuda:true prog with
+  | [] -> ()
+  | errs -> Alcotest.failf "kernel type errors: %s" (String.concat "; " errs));
+  let artifact = Nvcc.compile ~mode:Nvcc.Cubin ~name:entry prog in
+  let m = Driver.load_module d artifact in
+  Driver.launch_kernel d ~modul:m ~entry ~grid ~block ~args ~install_builtins:Devrt.Api.install ()
+
+let read_i32 (d : Driver.t) (a : Addr.t) i =
+  Int32.to_int (Bytes.get_int32_le d.Driver.global.Mem.data (a.Addr.off + (4 * i)))
+
+let fi = Value.ptr ~ty:Cty.Int
+
+let test_thread_identity () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 128) in
+  let src =
+    {|
+void k(int *out)
+{
+  int tid = blockIdx.x * blockDim.x + threadIdx.x;
+  out[tid] = tid * 3;
+}
+|}
+  in
+  ignore (launch ~grid:(Simt.dim3 4) ~block:(Simt.dim3 32) d src "k" [ fi buf ]);
+  for i = 0 to 127 do
+    Alcotest.(check int) (Printf.sprintf "out[%d]" i) (i * 3) (read_i32 d buf i)
+  done
+
+let test_dim_variables () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 8) in
+  let src =
+    {|
+void k(int *out)
+{
+  if (threadIdx.x == 0 && threadIdx.y == 0 && blockIdx.x == 0 && blockIdx.y == 0) {
+    out[0] = blockDim.x;
+    out[1] = blockDim.y;
+    out[2] = blockDim.z;
+    out[3] = gridDim.x;
+    out[4] = gridDim.y;
+  }
+}
+|}
+  in
+  ignore (launch ~grid:(Simt.dim3 3 ~y:2) ~block:(Simt.dim3 8 ~y:4) d src "k" [ fi buf ]);
+  Alcotest.(check (list int)) "dims" [ 8; 4; 1; 3; 2 ] (List.init 5 (read_i32 d buf))
+
+let test_syncthreads_shared () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 64) in
+  (* reverse within the block through shared memory: requires the barrier *)
+  let src =
+    {|
+void k(int *out)
+{
+  __shared__ int stage[64];
+  int t = threadIdx.x;
+  stage[t] = t * 10;
+  __syncthreads();
+  out[t] = stage[63 - t];
+}
+|}
+  in
+  ignore (launch ~block:(Simt.dim3 64) d src "k" [ fi buf ]);
+  for i = 0 to 63 do
+    Alcotest.(check int) (Printf.sprintf "out[%d]" i) ((63 - i) * 10) (read_i32 d buf i)
+  done
+
+let test_shared_is_per_block () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 4) in
+  (* each block accumulates its own shared counter; blocks must not interfere *)
+  let src =
+    {|
+void k(int *out)
+{
+  __shared__ int acc;
+  if (threadIdx.x == 0)
+    acc = 0;
+  __syncthreads();
+  atomicAdd(&acc, 1);
+  __syncthreads();
+  if (threadIdx.x == 0)
+    out[blockIdx.x] = acc;
+}
+|}
+  in
+  ignore (launch ~grid:(Simt.dim3 4) ~block:(Simt.dim3 32) d src "k" [ fi buf ]);
+  Alcotest.(check (list int)) "per-block counters" [ 32; 32; 32; 32 ] (List.init 4 (read_i32 d buf))
+
+let test_atomic_add () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d 4 in
+  let src = "void k(int *c) { atomicAdd(c, 1); }" in
+  ignore (launch ~grid:(Simt.dim3 8) ~block:(Simt.dim3 64) d src "k" [ fi buf ]);
+  Alcotest.(check int) "all increments landed" 512 (read_i32 d buf 0)
+
+let test_atomic_cas_lock () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d 8 in
+  (* non-atomic increment guarded by the cudadev CAS lock *)
+  let src =
+    {|
+void k(int *data)
+{
+  cudadev_lock(&data[0]);
+  data[1] = data[1] + 1;
+  cudadev_unlock(&data[0]);
+}
+|}
+  in
+  ignore (launch ~grid:(Simt.dim3 2) ~block:(Simt.dim3 64) d src "k" [ fi buf ]);
+  Alcotest.(check int) "mutual exclusion" 128 (read_i32 d buf 1);
+  Alcotest.(check int) "lock released" 0 (read_i32 d buf 0)
+
+let test_device_printf () =
+  let d = make_driver () in
+  let src = "void k(void) { if (threadIdx.x == 0) printf(\"hello from block %d\\n\", blockIdx.x); }" in
+  ignore (launch ~grid:(Simt.dim3 2) ~block:(Simt.dim3 32) d src "k" []);
+  Alcotest.(check string) "device printf" "hello from block 0\nhello from block 1\n" (Driver.take_output d)
+
+let test_deadlock_detection () =
+  let d = make_driver () in
+  let src =
+    {|
+void k(int *out)
+{
+  if (threadIdx.x < 16)
+    cudadev_barrier(32);
+  out[0] = 1;
+}
+|}
+  in
+  let buf = Driver.mem_alloc d 4 in
+  Alcotest.(check bool) "deadlock raises" true
+    (match launch ~block:(Simt.dim3 32) d src "k" [ fi buf ] with
+    | exception Simt.Simt_error _ -> true
+    | _ -> false)
+
+let test_mismatched_barrier () =
+  let d = make_driver () in
+  let src =
+    {|
+void k(void)
+{
+  if (threadIdx.x < 16)
+    cudadev_barrier(16);
+  else
+    cudadev_barrier(32);
+}
+|}
+  in
+  Alcotest.(check bool) "mismatched counts raise" true
+    (match launch ~block:(Simt.dim3 32) d src "k" [] with
+    | exception Simt.Simt_error _ -> true
+    | _ -> false)
+
+let test_divergence_metric () =
+  let d = make_driver () in
+  let src =
+    {|
+void k(int *out)
+{
+  if (threadIdx.x == 0) {
+    int i;
+    int s = 0;
+    for (i = 0; i < 1000; i++)
+      s += i;
+    out[0] = s;
+  }
+}
+|}
+  in
+  let buf = Driver.mem_alloc d 4 in
+  let stats = launch ~block:(Simt.dim3 32) d src "k" [ fi buf ] in
+  Alcotest.(check bool) "one hot lane inflates divergence" true
+    (stats.Driver.st_breakdown.Costmodel.bd_divergence > 10.0);
+  Alcotest.(check int) "result" 499500 (read_i32 d buf 0)
+
+let test_early_return_threads () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 64) in
+  (* guarded threads return immediately; __syncthreads uses live count *)
+  let src =
+    {|
+void k(int n, int *out)
+{
+  int t = threadIdx.x;
+  if (t >= n)
+    return;
+  out[t] = 1;
+  __syncthreads();
+  out[t] = out[t] + 1;
+}
+|}
+  in
+  ignore (launch ~block:(Simt.dim3 64) d src "k" [ Value.of_int 40; fi buf ]);
+  Alcotest.(check int) "active thread" 2 (read_i32 d buf 10);
+  Alcotest.(check int) "inactive thread untouched" 0 (read_i32 d buf 63)
+
+let test_block_limit () =
+  let d = make_driver () in
+  Alcotest.(check bool) "block too large" true
+    (match launch ~block:(Simt.dim3 2048) d "void k(void) { }" "k" [] with
+    | exception Simt.Simt_error _ -> true
+    | _ -> false)
+
+let test_host_memory_guard () =
+  let d = make_driver () in
+  let src = "void k(int *p) { p[0] = 1; }" in
+  (* passing a host address into a kernel must be caught at access time *)
+  Alcotest.(check bool) "host access from device raises" true
+    (match launch d src "k" [ Value.ptr ~ty:Cty.Int { Addr.space = Addr.Host; off = 64 } ] with
+    | exception Simt.Simt_error _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "simt"
+    [
+      ( "identity",
+        [
+          Alcotest.test_case "thread ids" `Quick test_thread_identity;
+          Alcotest.test_case "dim variables" `Quick test_dim_variables;
+        ] );
+      ( "synchronisation",
+        [
+          Alcotest.test_case "syncthreads + shared memory" `Quick test_syncthreads_shared;
+          Alcotest.test_case "shared memory is per block" `Quick test_shared_is_per_block;
+          Alcotest.test_case "atomicAdd" `Quick test_atomic_add;
+          Alcotest.test_case "CAS lock mutual exclusion" `Quick test_atomic_cas_lock;
+          Alcotest.test_case "early-returning threads" `Quick test_early_return_threads;
+        ] );
+      ( "failure modes",
+        [
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "mismatched barrier counts" `Quick test_mismatched_barrier;
+          Alcotest.test_case "block size limit" `Quick test_block_limit;
+          Alcotest.test_case "host-memory access guard" `Quick test_host_memory_guard;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "device printf" `Quick test_device_printf;
+          Alcotest.test_case "divergence metric" `Quick test_divergence_metric;
+        ] );
+    ]

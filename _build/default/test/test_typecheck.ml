@@ -1,0 +1,123 @@
+(* Typechecker tests: expression typing, scoping, whole-program checks. *)
+
+open Machine
+open Minic
+
+let cty = Alcotest.testable (Fmt.of_to_string Cty.show) Cty.equal
+
+(* type an expression in a context with some declared variables *)
+let type_in (decls : (string * Cty.t) list) (src : string) : Cty.t =
+  let env = Typecheck.create () in
+  Typecheck.push_scope env;
+  List.iter (fun (n, ty) -> Typecheck.add_var env n ty) decls;
+  Typecheck.type_of_expr env (Parser.parse_expr_string src)
+
+let base = [ ("i", Cty.Int); ("n", Cty.Int); ("f", Cty.Float); ("d", Cty.Double);
+             ("p", Cty.Ptr Cty.Float); ("a", Cty.Array (Cty.Float, Some 8));
+             ("m", Cty.Array (Cty.Array (Cty.Float, Some 4), Some 4));
+             ("u", Cty.Uint); ("l", Cty.Long) ]
+
+let test_literals () =
+  Alcotest.check cty "int" Cty.Int (type_in [] "42");
+  Alcotest.check cty "float suffix" Cty.Float (type_in [] "1.5f");
+  Alcotest.check cty "double" Cty.Double (type_in [] "1.5");
+  Alcotest.check cty "string" (Cty.Ptr Cty.Char) (type_in [] "\"hi\"");
+  Alcotest.check cty "char is int" Cty.Int (type_in [] "'c'")
+
+let test_arithmetic () =
+  Alcotest.check cty "int+int" Cty.Int (type_in base "i + n");
+  Alcotest.check cty "int*float" Cty.Float (type_in base "i * f");
+  Alcotest.check cty "float+double" Cty.Double (type_in base "f + d");
+  Alcotest.check cty "int+uint" Cty.Uint (type_in base "i + u");
+  Alcotest.check cty "long+int" Cty.Long (type_in base "l + i");
+  Alcotest.check cty "comparison is int" Cty.Int (type_in base "f < d");
+  Alcotest.check cty "logical is int" Cty.Int (type_in base "i && n")
+
+let test_pointers () =
+  Alcotest.check cty "deref" Cty.Float (type_in base "*p");
+  Alcotest.check cty "index ptr" Cty.Float (type_in base "p[3]");
+  Alcotest.check cty "index array" Cty.Float (type_in base "a[3]");
+  Alcotest.check cty "2d row" (Cty.Array (Cty.Float, Some 4)) (type_in base "m[1]");
+  Alcotest.check cty "2d element" Cty.Float (type_in base "m[1][2]");
+  Alcotest.check cty "ptr arith" (Cty.Ptr Cty.Float) (type_in base "p + 4");
+  Alcotest.check cty "ptr diff" Cty.Long (type_in base "p - p");
+  Alcotest.check cty "addrof" (Cty.Ptr Cty.Int) (type_in base "&i");
+  Alcotest.check cty "array decay in addrof ctx" (Cty.Ptr (Cty.Array (Cty.Float, Some 8)))
+    (type_in base "&a")
+
+let test_assign_cast_sizeof () =
+  Alcotest.check cty "assign has lhs type" Cty.Float (type_in base "f = i");
+  Alcotest.check cty "compound assign" Cty.Float (type_in base "f += d");
+  Alcotest.check cty "cast" (Cty.Ptr Cty.Int) (type_in base "(int *)p");
+  Alcotest.check cty "sizeof" Cty.Ulong (type_in base "sizeof(a)");
+  Alcotest.check cty "conditional" Cty.Double (type_in base "i ? f : d")
+
+let test_struct_typing () =
+  let env = Typecheck.create () in
+  ignore (Cty.define_struct env.Typecheck.structs "pt" [ ("x", Cty.Int); ("y", Cty.Float) ]);
+  Typecheck.push_scope env;
+  Typecheck.add_var env "s" (Cty.Struct "pt");
+  Typecheck.add_var env "sp" (Cty.Ptr (Cty.Struct "pt"));
+  Alcotest.check cty "member" Cty.Int (Typecheck.type_of_expr env (Parser.parse_expr_string "s.x"));
+  Alcotest.check cty "arrow" Cty.Float (Typecheck.type_of_expr env (Parser.parse_expr_string "sp->y"))
+
+let test_errors () =
+  let fails decls src =
+    match type_in decls src with
+    | exception Typecheck.Error _ -> true
+    | exception Machine.Cty.Type_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unbound" true (fails [] "nope");
+  Alcotest.(check bool) "deref int" true (fails base "*i");
+  Alcotest.(check bool) "member of int" true (fails base "i.x");
+  Alcotest.(check bool) "unknown call" true (fails base "mystery(1)")
+
+let test_scoping () =
+  let env = Typecheck.create () in
+  Typecheck.push_scope env;
+  Typecheck.add_var env "x" Cty.Int;
+  Typecheck.push_scope env;
+  Typecheck.add_var env "x" Cty.Float;
+  Alcotest.check cty "inner shadows" Cty.Float (Option.get (Typecheck.lookup_var env "x"));
+  Typecheck.pop_scope env;
+  Alcotest.check cty "outer restored" Cty.Int (Option.get (Typecheck.lookup_var env "x"))
+
+let test_check_program () =
+  let ok = Typecheck.check_program (Parser.parse_program
+    "int add(int a, int b) { return a + b; }\nint main(void) { int x = add(1, 2); return x; }") in
+  Alcotest.(check (list string)) "clean program" [] ok;
+  let errs = Typecheck.check_program (Parser.parse_program
+    "int main(void) { return bogus + 1; }") in
+  Alcotest.(check bool) "reports unbound" true (List.length errs > 0);
+  (* for-init declared variables are visible in the condition *)
+  let errs2 = Typecheck.check_program (Parser.parse_program
+    "int main(void) { int s = 0; for (int i = 0; i < 10; i++) s += i; return s; }") in
+  Alcotest.(check (list string)) "for-scope" [] errs2
+
+let test_cuda_globals () =
+  let src = "void k(float *x) { int i = blockIdx.x * blockDim.x + threadIdx.x; x[i] = i; }" in
+  Alcotest.(check bool) "cuda mode accepts builtins" true
+    (Typecheck.check_program ~cuda:true (Parser.parse_program src) = []);
+  Alcotest.(check bool) "host mode rejects them" true
+    (List.length (Typecheck.check_program (Parser.parse_program src)) > 0)
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "literals" `Quick test_literals;
+          Alcotest.test_case "arithmetic conversions" `Quick test_arithmetic;
+          Alcotest.test_case "pointers and arrays" `Quick test_pointers;
+          Alcotest.test_case "assign, cast, sizeof" `Quick test_assign_cast_sizeof;
+          Alcotest.test_case "structs" `Quick test_struct_typing;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "scoping" `Quick test_scoping;
+          Alcotest.test_case "whole-program check" `Quick test_check_program;
+          Alcotest.test_case "CUDA implicit globals" `Quick test_cuda_globals;
+        ] );
+    ]
