@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- ablate-binmode | ablate-masterworker |
                                  ablate-schedule | ablate-barrier |
                                  ablate-sections | micro
+     dune exec bench/main.exe -- trace gemm 256 gemm.json
+                                        -- one traced run + Chrome JSON
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -321,6 +323,30 @@ let all_figures () =
   say "\n--- CSV dump ---\n";
   List.iter (Perf.Report.print_csv ~oc:stdout) figs
 
+(* Run one suite application with launch-phase tracing attached and
+   write the Chrome-trace JSON: `trace <app> <n> <file>`. *)
+let trace_app name n file =
+  match Polybench.Suite.find name with
+  | None ->
+    prerr_endline ("trace: unknown application: " ^ name);
+    prerr_endline
+      ("  known: "
+      ^ String.concat ", "
+          (List.map
+             (fun a -> a.Polybench.Suite.ap_name)
+             (Polybench.Suite.all @ Polybench.Suite.extras)));
+    exit 2
+  | Some app ->
+    let ctx = Polybench.Harness.create () in
+    Polybench.Harness.set_sampling ctx None;
+    Polybench.Harness.set_translated_penalty ctx app.Polybench.Suite.ap_penalty;
+    let tr = Polybench.Harness.enable_trace ctx in
+    let time, _ = app.Polybench.Suite.ap_run ctx Polybench.Harness.Ompi_cudadev ~n in
+    Perf.Chrome_trace.write_file file tr;
+    say "%s n=%d (OMPi CUDADEV): %.6f simulated seconds\n" name n time;
+    say "trace: %d events written to %s (Chrome trace format)\n" (Perf.Trace.length tr) file;
+    Perf.Report.print_trace_summary tr
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -341,6 +367,7 @@ let () =
   | [ "ablate-schedule" ] -> ablate_schedule ()
   | [ "ablate-barrier" ] -> ablate_barrier ()
   | [ "ablate-sections" ] -> ablate_sections ()
+  | [ "trace"; name; n; file ] -> trace_app name (int_of_string n) file
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

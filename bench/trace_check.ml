@@ -1,0 +1,97 @@
+(* trace_check — validate that a Chrome-trace JSON file emitted by the
+   tracing subsystem has the shape the paper's launch model promises:
+   the three launch phases (load, parameter preparation, launch) as
+   begin/end span pairs, at least one transfer event carrying a byte
+   count, and JIT-cache hit/miss information.
+
+     dune exec bench/trace_check.exe -- out.json
+
+   Exits 0 when the schema holds, 1 with a diagnostic otherwise.  Used
+   by bench/trace_smoke.sh. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("trace_check: FAIL: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_field key ev = Option.bind (Perf.Json.member key ev) Perf.Json.to_string_opt
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+      prerr_endline "usage: trace_check <trace.json>";
+      exit 2
+  in
+  if not (Sys.file_exists path) then fail "no such file: %s" path;
+  let doc =
+    match Perf.Json.of_string (read_file path) with
+    | Ok v -> v
+    | Error msg -> fail "%s does not parse as JSON: %s" path msg
+  in
+  let events =
+    match Option.bind (Perf.Json.member "traceEvents" doc) Perf.Json.to_list_opt with
+    | Some evs -> evs
+    | None -> fail "%s has no \"traceEvents\" array" path
+  in
+  if events = [] then fail "traceEvents is empty";
+  (* Every event must carry the mandatory Chrome trace fields. *)
+  List.iteri
+    (fun i ev ->
+      (match str_field "name" ev with Some _ -> () | None -> fail "event %d has no name" i);
+      (match str_field "ph" ev with
+      | Some ("B" | "E" | "i" | "C") -> ()
+      | Some ph -> fail "event %d has unexpected phase %S" i ph
+      | None -> fail "event %d has no ph" i);
+      match Option.bind (Perf.Json.member "ts" ev) Perf.Json.to_number_opt with
+      | Some ts when ts >= 0.0 -> ()
+      | Some ts -> fail "event %d has negative timestamp %f" i ts
+      | None -> fail "event %d has no numeric ts" i)
+    events;
+  (* The three launch phases, as balanced begin/end pairs. *)
+  let count ~cat ~name ~ph =
+    List.length
+      (List.filter
+         (fun ev ->
+           str_field "cat" ev = Some cat && str_field "name" ev = Some name
+           && str_field "ph" ev = Some ph)
+         events)
+  in
+  List.iter
+    (fun phase ->
+      let b = count ~cat:"launch" ~name:phase ~ph:"B" in
+      let e = count ~cat:"launch" ~name:phase ~ph:"E" in
+      if b = 0 then fail "no \"%s\" launch-phase span" phase;
+      if b <> e then fail "unbalanced \"%s\" spans: %d begins, %d ends" phase b e)
+    [ "load"; "parameter_preparation"; "launch" ];
+  (* At least one transfer with a positive byte count. *)
+  let transfer_bytes ev =
+    if str_field "cat" ev = Some "transfer" && str_field "ph" ev = Some "B" then
+      Option.bind (Perf.Json.member "args" ev) (fun args ->
+          Option.bind (Perf.Json.member "bytes" args) Perf.Json.to_number_opt)
+    else None
+  in
+  (match List.filter_map transfer_bytes events with
+  | [] -> fail "no transfer events with byte counts"
+  | bytes ->
+    if not (List.for_all (fun b -> b > 0.0) bytes) then
+      fail "transfer event with non-positive byte count");
+  (* JIT-cache information: a cat="jit" event whose args carry the
+     cache_hit verdict (jit_compile / jit_cache_hit / cubin_load). *)
+  let has_cache_info =
+    List.exists
+      (fun ev ->
+        str_field "cat" ev = Some "jit"
+        && Option.bind (Perf.Json.member "args" ev) (fun args ->
+               Option.bind (Perf.Json.member "cache_hit" args) Perf.Json.to_bool_opt)
+           <> None)
+      events
+  in
+  if not has_cache_info then fail "no JIT-cache hit/miss event";
+  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced)\n" path
+    (List.length events)

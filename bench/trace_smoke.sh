@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 smoke check: build, run the test suite, then emit a launch
+# trace from the quickstart example in both binary modes and validate
+# its Chrome-trace schema (three launch-phase spans, transfer byte
+# counts, JIT-cache hit/miss events) with bench/trace_check.
+#
+#   sh bench/trace_smoke.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+tmpdir="${TMPDIR:-/tmp}/ompi-trace-smoke.$$"
+mkdir -p "$tmpdir"
+trap 'rm -rf "$tmpdir"' EXIT
+
+for mode in cubin ptx; do
+  echo "== ompirun --trace ($mode) =="
+  dune exec bin/ompirun.exe -- -b "$mode" --trace "$tmpdir/quickstart-$mode.json" \
+    examples/quickstart >/dev/null
+  dune exec bench/trace_check.exe -- "$tmpdir/quickstart-$mode.json"
+done
+
+echo "trace_smoke: all checks passed"

@@ -10,19 +10,41 @@ let read_file path =
   close_in ic;
   s
 
-let run_cmd input entry binary_mode verbose =
+(* Accept "examples/quickstart" as shorthand for "examples/quickstart.c". *)
+let resolve_input path =
+  if Sys.file_exists path && not (Sys.is_directory path) then Some path
+  else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
+  else None
+
+let run_cmd input entry binary_mode trace_file verbose =
+  let input =
+    match resolve_input input with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "ompirun: no such file: %s (also tried %s.c)\n" input input;
+      exit 1
+  in
   let source = read_file input in
   let stem = Filename.remove_extension (Filename.basename input) in
   let mode = if binary_mode = "ptx" then Gpusim.Nvcc.Ptx else Gpusim.Nvcc.Cubin in
   let config = { Ompi.default_config with binary_mode = mode } in
   try
     let compiled = Ompi.compile ~config ~name:stem source in
-    let instance = Ompi.load ~config compiled in
+    let instance = Ompi.load ~config ~trace:(trace_file <> None) compiled in
     let result = Ompi.run instance ~entry () in
     print_string result.Ompi.run_output;
     Printf.eprintf "[%s on %s]\n" stem Gpusim.Spec.jetson_nano_2gb.Gpusim.Spec.name;
     Printf.eprintf "[simulated time: %.6f s, %d kernel launch(es), exit code %d]\n"
       result.Ompi.run_time_s result.Ompi.run_kernel_launches result.Ompi.run_exit;
+    (match (trace_file, instance.Ompi.i_trace) with
+    | Some path, Some tr ->
+      (match Perf.Chrome_trace.write_file path tr with
+      | () ->
+        Printf.eprintf "[trace: %d events written to %s (Chrome trace format)]\n"
+          (Perf.Trace.length tr) path
+      | exception Sys_error msg -> Printf.eprintf "ompirun: cannot write trace: %s\n" msg);
+      if verbose then Perf.Report.print_trace_summary ~oc:stderr tr
+    | _ -> ());
     if verbose then begin
       let dev = Hostrt.Rt.device instance.Ompi.i_rt 0 in
       List.iter
@@ -48,12 +70,24 @@ let run_cmd input entry binary_mode verbose =
     exit 1
 
 let input_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc:"OpenMP C source file")
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE.c" ~doc:"OpenMP C source file (the .c suffix may be omitted)")
 
 let entry_arg = Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"FN" ~doc:"Entry function")
 
 let mode_arg =
   Arg.(value & opt string "cubin" & info [ "b"; "binary-mode" ] ~docv:"MODE" ~doc:"cubin or ptx")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record device init, transfers, the three launch phases and JIT-cache activity, and \
+           write a Chrome-trace JSON file (open in chrome://tracing or Perfetto)")
 
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
 
@@ -61,6 +95,6 @@ let cmd =
   let doc = "run an OpenMP C program on the simulated Jetson Nano 2GB" in
   Cmd.v
     (Cmd.info "ompirun" ~doc)
-    Term.(const run_cmd $ input_arg $ entry_arg $ mode_arg $ verbose_arg)
+    Term.(const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

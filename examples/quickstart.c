@@ -1,0 +1,35 @@
+/* The paper's Fig. 1 SAXPY example as a standalone OpenMP C program.
+ * Run it on the simulated Jetson Nano 2GB with:
+ *
+ *   dune exec bin/ompirun.exe -- examples/quickstart.c
+ *   dune exec bin/ompirun.exe -- --trace out.json examples/quickstart
+ */
+
+/* Host function that performs SAXPY on the device (paper Fig. 1) */
+void saxpy_device(float a, float x[], float y[], int size)
+{
+  #pragma omp target map(to: a, size, x[0:size]) \
+                     map(tofrom: y[0:size])
+  {
+    int i;
+    #pragma omp parallel for
+    for (i = 0; i < size; i++)
+      y[i] = a * x[i] + y[i];
+  }
+}
+
+int main(void)
+{
+  float x[1024];
+  float y[1024];
+  int i;
+  for (i = 0; i < 1024; i++) {
+    x[i] = i * 1.0f;
+    y[i] = 1000.0f;
+  }
+  saxpy_device(2.0f, x, y, 1024);
+  printf("y[0]    = %f (expect 1000)\n", y[0]);
+  printf("y[1]    = %f (expect 1002)\n", y[1]);
+  printf("y[1023] = %f (expect 3046)\n", y[1023]);
+  return 0;
+}

@@ -42,22 +42,25 @@ type instance = {
   i_compiled : compiled;
   i_rt : Hostrt.Rt.t;
   i_artifacts : Nvcc.artifact list;
+  i_trace : Perf.Trace.t option;
 }
 
-let load ?(config = default_config) (compiled : compiled) : instance =
+let load ?(config = default_config) ?(trace = false) (compiled : compiled) : instance =
   let rt = Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec () in
+  let tr = if trace then Some (Perf.Trace.create rt.Hostrt.Rt.clock) else None in
+  Hostrt.Rt.set_trace rt tr;
   let artifacts =
     List.map
       (fun (k : Translator.Kernelgen.kernel) ->
         let artifact =
-          Nvcc.compile ~mode:config.binary_mode ~name:k.Translator.Kernelgen.k_entry
+          Nvcc.compile ?trace:tr ~mode:config.binary_mode ~name:k.Translator.Kernelgen.k_entry
             k.Translator.Kernelgen.k_program
         in
         Hostrt.Rt.register_kernel rt ~dev:0 artifact;
         artifact)
       compiled.c_kernels
   in
-  { i_compiled = compiled; i_rt = rt; i_artifacts = artifacts }
+  { i_compiled = compiled; i_rt = rt; i_artifacts = artifacts; i_trace = tr }
 
 type run_result = {
   run_output : string;

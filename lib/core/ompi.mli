@@ -42,9 +42,13 @@ type instance = {
   i_compiled : compiled;
   i_rt : Hostrt.Rt.t;
   i_artifacts : Nvcc.artifact list;
+  i_trace : Perf.Trace.t option;  (** present when loaded with [~trace:true] *)
 }
 
-val load : ?config:config -> compiled -> instance
+(** [load ?trace compiled] builds a runtime with all kernel files
+    compiled and registered; [~trace:true] attaches a {!Perf.Trace}
+    ring that records compilation, init, transfer and launch events. *)
+val load : ?config:config -> ?trace:bool -> compiled -> instance
 
 type run_result = {
   run_output : string;  (** everything the program printed *)

@@ -262,6 +262,7 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
         (match Sched.dynamic_chunk ~counter:!counter ~chunk range with
         | Some r ->
           counter := r.Sched.hi;
+          bs.bs_counters.Counters.chunk_grabs <- bs.bs_counters.Counters.chunk_grabs + 1;
           store_int ctx lb_out r.Sched.lo;
           store_int ctx ub_out r.Sched.hi;
           (* yield so that other threads interleave their grabs, as the
@@ -280,6 +281,7 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
         (match Sched.guided_chunk ~counter:!counter ~num_threads:(max 1 omp.omp_num) ~min_chunk:minchunk range with
         | Some r ->
           counter := r.Sched.hi;
+          bs.bs_counters.Counters.chunk_grabs <- bs.bs_counters.Counters.chunk_grabs + 1;
           store_int ctx lb_out r.Sched.lo;
           store_int ctx ub_out r.Sched.hi;
           Simt.yield ();

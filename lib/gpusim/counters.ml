@@ -44,6 +44,7 @@ type t = {
   mutable local_accesses : int;
   mutable barrier_warp_arrivals : int; (* rounded, for cost *)
   mutable atomics : int;
+  mutable chunk_grabs : int; (* dynamic/guided scheduler chunk grants *)
   mutable blocks_executed : int;
   mutable blocks_total : int; (* including non-simulated (sampled-out) ones *)
   per_alloc : (int, alloc_stats) Hashtbl.t;
@@ -70,6 +71,7 @@ let create spec =
     local_accesses = 0;
     barrier_warp_arrivals = 0;
     atomics = 0;
+    chunk_grabs = 0;
     blocks_executed = 0;
     blocks_total = 0;
     per_alloc = Hashtbl.create 16;

@@ -42,6 +42,7 @@ type t = {
   mutable local_accesses : int;
   mutable barrier_warp_arrivals : int;  (** rounded per the paper's X = W ceil(N/W) *)
   mutable atomics : int;
+  mutable chunk_grabs : int;  (** dynamic/guided scheduler chunk grants *)
   mutable blocks_executed : int;
   mutable blocks_total : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;

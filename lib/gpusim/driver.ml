@@ -35,7 +35,22 @@ type t = {
   output : Buffer.t; (* device-side printf *)
   mutable launches : launch_stats list; (* most recent first *)
   mutable kernels_launched : int;
+  mutable trace : Perf.Trace.t option; (* launch-phase tracing, off by default *)
 }
+
+(* Tracing is optional and must cost nothing when off, so every emission
+   goes through these guards. *)
+let tr_instant t ?(args = []) ~cat name =
+  match t.trace with Some tr -> Perf.Trace.instant tr ~args ~cat name | None -> ()
+
+let tr_counter t ?(args = []) ~cat name =
+  match t.trace with Some tr -> Perf.Trace.counter tr ~args ~cat name | None -> ()
+
+let tr_begin t ?(args = []) ~cat name =
+  match t.trace with Some tr -> Perf.Trace.begin_span tr ~args ~cat name | None -> ()
+
+let tr_end t ?(args = []) ~cat name =
+  match t.trace with Some tr -> Perf.Trace.end_span tr ~args ~cat name | None -> ()
 
 let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
   {
@@ -51,7 +66,10 @@ let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
     output = Buffer.create 256;
     launches = [];
     kernels_launched = 0;
+    trace = None;
   }
+
+let set_trace t trace = t.trace <- trace
 
 (* Lazy device initialisation (paper §4.2.1): the first real use pays
    for cuInit + primary-context creation, a sizeable cost on the Nano. *)
@@ -59,7 +77,9 @@ let ensure_initialized t =
   if not t.initialized then begin
     t.initialized <- true;
     t.context_alive <- true;
-    Simclock.advance_ms t.clock 180.0
+    tr_begin t ~cat:"init" "device_init";
+    Simclock.advance_ms t.clock 180.0;
+    tr_end t ~cat:"init" "device_init"
   end
 
 let properties t =
@@ -78,13 +98,19 @@ let mem_alloc t (bytes : int) : Addr.t =
   let id = t.next_alloc_id in
   t.next_alloc_id <- id + 1;
   t.allocs <- (a.Addr.off, bytes, id) :: t.allocs;
+  tr_instant t ~cat:"mem" "mem_alloc"
+    ~args:[ ("bytes", Perf.Trace.Int bytes); ("alloc_id", Perf.Trace.Int id) ];
   a
 
 let mem_free t (a : Addr.t) : unit =
   ensure_initialized t;
   Simclock.advance_us t.clock 4.0;
+  let bytes =
+    List.fold_left (fun acc (off, len, _) -> if off = a.Addr.off then len else acc) 0 t.allocs
+  in
   Mem.free t.global a;
-  t.allocs <- List.filter (fun (off, _, _) -> off <> a.Addr.off) t.allocs
+  t.allocs <- List.filter (fun (off, _, _) -> off <> a.Addr.off) t.allocs;
+  tr_instant t ~cat:"mem" "mem_free" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
 
 let transfer_cost t len = (float_of_int len /. t.spec.Spec.memcpy_bandwidth *. 1e9)
                           +. (t.spec.Spec.memcpy_latency_us *. 1e3)
@@ -92,17 +118,22 @@ let transfer_cost t len = (float_of_int len /. t.spec.Spec.memcpy_bandwidth *. 1
 let memcpy_h2d t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
   if dst.Addr.space <> Addr.Global then cuda_error "cuMemcpyHtoD: destination is not device memory";
+  tr_begin t ~cat:"transfer" "HtoD" ~args:[ ("bytes", Perf.Trace.Int len) ];
   Simclock.advance_ns t.clock (transfer_cost t len);
-  Mem.copy ~src:host ~src_off:src.Addr.off ~dst:t.global ~dst_off:dst.Addr.off ~len
+  Mem.copy ~src:host ~src_off:src.Addr.off ~dst:t.global ~dst_off:dst.Addr.off ~len;
+  tr_end t ~cat:"transfer" "HtoD"
 
 let memcpy_d2h t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
   if src.Addr.space <> Addr.Global then cuda_error "cuMemcpyDtoH: source is not device memory";
+  tr_begin t ~cat:"transfer" "DtoH" ~args:[ ("bytes", Perf.Trace.Int len) ];
   Simclock.advance_ns t.clock (transfer_cost t len);
-  Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len
+  Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len;
+  tr_end t ~cat:"transfer" "DtoH"
 
 let memset_d t ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
+  tr_instant t ~cat:"mem" "memset" ~args:[ ("bytes", Perf.Trace.Int len) ];
   Simclock.advance_ns t.clock (transfer_cost t len /. 4.0);
   Bytes.fill t.global.Mem.data dst.Addr.off len '\000'
 
@@ -115,10 +146,40 @@ let load_module t (artifact : Nvcc.artifact) : loaded_module =
   match Hashtbl.find_opt t.modules artifact.Nvcc.art_hash with
   | Some m ->
     Simclock.advance_us t.clock 2.0 (* already resident *);
+    tr_instant t ~cat:"load" "module_resident"
+      ~args:[ ("module", Perf.Trace.Str artifact.Nvcc.art_name) ];
     m
   | None ->
     let cost = Nvcc.load_cost ~jit_cache:t.jit_cache artifact in
+    tr_begin t ~cat:"load" "module_load"
+      ~args:
+        [
+          ("module", Perf.Trace.Str artifact.Nvcc.art_name);
+          ("mode", Perf.Trace.Str (Nvcc.show_binary_mode artifact.Nvcc.art_mode));
+          ("size_bytes", Perf.Trace.Int artifact.Nvcc.art_size_bytes);
+          ("jit_compiled", Perf.Trace.Bool cost.Nvcc.lc_jit_compiled);
+          ("cache_hit", Perf.Trace.Bool cost.Nvcc.lc_cache_hit);
+        ];
     Simclock.advance_ns t.clock cost.Nvcc.lc_ns;
+    (* distinct instants so the JIT disk-cache behaviour of paper 3.3 is
+       directly assertable from a trace *)
+    (match artifact.Nvcc.art_mode with
+    | Nvcc.Ptx ->
+      let name = if cost.Nvcc.lc_cache_hit then "jit_cache_hit" else "jit_compile" in
+      tr_instant t ~cat:"jit" name
+        ~args:
+          [
+            ("module", Perf.Trace.Str artifact.Nvcc.art_name);
+            ("hash", Perf.Trace.Str artifact.Nvcc.art_hash);
+            ("cache_hit", Perf.Trace.Bool cost.Nvcc.lc_cache_hit);
+          ]
+    | Nvcc.Cubin ->
+      tr_instant t ~cat:"jit" "cubin_load"
+        ~args:
+          [
+            ("module", Perf.Trace.Str artifact.Nvcc.art_name);
+            ("cache_hit", Perf.Trace.Bool false);
+          ]);
     let alloc_global bytes = Mem.alloc t.global bytes in
     let m =
       {
@@ -127,6 +188,7 @@ let load_module t (artifact : Nvcc.artifact) : loaded_module =
       }
     in
     Hashtbl.replace t.modules artifact.Nvcc.art_hash m;
+    tr_end t ~cat:"load" "module_load";
     m
 
 let get_function (m : loaded_module) (name : string) : Ast.fundef =
@@ -144,6 +206,12 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
     ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
   ensure_initialized t;
   ignore (get_function modul entry);
+  tr_begin t ~cat:"kernel" entry
+    ~args:
+      [
+        ("grid", Perf.Trace.Int (Simt.dim3_total grid));
+        ("block", Perf.Trace.Int (Simt.dim3_total block));
+      ];
   let counters = Counters.create t.spec in
   Counters.set_alloc_table counters (Array.of_list t.allocs);
   let config =
@@ -158,6 +226,18 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
   Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
   Simclock.advance_ns t.clock breakdown.Costmodel.bd_time_ns;
   t.kernels_launched <- t.kernels_launched + 1;
+  (* per-launch device-runtime statistics, filled in by Devrt during the
+     SIMT run (barriers, scheduler chunk grabs, atomics) *)
+  tr_counter t ~cat:"kernel" "launch_counters"
+    ~args:
+      [
+        ("barrier_warp_arrivals", Perf.Trace.Int counters.Counters.barrier_warp_arrivals);
+        ("chunk_grabs", Perf.Trace.Int counters.Counters.chunk_grabs);
+        ("atomics", Perf.Trace.Int counters.Counters.atomics);
+        ("blocks_simulated", Perf.Trace.Int counters.Counters.blocks_executed);
+        ("blocks_total", Perf.Trace.Int counters.Counters.blocks_total);
+      ];
+  tr_end t ~cat:"kernel" entry;
   let stats =
     {
       st_entry = entry;

@@ -33,9 +33,14 @@ type t = {
   output : Buffer.t;  (** device-side printf *)
   mutable launches : launch_stats list;  (** most recent first *)
   mutable kernels_launched : int;
+  mutable trace : Perf.Trace.t option;  (** launch-phase tracing, off by default *)
 }
 
 val create : ?spec:Spec.t -> Simclock.t -> t
+
+(** Attach (or detach, with [None]) a trace ring; the driver then emits
+    init/mem/transfer/load/jit/kernel events into it. *)
+val set_trace : t -> Perf.Trace.t option -> unit
 
 (** Lazy device initialisation (paper 4.2.1): the first real use pays
     for cuInit + primary-context creation. *)

@@ -23,7 +23,8 @@ type artifact = {
 
 (* Modelled size ratios: PTX is lighter than a fat cubin (paper §3.3:
    "tends to produce lighter kernel binaries"). *)
-let compile ~(mode : binary_mode) ~(name : string) (program : Ast.program) : artifact =
+let compile ?(trace : Perf.Trace.t option) ~(mode : binary_mode) ~(name : string)
+    (program : Ast.program) : artifact =
   let text = Pretty.program_to_string program in
   let src_len = String.length text in
   let size, arch =
@@ -31,15 +32,29 @@ let compile ~(mode : binary_mode) ~(name : string) (program : Ast.program) : art
     | Ptx -> (src_len * 2, "compute_53")
     | Cubin -> (src_len * 5 + 4096, "sm_53")
   in
-  {
-    art_name = name;
-    art_mode = mode;
-    art_program = program;
-    art_text = text;
-    art_size_bytes = size;
-    art_hash = Digest.to_hex (Digest.string text);
-    art_arch = arch;
-  }
+  let a =
+    {
+      art_name = name;
+      art_mode = mode;
+      art_program = program;
+      art_text = text;
+      art_size_bytes = size;
+      art_hash = Digest.to_hex (Digest.string text);
+      art_arch = arch;
+    }
+  in
+  (match trace with
+  | Some tr ->
+    Perf.Trace.instant tr ~cat:"compile" "nvcc_compile"
+      ~args:
+        [
+          ("module", Perf.Trace.Str name);
+          ("mode", Perf.Trace.Str (show_binary_mode mode));
+          ("arch", Perf.Trace.Str arch);
+          ("size_bytes", Perf.Trace.Int size);
+        ]
+  | None -> ());
+  a
 
 (* Load-time costs (charged to the simulated clock by the driver):
    - cubin: plain file load, proportional to size;

@@ -27,7 +27,9 @@ type artifact = {
   art_arch : string;  (** "sm_53" or "compute_53" *)
 }
 
-val compile : mode:binary_mode -> name:string -> Ast.program -> artifact
+(** Compile a kernel file; when [trace] is given an ["nvcc_compile"]
+    instant event records the emitted artifact. *)
+val compile : ?trace:Perf.Trace.t -> mode:binary_mode -> name:string -> Ast.program -> artifact
 
 type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
 

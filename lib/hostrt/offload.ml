@@ -14,6 +14,14 @@ type arg =
 
 type result = { r_stats : Driver.launch_stats; r_output : string }
 
+(* The three phases are spans in the launch trace (category "launch"),
+   named exactly as the paper names them, so phase-level overheads can
+   be measured and regression-tested. *)
+let phase (rt : Rt.t) ?(args = []) (name : string) (f : unit -> 'a) : 'a =
+  match rt.Rt.trace with
+  | Some tr -> Perf.Trace.with_span tr ~args ~cat:"launch" name f
+  | None -> f ()
+
 (* [translated] marks kernels produced by the OMPi translator (as
    opposed to hand-written CUDA); they carry the extra runtime machinery
    and the occupancy penalty hook. *)
@@ -22,17 +30,25 @@ let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(
     () : result =
   let device = Rt.device rt dev in
   (* Phase 1: loading. *)
-  let artifact = Rt.find_kernel rt ~dev kernel_file in
-  let modul = Driver.load_module device.Rt.dev_driver artifact in
+  let modul =
+    phase rt "load"
+      ~args:[ ("kernel_file", Perf.Trace.Str kernel_file) ]
+      (fun () ->
+        let artifact = Rt.find_kernel rt ~dev kernel_file in
+        Driver.load_module device.Rt.dev_driver artifact)
+  in
   (* Phase 2: parameter preparation. *)
   let values =
-    List.map
-      (function
-        | Scalar v -> v
-        | Mapped haddr ->
-          let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
-          Value.ptr ~ty:Cty.Void daddr)
-      args
+    phase rt "parameter_preparation"
+      ~args:[ ("nargs", Perf.Trace.Int (List.length args)) ]
+      (fun () ->
+        List.map
+          (function
+            | Scalar v -> v
+            | Mapped haddr ->
+              let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
+              Value.ptr ~ty:Cty.Void daddr)
+          args)
   in
   (* Phase 3: launch. *)
   let grid, block = Rt.geometry ~num_teams ~num_threads in
@@ -44,8 +60,11 @@ let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(
     | None -> Rt.sampling_filter ~total_blocks rt.Rt.sample_max_blocks
   in
   let stats =
-    Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
-      ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()
+    phase rt "launch"
+      ~args:[ ("entry", Perf.Trace.Str entry) ]
+      (fun () ->
+        Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+          ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ())
   in
   { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }
 
@@ -57,24 +76,32 @@ let launch_typed (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : stri
     ~(num_teams : int) ~(num_threads : int) ~(args : arg list) ?(translated = true)
     ?(block_filter : (int -> bool) option) () : result =
   let device = Rt.device rt dev in
-  let artifact = Rt.find_kernel rt ~dev kernel_file in
-  let modul = Driver.load_module device.Rt.dev_driver artifact in
+  let modul =
+    phase rt "load"
+      ~args:[ ("kernel_file", Perf.Trace.Str kernel_file) ]
+      (fun () ->
+        let artifact = Rt.find_kernel rt ~dev kernel_file in
+        Driver.load_module device.Rt.dev_driver artifact)
+  in
   let entry_fn = Driver.get_function modul entry in
   let params = entry_fn.Minic.Ast.f_params in
   if List.length params <> List.length args then
     Rt.ort_error "kernel '%s' expects %d parameters, got %d" entry (List.length params)
       (List.length args);
   let values =
-    List.map2
-      (fun (_, pty) a ->
-        match a with
-        | Scalar v -> Value.cast (Cty.decay pty) v
-        | Mapped haddr ->
-          let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
-          (match Cty.decay pty with
-          | Cty.Ptr elt -> Value.ptr ~ty:elt daddr
-          | ty -> Rt.ort_error "mapped argument bound to non-pointer kernel parameter %s" (Cty.show ty)))
-      params args
+    phase rt "parameter_preparation"
+      ~args:[ ("nargs", Perf.Trace.Int (List.length args)) ]
+      (fun () ->
+        List.map2
+          (fun (_, pty) a ->
+            match a with
+            | Scalar v -> Value.cast (Cty.decay pty) v
+            | Mapped haddr ->
+              let daddr = Dataenv.lookup_exn device.Rt.dev_dataenv haddr in
+              (match Cty.decay pty with
+              | Cty.Ptr elt -> Value.ptr ~ty:elt daddr
+              | ty -> Rt.ort_error "mapped argument bound to non-pointer kernel parameter %s" (Cty.show ty)))
+          params args)
   in
   let grid, block = Rt.geometry ~num_teams ~num_threads in
   let total_blocks = Simt.dim3_total grid in
@@ -85,7 +112,10 @@ let launch_typed (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : stri
     | None -> Rt.sampling_filter ~total_blocks rt.Rt.sample_max_blocks
   in
   let stats =
-    Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
-      ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()
+    phase rt "launch"
+      ~args:[ ("entry", Perf.Trace.Str entry) ]
+      (fun () ->
+        Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+          ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ())
   in
   { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }

@@ -31,6 +31,8 @@ type t = {
   (* when set, launches simulate at most this many blocks (evenly
      spaced) and scale the measured counts to the full grid *)
   mutable sample_max_blocks : int option;
+  (* launch-phase tracing; [set_trace] propagates it to the drivers *)
+  mutable trace : Perf.Trace.t option;
 }
 
 (* Evenly-spaced block sampling filter.  The sample is offset by half a
@@ -63,7 +65,14 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) () : t =
     binary_mode;
     translated_kernel_penalty = default_penalty;
     sample_max_blocks = None;
+    trace = None;
   }
+
+(* Attach (or detach) a trace ring; devices share the runtime's ring so
+   host- and device-side events interleave on one timeline. *)
+let set_trace t (trace : Perf.Trace.t option) : unit =
+  t.trace <- trace;
+  Array.iter (fun d -> Driver.set_trace d.dev_driver trace) t.devices
 
 let device t id =
   if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;

@@ -31,11 +31,18 @@ type t = {
   mutable sample_max_blocks : int option;
       (** when set, launches simulate at most this many blocks (evenly
           spaced) and scale the measured counts to the full grid *)
+  mutable trace : Perf.Trace.t option;
+      (** launch-phase tracing; set via {!set_trace} *)
 }
 
 val default_penalty : int -> float
 
 val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> unit -> t
+
+(** Attach (or detach, with [None]) a trace ring, propagating it to
+    every device driver so host- and device-side events interleave on
+    one timeline. *)
+val set_trace : t -> Perf.Trace.t option -> unit
 
 val device : t -> int -> device
 

@@ -1,0 +1,56 @@
+(* Export a Trace ring as Chrome trace-event JSON ("JSON Object
+   Format": an object with a "traceEvents" array), loadable in
+   chrome://tracing and Perfetto.  Timestamps are microseconds; the sim
+   clock is nanoseconds, hence the /1000. *)
+
+let ph_of_kind (k : Trace.kind) : string =
+  match k with Trace.Begin -> "B" | Trace.End -> "E" | Trace.Instant -> "i" | Trace.Counter -> "C"
+
+let json_of_value (v : Trace.value) : Json.t =
+  match v with
+  | Trace.Int i -> Json.Num (float_of_int i)
+  | Trace.Float f -> Json.Num f
+  | Trace.Str s -> Json.Str s
+  | Trace.Bool b -> Json.Bool b
+
+let json_of_event (ev : Trace.event) : Json.t =
+  let base =
+    [
+      ("name", Json.Str ev.Trace.ev_name);
+      ("cat", Json.Str ev.Trace.ev_cat);
+      ("ph", Json.Str (ph_of_kind ev.Trace.ev_kind));
+      ("ts", Json.Num (ev.Trace.ev_ts_ns /. 1000.0));
+      ("pid", Json.Num 0.0);
+      ("tid", Json.Num 0.0);
+    ]
+  in
+  let scope = match ev.Trace.ev_kind with Trace.Instant -> [ ("s", Json.Str "g") ] | _ -> [] in
+  let args =
+    match ev.Trace.ev_args with
+    | [] -> []
+    | kvs -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) kvs)) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+let to_json (t : Trace.t) : Json.t =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map json_of_event (Trace.events t)));
+      ("displayTimeUnit", Json.Str "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.Str "ompi-jetson-sim");
+            ("droppedEvents", Json.Num (float_of_int (Trace.dropped t)));
+          ] );
+    ]
+
+let to_string (t : Trace.t) : string = Json.to_string (to_json t)
+
+let write_file (path : string) (t : Trace.t) : unit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string t);
+      output_char oc '\n')

@@ -1,0 +1,11 @@
+(** Export a {!Trace} ring as Chrome trace-event JSON (the "JSON Object
+    Format": an object with a ["traceEvents"] array), loadable in
+    chrome://tracing and Perfetto.  Timestamps are microseconds. *)
+
+val json_of_event : Trace.event -> Json.t
+
+val to_json : Trace.t -> Json.t
+
+val to_string : Trace.t -> string
+
+val write_file : string -> Trace.t -> unit

@@ -1,0 +1,28 @@
+(** Minimal self-contained JSON value type, printer and parser — just
+    enough for the Chrome-trace exporter and the trace-schema smoke
+    check (the toolchain ships no JSON library). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) serialization with proper string escaping. *)
+val to_string : t -> string
+
+(** Parse a complete JSON document; trailing garbage is an error. *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup; [None] on non-objects and missing keys. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+
+val to_string_opt : t -> string option
+
+val to_number_opt : t -> float option
+
+val to_bool_opt : t -> bool option

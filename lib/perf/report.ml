@@ -60,6 +60,57 @@ let print_csv ?(oc = stdout) (f : figure) : unit =
       pr "\n")
     (sizes_of f)
 
+(* Human-readable roll-up of a trace: completed spans grouped by
+   (category, name) with count / total / mean / max, then instant and
+   counter events grouped the same way.  This is the `-v` companion to
+   the Chrome JSON export. *)
+let print_trace_summary ?(oc = stdout) (t : Trace.t) : unit =
+  let pr fmt = Printf.fprintf oc fmt in
+  let groups : (string * string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Trace.span) ->
+      let key = (sp.Trace.sp_cat, sp.Trace.sp_name) in
+      match Hashtbl.find_opt groups key with
+      | Some durs -> durs := sp.Trace.sp_dur_ns :: !durs
+      | None -> Hashtbl.add groups key (ref [ sp.Trace.sp_dur_ns ]))
+    (Trace.spans t);
+  let rows =
+    Hashtbl.fold (fun key durs acc -> (key, !durs) :: acc) groups []
+    |> List.sort (fun ((c1, n1), _) ((c2, n2), _) -> compare (c1, n1) (c2, n2))
+  in
+  pr "\n=== trace summary (%d events, %d dropped) ===\n" (Trace.length t) (Trace.dropped t);
+  if rows <> [] then (
+    pr "%-14s %-26s %8s %14s %14s %14s\n" "category" "span" "count" "total(us)" "mean(us)" "max(us)";
+    List.iter
+      (fun ((cat, name), durs) ->
+        let n = List.length durs in
+        let total = List.fold_left ( +. ) 0.0 durs in
+        let mx = List.fold_left Float.max 0.0 durs in
+        pr "%-14s %-26s %8d %14.3f %14.3f %14.3f\n" cat name n (total /. 1000.0)
+          (total /. float_of_int n /. 1000.0)
+          (mx /. 1000.0))
+      rows);
+  let points : (string * string * Trace.kind, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (ev : Trace.event) ->
+      match ev.Trace.ev_kind with
+      | Trace.Instant | Trace.Counter ->
+        let key = (ev.Trace.ev_cat, ev.Trace.ev_name, ev.Trace.ev_kind) in
+        Hashtbl.replace points key (1 + Option.value ~default:0 (Hashtbl.find_opt points key))
+      | Trace.Begin | Trace.End -> ())
+    (Trace.events t);
+  let point_rows =
+    Hashtbl.fold (fun key n acc -> (key, n) :: acc) points []
+    |> List.sort (fun ((c1, n1, _), _) ((c2, n2, _), _) -> compare (c1, n1) (c2, n2))
+  in
+  if point_rows <> [] then (
+    pr "%-14s %-26s %8s\n" "category" "event" "count";
+    List.iter
+      (fun ((cat, name, kind), n) ->
+        let tag = match kind with Trace.Counter -> name ^ " [C]" | _ -> name in
+        pr "%-14s %-26s %8d\n" cat tag n)
+      point_rows)
+
 (* Shape checks used by EXPERIMENTS.md: is the second series within
    [tolerance] (relative) of the first at every size? *)
 let max_relative_gap (f : figure) : (int * float) option =

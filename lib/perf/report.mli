@@ -24,3 +24,8 @@ val print_csv : ?oc:out_channel -> figure -> unit
 (** Largest relative gap between the first two series, with the size at
     which it occurs. *)
 val max_relative_gap : figure -> (int * float) option
+
+(** Human-readable roll-up of a trace: completed spans grouped by
+    (category, name) with count / total / mean / max durations, then
+    instant/counter event counts. *)
+val print_trace_summary : ?oc:out_channel -> Trace.t -> unit

@@ -1,0 +1,147 @@
+(* Launch-phase tracing (paper §4.2.1 made observable): a bounded ring
+   of typed events stamped with the simulated clock.  The host runtime
+   and the device driver emit span begin/end pairs around the phases the
+   paper names (load, parameter preparation, launch), instants for
+   one-shot facts (JIT compile, cache hit, allocations) and counter
+   samples for per-launch dynamic statistics.  The ring never grows, so
+   tracing can stay on for a whole PolyBench sweep; when it wraps, the
+   oldest events are dropped and accounted in [dropped]. *)
+
+open Machine
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+[@@deriving show { with_path = false }, eq]
+
+type kind = Begin | End | Instant | Counter [@@deriving show { with_path = false }, eq]
+
+type event = {
+  ev_seq : int; (* monotone emission index, survives ring wraps *)
+  ev_ts_ns : float; (* simulated-clock timestamp *)
+  ev_kind : kind;
+  ev_cat : string; (* e.g. "launch", "transfer", "jit", "kernel" *)
+  ev_name : string;
+  ev_args : (string * value) list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  clock : Simclock.t;
+  capacity : int;
+  ring : event array; (* slot i valid iff i < min next_seq capacity *)
+  mutable next_seq : int; (* total events ever emitted *)
+}
+
+let dummy_event =
+  { ev_seq = -1; ev_ts_ns = 0.0; ev_kind = Instant; ev_cat = ""; ev_name = ""; ev_args = [] }
+
+let default_capacity = 65536
+
+let create ?(capacity = default_capacity) (clock : Simclock.t) : t =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { clock; capacity; ring = Array.make capacity dummy_event; next_seq = 0 }
+
+let length t = min t.next_seq t.capacity
+
+let dropped t = max 0 (t.next_seq - t.capacity)
+
+let clear t = t.next_seq <- 0
+
+let now_ns t = Simclock.now_ns t.clock
+
+let emit t (kind : kind) ~(cat : string) (name : string) (args : (string * value) list) : unit =
+  let ev =
+    { ev_seq = t.next_seq; ev_ts_ns = now_ns t; ev_kind = kind; ev_cat = cat; ev_name = name; ev_args = args }
+  in
+  t.ring.(t.next_seq mod t.capacity) <- ev;
+  t.next_seq <- t.next_seq + 1
+
+(* Retained events, oldest first. *)
+let events t : event list =
+  let n = length t in
+  let first = t.next_seq - n in
+  List.init n (fun i -> t.ring.((first + i) mod t.capacity))
+
+let instant t ?(args = []) ~cat name = emit t Instant ~cat name args
+
+let counter t ?(args = []) ~cat name = emit t Counter ~cat name args
+
+let begin_span t ?(args = []) ~cat name = emit t Begin ~cat name args
+
+let end_span t ?(args = []) ~cat name = emit t End ~cat name args
+
+(* Span around [f]; the end event repeats the name so B/E pairs can be
+   matched even when nested. *)
+let with_span t ?(args = []) ~cat name (f : unit -> 'a) : 'a =
+  begin_span t ~args ~cat name;
+  match f () with
+  | result ->
+    end_span t ~cat name;
+    result
+  | exception e ->
+    end_span t ~args:[ ("error", Str (Printexc.to_string e)) ] ~cat name;
+    raise e
+
+(* ---------------------------------------------------------------- *)
+(* Derived views                                                      *)
+(* ---------------------------------------------------------------- *)
+
+type span = {
+  sp_cat : string;
+  sp_name : string;
+  sp_ts_ns : float;
+  sp_dur_ns : float;
+  sp_args : (string * value) list; (* begin-event args *)
+}
+
+(* Pair begin/end events into completed spans.  Emission is
+   single-threaded, so a stack suffices; begins whose ends were dropped
+   by the ring (or vice versa) are skipped. *)
+let spans t : span list =
+  let stack = ref [] in
+  let out = ref [] in
+  List.iter
+    (fun ev ->
+      match ev.ev_kind with
+      | Begin -> stack := ev :: !stack
+      | End -> (
+        match !stack with
+        | b :: rest when b.ev_cat = ev.ev_cat && b.ev_name = ev.ev_name ->
+          stack := rest;
+          out :=
+            {
+              sp_cat = b.ev_cat;
+              sp_name = b.ev_name;
+              sp_ts_ns = b.ev_ts_ns;
+              sp_dur_ns = ev.ev_ts_ns -. b.ev_ts_ns;
+              sp_args = b.ev_args;
+            }
+            :: !out
+        | _ -> () (* unmatched end: its begin fell off the ring *))
+      | Instant | Counter -> ())
+    (events t);
+  List.rev !out
+
+let find_events t ?cat ?name () : event list =
+  List.filter
+    (fun ev ->
+      (match cat with Some c -> ev.ev_cat = c | None -> true)
+      && match name with Some n -> ev.ev_name = n | None -> true)
+    (events t)
+
+let count_events t ?cat ?name () = List.length (find_events t ?cat ?name ())
+
+let int_arg (ev : event) (key : string) : int option =
+  match List.assoc_opt key ev.ev_args with
+  | Some (Int i) -> Some i
+  | Some (Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let bool_arg (ev : event) (key : string) : bool option =
+  match List.assoc_opt key ev.ev_args with Some (Bool b) -> Some b | _ -> None
+
+let str_arg (ev : event) (key : string) : string option =
+  match List.assoc_opt key ev.ev_args with Some (Str s) -> Some s | _ -> None

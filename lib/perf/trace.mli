@@ -1,0 +1,93 @@
+(** Launch-phase tracing: a bounded ring of typed events stamped with
+    the simulated clock.  The host runtime and device driver emit span
+    begin/end pairs around the paper's three launch phases (load,
+    parameter preparation, launch), instants for one-shot facts (JIT
+    compile, cache hit, allocations, transfers) and counter samples for
+    per-launch dynamic statistics.  Export via {!Chrome_trace} or
+    {!Report.print_trace_summary}. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+val pp_value : Format.formatter -> value -> unit
+
+val show_value : value -> string
+
+val equal_value : value -> value -> bool
+
+type kind = Begin | End | Instant | Counter
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val show_kind : kind -> string
+
+val equal_kind : kind -> kind -> bool
+
+type event = {
+  ev_seq : int;  (** monotone emission index, survives ring wraps *)
+  ev_ts_ns : float;  (** simulated-clock timestamp *)
+  ev_kind : kind;
+  ev_cat : string;  (** e.g. "launch", "transfer", "jit", "kernel" *)
+  ev_name : string;
+  ev_args : (string * value) list;
+}
+
+val pp_event : Format.formatter -> event -> unit
+
+val show_event : event -> string
+
+val equal_event : event -> event -> bool
+
+type t
+
+val default_capacity : int
+
+(** Fixed-capacity ring; when full, the oldest events are overwritten
+    and counted by {!dropped}.  @raise Invalid_argument on capacity <= 0 *)
+val create : ?capacity:int -> Machine.Simclock.t -> t
+
+(** Number of retained events. *)
+val length : t -> int
+
+(** Events lost to ring wrap-around. *)
+val dropped : t -> int
+
+val clear : t -> unit
+
+val instant : t -> ?args:(string * value) list -> cat:string -> string -> unit
+
+val counter : t -> ?args:(string * value) list -> cat:string -> string -> unit
+
+val begin_span : t -> ?args:(string * value) list -> cat:string -> string -> unit
+
+val end_span : t -> ?args:(string * value) list -> cat:string -> string -> unit
+
+(** [with_span t ~cat name f] brackets [f] with begin/end events; on
+    exception the end event carries an ["error"] arg and the exception
+    is re-raised. *)
+val with_span : t -> ?args:(string * value) list -> cat:string -> string -> (unit -> 'a) -> 'a
+
+(** Retained events, oldest first. *)
+val events : t -> event list
+
+type span = {
+  sp_cat : string;
+  sp_name : string;
+  sp_ts_ns : float;
+  sp_dur_ns : float;
+  sp_args : (string * value) list;  (** begin-event args *)
+}
+
+(** Completed begin/end pairs, in completion order.  Pairs whose begin
+    or end fell off the ring are skipped. *)
+val spans : t -> span list
+
+(** Retained events filtered by category and/or name, oldest first. *)
+val find_events : t -> ?cat:string -> ?name:string -> unit -> event list
+
+val count_events : t -> ?cat:string -> ?name:string -> unit -> int
+
+val int_arg : event -> string -> int option
+
+val bool_arg : event -> string -> bool option
+
+val str_arg : event -> string -> string option

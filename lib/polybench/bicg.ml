@@ -124,10 +124,10 @@ let run_cuda ctx ~n : float * float array =
   in
   (time, read_result ctx s q n)
 
-let run_ompi ctx ~n : float * float array =
+let run_ompi ?(host_interp = false) ctx ~n : float * float array =
   let open Harness in
   let a, r, p, s, q = fill_inputs ctx ~n in
-  let prog = prepare_omp ctx ~name:"bicg" omp_source in
+  let prog = prepare_omp ~host_interp ctx ~name:"bicg" omp_source in
   let teams = (n + threads - 1) / threads in
   let time =
     measure ctx (fun () ->
@@ -139,3 +139,4 @@ let run ctx (variant : Harness.variant) ~n =
   match variant with
   | Harness.Cuda -> run_cuda ctx ~n
   | Harness.Ompi_cudadev -> run_ompi ctx ~n
+  | Harness.Host_interp -> run_ompi ~host_interp:true ctx ~n

@@ -130,10 +130,10 @@ let run_cuda ctx ~n : float * float array =
   in
   (time, read_f32_array ctx b (n * n * n))
 
-let run_ompi ctx ~n : float * float array =
+let run_ompi ?(host_interp = false) ctx ~n : float * float array =
   let open Harness in
   let a, b = fill_inputs ctx ~n in
-  let p = prepare_omp ctx ~name:"conv3d" omp_source in
+  let p = prepare_omp ~host_interp ctx ~name:"conv3d" omp_source in
   let total = (n - 2) * (n - 2) * (n - 2) in
   let teams = (total + 255) / 256 in
   let time = measure ctx (fun () -> call_omp p "conv3d_omp" [ vint n; vint (max 1 teams); fptr a; fptr b ]) in
@@ -143,3 +143,4 @@ let run ctx (variant : Harness.variant) ~n =
   match variant with
   | Harness.Cuda -> run_cuda ctx ~n
   | Harness.Ompi_cudadev -> run_ompi ctx ~n
+  | Harness.Host_interp -> run_ompi ~host_interp:true ctx ~n

@@ -110,10 +110,10 @@ let run_cuda ctx ~n : float * float array =
   in
   (time, read_f32_array ctx y n)
 
-let run_ompi ctx ~n : float * float array =
+let run_ompi ?(host_interp = false) ctx ~n : float * float array =
   let open Harness in
   let a, b, x, y = fill_inputs ctx ~n in
-  let p = prepare_omp ctx ~name:"gesummv" omp_source in
+  let p = prepare_omp ~host_interp ctx ~name:"gesummv" omp_source in
   let teams = (n + threads - 1) / threads in
   let time =
     measure ctx (fun () ->
@@ -126,3 +126,4 @@ let run ctx (variant : Harness.variant) ~n =
   match variant with
   | Harness.Cuda -> run_cuda ctx ~n
   | Harness.Ompi_cudadev -> run_ompi ctx ~n
+  | Harness.Host_interp -> run_ompi ~host_interp:true ctx ~n

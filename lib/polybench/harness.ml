@@ -19,9 +19,12 @@ type ctx = {
   mutable cuda_modules : (string * Driver.loaded_module) list;
 }
 
-type variant = Cuda | Ompi_cudadev [@@deriving show { with_path = false }, eq]
+type variant = Cuda | Ompi_cudadev | Host_interp [@@deriving show { with_path = false }, eq]
 
-let variant_label = function Cuda -> "CUDA" | Ompi_cudadev -> "OMPi CUDADEV"
+let variant_label = function
+  | Cuda -> "CUDA"
+  | Ompi_cudadev -> "OMPi CUDADEV"
+  | Host_interp -> "Host (Cinterp)"
 
 let create ?(binary_mode = Nvcc.Cubin) () : ctx =
   let rt = Hostrt.Rt.create ~binary_mode () in
@@ -29,6 +32,13 @@ let create ?(binary_mode = Nvcc.Cubin) () : ctx =
      windows only contain transfers and kernel work, as in the paper. *)
   Driver.ensure_initialized (Hostrt.Rt.device rt 0).Hostrt.Rt.dev_driver;
   { rt; cuda_modules = [] }
+
+(* Attach a fresh trace ring to this harness's runtime (and its device
+   drivers) so every subsequent run records launch-phase events. *)
+let enable_trace ctx : Perf.Trace.t =
+  let tr = Perf.Trace.create ctx.rt.Hostrt.Rt.clock in
+  Hostrt.Rt.set_trace ctx.rt (Some tr);
+  tr
 
 let driver ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_driver
 
@@ -136,24 +146,37 @@ let dev_free ctx (a : Addr.t) = Driver.mem_free (driver ctx) a
 (* ---------------------------------------------------------------- *)
 
 type omp_program = {
-  op_compiled : Ompi.compiled;
-  op_ctx : Cinterp.Interp.t; (* interpreter over the translated host code *)
+  op_compiled : Ompi.compiled option; (* None for the host-interpreter lowering *)
+  op_ctx : Cinterp.Interp.t; (* interpreter over the translated (or stripped) host code *)
 }
 
 (* Compile an OpenMP source and prepare its translated host program for
-   interpretation inside this harness's runtime. *)
-let prepare_omp ctx ~(name : string) (source : string) : omp_program =
-  let compiled = Ompi.compile ~name source in
-  List.iter
-    (fun (k : Translator.Kernelgen.kernel) ->
-      let artifact =
-        Nvcc.compile ~mode:ctx.rt.Hostrt.Rt.binary_mode ~name:k.Translator.Kernelgen.k_entry
-          k.Translator.Kernelgen.k_program
-      in
-      Hostrt.Rt.register_kernel ctx.rt ~dev:0 artifact)
-    compiled.Ompi.c_kernels;
-  let ictx = Hostrt.Hostexec.make_context ctx.rt compiled.Ompi.c_host in
-  { op_compiled = compiled; op_ctx = ictx }
+   interpretation inside this harness's runtime.  With [~host_interp],
+   the program is instead lowered sequentially (directives stripped) and
+   interpreted entirely on the host — the device-free reference that the
+   differential tests compare offloaded results against. *)
+let prepare_omp ?(host_interp = false) ctx ~(name : string) (source : string) : omp_program =
+  if host_interp then begin
+    let program = Minic.Parser.parse_program source in
+    let program = Omp.Rewrite.rewrite_program program in
+    let program = Translator.Strip.strip_program program in
+    let ictx = Hostrt.Hostexec.make_context ctx.rt program in
+    { op_compiled = None; op_ctx = ictx }
+  end
+  else begin
+    let compiled = Ompi.compile ~name source in
+    let tr = ctx.rt.Hostrt.Rt.trace in
+    List.iter
+      (fun (k : Translator.Kernelgen.kernel) ->
+        let artifact =
+          Nvcc.compile ?trace:tr ~mode:ctx.rt.Hostrt.Rt.binary_mode
+            ~name:k.Translator.Kernelgen.k_entry k.Translator.Kernelgen.k_program
+        in
+        Hostrt.Rt.register_kernel ctx.rt ~dev:0 artifact)
+      compiled.Ompi.c_kernels;
+    let ictx = Hostrt.Hostexec.make_context ctx.rt compiled.Ompi.c_host in
+    { op_compiled = Some compiled; op_ctx = ictx }
+  end
 
 (* Call a function of the translated host program with OCaml-prepared
    arguments (host-memory pointers and scalars). *)

@@ -15,7 +15,10 @@ open Gpusim
 
 type ctx = { rt : Hostrt.Rt.t; mutable cuda_modules : (string * Driver.loaded_module) list }
 
-type variant = Cuda | Ompi_cudadev
+type variant =
+  | Cuda  (** hand-written mini-C kernels through the driver API *)
+  | Ompi_cudadev  (** translator output offloaded through cudadev *)
+  | Host_interp  (** directives stripped, run sequentially on the host *)
 
 val pp_variant : Format.formatter -> variant -> unit
 
@@ -27,6 +30,11 @@ val variant_label : variant -> string
 
 (** Fresh runtime with the device initialisation cost already paid. *)
 val create : ?binary_mode:Nvcc.binary_mode -> unit -> ctx
+
+(** Attach a fresh {!Perf.Trace} ring to this harness's runtime (and its
+    device drivers) so every subsequent run records launch-phase
+    events. *)
+val enable_trace : ctx -> Perf.Trace.t
 
 val driver : ctx -> Driver.t
 
@@ -70,11 +78,17 @@ val dev_free : ctx -> Addr.t -> unit
 
 (** {1 OpenMP-variant helpers} *)
 
-type omp_program = { op_compiled : Ompi.compiled; op_ctx : Cinterp.Interp.t }
+type omp_program = {
+  op_compiled : Ompi.compiled option;  (** [None] for the host-interpreter lowering *)
+  op_ctx : Cinterp.Interp.t;
+}
 
 (** Compile an OpenMP source, register its kernels with this runtime and
-    prepare the translated host program for interpretation. *)
-val prepare_omp : ctx -> name:string -> string -> omp_program
+    prepare the translated host program for interpretation.  With
+    [~host_interp:true] the directives are stripped instead and the
+    program runs sequentially on the host (no device involved) — the
+    reference lowering used by the differential tests. *)
+val prepare_omp : ?host_interp:bool -> ctx -> name:string -> string -> omp_program
 
 (** Call a function of the translated host program with OCaml-prepared
     arguments (host-memory pointers and scalars). *)

@@ -128,10 +128,10 @@ let run_cuda ctx ~n : float * float array =
   in
   (time, read_result ctx x1 x2 n)
 
-let run_ompi ctx ~n : float * float array =
+let run_ompi ?(host_interp = false) ctx ~n : float * float array =
   let open Harness in
   let a, x1, x2, y1, y2 = fill_inputs ctx ~n in
-  let prog = prepare_omp ctx ~name:"mvt" omp_source in
+  let prog = prepare_omp ~host_interp ctx ~name:"mvt" omp_source in
   let teams = (n + threads - 1) / threads in
   let time =
     measure ctx (fun () ->
@@ -143,3 +143,4 @@ let run ctx (variant : Harness.variant) ~n =
   match variant with
   | Harness.Cuda -> run_cuda ctx ~n
   | Harness.Ompi_cudadev -> run_ompi ctx ~n
+  | Harness.Host_interp -> run_ompi ~host_interp:true ctx ~n

@@ -621,6 +621,70 @@ int main(void)
       exit_code = 0 && out = "0")
 
 
+(* JIT disk cache (paper §3.3): in PTX mode the first launch of a kernel
+   JIT-compiles it; a later process on the same machine finds the
+   compiled binary in the driver's disk cache and skips the JIT step.
+   Within one process a relaunched kernel is simply module-resident.
+   All three behaviours are asserted from the launch trace. *)
+let test_jit_cache_across_instances () =
+  let src =
+    {|
+int main(void)
+{
+  float y[8];
+  int i;
+  int r;
+  for (i = 0; i < 8; i++) y[i] = 1.0f;
+  for (r = 0; r < 2; r++) {
+    #pragma omp target teams distribute parallel for map(tofrom: y[0:8])
+    for (i = 0; i < 8; i++)
+      y[i] = y[i] * 2.0f;
+  }
+  printf("y=%f\n", y[0]);
+  return 0;
+}
+|}
+  in
+  let config = { Ompi.default_config with binary_mode = Gpusim.Nvcc.Ptx } in
+  let compiled = Ompi.compile ~config ~name:"jitcache" src in
+  let count tr ~name = Perf.Trace.count_events tr ~cat:"jit" ~name () in
+  (* cold start: the PTX is JIT-compiled exactly once, and the second
+     launch of the same kernel finds the module already resident *)
+  let inst1 = Ompi.load ~config ~trace:true compiled in
+  let r1 = Ompi.run inst1 () in
+  Alcotest.(check string) "cold output" "y=4.000000\n" r1.Ompi.run_output;
+  let tr1 = Option.get inst1.Ompi.i_trace in
+  Alcotest.(check int) "cold run JIT-compiles once" 1 (count tr1 ~name:"jit_compile");
+  Alcotest.(check int) "cold run has no cache hit" 0 (count tr1 ~name:"jit_cache_hit");
+  Alcotest.(check int) "relaunch is module-resident" 1
+    (Perf.Trace.count_events tr1 ~cat:"load" ~name:"module_resident" ());
+  (* warm start: a new runtime instance on the same "machine" — carry the
+     driver's disk cache over, as a second process would see it *)
+  let inst2 = Ompi.load ~config ~trace:true compiled in
+  let driver_of inst = (Hostrt.Rt.device inst.Ompi.i_rt 0).Hostrt.Rt.dev_driver in
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace (driver_of inst2).Gpusim.Driver.jit_cache k v)
+    (driver_of inst1).Gpusim.Driver.jit_cache;
+  let r2 = Ompi.run inst2 () in
+  Alcotest.(check string) "warm output" "y=4.000000\n" r2.Ompi.run_output;
+  let tr2 = Option.get inst2.Ompi.i_trace in
+  Alcotest.(check int) "warm run hits the disk cache" 1 (count tr2 ~name:"jit_cache_hit");
+  Alcotest.(check int) "warm run does not recompile" 0 (count tr2 ~name:"jit_compile");
+  (* and the cache makes module load measurably cheaper *)
+  let load_ns tr =
+    List.filter_map
+      (fun (s : Perf.Trace.span) -> if s.sp_name = "module_load" then Some s.sp_dur_ns else None)
+      (Perf.Trace.spans tr)
+  in
+  match (load_ns tr1, load_ns tr2) with
+  | [ cold ], [ warm ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "cached load is cheaper (%.0f ns < %.0f ns)" warm cold)
+      true (warm < cold)
+  | l1, l2 ->
+    Alcotest.failf "expected one module_load span per run, got %d and %d" (List.length l1)
+      (List.length l2)
+
 let test_dist_schedule () =
   check_output "dist_schedule(static, c) covers the space" "sum=19900 first=0 last=199\n"
     {|
@@ -650,6 +714,7 @@ let () =
           Alcotest.test_case "collapse correctness" `Quick test_collapse_correctness;
           Alcotest.test_case "PTX binary mode" `Quick test_ptx_mode_same_result;
           Alcotest.test_case "device API queries" `Quick test_device_api_queries;
+          Alcotest.test_case "JIT cache across instances" `Quick test_jit_cache_across_instances;
         ] );
       ( "device worksharing",
         [

@@ -17,6 +17,23 @@ let agreement_case (app : Polybench.Suite.app) () =
   let err = Polybench.Harness.max_rel_error ompi cuda in
   Alcotest.(check bool) "CUDA and OMPi agree" true (err < 1e-5)
 
+(* Differential test: the offloaded result must match the
+   host-interpreter reference (directives stripped, run sequentially
+   through Cinterp on host memory) within tolerance.  The tolerance is
+   loose enough for reduction-order differences between the sequential
+   host loops and the device's parallel execution. *)
+let differential_case (app : Polybench.Suite.app) () =
+  let n = List.hd app.Polybench.Suite.ap_validate_sizes in
+  let ctx = Polybench.Harness.create () in
+  let _, offloaded = app.Polybench.Suite.ap_run ctx Polybench.Harness.Ompi_cudadev ~n in
+  let ctx2 = Polybench.Harness.create () in
+  let _, host = app.Polybench.Suite.ap_run ctx2 Polybench.Harness.Host_interp ~n in
+  Alcotest.(check int) "same result length" (Array.length host) (Array.length offloaded);
+  let err = Polybench.Harness.max_rel_error offloaded host in
+  if err >= 1e-3 then
+    Alcotest.failf "%s n=%d: offloaded vs host-interpreter max relative error %.3e"
+      app.Polybench.Suite.ap_name n err
+
 let suite_metadata () =
   Alcotest.(check int) "six applications" 6 (List.length Polybench.Suite.all);
   Alcotest.(check int) "four extras" 4 (List.length Polybench.Suite.extras);
@@ -49,9 +66,18 @@ let validation_tests =
       ])
     (Polybench.Suite.all @ Polybench.Suite.extras)
 
+let differential_tests =
+  List.map
+    (fun (app : Polybench.Suite.app) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s offloaded vs host interp" app.Polybench.Suite.ap_name)
+        `Quick (differential_case app))
+    (Polybench.Suite.all @ Polybench.Suite.extras)
+
 let () =
   Alcotest.run "polybench"
     [
       ("suite", [ Alcotest.test_case "metadata" `Quick suite_metadata ]);
       ("validation", validation_tests);
+      ("differential", differential_tests);
     ]

@@ -107,6 +107,50 @@ let prop_guided_decreasing =
       (* sizes were accumulated in reverse *)
       non_increasing !sizes)
 
+(* dynamic chunks are exactly the requested size except the tail *)
+let prop_dynamic_chunk_sizes =
+  QCheck.Test.make ~name:"dynamic chunks have the requested size except the tail" ~count:300
+    QCheck.(pair arb_range (int_range 1 50))
+    (fun (range, chunk) ->
+      let counter = ref range.lo in
+      let ok = ref true in
+      let continue_loop = ref true in
+      while !continue_loop do
+        match dynamic_chunk ~counter:!counter ~chunk range with
+        | Some r ->
+          if r.hi <> range.hi && range_len r <> chunk then ok := false;
+          if r.hi = range.hi && range_len r > chunk then ok := false;
+          counter := r.hi
+        | None -> continue_loop := false
+      done;
+      !ok)
+
+(* the satellite property: guided sizes are monotone non-increasing for
+   ANY (range, num_threads, min_chunk), not just min_chunk=1 starting at
+   zero — sizes shrink towards min_chunk, plateau there, and only the
+   final tail may be smaller *)
+let prop_guided_decreasing_general =
+  QCheck.Test.make ~name:"guided sizes non-increasing over randomized range/threads/chunk"
+    ~count:400
+    QCheck.(triple arb_range (int_range 1 32) (int_range 1 16))
+    (fun (range, num_threads, min_chunk) ->
+      let counter = ref range.lo in
+      let sizes = ref [] in
+      let continue_loop = ref true in
+      while !continue_loop do
+        match guided_chunk ~counter:!counter ~num_threads ~min_chunk range with
+        | Some r ->
+          sizes := range_len r :: !sizes;
+          counter := r.hi
+        | None -> continue_loop := false
+      done;
+      let rec non_increasing = function
+        | a :: (b :: _ as rest) -> a <= b && non_increasing rest
+        | _ -> true
+      in
+      (* sizes were accumulated in reverse *)
+      non_increasing !sizes)
+
 let prop_uncollapse_bijection =
   QCheck.Test.make ~name:"uncollapse is a bijection onto the index space" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 3) (int_range 1 12))
@@ -173,6 +217,36 @@ let test_barrier_round () =
     (fun (n, x) -> Alcotest.(check int) (Printf.sprintf "N=%d" n) x (Gpusim.Spec.barrier_round spec n))
     [ (1, 32); (32, 32); (33, 64); (64, 64); (65, 96); (96, 96); (97, 128); (128, 128) ]
 
+(* Empty range: both demand-driven schedulers must refuse immediately. *)
+let test_empty_range () =
+  let empty = { lo = 42; hi = 42 } in
+  Alcotest.(check bool) "dynamic: empty range yields no chunk" true
+    (dynamic_chunk ~counter:empty.lo ~chunk:4 empty = None);
+  Alcotest.(check bool) "guided: empty range yields no chunk" true
+    (guided_chunk ~counter:empty.lo ~num_threads:8 ~min_chunk:2 empty = None);
+  (* inverted bounds behave as empty too *)
+  let inverted = { lo = 10; hi = 3 } in
+  Alcotest.(check bool) "dynamic: inverted range yields no chunk" true
+    (dynamic_chunk ~counter:inverted.lo ~chunk:4 inverted = None);
+  Alcotest.(check bool) "guided: inverted range yields no chunk" true
+    (guided_chunk ~counter:inverted.lo ~num_threads:8 ~min_chunk:2 inverted = None)
+
+(* Single iteration: exactly one chunk of size one, then exhaustion. *)
+let test_single_iteration () =
+  let one = { lo = 7; hi = 8 } in
+  (match dynamic_chunk ~counter:one.lo ~chunk:16 one with
+  | Some r ->
+    Alcotest.(check (pair int int)) "dynamic single chunk" (7, 8) (r.lo, r.hi);
+    Alcotest.(check bool) "dynamic then exhausted" true
+      (dynamic_chunk ~counter:r.hi ~chunk:16 one = None)
+  | None -> Alcotest.fail "dynamic: single-iteration range yielded nothing");
+  match guided_chunk ~counter:one.lo ~num_threads:4 ~min_chunk:3 one with
+  | Some r ->
+    Alcotest.(check (pair int int)) "guided single chunk" (7, 8) (r.lo, r.hi);
+    Alcotest.(check bool) "guided then exhausted" true
+      (guided_chunk ~counter:r.hi ~num_threads:4 ~min_chunk:3 one = None)
+  | None -> Alcotest.fail "guided: single-iteration range yielded nothing"
+
 let test_invalid_args () =
   let inv f = match f () with exception Invalid_argument _ -> true | _ -> false in
   Alcotest.(check bool) "zero teams" true (inv (fun () -> distribute_chunk ~team:0 ~num_teams:0 { lo = 0; hi = 1 }));
@@ -191,6 +265,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_dynamic_progress;
           QCheck_alcotest.to_alcotest prop_guided_progress;
           QCheck_alcotest.to_alcotest prop_guided_decreasing;
+          QCheck_alcotest.to_alcotest prop_dynamic_chunk_sizes;
+          QCheck_alcotest.to_alcotest prop_guided_decreasing_general;
           QCheck_alcotest.to_alcotest prop_uncollapse_bijection;
           QCheck_alcotest.to_alcotest prop_loop_extent;
           QCheck_alcotest.to_alcotest prop_le_bound;
@@ -200,6 +276,8 @@ let () =
           Alcotest.test_case "distribute examples" `Quick test_distribute_examples;
           Alcotest.test_case "static examples" `Quick test_static_examples;
           Alcotest.test_case "barrier rounding rule" `Quick test_barrier_round;
+          Alcotest.test_case "empty ranges" `Quick test_empty_range;
+          Alcotest.test_case "single-iteration ranges" `Quick test_single_iteration;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
         ] );
     ]

@@ -211,6 +211,82 @@ void k(int n, int *out)
   Alcotest.(check int) "active thread" 2 (read_i32 d buf 10);
   Alcotest.(check int) "inactive thread untouched" 0 (read_i32 d buf 63)
 
+(* Master/worker scheme (paper §3.2): the master thread registers a
+   parallel region and releases the worker warps through named barrier
+   B1; participating workers join named barrier B2 after running the
+   region.  The requested thread count (50) is deliberately not a
+   multiple of the warp size (32), so B2's arrival count exercises the
+   X = W * ceil(N/W) rounding, and the block (96 threads = 64 workers)
+   leaves 14 workers idle. *)
+let test_master_worker_protocol () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 64) in
+  Driver.memset_d d ~dst:buf ~len:(4 * 64);
+  let src =
+    {|
+void region(int *data)
+{
+  int id = omp_get_thread_num();
+  data[id] = 1000 + id * omp_get_num_threads();
+}
+
+void k(int *data)
+{
+  int t = cudadev_thread_id();
+  if (cudadev_in_masterwarp(t)) {
+    if (!cudadev_is_masterthr(t))
+      return;
+    cudadev_register_parallel(region, data, 50);
+    cudadev_exit_target();
+  } else {
+    cudadev_workerfunc(t);
+  }
+}
+|}
+  in
+  ignore (launch ~block:(Simt.dim3 96) d src "k" [ fi buf ]);
+  for id = 0 to 49 do
+    Alcotest.(check int)
+      (Printf.sprintf "participant %d ran the region" id)
+      (1000 + (id * 50))
+      (read_i32 d buf id)
+  done;
+  for id = 50 to 63 do
+    Alcotest.(check int) (Printf.sprintf "idle worker %d untouched" id) 0 (read_i32 d buf id)
+  done
+
+(* Regression: a live-count barrier (__syncthreads) must be re-evaluated
+   when a thread retires.  Threads 0..n-1 arrive at the barrier while
+   all block threads are still live, so the expected count is initially
+   too high; threads n.. then do real work and return without ever
+   syncing.  Only the retire-path recheck can release the waiters —
+   without it this deadlocks. *)
+let test_retiring_thread_reevaluates_barrier () =
+  let d = make_driver () in
+  let buf = Driver.mem_alloc d (4 * 64) in
+  Driver.memset_d d ~dst:buf ~len:(4 * 64);
+  let src =
+    {|
+void k(int n, int *out)
+{
+  int t = threadIdx.x;
+  if (t >= n) {
+    int i;
+    for (i = 0; i < 25; i++)
+      out[t] = out[t] + 1;
+    return;
+  }
+  out[t] = 1;
+  __syncthreads();
+  out[t] = out[t] + 1;
+}
+|}
+  in
+  ignore (launch ~block:(Simt.dim3 64) d src "k" [ Value.of_int 40; fi buf ]);
+  Alcotest.(check int) "waiter released after retires" 2 (read_i32 d buf 10);
+  Alcotest.(check int) "last waiter" 2 (read_i32 d buf 39);
+  Alcotest.(check int) "retiring thread did its work" 25 (read_i32 d buf 50)
+
 let test_block_limit () =
   let d = make_driver () in
   Alcotest.(check bool) "block too large" true
@@ -242,7 +318,11 @@ let () =
           Alcotest.test_case "atomicAdd" `Quick test_atomic_add;
           Alcotest.test_case "CAS lock mutual exclusion" `Quick test_atomic_cas_lock;
           Alcotest.test_case "early-returning threads" `Quick test_early_return_threads;
+          Alcotest.test_case "retiring thread re-evaluates barrier" `Quick
+            test_retiring_thread_reevaluates_barrier;
         ] );
+      ( "master-worker",
+        [ Alcotest.test_case "B1/B2 protocol, non-warp-multiple team" `Quick test_master_worker_protocol ] );
       ( "failure modes",
         [
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;

@@ -1,0 +1,220 @@
+(* Perf.Trace / Perf.Json / Perf.Chrome_trace unit tests: ring-buffer
+   retention and drop accounting, span pairing, exception safety,
+   JSON round-trips and the Chrome trace-event export shape. *)
+
+open Perf
+
+let make ?capacity () =
+  let clock = Machine.Simclock.create () in
+  (clock, Trace.create ?capacity clock)
+
+(* ---------------- ring buffer ---------------- *)
+
+let test_emit_and_read () =
+  let clock, tr = make () in
+  Trace.instant tr ~cat:"a" "first";
+  Machine.Simclock.advance_ns clock 500.0;
+  Trace.instant tr ~args:[ ("n", Trace.Int 7) ] ~cat:"a" "second";
+  Alcotest.(check int) "length" 2 (Trace.length tr);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped tr);
+  match Trace.events tr with
+  | [ e1; e2 ] ->
+    Alcotest.(check string) "oldest first" "first" e1.Trace.ev_name;
+    Alcotest.(check (float 0.0)) "timestamp zero" 0.0 e1.Trace.ev_ts_ns;
+    Alcotest.(check (float 0.0)) "timestamp advanced" 500.0 e2.Trace.ev_ts_ns;
+    Alcotest.(check (option int)) "args preserved" (Some 7) (Trace.int_arg e2 "n")
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_ring_wraps () =
+  let _, tr = make ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.instant tr ~args:[ ("i", Trace.Int i) ] ~cat:"w" "tick"
+  done;
+  Alcotest.(check int) "retains capacity" 4 (Trace.length tr);
+  Alcotest.(check int) "drop count" 6 (Trace.dropped tr);
+  let kept = List.filter_map (fun e -> Trace.int_arg e "i") (Trace.events tr) in
+  Alcotest.(check (list int)) "newest survive, oldest first" [ 6; 7; 8; 9 ] kept
+
+let test_clear () =
+  let _, tr = make ~capacity:4 () in
+  for _ = 0 to 9 do
+    Trace.instant tr ~cat:"w" "tick"
+  done;
+  Trace.clear tr;
+  Alcotest.(check int) "empty" 0 (Trace.length tr);
+  Alcotest.(check int) "drops reset" 0 (Trace.dropped tr)
+
+(* ---------------- spans ---------------- *)
+
+let test_span_pairing () =
+  let clock, tr = make () in
+  Trace.begin_span tr ~args:[ ("file", Trace.Str "k1.cu") ] ~cat:"launch" "load";
+  Machine.Simclock.advance_us clock 3.0;
+  Trace.begin_span tr ~cat:"launch" "launch";
+  Machine.Simclock.advance_us clock 2.0;
+  Trace.end_span tr ~cat:"launch" "launch";
+  Trace.end_span tr ~cat:"launch" "load";
+  match Trace.spans tr with
+  | [ inner; outer ] ->
+    (* completion order: the nested span closes first *)
+    Alcotest.(check string) "inner name" "launch" inner.Trace.sp_name;
+    Alcotest.(check (float 0.0)) "inner duration" 2000.0 inner.Trace.sp_dur_ns;
+    Alcotest.(check string) "outer name" "load" outer.Trace.sp_name;
+    Alcotest.(check (float 0.0)) "outer duration" 5000.0 outer.Trace.sp_dur_ns;
+    Alcotest.(check bool) "begin args kept" true
+      (List.mem_assoc "file" outer.Trace.sp_args)
+  | sps -> Alcotest.failf "expected 2 spans, got %d" (List.length sps)
+
+let test_unmatched_end_skipped () =
+  let _, tr = make () in
+  Trace.end_span tr ~cat:"x" "stray";
+  Trace.begin_span tr ~cat:"x" "ok";
+  Trace.end_span tr ~cat:"x" "ok";
+  Alcotest.(check int) "only the matched pair" 1 (List.length (Trace.spans tr))
+
+exception Boom
+
+let test_with_span_on_exception () =
+  let _, tr = make () in
+  (match Trace.with_span tr ~cat:"launch" "load" (fun () -> raise Boom) with
+  | exception Boom -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  match Trace.events tr with
+  | [ b; e ] ->
+    Alcotest.(check bool) "begin kind" true (b.Trace.ev_kind = Trace.Begin);
+    Alcotest.(check bool) "end emitted despite raise" true (e.Trace.ev_kind = Trace.End);
+    Alcotest.(check bool) "end carries the error" true (Trace.str_arg e "error" <> None)
+  | evs -> Alcotest.failf "expected begin+end, got %d events" (List.length evs)
+
+let test_find_and_count () =
+  let _, tr = make () in
+  Trace.instant tr ~cat:"jit" "jit_compile";
+  Trace.instant tr ~cat:"jit" "jit_cache_hit";
+  Trace.instant tr ~cat:"mem" "mem_alloc";
+  Alcotest.(check int) "by cat" 2 (Trace.count_events tr ~cat:"jit" ());
+  Alcotest.(check int) "by cat+name" 1 (Trace.count_events tr ~cat:"jit" ~name:"jit_compile" ());
+  Alcotest.(check int) "by name" 1 (List.length (Trace.find_events tr ~name:"mem_alloc" ()))
+
+(* ---------------- JSON ---------------- *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("n", Json.Num 1536.0);
+        ("f", Json.Num 2.5);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.List [ Json.Num 1.0; Json.Str "two"; Json.Bool false ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+  | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{\"a\" 1}" ]
+
+let test_json_accessors () =
+  let v =
+    match Json.of_string {|{"a": [1, 2], "b": {"c": "x"}, "d": true}|} with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  Alcotest.(check (option bool)) "bool" (Some true) (Option.bind (Json.member "d" v) Json.to_bool_opt);
+  Alcotest.(check (option string)) "nested string" (Some "x")
+    (Option.bind (Json.member "b" v) (fun b -> Option.bind (Json.member "c" b) Json.to_string_opt));
+  Alcotest.(check (option int)) "list length" (Some 2)
+    (Option.map List.length (Option.bind (Json.member "a" v) Json.to_list_opt));
+  Alcotest.(check bool) "missing member" true (Json.member "zz" v = None)
+
+(* ---------------- Chrome export ---------------- *)
+
+let test_chrome_export_shape () =
+  let clock, tr = make () in
+  Trace.begin_span tr ~args:[ ("bytes", Trace.Int 4096) ] ~cat:"transfer" "HtoD";
+  Machine.Simclock.advance_us clock 10.0;
+  Trace.end_span tr ~cat:"transfer" "HtoD";
+  Trace.instant tr ~cat:"jit" "jit_compile";
+  Trace.counter tr ~args:[ ("chunk_grabs", Trace.Int 3) ] ~cat:"kernel" "launch_counters";
+  let doc =
+    match Json.of_string (Chrome_trace.to_string tr) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "export does not parse: %s" msg
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+    | Some evs -> evs
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  let phases =
+    List.filter_map (fun e -> Option.bind (Json.member "ph" e) Json.to_string_opt) events
+  in
+  Alcotest.(check (list string)) "phases in order" [ "B"; "E"; "i"; "C" ] phases;
+  (* Chrome timestamps are microseconds *)
+  let ts =
+    List.filter_map (fun e -> Option.bind (Json.member "ts" e) Json.to_number_opt) events
+  in
+  Alcotest.(check (list (float 0.0))) "ts in us" [ 0.0; 10.0; 10.0; 10.0 ] ts;
+  (match List.nth_opt events 0 with
+  | Some b ->
+    Alcotest.(check (option string)) "cat" (Some "transfer")
+      (Option.bind (Json.member "cat" b) Json.to_string_opt);
+    Alcotest.(check (option (float 0.0))) "args.bytes" (Some 4096.0)
+      (Option.bind (Json.member "args" b) (fun a ->
+           Option.bind (Json.member "bytes" a) Json.to_number_opt))
+  | None -> Alcotest.fail "no events");
+  match Option.bind (Json.member "otherData" doc) (Json.member "droppedEvents") with
+  | Some (Json.Num 0.0) -> ()
+  | _ -> Alcotest.fail "otherData.droppedEvents missing or wrong"
+
+let test_chrome_write_file () =
+  let _, tr = make () in
+  Trace.instant tr ~cat:"init" "device_init";
+  let path = Filename.temp_file "trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chrome_trace.write_file path tr;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.of_string s with
+      | Ok doc -> Alcotest.(check bool) "file parses" true (Json.member "traceEvents" doc <> None)
+      | Error msg -> Alcotest.failf "written file invalid: %s" msg)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "emit and read back" `Quick test_emit_and_read;
+          Alcotest.test_case "wrap-around drops oldest" `Quick test_ring_wraps;
+          Alcotest.test_case "clear" `Quick test_clear;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nested pairing" `Quick test_span_pairing;
+          Alcotest.test_case "unmatched end skipped" `Quick test_unmatched_end_skipped;
+          Alcotest.test_case "with_span on exception" `Quick test_with_span_on_exception;
+          Alcotest.test_case "find and count" `Quick test_find_and_count;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "chrome export",
+        [
+          Alcotest.test_case "event shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "write_file" `Quick test_chrome_write_file;
+        ] );
+    ]
