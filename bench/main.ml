@@ -347,6 +347,115 @@ let trace_app name n file =
     say "trace: %d events written to %s (Chrome trace format)\n" (Perf.Trace.length tr) file;
     Perf.Report.print_trace_summary tr
 
+(* ------------------------------------------------------------------ *)
+(* Fault matrix: differential correctness under injected faults         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each cell runs one suite application offloaded with one fault plan
+   armed and compares the result against the sequential reference —
+   recovery (retry/backoff, JIT-cache invalidation, host fallback) must
+   never change the answer.  The expectation tag asserts that the
+   recovery evidence is actually visible in the Chrome trace JSON. *)
+
+type fault_expectation =
+  | Recover (* retries succeed: backoff events, no fallback, device alive *)
+  | Fallback (* device declared dead: host fallback produced the result *)
+  | Any (* probabilistic plan: only correctness is asserted *)
+
+let fault_cells =
+  [
+    ("transfer:nth=1", Gpusim.Nvcc.Cubin, Recover);
+    ("transfer:nth=2", Gpusim.Nvcc.Cubin, Recover);
+    ("launch:nth=1", Gpusim.Nvcc.Cubin, Recover);
+    ("load:nth=1", Gpusim.Nvcc.Cubin, Recover);
+    ("jit_compile:nth=1", Gpusim.Nvcc.Ptx, Recover);
+    ("alloc:nth=1", Gpusim.Nvcc.Cubin, Fallback);
+    ("launch:from=1", Gpusim.Nvcc.Cubin, Fallback);
+    ("transfer:from=1", Gpusim.Nvcc.Cubin, Fallback);
+    ("transfer:p=0.25", Gpusim.Nvcc.Cubin, Any);
+    ("launch:p=0.5;transfer:p=0.1", Gpusim.Nvcc.Cubin, Any);
+  ]
+
+let smoke_cells =
+  List.filter
+    (fun (spec, _, _) ->
+      List.mem spec [ "transfer:nth=2"; "jit_compile:nth=1"; "alloc:nth=1"; "launch:from=1" ])
+    fault_cells
+
+let fault_cell app (spec, mode, expect) : bool =
+  let n = List.hd app.Polybench.Suite.ap_validate_sizes in
+  let rules =
+    match Hostrt.Faults.parse spec with
+    | Ok rules -> rules
+    | Error msg -> failwith (Printf.sprintf "bad spec '%s': %s" spec msg)
+  in
+  let ctx = Polybench.Harness.create ~binary_mode:mode () in
+  Polybench.Harness.set_sampling ctx None;
+  let tr = Polybench.Harness.enable_trace ctx in
+  Polybench.Harness.set_faults ctx ~seed:7 rules;
+  let _, got = app.Polybench.Suite.ap_run ctx Polybench.Harness.Ompi_cudadev ~n in
+  let err = Polybench.Harness.max_rel_error got (app.Polybench.Suite.ap_reference ~n) in
+  let correct = err <= 1e-3 in
+  (* count recovery events in the exported JSON, not the live ring: the
+     acceptance criterion is that recovery is visible in the trace file *)
+  let count =
+    match Perf.Json.of_string (Perf.Chrome_trace.to_string tr) with
+    | Error msg -> failwith ("trace JSON does not parse: " ^ msg)
+    | Ok doc -> (
+      match Option.bind (Perf.Json.member "traceEvents" doc) Perf.Json.to_list_opt with
+      | None -> failwith "trace JSON has no traceEvents"
+      | Some evs ->
+        fun name ->
+          List.length
+            (List.filter
+               (fun e ->
+                 Option.bind (Perf.Json.member "cat" e) Perf.Json.to_string_opt = Some "fault"
+                 && Option.bind (Perf.Json.member "name" e) Perf.Json.to_string_opt = Some name)
+               evs))
+  in
+  let injected = count "fault_injected" in
+  let evidence_ok =
+    match expect with
+    | Recover ->
+      injected >= 1 && count "retry_backoff" >= 1 && count "host_fallback" = 0
+      && count "device_dead" = 0
+      && not (Polybench.Harness.device_dead ctx)
+    | Fallback ->
+      injected >= 1 && count "host_fallback" >= 1 && count "device_dead" = 1
+      && Polybench.Harness.device_dead ctx
+    | Any -> true
+  in
+  let ok = correct && evidence_ok in
+  say "  %-14s %-28s n=%-5d %-9s err=%.1e inj=%-3d %s\n" app.Polybench.Suite.ap_name spec n
+    (match expect with Recover -> "recover" | Fallback -> "fallback" | Any -> "any")
+    err injected
+    (if ok then "ok" else if correct then "FAIL(no evidence)" else "FAIL(wrong result)");
+  ok
+
+let fault_matrix ~smoke () =
+  let apps =
+    if smoke then
+      List.filteri (fun i _ -> i < 2) Polybench.Suite.all
+    else Polybench.Suite.all @ Polybench.Suite.extras
+  in
+  let cells = if smoke then smoke_cells else fault_cells in
+  say "=== fault matrix: offloaded-with-faults vs host reference (%d apps x %d plans) ===\n"
+    (List.length apps) (List.length cells);
+  let total = ref 0 and failed = ref 0 in
+  List.iter
+    (fun app ->
+      List.iter
+        (fun cell ->
+          incr total;
+          if not (fault_cell app cell) then incr failed)
+        cells)
+    apps;
+  if !failed > 0 then begin
+    say "fault-matrix: FAIL (%d of %d cells)\n" !failed !total;
+    exit 1
+  end;
+  say "fault-matrix: PASS (%d cells)\n" !total
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -368,6 +477,8 @@ let () =
   | [ "ablate-barrier" ] -> ablate_barrier ()
   | [ "ablate-sections" ] -> ablate_sections ()
   | [ "trace"; name; n; file ] -> trace_app name (int_of_string n) file
+  | [ "fault-matrix" ] -> fault_matrix ~smoke:false ()
+  | [ "fault-matrix"; "--smoke" ] -> fault_matrix ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

@@ -1,11 +1,13 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Tier-1 smoke check: build, run the test suite, then emit a launch
 # trace from the quickstart example in both binary modes and validate
 # its Chrome-trace schema (three launch-phase spans, transfer byte
-# counts, JIT-cache hit/miss events) with bench/trace_check.
+# counts, JIT-cache hit/miss events) with bench/trace_check.  A third
+# leg re-runs with fault injection and checks the recovery events
+# survive the same schema validation.
 #
-#   sh bench/trace_smoke.sh
-set -e
+#   bash bench/trace_smoke.sh
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== dune build =="
@@ -24,5 +26,14 @@ for mode in cubin ptx; do
     examples/quickstart >/dev/null
   dune exec bench/trace_check.exe -- "$tmpdir/quickstart-$mode.json"
 done
+
+echo "== ompirun --trace --faults (recovery events) =="
+dune exec bin/ompirun.exe -- --faults 'transfer:nth=2' \
+  --trace "$tmpdir/quickstart-faults.json" examples/quickstart >/dev/null
+dune exec bench/trace_check.exe -- "$tmpdir/quickstart-faults.json"
+grep -q '"retry_backoff"' "$tmpdir/quickstart-faults.json" || {
+  echo "trace_smoke: FAIL: no retry_backoff event in faulted trace" >&2
+  exit 1
+}
 
 echo "trace_smoke: all checks passed"

@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -27,13 +27,34 @@ let run_cmd input entry binary_mode trace_file verbose =
   let source = read_file input in
   let stem = Filename.remove_extension (Filename.basename input) in
   let mode = if binary_mode = "ptx" then Gpusim.Nvcc.Ptx else Gpusim.Nvcc.Cubin in
-  let config = { Ompi.default_config with binary_mode = mode } in
+  let faults =
+    match faults_spec with
+    | None -> []
+    | Some spec -> (
+      match Hostrt.Faults.parse spec with
+      | Ok rules -> rules
+      | Error msg ->
+        Printf.eprintf "ompirun: bad --faults spec: %s\n%s\n" msg Hostrt.Faults.spec_syntax;
+        exit 1)
+  in
+  let config =
+    { Ompi.default_config with binary_mode = mode; faults; fault_seed; max_retries }
+  in
   try
     let compiled = Ompi.compile ~config ~name:stem source in
     let instance = Ompi.load ~config ~trace:(trace_file <> None) compiled in
     let result = Ompi.run instance ~entry () in
     print_string result.Ompi.run_output;
     Printf.eprintf "[%s on %s]\n" stem Gpusim.Spec.jetson_nano_2gb.Gpusim.Spec.name;
+    (match instance.Ompi.i_rt.Hostrt.Rt.faults with
+    | Some f ->
+      let dataenv = (Hostrt.Rt.device instance.Ompi.i_rt 0).Hostrt.Rt.dev_dataenv in
+      Printf.eprintf "[faults: %d injected out of %d fallible calls%s]\n"
+        (Hostrt.Faults.total_fired f) (Hostrt.Faults.total_calls f)
+        (match Hostrt.Dataenv.dead_reason dataenv with
+        | Some reason -> Printf.sprintf "; device dead (%s), host fallback used" reason
+        | None -> "")
+    | None -> ());
     Printf.eprintf "[simulated time: %.6f s, %d kernel launch(es), exit code %d]\n"
       result.Ompi.run_time_s result.Ompi.run_kernel_launches result.Ompi.run_exit;
     (match (trace_file, instance.Ompi.i_trace) with
@@ -89,12 +110,36 @@ let trace_arg =
           "Record device init, transfers, the three launch phases and JIT-cache activity, and \
            write a Chrome-trace JSON file (open in chrome://tracing or Perfetto)")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          ("Inject deterministic device faults and exercise the recovery path (retry with \
+            backoff, JIT-cache invalidation, host fallback). " ^ Hostrt.Faults.spec_syntax))
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Bound the per-operation retries of the fault recovery policy (default 3)")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 42
+    & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed for probabilistic fault rules")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
 
 let cmd =
   let doc = "run an OpenMP C program on the simulated Jetson Nano 2GB" in
   Cmd.v
     (Cmd.info "ompirun" ~doc)
-    Term.(const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ verbose_arg)
+    Term.(
+      const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
+      $ fault_seed_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

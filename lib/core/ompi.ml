@@ -19,9 +19,19 @@ open Gpusim
 type config = {
   binary_mode : Nvcc.binary_mode; (* CUBIN is OMPi's default (§3.3) *)
   spec : Spec.t;
+  faults : Hostrt.Faults.rule list; (* fault-injection plan; [] = off *)
+  fault_seed : int; (* seed for probabilistic fault rules *)
+  max_retries : int option; (* retry-policy override; None = default *)
 }
 
-let default_config = { binary_mode = Nvcc.Cubin; spec = Spec.jetson_nano_2gb }
+let default_config =
+  {
+    binary_mode = Nvcc.Cubin;
+    spec = Spec.jetson_nano_2gb;
+    faults = [];
+    fault_seed = 42;
+    max_retries = None;
+  }
 
 type compiled = Translator.Pipeline.compiled = {
   c_source_name : string;
@@ -49,6 +59,13 @@ let load ?(config = default_config) ?(trace = false) (compiled : compiled) : ins
   let rt = Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec () in
   let tr = if trace then Some (Perf.Trace.create rt.Hostrt.Rt.clock) else None in
   Hostrt.Rt.set_trace rt tr;
+  if config.faults <> [] then
+    Hostrt.Rt.set_faults rt (Some (Hostrt.Faults.create ~seed:config.fault_seed config.faults));
+  (match config.max_retries with
+  | Some n ->
+    Hostrt.Rt.set_fault_policy rt
+      { Hostrt.Resilience.default_policy with Hostrt.Resilience.rp_max_retries = n }
+  | None -> ());
   let artifacts =
     List.map
       (fun (k : Translator.Kernelgen.kernel) ->

@@ -18,6 +18,12 @@ open Gpusim
 type config = {
   binary_mode : Nvcc.binary_mode;  (** CUBIN is OMPi's default (paper 3.3) *)
   spec : Spec.t;
+  faults : Hostrt.Faults.rule list;
+      (** deterministic fault-injection plan armed at [load]; [[]] = off *)
+  fault_seed : int;  (** seed for probabilistic fault rules *)
+  max_retries : int option;
+      (** override the retry policy's bounded-retry count; [None] keeps
+          {!Hostrt.Resilience.default_policy} *)
 }
 
 val default_config : config

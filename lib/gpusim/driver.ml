@@ -36,6 +36,7 @@ type t = {
   mutable launches : launch_stats list; (* most recent first *)
   mutable kernels_launched : int;
   mutable trace : Perf.Trace.t option; (* launch-phase tracing, off by default *)
+  mutable inject : (string -> unit) option; (* fault-injection hook, off by default *)
 }
 
 (* Tracing is optional and must cost nothing when off, so every emission
@@ -52,6 +53,11 @@ let tr_begin t ?(args = []) ~cat name =
 let tr_end t ?(args = []) ~cat name =
   match t.trace with Some tr -> Perf.Trace.end_span tr ~args ~cat name | None -> ()
 
+(* Fault injection fires at operation entry, before any clock advance,
+   memory mutation or span open — a failed call leaves no partial state
+   and trace spans stay balanced. *)
+let inj t site = match t.inject with Some f -> f site | None -> ()
+
 let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
   {
     spec;
@@ -67,9 +73,12 @@ let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
     launches = [];
     kernels_launched = 0;
     trace = None;
+    inject = None;
   }
 
 let set_trace t trace = t.trace <- trace
+
+let set_inject t inject = t.inject <- inject
 
 (* Lazy device initialisation (paper §4.2.1): the first real use pays
    for cuInit + primary-context creation, a sizeable cost on the Nano. *)
@@ -93,6 +102,7 @@ let properties t =
 let mem_alloc t (bytes : int) : Addr.t =
   ensure_initialized t;
   if bytes <= 0 then cuda_error "cuMemAlloc of %d bytes" bytes;
+  inj t "alloc";
   Simclock.advance_us t.clock 6.0;
   let a = Mem.alloc t.global bytes in
   let id = t.next_alloc_id in
@@ -118,6 +128,7 @@ let transfer_cost t len = (float_of_int len /. t.spec.Spec.memcpy_bandwidth *. 1
 let memcpy_h2d t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
   if dst.Addr.space <> Addr.Global then cuda_error "cuMemcpyHtoD: destination is not device memory";
+  inj t "h2d";
   tr_begin t ~cat:"transfer" "HtoD" ~args:[ ("bytes", Perf.Trace.Int len) ];
   Simclock.advance_ns t.clock (transfer_cost t len);
   Mem.copy ~src:host ~src_off:src.Addr.off ~dst:t.global ~dst_off:dst.Addr.off ~len;
@@ -126,6 +137,7 @@ let memcpy_h2d t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : 
 let memcpy_d2h t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
   if src.Addr.space <> Addr.Global then cuda_error "cuMemcpyDtoH: source is not device memory";
+  inj t "d2h";
   tr_begin t ~cat:"transfer" "DtoH" ~args:[ ("bytes", Perf.Trace.Int len) ];
   Simclock.advance_ns t.clock (transfer_cost t len);
   Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len;
@@ -150,7 +162,8 @@ let load_module t (artifact : Nvcc.artifact) : loaded_module =
       ~args:[ ("module", Perf.Trace.Str artifact.Nvcc.art_name) ];
     m
   | None ->
-    let cost = Nvcc.load_cost ~jit_cache:t.jit_cache artifact in
+    inj t "module_load";
+    let cost = Nvcc.load_cost ?inject:t.inject ~jit_cache:t.jit_cache artifact in
     tr_begin t ~cat:"load" "module_load"
       ~args:
         [
@@ -206,6 +219,9 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
     ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
   ensure_initialized t;
   ignore (get_function modul entry);
+  (* before the SIMT run: a failed launch has written nothing, so device
+     memory still holds the last good state when salvage runs *)
+  inj t "launch";
   tr_begin t ~cat:"kernel" entry
     ~args:
       [
@@ -251,6 +267,17 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
   in
   t.launches <- stats :: t.launches;
   stats
+
+(* Last-ditch device-to-host copy used when declaring the device dead:
+   bypasses fault injection (the simulated device's global memory stays
+   readable after compute faults) so live mappings can be rescued before
+   falling back to the host. *)
+let salvage_d2h t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : unit =
+  ensure_initialized t;
+  if src.Addr.space <> Addr.Global then cuda_error "salvage: source is not device memory";
+  Simclock.advance_ns t.clock (transfer_cost t len);
+  Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len;
+  tr_instant t ~cat:"fault" "salvage" ~args:[ ("bytes", Perf.Trace.Int len) ]
 
 let take_output t =
   let s = Buffer.contents t.output in

@@ -34,6 +34,7 @@ type t = {
   mutable launches : launch_stats list;  (** most recent first *)
   mutable kernels_launched : int;
   mutable trace : Perf.Trace.t option;  (** launch-phase tracing, off by default *)
+  mutable inject : (string -> unit) option;  (** fault-injection hook, off by default *)
 }
 
 val create : ?spec:Spec.t -> Simclock.t -> t
@@ -41,6 +42,13 @@ val create : ?spec:Spec.t -> Simclock.t -> t
 (** Attach (or detach, with [None]) a trace ring; the driver then emits
     init/mem/transfer/load/jit/kernel events into it. *)
 val set_trace : t -> Perf.Trace.t option -> unit
+
+(** Attach (or detach, with [None]) a fault-injection hook.  It is
+    called with a site name ("alloc", "h2d", "d2h", "module_load",
+    "jit_cache", "jit_compile", "launch") at the entry of each fallible
+    operation — before any clock advance or memory mutation — and may
+    raise to make the operation fail. *)
+val set_inject : t -> (string -> unit) option -> unit
 
 (** Lazy device initialisation (paper 4.2.1): the first real use pays
     for cuInit + primary-context creation. *)
@@ -82,6 +90,12 @@ val launch_kernel :
   ?occupancy_penalty:float ->
   unit ->
   launch_stats
+
+(** Last-ditch device-to-host copy used when declaring the device dead:
+    bypasses fault injection (simulated global memory stays readable
+    after compute faults) so live mappings can be rescued before host
+    fallback.  Emits a cat:"fault" "salvage" instant. *)
+val salvage_d2h : t -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
 
 (** Drain the device-side printf buffer. *)
 val take_output : t -> string

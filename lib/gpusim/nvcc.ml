@@ -63,14 +63,22 @@ let compile ?(trace : Perf.Trace.t option) ~(mode : binary_mode) ~(name : string
    - ptx, cache hit: the CUDA disk cache returns the compiled module. *)
 type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
 
-let load_cost ~(jit_cache : (string, unit) Hashtbl.t) (a : artifact) : load_cost =
+let load_cost ?(inject : (string -> unit) option) ~(jit_cache : (string, unit) Hashtbl.t)
+    (a : artifact) : load_cost =
+  let inj site = match inject with Some f -> f site | None -> () in
   match a.art_mode with
   | Cubin ->
     { lc_ns = 150_000.0 +. (float_of_int a.art_size_bytes *. 2.0); lc_jit_compiled = false; lc_cache_hit = false }
   | Ptx ->
-    if Hashtbl.mem jit_cache a.art_hash then
+    if Hashtbl.mem jit_cache a.art_hash then begin
+      (* a corrupt-cache fault means this hit returned garbage *)
+      inj "jit_cache";
       { lc_ns = 400_000.0 +. (float_of_int a.art_size_bytes *. 2.0); lc_jit_compiled = false; lc_cache_hit = true }
+    end
     else begin
+      (* injection precedes the cache insert: a failed JIT leaves no
+         cache entry behind, so the retry compiles again *)
+      inj "jit_compile";
       Hashtbl.replace jit_cache a.art_hash ();
       (* JIT of a small kernel on the Nano's A57 takes tens of ms. *)
       {
@@ -79,3 +87,7 @@ let load_cost ~(jit_cache : (string, unit) Hashtbl.t) (a : artifact) : load_cost
         lc_cache_hit = false;
       }
     end
+
+(* Drop a (corrupt) cache entry so the next load re-JITs. *)
+let invalidate ~(jit_cache : (string, unit) Hashtbl.t) (a : artifact) : unit =
+  Hashtbl.remove jit_cache a.art_hash

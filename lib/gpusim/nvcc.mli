@@ -35,5 +35,12 @@ type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
 
 (** Cost of loading the artifact into a context: plain file load for
     cubins; for PTX either a JIT compilation (cache miss, dominant) or a
-    disk-cache hit.  Updates [jit_cache]. *)
-val load_cost : jit_cache:(string, unit) Hashtbl.t -> artifact -> load_cost
+    disk-cache hit.  Updates [jit_cache].  When [inject] is given it is
+    called with ["jit_cache"] on the hit path and ["jit_compile"] on the
+    miss path (before the cache insert, so an injected JIT failure
+    leaves no entry behind) and may raise to signal a fault. *)
+val load_cost : ?inject:(string -> unit) -> jit_cache:(string, unit) Hashtbl.t -> artifact -> load_cost
+
+(** Drop an artifact's (corrupt) JIT cache entry so the next load
+    re-compiles. *)
+val invalidate : jit_cache:(string, unit) Hashtbl.t -> artifact -> unit

@@ -7,7 +7,15 @@
    - the final unmap performs the from/tofrom copy-back and frees the
      device buffer;
    - [target update] moves data for present ranges without changing
-     refcounts. *)
+     refcounts.
+
+   Driver calls made here are fallible under fault injection; they are
+   wrapped in the Resilience retry policy, and when an operation still
+   fails the device is declared dead: live from/tofrom mappings are
+   salvaged back to the host (the simulated device's global memory stays
+   readable after compute faults) and every subsequent data-environment
+   operation degrades to a host-memory no-op, so the program continues
+   on the sequential fallback path. *)
 
 open Machine
 open Gpusim
@@ -31,11 +39,61 @@ type entry = {
   e_dev : Addr.t;
   mutable e_refcount : int;
   e_map : map_type; (* type used at initial mapping *)
+  e_launches_at_map : int; (* driver launch count when mapped *)
 }
 
-type t = { mutable entries : entry list; host : Mem.t; driver : Driver.t }
+type t = {
+  mutable entries : entry list;
+  host : Mem.t;
+  driver : Driver.t;
+  mutable de_dead : string option; (* Some reason once the device is declared dead *)
+  mutable de_policy : Resilience.policy;
+}
 
-let create ~(host : Mem.t) ~(driver : Driver.t) = { entries = []; host; driver }
+let create ~(host : Mem.t) ~(driver : Driver.t) =
+  { entries = []; host; driver; de_dead = None; de_policy = Resilience.default_policy }
+
+let is_dead t = t.de_dead <> None
+
+let dead_reason t = t.de_dead
+
+let set_policy t policy = t.de_policy <- policy
+
+let tr_instant t ?(args = []) name =
+  match t.driver.Driver.trace with
+  | Some tr -> Perf.Trace.instant tr ~args ~cat:"fault" name
+  | None -> ()
+
+(* Retry-wrap one fallible driver call under this environment's policy. *)
+let guard t ~label f =
+  Resilience.run ~clock:t.driver.Driver.clock ?trace:t.driver.Driver.trace ~policy:t.de_policy
+    ~label f
+
+(* Declare the device dead (idempotent).  A mapping's device image is
+   the current logical value of the data whenever a kernel has launched
+   since it was mapped — earlier successful target regions may have
+   computed into it regardless of its map type (think [target enter
+   data] residency across an iteration loop) — so such entries are
+   salvaged with raw copies before the environment is dropped.  Entries
+   no kernel could have touched are skipped: for to/tofrom the host copy
+   is identical, and for alloc/from the device image is uninitialised
+   and salvaging it would clobber live host data. *)
+let declare_dead t ~(reason : string) : unit =
+  if not (is_dead t) then begin
+    t.de_dead <- Some reason;
+    tr_instant t "device_dead"
+      ~args:
+        [
+          ("reason", Perf.Trace.Str reason);
+          ("live_mappings", Perf.Trace.Int (List.length t.entries));
+        ];
+    List.iter
+      (fun e ->
+        if t.driver.Driver.kernels_launched > e.e_launches_at_map then
+          Driver.salvage_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
+      t.entries;
+    t.entries <- []
+  end
 
 let find_containing t (haddr : Addr.t) ~bytes =
   List.find_opt
@@ -45,64 +103,100 @@ let find_containing t (haddr : Addr.t) ~bytes =
       && haddr.Addr.off + bytes <= e.e_host.Addr.off + e.e_bytes)
     t.entries
 
-(* Translate a host address inside a mapped range to its device image. *)
+(* Translate a host address inside a mapped range to its device image.
+   On a dead device the host address is its own image: the fallback
+   path works directly on host memory. *)
 let lookup t (haddr : Addr.t) : Addr.t option =
-  match find_containing t haddr ~bytes:1 with
-  | Some e -> Some (Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
-  | None -> None
+  if is_dead t then Some haddr
+  else
+    match find_containing t haddr ~bytes:1 with
+    | Some e -> Some (Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+    | None -> None
 
 let lookup_exn t haddr =
   match lookup t haddr with
   | Some d -> d
   | None -> map_error "host address %s is not mapped on the device" (Addr.show haddr)
 
-let is_present t haddr ~bytes = find_containing t haddr ~bytes <> None
+let is_present t haddr ~bytes = (not (is_dead t)) && find_containing t haddr ~bytes <> None
 
 (* Map a host range; returns the corresponding device address. *)
 let map t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
   if bytes <= 0 then map_error "mapping of %d bytes" bytes;
-  match find_containing t haddr ~bytes with
-  | Some e ->
-    e.e_refcount <- e.e_refcount + 1;
-    Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
-  | None ->
-    let dev = Driver.mem_alloc t.driver bytes in
-    (match mt with
-    | To | Tofrom -> Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes
-    | Alloc | From -> ());
-    t.entries <- { e_host = haddr; e_bytes = bytes; e_dev = dev; e_refcount = 1; e_map = mt } :: t.entries;
-    dev
+  if is_dead t then haddr
+  else
+    match find_containing t haddr ~bytes with
+    | Some e ->
+      e.e_refcount <- e.e_refcount + 1;
+      Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
+    | None -> (
+      try
+        let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
+        (match mt with
+        | To | Tofrom ->
+          guard t ~label:"map_h2d" (fun () ->
+              Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes)
+        | Alloc | From -> ());
+        t.entries <-
+          {
+            e_host = haddr;
+            e_bytes = bytes;
+            e_dev = dev;
+            e_refcount = 1;
+            e_map = mt;
+            e_launches_at_map = t.driver.Driver.kernels_launched;
+          }
+          :: t.entries;
+        dev
+      with Resilience.Device_dead reason ->
+        declare_dead t ~reason;
+        haddr)
 
 (* Unmap (end of construct / target exit data).  The map type decides
    whether data flows back on the final release. *)
 let unmap t (haddr : Addr.t) (mt : map_type) : unit =
   match find_containing t haddr ~bytes:1 with
-  | None -> map_error "unmap of address %s that is not mapped" (Addr.show haddr)
-  | Some e ->
+  | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
+  | Some e -> (
     e.e_refcount <- e.e_refcount - 1;
-    if e.e_refcount <= 0 then begin
-      (match mt with
-      | From | Tofrom ->
-        Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes
-      | Alloc | To -> ());
-      Driver.mem_free t.driver e.e_dev;
-      t.entries <- List.filter (fun e' -> e' != e) t.entries
-    end
+    if e.e_refcount <= 0 then
+      try
+        (match mt with
+        | From | Tofrom ->
+          guard t ~label:"unmap_d2h" (fun () ->
+              Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
+        | Alloc | To -> ());
+        Driver.mem_free t.driver e.e_dev;
+        t.entries <- List.filter (fun e' -> e' != e) t.entries
+      with Resilience.Device_dead reason ->
+        (* declare_dead salvages this still-registered from/tofrom entry,
+           completing the copy-back the retries could not *)
+        declare_dead t ~reason)
 
 let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
-  match find_containing t haddr ~bytes with
-  | None -> map_error "target update to: range not mapped"
-  | Some e ->
-    Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr
-      ~dst:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
-      ~len:bytes
+  if is_dead t then ()
+  else
+    match find_containing t haddr ~bytes with
+    | None -> map_error "target update to: range not mapped"
+    | Some e -> (
+      try
+        guard t ~label:"update_to" (fun () ->
+            Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr
+              ~dst:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+              ~len:bytes)
+      with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
-  match find_containing t haddr ~bytes with
-  | None -> map_error "target update from: range not mapped"
-  | Some e ->
-    Driver.memcpy_d2h t.driver ~host:t.host
-      ~src:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
-      ~dst:haddr ~len:bytes
+  if is_dead t then ()
+  else
+    match find_containing t haddr ~bytes with
+    | None -> map_error "target update from: range not mapped"
+    | Some e -> (
+      try
+        guard t ~label:"update_from" (fun () ->
+            Driver.memcpy_d2h t.driver ~host:t.host
+              ~src:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
+              ~dst:haddr ~len:bytes)
+      with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let active_mappings t = List.length t.entries

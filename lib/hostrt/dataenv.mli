@@ -8,7 +8,13 @@
     - the final unmap performs the from/tofrom copy-back and frees the
       device buffer;
     - [target update] moves data for present ranges without touching
-      refcounts. *)
+      refcounts.
+
+    Fallible driver calls are retried under a {!Resilience.policy}; when
+    one still fails the device is declared dead: live from/tofrom
+    mappings are salvaged back to the host and every later operation
+    degrades to a host-memory no-op, so execution continues on the
+    sequential fallback path. *)
 
 open Machine
 open Gpusim
@@ -51,3 +57,19 @@ val update_to : t -> Addr.t -> bytes:int -> unit
 val update_from : t -> Addr.t -> bytes:int -> unit
 
 val active_mappings : t -> int
+
+(** {1 Fault handling} *)
+
+(** Set the retry policy used for this environment's driver calls. *)
+val set_policy : t -> Resilience.policy -> unit
+
+val is_dead : t -> bool
+
+val dead_reason : t -> string option
+
+(** Declare the device dead (idempotent): emit a "device_dead" trace
+    event, salvage live from/tofrom mappings back to host memory, and
+    drop the environment.  After this, [map] returns the host address
+    unchanged, [unmap]/[update_*] are no-ops, and [lookup] is the
+    identity — the host fallback path works on host memory directly. *)
+val declare_dead : t -> reason:string -> unit

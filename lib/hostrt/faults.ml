@@ -1,0 +1,226 @@
+(* Deterministic fault injection for the offload runtime.  Every
+   fallible cudadev operation (alloc, transfers, module load, JIT
+   compilation, kernel launch) consults an injector before doing real
+   work; the injector decides — from scripted "fail the Nth call" plans
+   or a seeded per-site probability — whether the call fails, and raises
+   {!Injected} carrying the fault's recovery classification.
+
+   Determinism is the point: a fault plan plus a seed reproduces the
+   exact same failure schedule on every run, so recovery behaviour
+   (retry counts, backoff schedule, fallback decisions) is unit-testable
+   and CI-gateable. *)
+
+type site =
+  | Alloc (* cuMemAlloc: the 2GB Nano's most likely failure (OOM) *)
+  | H2d (* cuMemcpyHtoD *)
+  | D2h (* cuMemcpyDtoH *)
+  | Module_load (* cuModuleLoad *)
+  | Jit_cache (* JIT disk-cache lookup returned a corrupt entry *)
+  | Jit_compile (* PTX JIT compilation *)
+  | Launch (* cuLaunchKernel *)
+[@@deriving show { with_path = false }, eq]
+
+type kind =
+  | Transient (* worth retrying in place *)
+  | Corrupt_cache (* retry only after invalidating the JIT cache entry *)
+  | Fatal (* device unusable: degrade to host execution *)
+[@@deriving show { with_path = false }, eq]
+
+exception Injected of { i_site : site; i_kind : kind; i_count : int }
+
+let site_name = function
+  | Alloc -> "alloc"
+  | H2d -> "h2d"
+  | D2h -> "d2h"
+  | Module_load -> "module_load"
+  | Jit_cache -> "jit_cache"
+  | Jit_compile -> "jit_compile"
+  | Launch -> "launch"
+
+let kind_name = function
+  | Transient -> "transient"
+  | Corrupt_cache -> "corrupt_cache"
+  | Fatal -> "fatal"
+
+(* The spec groups some sites: a rule on "transfer" counts h2d and d2h
+   calls against one shared counter, which is what "fail the 2nd
+   transfer" means. *)
+type rule = {
+  r_sites : site list;
+  r_kind : kind;
+  r_nths : int list; (* fail these call indices (1-based) *)
+  r_from : int option; (* fail every call from this index on *)
+  r_every : int option; (* fail every k-th call *)
+  r_prob : float; (* per-call failure probability *)
+}
+
+type armed = { a_rule : rule; mutable a_count : int; mutable a_fired : int }
+
+type t = { arms : armed list; mutable rng : int64 }
+
+let create ?(seed = 42) (rules : rule list) : t =
+  {
+    arms = List.map (fun r -> { a_rule = r; a_count = 0; a_fired = 0 }) rules;
+    rng = Int64.of_int (seed lxor 0x9e3779b9);
+  }
+
+let reset t =
+  List.iter
+    (fun a ->
+      a.a_count <- 0;
+      a.a_fired <- 0)
+    t.arms
+
+(* 64-bit LCG (Knuth's MMIX constants); the high bits feed the uniform
+   draw so the plan is reproducible without OCaml's global Random. *)
+let next_float t =
+  t.rng <- Int64.add (Int64.mul t.rng 6364136223846793005L) 1442695040888963407L;
+  let hi = Int64.to_int (Int64.shift_right_logical t.rng 11) in
+  float_of_int hi /. 9007199254740992.0 (* 2^53 *)
+
+let rule_fires t (a : armed) : bool =
+  let r = a.a_rule in
+  let n = a.a_count in
+  List.mem n r.r_nths
+  || (match r.r_from with Some k -> n >= k | None -> false)
+  || (match r.r_every with Some k -> k > 0 && n mod k = 0 | None -> false)
+  || (r.r_prob > 0.0 && next_float t < r.r_prob)
+
+(* Count this call against every rule watching [site]; raise on the
+   first rule whose plan says the call fails. *)
+let check t (site : site) : unit =
+  List.iter
+    (fun a ->
+      if List.mem site a.a_rule.r_sites then begin
+        a.a_count <- a.a_count + 1;
+        if rule_fires t a then begin
+          a.a_fired <- a.a_fired + 1;
+          raise (Injected { i_site = site; i_kind = a.a_rule.r_kind; i_count = a.a_count })
+        end
+      end)
+    t.arms
+
+(* Injection hook as the driver sees it: sites by name, so gpusim does
+   not depend on this module's types. *)
+let site_of_name = function
+  | "alloc" -> Some Alloc
+  | "h2d" -> Some H2d
+  | "d2h" -> Some D2h
+  | "module_load" -> Some Module_load
+  | "jit_cache" -> Some Jit_cache
+  | "jit_compile" -> Some Jit_compile
+  | "launch" -> Some Launch
+  | _ -> None
+
+let hook t (name : string) : unit =
+  match site_of_name name with Some s -> check t s | None -> ()
+
+let total_fired t = List.fold_left (fun acc a -> acc + a.a_fired) 0 t.arms
+
+let total_calls t = List.fold_left (fun acc a -> acc + a.a_count) 0 t.arms
+
+(* ---------------------------------------------------------------- *)
+(* Spec parsing:  SITE[:k=v[,k=v...]] [; SITE...]                      *)
+(* ---------------------------------------------------------------- *)
+
+(* Site tokens the CLI accepts; "transfer" and "jit" are the grouped /
+   idiomatic spellings. *)
+let sites_of_token = function
+  | "alloc" -> Some [ Alloc ]
+  | "h2d" -> Some [ H2d ]
+  | "d2h" -> Some [ D2h ]
+  | "transfer" -> Some [ H2d; D2h ]
+  | "load" | "module_load" -> Some [ Module_load ]
+  | "jit" | "jit_cache" -> Some [ Jit_cache ]
+  | "jit_compile" -> Some [ Jit_compile ]
+  | "launch" -> Some [ Launch ]
+  | _ -> None
+
+(* Recovery classification when the spec does not say: allocation
+   failures on a 2GB board are hard OOM (fatal), a corrupt JIT cache
+   entry needs invalidation, everything else is worth a retry. *)
+let default_kind = function
+  | [ Alloc ] -> Fatal
+  | [ Jit_cache ] -> Corrupt_cache
+  | _ -> Transient
+
+let spec_syntax =
+  "SPEC is ';'-separated rules: SITE[:KEY=VAL[,KEY=VAL...]] with SITE one of alloc, h2d, d2h, \
+   transfer, load, jit, jit_compile, launch; KEY=VAL one of nth=N (fail the Nth call, repeatable), \
+   from=N (fail every call from the Nth), every=N, p=PROB, kind=transient|corrupt|fatal. Example: \
+   \"transfer:nth=2;launch:p=0.1,kind=transient\""
+
+let parse_rule (text : string) : (rule, string) result =
+  let text = String.trim text in
+  let site_tok, settings =
+    match String.index_opt text ':' with
+    | Some i -> (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+    | None -> (text, "")
+  in
+  match sites_of_token (String.trim site_tok) with
+  | None -> Error (Printf.sprintf "unknown fault site '%s'" (String.trim site_tok))
+  | Some sites ->
+    let rule =
+      ref
+        {
+          r_sites = sites;
+          r_kind = default_kind sites;
+          r_nths = [];
+          r_from = None;
+          r_every = None;
+          r_prob = 0.0;
+        }
+    in
+    let err = ref None in
+    let int_of v k =
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+        err := Some (Printf.sprintf "%s wants a positive integer, got '%s'" k v);
+        None
+    in
+    if String.trim settings <> "" then
+      List.iter
+        (fun kv ->
+          let kv = String.trim kv in
+          match String.index_opt kv '=' with
+          | None -> err := Some (Printf.sprintf "expected KEY=VAL, got '%s'" kv)
+          | Some i ->
+            let k = String.sub kv 0 i and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            (match k with
+            | "nth" ->
+              Option.iter (fun n -> rule := { !rule with r_nths = !rule.r_nths @ [ n ] }) (int_of v k)
+            | "from" -> Option.iter (fun n -> rule := { !rule with r_from = Some n }) (int_of v k)
+            | "every" -> Option.iter (fun n -> rule := { !rule with r_every = Some n }) (int_of v k)
+            | "p" -> (
+              match float_of_string_opt v with
+              | Some p when p >= 0.0 && p <= 1.0 -> rule := { !rule with r_prob = p }
+              | _ -> err := Some (Printf.sprintf "p wants a probability in [0,1], got '%s'" v))
+            | "kind" -> (
+              match v with
+              | "transient" -> rule := { !rule with r_kind = Transient }
+              | "corrupt" | "corrupt_cache" -> rule := { !rule with r_kind = Corrupt_cache }
+              | "fatal" -> rule := { !rule with r_kind = Fatal }
+              | _ -> err := Some (Printf.sprintf "unknown fault kind '%s'" v))
+            | _ -> err := Some (Printf.sprintf "unknown fault setting '%s'" k)))
+        (String.split_on_char ',' settings);
+    (match !err with
+    | Some e -> Error e
+    | None ->
+      let r = !rule in
+      if r.r_nths = [] && r.r_from = None && r.r_every = None && r.r_prob = 0.0 then
+        (* a bare site means "fail every call": the harshest plan *)
+        Ok { r with r_from = Some 1 }
+      else Ok r)
+
+let parse (spec : string) : (rule list, string) result =
+  let parts = String.split_on_char ';' spec |> List.map String.trim |> List.filter (( <> ) "") in
+  if parts = [] then Error "empty fault spec"
+  else
+    List.fold_left
+      (fun acc part ->
+        match (acc, parse_rule part) with
+        | Error e, _ -> Error e
+        | Ok rs, Ok r -> Ok (rs @ [ r ])
+        | Ok _, Error e -> Error (Printf.sprintf "in rule '%s': %s" part e))
+      (Ok []) parts

@@ -1,0 +1,89 @@
+(** Deterministic fault injection for the offload runtime.
+
+    The simulated cudadev operations (alloc, transfers, module load, JIT
+    compilation, kernel launch) consult an injector before doing real
+    work; scripted plans ("fail the Nth call") or seeded per-site
+    probabilities decide whether the call fails, raising {!Injected}
+    with the fault's recovery classification.  The same plan + seed
+    reproduces the same failure schedule on every run. *)
+
+(** Injection sites, mirroring the fallible CUDA driver entry points. *)
+type site =
+  | Alloc  (** cuMemAlloc — on a 2GB board, usually OOM *)
+  | H2d  (** cuMemcpyHtoD *)
+  | D2h  (** cuMemcpyDtoH *)
+  | Module_load  (** cuModuleLoad *)
+  | Jit_cache  (** JIT disk cache returned a corrupt entry *)
+  | Jit_compile  (** PTX JIT compilation *)
+  | Launch  (** cuLaunchKernel *)
+
+val pp_site : Format.formatter -> site -> unit
+
+val show_site : site -> string
+
+val equal_site : site -> site -> bool
+
+(** How the recovery policy should treat an injected fault. *)
+type kind =
+  | Transient  (** worth retrying in place *)
+  | Corrupt_cache  (** retry after invalidating the JIT cache entry *)
+  | Fatal  (** device unusable: degrade to host execution *)
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val show_kind : kind -> string
+
+val equal_kind : kind -> kind -> bool
+
+exception Injected of { i_site : site; i_kind : kind; i_count : int }
+
+(** Lower-case wire names, as used in trace events and the CLI spec. *)
+val site_name : site -> string
+
+val kind_name : kind -> string
+
+val site_of_name : string -> site option
+
+(** One injection rule.  A rule watching several sites (e.g. "transfer"
+    = H2d + D2h) counts their calls against one shared counter, so
+    "fail the 2nd transfer" means the 2nd transfer overall. *)
+type rule = {
+  r_sites : site list;
+  r_kind : kind;
+  r_nths : int list;  (** fail these call indices (1-based) *)
+  r_from : int option;  (** fail every call from this index on *)
+  r_every : int option;  (** fail every k-th call *)
+  r_prob : float;  (** per-call failure probability *)
+}
+
+type t
+
+(** Arm a fresh injector (per-rule counters at zero).  [seed] drives the
+    probability rules' deterministic PRNG; default 42. *)
+val create : ?seed:int -> rule list -> t
+
+(** Zero all counters and fire counts (the PRNG state is kept). *)
+val reset : t -> unit
+
+(** Count a call at [site] against every watching rule; raises
+    {!Injected} if a rule's plan says this call fails. *)
+val check : t -> site -> unit
+
+(** [check] keyed by wire name; unknown names are ignored.  This is the
+    function installed as the driver's injection hook. *)
+val hook : t -> string -> unit
+
+(** Total faults injected / total site calls counted so far. *)
+val total_fired : t -> int
+
+val total_calls : t -> int
+
+(** {1 Spec parsing} *)
+
+(** One-line description of the [--faults] spec grammar, for CLI docs. *)
+val spec_syntax : string
+
+(** Parse a spec like ["transfer:nth=2;launch:p=0.1"].  A bare site
+    token means "fail every call".  Unspecified kinds default by site:
+    alloc is fatal, jit is corrupt-cache, the rest transient. *)
+val parse : string -> (rule list, string) result

@@ -54,19 +54,39 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
         Dataenv.update_from (Rt.device rt dev).Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes);
         Value.VVoid
       | _ -> host_error "ort_update_from: bad arguments");
+  (* Returns 1 when the kernel ran on the device, 0 when the device is
+     (or has just been declared) dead — generated host code then runs
+     the target region's sequential body inline:
+       if (!ort_offload(...)) { <stripped region body> } *)
   reg "ort_offload" (fun ctx args ->
       let dev, args = dev_of args in
       match args with
       | file :: entry :: teams :: threads :: kargs ->
         let kernel_file = Cinterp.Interp.read_c_string ctx (Value.as_addr file) in
         let entry = Cinterp.Interp.read_c_string ctx (Value.as_addr entry) in
-        let args = List.map (fun v -> Offload.Mapped (Value.as_addr v)) kargs in
-        let result =
-          Offload.launch_typed rt ~dev ~kernel_file ~entry ~num_teams:(int_arg teams)
-            ~num_threads:(int_arg threads) ~args ~translated:true ()
+        let device = Rt.device rt dev in
+        let fallback reason =
+          Dataenv.declare_dead device.Rt.dev_dataenv ~reason;
+          (match rt.Rt.trace with
+          | Some tr ->
+            Perf.Trace.instant tr ~cat:"fault" "host_fallback"
+              ~args:
+                [
+                  ("kernel_file", Perf.Trace.Str kernel_file);
+                  ("reason", Perf.Trace.Str reason);
+                ]
+          | None -> ());
+          Value.of_int 0
         in
-        Buffer.add_string ctx.Cinterp.Interp.output result.Offload.r_output;
-        Value.VVoid
+        (try
+           let args = List.map (fun v -> Offload.Mapped (Value.as_addr v)) kargs in
+           let result =
+             Offload.launch_typed rt ~dev ~kernel_file ~entry ~num_teams:(int_arg teams)
+               ~num_threads:(int_arg threads) ~args ~translated:true ()
+           in
+           Buffer.add_string ctx.Cinterp.Interp.output result.Offload.r_output;
+           Value.of_int 1
+         with Resilience.Device_dead reason -> fallback reason)
       | _ -> host_error "ort_offload: bad arguments");
   reg "omp_get_wtime" (fun _ _ -> Value.flt ~ty:Cty.Double (Rt.now_s rt));
   reg "omp_get_num_devices" (fun _ _ -> Value.of_int (Rt.num_devices rt));

@@ -22,6 +22,28 @@ let phase (rt : Rt.t) ?(args = []) (name : string) (f : unit -> 'a) : 'a =
   | Some tr -> Perf.Trace.with_span tr ~args ~cat:"launch" name f
   | None -> f ()
 
+(* Launching on a device that was declared dead is pointless: fail fast
+   so the caller (ort_offload) takes the host fallback path. *)
+let check_alive (device : Rt.device) : unit =
+  match Dataenv.dead_reason device.Rt.dev_dataenv with
+  | Some reason -> raise (Resilience.Device_dead reason)
+  | None -> ()
+
+(* Retry-wrap a fallible launch phase under the runtime's policy.  On a
+   corrupt-cache fault the artifact's JIT cache entry and any resident
+   module are dropped before the retry, so the recovery recompiles —
+   visible as a jit_compile event following the fault. *)
+let resilient (rt : Rt.t) (device : Rt.device) ~(artifact : Nvcc.artifact) ~label f =
+  let driver = device.Rt.dev_driver in
+  Resilience.run ~clock:rt.Rt.clock ?trace:rt.Rt.trace ~policy:rt.Rt.fault_policy
+    ~on_fault:(fun _site kind ->
+      match kind with
+      | Faults.Corrupt_cache ->
+        Nvcc.invalidate ~jit_cache:driver.Driver.jit_cache artifact;
+        Hashtbl.remove driver.Driver.modules artifact.Nvcc.art_hash
+      | Faults.Transient | Faults.Fatal -> ())
+    ~label f
+
 (* [translated] marks kernels produced by the OMPi translator (as
    opposed to hand-written CUDA); they carry the extra runtime machinery
    and the occupancy penalty hook. *)
@@ -29,13 +51,15 @@ let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(
     ~(num_threads : int) ~(args : arg list) ?(translated = true) ?(block_filter : (int -> bool) option)
     () : result =
   let device = Rt.device rt dev in
+  check_alive device;
   (* Phase 1: loading. *)
+  let artifact = Rt.find_kernel rt ~dev kernel_file in
   let modul =
     phase rt "load"
       ~args:[ ("kernel_file", Perf.Trace.Str kernel_file) ]
       (fun () ->
-        let artifact = Rt.find_kernel rt ~dev kernel_file in
-        Driver.load_module device.Rt.dev_driver artifact)
+        resilient rt device ~artifact ~label:"load" (fun () ->
+            Driver.load_module device.Rt.dev_driver artifact))
   in
   (* Phase 2: parameter preparation. *)
   let values =
@@ -63,8 +87,9 @@ let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(
     phase rt "launch"
       ~args:[ ("entry", Perf.Trace.Str entry) ]
       (fun () ->
-        Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
-          ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ())
+        resilient rt device ~artifact ~label:"launch" (fun () ->
+            Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+              ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()))
   in
   { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }
 
@@ -76,12 +101,14 @@ let launch_typed (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : stri
     ~(num_teams : int) ~(num_threads : int) ~(args : arg list) ?(translated = true)
     ?(block_filter : (int -> bool) option) () : result =
   let device = Rt.device rt dev in
+  check_alive device;
+  let artifact = Rt.find_kernel rt ~dev kernel_file in
   let modul =
     phase rt "load"
       ~args:[ ("kernel_file", Perf.Trace.Str kernel_file) ]
       (fun () ->
-        let artifact = Rt.find_kernel rt ~dev kernel_file in
-        Driver.load_module device.Rt.dev_driver artifact)
+        resilient rt device ~artifact ~label:"load" (fun () ->
+            Driver.load_module device.Rt.dev_driver artifact))
   in
   let entry_fn = Driver.get_function modul entry in
   let params = entry_fn.Minic.Ast.f_params in
@@ -115,7 +142,8 @@ let launch_typed (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : stri
     phase rt "launch"
       ~args:[ ("entry", Perf.Trace.Str entry) ]
       (fun () ->
-        Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
-          ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ())
+        resilient rt device ~artifact ~label:"launch" (fun () ->
+            Driver.launch_kernel device.Rt.dev_driver ~modul ~entry ~grid ~block ~args:values
+              ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty ()))
   in
   { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }

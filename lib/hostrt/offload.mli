@@ -15,6 +15,14 @@ type arg =
 
 type result = { r_stats : Driver.launch_stats; r_output : string }
 
+(** Both launch entry points are fault-aware: the load and launch phases
+    retry under the runtime's {!Resilience.policy} (invalidating the JIT
+    cache entry on corrupt-cache faults so the retry recompiles), and
+    {!Resilience.Device_dead} is raised immediately when the target
+    device has already been declared dead, or when a fatal fault /
+    retry exhaustion kills it — the caller then degrades to the host
+    path. *)
+
 (** [translated] marks kernels produced by the OMPi translator (they
     carry the occupancy-penalty hook); hand-written CUDA passes
     [~translated:false]. *)

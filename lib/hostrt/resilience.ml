@@ -1,0 +1,83 @@
+(* Recovery policy for injected device faults: bounded retry with
+   exponential backoff charged to the simulated clock.  Transient and
+   corrupt-cache faults are retried (the caller's [on_fault] gets a
+   chance to invalidate state between attempts, e.g. drop a corrupt JIT
+   cache entry); fatal faults and retry exhaustion raise {!Device_dead},
+   which the data environment and ort_offload translate into graceful
+   degradation onto the host path.
+
+   Every decision is traced under cat "fault": fault_injected,
+   retry_backoff (with the slept delay), retry_exhausted, fault_fatal —
+   so a Chrome export shows the full recovery story. *)
+
+open Machine
+
+type policy = {
+  rp_max_retries : int; (* retries per operation, beyond the first try *)
+  rp_base_backoff_us : float; (* delay before the first retry *)
+  rp_backoff_mult : float; (* delay multiplier per further retry *)
+}
+
+(* Defaults follow the usual driver-retry shape: 50us, 200us, 800us. *)
+let default_policy = { rp_max_retries = 3; rp_base_backoff_us = 50.0; rp_backoff_mult = 4.0 }
+
+(* Backoff before retry [attempt] (1-based): base * mult^(attempt-1). *)
+let backoff_us policy attempt =
+  policy.rp_base_backoff_us *. (policy.rp_backoff_mult ** float_of_int (attempt - 1))
+
+exception Device_dead of string
+
+let tr_instant trace ?(args = []) name =
+  match trace with Some tr -> Perf.Trace.instant tr ~args ~cat:"fault" name | None -> ()
+
+let run ~(clock : Simclock.t) ?(trace : Perf.Trace.t option) ?(policy = default_policy)
+    ?(on_fault : (Faults.site -> Faults.kind -> unit) option) ~(label : string) (f : unit -> 'a) : 'a
+    =
+  let rec attempt k =
+    (* k = retries already spent on this operation *)
+    try f ()
+    with Faults.Injected { i_site; i_kind; i_count } -> (
+      tr_instant trace "fault_injected"
+        ~args:
+          [
+            ("op", Perf.Trace.Str label);
+            ("site", Perf.Trace.Str (Faults.site_name i_site));
+            ("kind", Perf.Trace.Str (Faults.kind_name i_kind));
+            ("site_call", Perf.Trace.Int i_count);
+            ("attempt", Perf.Trace.Int (k + 1));
+          ];
+      match i_kind with
+      | Faults.Fatal ->
+        tr_instant trace "fault_fatal"
+          ~args:[ ("op", Perf.Trace.Str label); ("site", Perf.Trace.Str (Faults.site_name i_site)) ];
+        raise
+          (Device_dead
+             (Printf.sprintf "fatal fault at %s during %s" (Faults.site_name i_site) label))
+      | Faults.Transient | Faults.Corrupt_cache ->
+        if k >= policy.rp_max_retries then begin
+          tr_instant trace "retry_exhausted"
+            ~args:
+              [
+                ("op", Perf.Trace.Str label);
+                ("site", Perf.Trace.Str (Faults.site_name i_site));
+                ("retries", Perf.Trace.Int k);
+              ];
+          raise
+            (Device_dead
+               (Printf.sprintf "%s failed at %s after %d retries" label
+                  (Faults.site_name i_site) k))
+        end;
+        (match on_fault with Some g -> g i_site i_kind | None -> ());
+        let delay = backoff_us policy (k + 1) in
+        tr_instant trace "retry_backoff"
+          ~args:
+            [
+              ("op", Perf.Trace.Str label);
+              ("site", Perf.Trace.Str (Faults.site_name i_site));
+              ("attempt", Perf.Trace.Int (k + 1));
+              ("delay_us", Perf.Trace.Float delay);
+            ];
+        Simclock.advance_us clock delay;
+        attempt (k + 1))
+  in
+  attempt 0

@@ -1,0 +1,39 @@
+(** Recovery policy for injected device faults: bounded retry with
+    exponential backoff charged to the simulated clock.
+
+    Transient and corrupt-cache faults are retried — the caller's
+    [on_fault] hook runs between attempts so corrupt JIT cache entries
+    can be invalidated before the recompile.  Fatal faults and retry
+    exhaustion raise {!Device_dead}; callers translate that into
+    graceful degradation (host fallback). *)
+
+open Machine
+
+type policy = {
+  rp_max_retries : int;  (** retries per operation, beyond the first try *)
+  rp_base_backoff_us : float;  (** delay before the first retry *)
+  rp_backoff_mult : float;  (** delay multiplier per further retry *)
+}
+
+(** 3 retries, 50us base, x4 per retry: 50us, 200us, 800us. *)
+val default_policy : policy
+
+(** Backoff before retry [attempt] (1-based):
+    [base * mult^(attempt-1)]. *)
+val backoff_us : policy -> int -> float
+
+exception Device_dead of string
+
+(** [run ~clock ~label f] executes [f], retrying per [policy] when it
+    raises {!Faults.Injected}.  Backoff sleeps advance [clock]; each
+    injection, backoff and exhaustion emits a cat:"fault" trace event
+    when [trace] is given.  Raises {!Device_dead} on a fatal fault or
+    when retries are exhausted. *)
+val run :
+  clock:Simclock.t ->
+  ?trace:Perf.Trace.t ->
+  ?policy:policy ->
+  ?on_fault:(Faults.site -> Faults.kind -> unit) ->
+  label:string ->
+  (unit -> 'a) ->
+  'a

@@ -33,6 +33,10 @@ type t = {
   mutable sample_max_blocks : int option;
   (* launch-phase tracing; [set_trace] propagates it to the drivers *)
   mutable trace : Perf.Trace.t option;
+  (* fault injection; [set_faults] installs the hook into the drivers *)
+  mutable faults : Faults.t option;
+  (* retry/backoff policy; [set_fault_policy] propagates to data envs *)
+  mutable fault_policy : Resilience.policy;
 }
 
 (* Evenly-spaced block sampling filter.  The sample is offset by half a
@@ -66,6 +70,8 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) () : t =
     translated_kernel_penalty = default_penalty;
     sample_max_blocks = None;
     trace = None;
+    faults = None;
+    fault_policy = Resilience.default_policy;
   }
 
 (* Attach (or detach) a trace ring; devices share the runtime's ring so
@@ -73,6 +79,17 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) () : t =
 let set_trace t (trace : Perf.Trace.t option) : unit =
   t.trace <- trace;
   Array.iter (fun d -> Driver.set_trace d.dev_driver trace) t.devices
+
+(* Arm (or disarm) fault injection by installing the injector's hook
+   into every device driver. *)
+let set_faults t (faults : Faults.t option) : unit =
+  t.faults <- faults;
+  let hook = Option.map (fun f s -> Faults.hook f s) faults in
+  Array.iter (fun d -> Driver.set_inject d.dev_driver hook) t.devices
+
+let set_fault_policy t (policy : Resilience.policy) : unit =
+  t.fault_policy <- policy;
+  Array.iter (fun d -> Dataenv.set_policy d.dev_dataenv policy) t.devices
 
 let device t id =
   if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;

@@ -33,6 +33,10 @@ type t = {
           spaced) and scale the measured counts to the full grid *)
   mutable trace : Perf.Trace.t option;
       (** launch-phase tracing; set via {!set_trace} *)
+  mutable faults : Faults.t option;
+      (** fault injection; set via {!set_faults} *)
+  mutable fault_policy : Resilience.policy;
+      (** retry/backoff policy; set via {!set_fault_policy} *)
 }
 
 val default_penalty : int -> float
@@ -43,6 +47,14 @@ val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> unit -> t
     every device driver so host- and device-side events interleave on
     one timeline. *)
 val set_trace : t -> Perf.Trace.t option -> unit
+
+(** Arm (or disarm, with [None]) fault injection by installing the
+    injector's hook into every device driver. *)
+val set_faults : t -> Faults.t option -> unit
+
+(** Set the retry/backoff policy, propagating it to every device's data
+    environment. *)
+val set_fault_policy : t -> Resilience.policy -> unit
 
 val device : t -> int -> device
 

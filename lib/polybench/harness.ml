@@ -40,6 +40,18 @@ let enable_trace ctx : Perf.Trace.t =
   Hostrt.Rt.set_trace ctx.rt (Some tr);
   tr
 
+(* Arm (or disarm) deterministic fault injection on this harness's
+   runtime; [set_max_retries] bounds the recovery policy's retries. *)
+let set_faults ctx ?seed (rules : Hostrt.Faults.rule list) : unit =
+  Hostrt.Rt.set_faults ctx.rt
+    (match rules with [] -> None | _ -> Some (Hostrt.Faults.create ?seed rules))
+
+let set_max_retries ctx (n : int) : unit =
+  Hostrt.Rt.set_fault_policy ctx.rt
+    { Hostrt.Resilience.default_policy with Hostrt.Resilience.rp_max_retries = n }
+
+let device_dead ctx = Hostrt.Dataenv.is_dead (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv
+
 let driver ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_driver
 
 let dataenv ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv

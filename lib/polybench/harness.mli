@@ -36,6 +36,16 @@ val create : ?binary_mode:Nvcc.binary_mode -> unit -> ctx
     events. *)
 val enable_trace : ctx -> Perf.Trace.t
 
+(** Arm (or disarm, with [[]]) deterministic fault injection on this
+    harness's runtime. *)
+val set_faults : ctx -> ?seed:int -> Hostrt.Faults.rule list -> unit
+
+(** Bound the recovery policy's retries per operation. *)
+val set_max_retries : ctx -> int -> unit
+
+(** Has device 0 been declared dead (host-fallback mode)? *)
+val device_dead : ctx -> bool
+
 val driver : ctx -> Driver.t
 
 val dataenv : ctx -> Hostrt.Dataenv.t

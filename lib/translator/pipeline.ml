@@ -40,11 +40,18 @@ let unmap_call (mv : Region.mapped_var) =
   Ast.expr_stmt
     (Ast.call "ort_unmap" [ dev0; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
 
-let offload_call (k : Kernelgen.kernel) =
-  Ast.expr_stmt
-    (Ast.call "ort_offload"
-       ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
-       @ List.map (fun (mv : Region.mapped_var) -> cvoid mv.Region.mv_base) k.Kernelgen.k_params))
+let offload_expr (k : Kernelgen.kernel) =
+  Ast.call "ort_offload"
+    ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
+    @ List.map (fun (mv : Region.mapped_var) -> cvoid mv.Region.mv_base) k.Kernelgen.k_params)
+
+(* ort_offload returns 1 on device execution, 0 when the runtime has
+   declared the device dead — then the stripped (sequential) region body
+   runs inline on the host, inside the surrounding map/unmap pair, as
+   graceful degradation.  The data environment is in dead mode at that
+   point, so the maps are host-memory no-ops. *)
+let offload_call (k : Kernelgen.kernel) (fallback : Ast.stmt) =
+  Ast.Sif (Ast.Unop (Ast.Not, offload_expr k), fallback, None)
 
 (* Lower a target-family construct at the host level. *)
 let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : Ast.stmt option) :
@@ -61,7 +68,7 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
       let offload_block =
         Ast.Sblock
           (List.map map_call kernel.Kernelgen.k_params
-          @ [ offload_call kernel ]
+          @ [ offload_call kernel (Strip.strip_stmt body) ]
           @ List.rev_map unmap_call kernel.Kernelgen.k_params)
       in
       (* if() clause: host fallback executes the stripped body *)
