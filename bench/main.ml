@@ -10,6 +10,10 @@
                                  ablate-sections | micro
      dune exec bench/main.exe -- trace gemm 256 gemm.json
                                         -- one traced run + Chrome JSON
+     dune exec bench/main.exe -- overlap [--smoke]
+                                        -- target-nowait pipeline: async vs
+                                           sync vs host, overlap evidence
+     dune exec bench/main.exe -- fault-matrix [--smoke]
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -348,6 +352,203 @@ let trace_app name n file =
     Perf.Report.print_trace_summary tr
 
 (* ------------------------------------------------------------------ *)
+(* Overlap: transfer/compute pipelines with target nowait on streams    *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared with the fault matrix below: what recovery evidence a fault
+   plan must leave in the Chrome trace JSON. *)
+type fault_expectation =
+  | Recover (* retries succeed: backoff events, no fallback, device alive *)
+  | Fallback (* device declared dead: host fallback produced the result *)
+  | Any (* probabilistic plan: only correctness is asserted *)
+
+(* A tiled matrix-vector pipeline (atax-style): every tile maps its own
+   slab of A in, runs a matvec over it, and maps its slice of y out.
+   With `nowait` the tiles spread over the stream pool and tile t+1's
+   HtoD runs on the copy engine while tile t computes; without it the
+   same program is the fully synchronous baseline.  Tile bases are
+   pointer locals because array sections must start at offset 0. *)
+let pipeline_source ~nowait =
+  Printf.sprintf
+    {|
+void pipeline(int n, int rows, int tiles, float A[], float x[], float y[])
+{
+  #pragma omp target data map(to: x[0:n], n, rows)
+  {
+    for (int t = 0; t < tiles; t++) {
+      float *At = A + t * rows * n;
+      float *yt = y + t * rows;
+      #pragma omp target teams distribute parallel for %s num_teams(1) num_threads(128) \
+          map(to: n, rows, At[0:rows*n], x[0:n]) map(from: yt[0:rows])
+      for (int i = 0; i < rows; i++) {
+        float s = 0.0f;
+        for (int j = 0; j < n; j++)
+          s += At[i * n + j] * x[j];
+        yt[i] = s;
+      }
+    }
+    #pragma omp taskwait
+  }
+}
+|}
+    (if nowait then "nowait" else "")
+
+type overlap_mode =
+  | Ov_async of int (* nowait tiles over a pool of this many streams *)
+  | Ov_sync (* same program without nowait *)
+  | Ov_host (* directives stripped, sequential host reference *)
+
+let run_pipeline ?(trace = false) ?faults mode ~n ~rows ~tiles =
+  let ctx = Polybench.Harness.create () in
+  Polybench.Harness.set_sampling ctx None;
+  (match mode with Ov_async s -> Polybench.Harness.set_streams ctx s | Ov_sync | Ov_host -> ());
+  let tr = if trace then Some (Polybench.Harness.enable_trace ctx) else None in
+  (match faults with Some rules -> Polybench.Harness.set_faults ctx ~seed:7 rules | None -> ());
+  let total = tiles * rows in
+  let a = Polybench.Harness.alloc_f32 ctx (total * n) in
+  let x = Polybench.Harness.alloc_f32 ctx n in
+  let y = Polybench.Harness.alloc_f32 ctx total in
+  Polybench.Harness.fill_f32 ctx a (total * n) (fun i -> float_of_int ((i mod 13) - 6) *. 0.25);
+  Polybench.Harness.fill_f32 ctx x n (fun i -> float_of_int ((i mod 7) - 3) *. 0.5);
+  Polybench.Harness.fill_f32 ctx y total (fun _ -> 0.0);
+  let nowait = match mode with Ov_async _ -> true | Ov_sync | Ov_host -> false in
+  let p =
+    Polybench.Harness.prepare_omp ~host_interp:(mode = Ov_host) ctx ~name:"pipeline"
+      (pipeline_source ~nowait)
+  in
+  let t =
+    Polybench.Harness.measure ctx (fun () ->
+        Polybench.Harness.(
+          call_omp p "pipeline" [ vint n; vint rows; vint tiles; fptr a; fptr x; fptr y ]))
+  in
+  (t, Polybench.Harness.read_f32_array ctx y total, tr, ctx)
+
+(* The exported Chrome JSON is the interface under test: cat:"async"
+   "X" events carry ts/dur in microseconds and tid = stream id. *)
+let trace_events tr =
+  match Perf.Json.of_string (Perf.Chrome_trace.to_string tr) with
+  | Error msg -> failwith ("trace JSON does not parse: " ^ msg)
+  | Ok doc -> (
+    match Option.bind (Perf.Json.member "traceEvents" doc) Perf.Json.to_list_opt with
+    | None -> failwith "trace JSON has no traceEvents"
+    | Some evs -> evs)
+
+let async_intervals evs =
+  List.filter_map
+    (fun e ->
+      let str k = Option.bind (Perf.Json.member k e) Perf.Json.to_string_opt in
+      let num k = Option.bind (Perf.Json.member k e) Perf.Json.to_number_opt in
+      match (str "cat", str "ph", num "tid", num "ts", num "dur") with
+      | Some "async", Some "X", Some tid, Some ts, Some dur ->
+        Some (int_of_float tid, ts, ts +. dur)
+      | _ -> None)
+    evs
+
+(* Pairs of stream-timeline intervals on DIFFERENT streams whose time
+   ranges intersect: the visible witness of transfer/compute overlap. *)
+let count_overlapping_pairs intervals =
+  let rec go acc = function
+    | [] -> acc
+    | (tid, s, e) :: rest ->
+      let here =
+        List.length (List.filter (fun (tid', s', e') -> tid' <> tid && s < e' && s' < e) rest)
+      in
+      go (acc + here) rest
+  in
+  go 0 intervals
+
+let fault_event_count evs name =
+  List.length
+    (List.filter
+       (fun e ->
+         Option.bind (Perf.Json.member "cat" e) Perf.Json.to_string_opt = Some "fault"
+         && Option.bind (Perf.Json.member "name" e) Perf.Json.to_string_opt = Some name)
+       evs)
+
+(* Faults landing in queued stream work: recovery must neither change
+   the answer nor leave async state behind. *)
+let overlap_fault_cell ~n ~rows ~tiles (y_ref : float array) (spec, expect) : bool =
+  let rules =
+    match Hostrt.Faults.parse spec with
+    | Ok rules -> rules
+    | Error msg -> failwith (Printf.sprintf "bad spec '%s': %s" spec msg)
+  in
+  let _, y, tr, ctx = run_pipeline ~trace:true ~faults:rules (Ov_async 4) ~n ~rows ~tiles in
+  let evs = trace_events (Option.get tr) in
+  let count = fault_event_count evs in
+  let correct = y = y_ref in
+  let injected = count "fault_injected" in
+  let evidence_ok =
+    match expect with
+    | Recover ->
+      injected >= 1 && count "retry_backoff" >= 1 && count "host_fallback" = 0
+      && not (Polybench.Harness.device_dead ctx)
+    | Fallback ->
+      injected >= 1 && count "host_fallback" >= 1 && Polybench.Harness.device_dead ctx
+    | Any -> true
+  in
+  let ok = correct && evidence_ok in
+  say "  fault %-18s %-9s inj=%-3d %s\n" spec
+    (match expect with Recover -> "recover" | Fallback -> "fallback" | Any -> "any")
+    injected
+    (if ok then "ok" else if correct then "FAIL(no evidence)" else "FAIL(wrong result)");
+  ok
+
+let overlap ~smoke () =
+  say "=== overlap: target nowait pipeline, async vs sync vs host reference ===\n";
+  say "(tiled matvec, rows x n per tile; times are simulated seconds)\n";
+  (* One row per device thread: 128 rows of 64 columns keeps the tile's
+     matvec time close to its 32 KiB HtoD time, which is where a
+     double-buffered pipeline pays off most. *)
+  let n = 64 and rows = 128 in
+  let failures = ref 0 in
+  let check ok what = if not ok then (incr failures; say "  FAIL: %s\n" what) in
+  let row ?(streams = 4) ~assertive tiles =
+    let _, y_host, _, _ = run_pipeline Ov_host ~n ~rows ~tiles in
+    let t_sync, y_sync, _, _ = run_pipeline Ov_sync ~n ~rows ~tiles in
+    let t_async, y_async, tr, _ = run_pipeline ~trace:true (Ov_async streams) ~n ~rows ~tiles in
+    (match Sys.getenv_opt "OVERLAP_TRACE" with
+    | Some file -> Perf.Chrome_trace.write_file file (Option.get tr)
+    | None -> ());
+    let pairs = count_overlapping_pairs (async_intervals (trace_events (Option.get tr))) in
+    let identical = y_async = y_sync && y_sync = y_host in
+    let speedup = t_sync /. t_async in
+    say "  tiles=%-3d streams=%-2d sync=%.6f async=%.6f speedup=%.2fx overlap-pairs=%-3d %s\n"
+      tiles streams t_sync t_async speedup pairs
+      (if identical then "bit-identical" else "RESULTS DIFFER");
+    check identical (Printf.sprintf "tiles=%d streams=%d: async/sync/host results differ" tiles streams);
+    if assertive then begin
+      check (speedup > 1.1) (Printf.sprintf "tiles=%d: speedup %.2fx <= 1.1x" tiles speedup);
+      check (pairs >= 1) (Printf.sprintf "tiles=%d: no overlapping async intervals in trace" tiles)
+    end;
+    y_host
+  in
+  let y_ref =
+    if smoke then row ~assertive:true 6
+    else begin
+      ignore (row ~assertive:false 2);
+      ignore (row ~assertive:false 4);
+      let y_ref = row ~assertive:true 8 in
+      ignore (row ~assertive:false 16);
+      say "  -- stream-pool ablation at tiles=8 (1 stream serializes, no overlap) --\n";
+      ignore (row ~streams:1 ~assertive:false 8);
+      ignore (row ~streams:2 ~assertive:false 8);
+      ignore (row ~streams:8 ~assertive:false 8);
+      y_ref
+    end
+  in
+  say "  -- faults injected into queued stream work (differential vs host) --\n";
+  let tiles = if smoke then 6 else 8 in
+  List.iter
+    (fun cell -> if not (overlap_fault_cell ~n ~rows ~tiles y_ref cell) then incr failures)
+    [ ("launch:nth=2", Recover); ("transfer:from=3", Fallback) ];
+  if !failures > 0 then begin
+    say "overlap: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "overlap: PASS\n"
+
+(* ------------------------------------------------------------------ *)
 (* Fault matrix: differential correctness under injected faults         *)
 (* ------------------------------------------------------------------ *)
 
@@ -356,11 +557,6 @@ let trace_app name n file =
    recovery (retry/backoff, JIT-cache invalidation, host fallback) must
    never change the answer.  The expectation tag asserts that the
    recovery evidence is actually visible in the Chrome trace JSON. *)
-
-type fault_expectation =
-  | Recover (* retries succeed: backoff events, no fallback, device alive *)
-  | Fallback (* device declared dead: host fallback produced the result *)
-  | Any (* probabilistic plan: only correctness is asserted *)
 
 let fault_cells =
   [
@@ -477,6 +673,8 @@ let () =
   | [ "ablate-barrier" ] -> ablate_barrier ()
   | [ "ablate-sections" ] -> ablate_sections ()
   | [ "trace"; name; n; file ] -> trace_app name (int_of_string n) file
+  | [ "overlap" ] -> overlap ~smoke:false ()
+  | [ "overlap"; "--smoke" ] -> overlap ~smoke:true ()
   | [ "fault-matrix" ] -> fault_matrix ~smoke:false ()
   | [ "fault-matrix"; "--smoke" ] -> fault_matrix ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))

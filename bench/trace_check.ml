@@ -46,6 +46,12 @@ let () =
       (match str_field "name" ev with Some _ -> () | None -> fail "event %d has no name" i);
       (match str_field "ph" ev with
       | Some ("B" | "E" | "i" | "C") -> ()
+      | Some "X" -> (
+        (* Complete events must carry a non-negative duration. *)
+        match Option.bind (Perf.Json.member "dur" ev) Perf.Json.to_number_opt with
+        | Some dur when dur >= 0.0 -> ()
+        | Some dur -> fail "event %d (X) has negative dur %f" i dur
+        | None -> fail "event %d (X) has no numeric dur" i)
       | Some ph -> fail "event %d has unexpected phase %S" i ph
       | None -> fail "event %d has no ph" i);
       match Option.bind (Perf.Json.member "ts" ev) Perf.Json.to_number_opt with

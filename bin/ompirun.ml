@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -37,8 +37,12 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
         Printf.eprintf "ompirun: bad --faults spec: %s\n%s\n" msg Hostrt.Faults.spec_syntax;
         exit 1)
   in
+  if streams <= 0 then begin
+    Printf.eprintf "ompirun: --streams must be positive (got %d)\n" streams;
+    exit 1
+  end;
   let config =
-    { Ompi.default_config with binary_mode = mode; faults; fault_seed; max_retries }
+    { Ompi.default_config with binary_mode = mode; faults; fault_seed; max_retries; streams }
   in
   try
     let compiled = Ompi.compile ~config ~name:stem source in
@@ -132,6 +136,15 @@ let fault_seed_arg =
     & opt int 42
     & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed for probabilistic fault rules")
 
+let streams_arg =
+  Arg.(
+    value
+    & opt int Hostrt.Async.default_streams
+    & info [ "streams" ] ~docv:"N"
+        ~doc:
+          "Size of the device stream pool used by target nowait regions (default 4); 1 \
+           serializes all async work on a single stream")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
 
 let cmd =
@@ -140,6 +153,6 @@ let cmd =
     (Cmd.info "ompirun" ~doc)
     Term.(
       const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
-      $ fault_seed_arg $ verbose_arg)
+      $ fault_seed_arg $ streams_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -22,6 +22,7 @@ type config = {
   faults : Hostrt.Faults.rule list; (* fault-injection plan; [] = off *)
   fault_seed : int; (* seed for probabilistic fault rules *)
   max_retries : int option; (* retry-policy override; None = default *)
+  streams : int; (* stream-pool size for `target ... nowait` regions *)
 }
 
 let default_config =
@@ -31,6 +32,7 @@ let default_config =
     faults = [];
     fault_seed = 42;
     max_retries = None;
+    streams = Hostrt.Async.default_streams;
   }
 
 type compiled = Translator.Pipeline.compiled = {
@@ -56,7 +58,9 @@ type instance = {
 }
 
 let load ?(config = default_config) ?(trace = false) (compiled : compiled) : instance =
-  let rt = Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec () in
+  let rt =
+    Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec ~streams:config.streams ()
+  in
   let tr = if trace then Some (Perf.Trace.create rt.Hostrt.Rt.clock) else None in
   Hostrt.Rt.set_trace rt tr;
   if config.faults <> [] then

@@ -24,6 +24,9 @@ type config = {
   max_retries : int option;
       (** override the retry policy's bounded-retry count; [None] keeps
           {!Hostrt.Resilience.default_policy} *)
+  streams : int;
+      (** stream-pool size used by [target ... nowait] regions (default
+          {!Hostrt.Async.default_streams}) *)
 }
 
 val default_config : config

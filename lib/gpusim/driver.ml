@@ -22,6 +22,14 @@ type launch_stats = {
   st_counters : Counters.t; (* raw dynamic statistics of the launch *)
 }
 
+(* A stream is a device-side work queue with its own timeline on the
+   shared simulated clock: async enqueues advance only [str_done_ns];
+   the global clock catches up to it at synchronization points. *)
+type stream = {
+  str_id : int; (* 1-based: trace timeline ("tid") 0 is the host *)
+  mutable str_done_ns : float; (* absolute sim time when the queue drains *)
+}
+
 type t = {
   spec : Spec.t;
   clock : Simclock.t;
@@ -37,7 +45,35 @@ type t = {
   mutable kernels_launched : int;
   mutable trace : Perf.Trace.t option; (* launch-phase tracing, off by default *)
   mutable inject : (string -> unit) option; (* fault-injection hook, off by default *)
+  mutable streams : stream list; (* creation order *)
+  mutable next_stream_id : int;
+  (* The Nano has one copy engine and one compute engine: transfers
+     serialize with transfers and kernels with kernels across streams;
+     only transfer/compute overlap is possible.  Each engine is a sorted
+     list of busy intervals (start_ns, end_ns): the hardware channels
+     feed an engine with whichever queued op is READY, so placement is
+     work-conserving first-fit rather than strict enqueue order. *)
+  mutable copy_busy : (float * float) list;
+  mutable compute_busy : (float * float) list;
 }
+
+(* Earliest start >= ready where the engine is idle for [dur]; returns
+   the start and the busy list with the new interval inserted (intervals
+   already drained — ending at or before [ready], which is never before
+   the current time — are pruned; they can no longer constrain anyone). *)
+let engine_place (busy : (float * float) list) ~(ready : float) ~(dur : float) :
+    float * (float * float) list =
+  let busy = List.filter (fun (_, e) -> e > ready) busy in
+  let rec fit at = function
+    | [] -> at
+    | (s, e) :: rest -> if at +. dur <= s then at else fit (Float.max at e) rest
+  in
+  let start = fit ready busy in
+  let rec insert = function
+    | (s, e) :: rest when s < start -> (s, e) :: insert rest
+    | l -> (start, start +. dur) :: l
+  in
+  (start, insert busy)
 
 (* Tracing is optional and must cost nothing when off, so every emission
    goes through these guards. *)
@@ -52,6 +88,11 @@ let tr_begin t ?(args = []) ~cat name =
 
 let tr_end t ?(args = []) ~cat name =
   match t.trace with Some tr -> Perf.Trace.end_span tr ~args ~cat name | None -> ()
+
+let tr_complete t ?(args = []) ~tid ~ts_ns ~dur_ns ~cat name =
+  match t.trace with
+  | Some tr -> Perf.Trace.complete tr ~args ~tid ~cat ~ts_ns ~dur_ns name
+  | None -> ()
 
 (* Fault injection fires at operation entry, before any clock advance,
    memory mutation or span open — a failed call leaves no partial state
@@ -74,6 +115,10 @@ let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
     kernels_launched = 0;
     trace = None;
     inject = None;
+    streams = [];
+    next_stream_id = 1;
+    copy_busy = [];
+    compute_busy = [];
   }
 
 let set_trace t trace = t.trace <- trace
@@ -213,6 +258,54 @@ let get_function (m : loaded_module) (name : string) : Ast.fundef =
 (* Kernel launch (paper §4.2.1, launch phase)                         *)
 (* ---------------------------------------------------------------- *)
 
+(* The SIMT run and cost conversion shared by sync and async launches.
+   Memory effects happen here, at call time; no clock advance. *)
+let simulate_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim3)
+    ~(block : Simt.dim3) ~(args : Value.t list) ~install_builtins ~block_filter ~occupancy_penalty :
+    Counters.t * Costmodel.breakdown =
+  let counters = Counters.create t.spec in
+  Counters.set_alloc_table counters (Array.of_list t.allocs);
+  let config =
+    { Simt.lc_grid = grid; lc_block = block; lc_entry = entry; lc_args = args; lc_block_filter = block_filter }
+  in
+  Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global } ~source:modul.lm_source ~counters
+    ~install_builtins ~output:t.output config;
+  let breakdown =
+    Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
+      ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()
+  in
+  (counters, breakdown)
+
+(* per-launch device-runtime statistics, filled in by Devrt during the
+   SIMT run (barriers, scheduler chunk grabs, atomics) *)
+let emit_launch_counters t (counters : Counters.t) =
+  tr_counter t ~cat:"kernel" "launch_counters"
+    ~args:
+      [
+        ("barrier_warp_arrivals", Perf.Trace.Int counters.Counters.barrier_warp_arrivals);
+        ("chunk_grabs", Perf.Trace.Int counters.Counters.chunk_grabs);
+        ("atomics", Perf.Trace.Int counters.Counters.atomics);
+        ("blocks_simulated", Perf.Trace.Int counters.Counters.blocks_executed);
+        ("blocks_total", Perf.Trace.Int counters.Counters.blocks_total);
+      ]
+
+let record_launch t ~entry ~grid ~block (counters : Counters.t) (breakdown : Costmodel.breakdown) :
+    launch_stats =
+  t.kernels_launched <- t.kernels_launched + 1;
+  let stats =
+    {
+      st_entry = entry;
+      st_grid = grid;
+      st_block = block;
+      st_breakdown = breakdown;
+      st_blocks_simulated = counters.Counters.blocks_executed;
+      st_blocks_total = counters.Counters.blocks_total;
+      st_counters = counters;
+    }
+  in
+  t.launches <- stats :: t.launches;
+  stats
+
 let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim3)
     ~(block : Simt.dim3) ~(args : Value.t list)
     ~(install_builtins : Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit)
@@ -228,45 +321,124 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
         ("grid", Perf.Trace.Int (Simt.dim3_total grid));
         ("block", Perf.Trace.Int (Simt.dim3_total block));
       ];
-  let counters = Counters.create t.spec in
-  Counters.set_alloc_table counters (Array.of_list t.allocs);
-  let config =
-    { Simt.lc_grid = grid; lc_block = block; lc_entry = entry; lc_args = args; lc_block_filter = block_filter }
-  in
-  Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global } ~source:modul.lm_source ~counters
-    ~install_builtins ~output:t.output config;
-  let breakdown =
-    Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
-      ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()
+  let counters, breakdown =
+    simulate_kernel t ~modul ~entry ~grid ~block ~args ~install_builtins ~block_filter
+      ~occupancy_penalty
   in
   Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
   Simclock.advance_ns t.clock breakdown.Costmodel.bd_time_ns;
-  t.kernels_launched <- t.kernels_launched + 1;
-  (* per-launch device-runtime statistics, filled in by Devrt during the
-     SIMT run (barriers, scheduler chunk grabs, atomics) *)
-  tr_counter t ~cat:"kernel" "launch_counters"
+  emit_launch_counters t counters;
+  tr_end t ~cat:"kernel" entry;
+  record_launch t ~entry ~grid ~block counters breakdown
+
+(* ---------------------------------------------------------------- *)
+(* Streams: asynchronous copies and launches                          *)
+(* ---------------------------------------------------------------- *)
+
+(* CPU-side cost of issuing one async driver call (cuMemcpyHtoDAsync /
+   cuMemcpyDtoHAsync): charged to the global (host) clock at enqueue.
+   The operation's full cost lands on the stream's timeline instead. *)
+let async_api_overhead_us = 1.5
+
+let stream_create t : stream =
+  ensure_initialized t;
+  Simclock.advance_us t.clock 1.0;
+  let id = t.next_stream_id in
+  t.next_stream_id <- id + 1;
+  let s = { str_id = id; str_done_ns = Simclock.now_ns t.clock } in
+  t.streams <- t.streams @ [ s ];
+  tr_instant t ~cat:"async" "stream_create" ~args:[ ("stream", Perf.Trace.Int id) ];
+  s
+
+let stream_busy t (s : stream) : bool = s.str_done_ns > Simclock.now_ns t.clock
+
+(* cuStreamWaitEvent: [s] will not start new work before [ns].  Pure
+   timeline arithmetic — the caller (dependency tracker) emits the
+   dep_edge trace event with task context. *)
+let stream_wait_until (s : stream) (ns : float) : unit =
+  if ns > s.str_done_ns then s.str_done_ns <- ns
+
+(* cuStreamSynchronize: the host blocks until the stream drains, so the
+   global clock advances to the stream's completion timestamp. *)
+let stream_sync t (s : stream) : unit =
+  ensure_initialized t;
+  let now = Simclock.now_ns t.clock in
+  if s.str_done_ns > now then Simclock.advance_ns t.clock (s.str_done_ns -. now);
+  tr_instant t ~cat:"async" "stream_sync" ~args:[ ("stream", Perf.Trace.Int s.str_id) ]
+
+(* cuCtxSynchronize: block until every stream drains. *)
+let device_sync t : unit =
+  ensure_initialized t;
+  let target = List.fold_left (fun acc s -> Float.max acc s.str_done_ns) 0.0 t.streams in
+  let now = Simclock.now_ns t.clock in
+  if target > now then Simclock.advance_ns t.clock (target -. now);
+  tr_instant t ~cat:"async" "device_sync" ~args:[ ("streams", Perf.Trace.Int (List.length t.streams)) ]
+
+(* Enqueue a copy on [stream]: start when the stream's prior work AND
+   the copy engine are both free, never before the current time. *)
+let enqueue_copy t ~(stream : stream) ~(len : int) (name : string) : unit =
+  Simclock.advance_us t.clock async_api_overhead_us;
+  let now = Simclock.now_ns t.clock in
+  let ready = Float.max now stream.str_done_ns in
+  let start, busy = engine_place t.copy_busy ~ready ~dur:(transfer_cost t len) in
+  let finish = start +. transfer_cost t len in
+  stream.str_done_ns <- finish;
+  t.copy_busy <- busy;
+  tr_complete t ~tid:stream.str_id ~ts_ns:start ~dur_ns:(finish -. start) ~cat:"async" name
+    ~args:[ ("bytes", Perf.Trace.Int len); ("stream", Perf.Trace.Int stream.str_id) ]
+
+(* Async copies perform their memory effect eagerly, in enqueue (= host
+   program) order; only the time is modelled asynchronously.  Any
+   enqueue order the dependency tracker admits therefore replays to the
+   same memory image as the synchronous schedule. *)
+let memcpy_h2d_async t ~(stream : stream) ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t)
+    ~(len : int) : unit =
+  ensure_initialized t;
+  if dst.Addr.space <> Addr.Global then
+    cuda_error "cuMemcpyHtoDAsync: destination is not device memory";
+  inj t "h2d";
+  Mem.copy ~src:host ~src_off:src.Addr.off ~dst:t.global ~dst_off:dst.Addr.off ~len;
+  enqueue_copy t ~stream ~len "HtoD"
+
+let memcpy_d2h_async t ~(stream : stream) ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t)
+    ~(len : int) : unit =
+  ensure_initialized t;
+  if src.Addr.space <> Addr.Global then cuda_error "cuMemcpyDtoHAsync: source is not device memory";
+  inj t "d2h";
+  Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len;
+  enqueue_copy t ~stream ~len "DtoH"
+
+(* Async launch: the SIMT run (and its memory effects) happens eagerly
+   at enqueue; the kernel's modelled duration is scheduled on the
+   stream's timeline behind the compute engine.  The host pays only the
+   cuLaunchKernel issue overhead. *)
+let launch_kernel_async t ~(stream : stream) ~(modul : loaded_module) ~(entry : string)
+    ~(grid : Simt.dim3) ~(block : Simt.dim3) ~(args : Value.t list)
+    ~(install_builtins : Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit)
+    ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
+  ensure_initialized t;
+  ignore (get_function modul entry);
+  inj t "launch";
+  let counters, breakdown =
+    simulate_kernel t ~modul ~entry ~grid ~block ~args ~install_builtins ~block_filter
+      ~occupancy_penalty
+  in
+  Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
+  let now = Simclock.now_ns t.clock in
+  let ready = Float.max now stream.str_done_ns in
+  let start, busy = engine_place t.compute_busy ~ready ~dur:breakdown.Costmodel.bd_time_ns in
+  let finish = start +. breakdown.Costmodel.bd_time_ns in
+  stream.str_done_ns <- finish;
+  t.compute_busy <- busy;
+  tr_complete t ~tid:stream.str_id ~ts_ns:start ~dur_ns:(finish -. start) ~cat:"async" entry
     ~args:
       [
-        ("barrier_warp_arrivals", Perf.Trace.Int counters.Counters.barrier_warp_arrivals);
-        ("chunk_grabs", Perf.Trace.Int counters.Counters.chunk_grabs);
-        ("atomics", Perf.Trace.Int counters.Counters.atomics);
-        ("blocks_simulated", Perf.Trace.Int counters.Counters.blocks_executed);
-        ("blocks_total", Perf.Trace.Int counters.Counters.blocks_total);
+        ("grid", Perf.Trace.Int (Simt.dim3_total grid));
+        ("block", Perf.Trace.Int (Simt.dim3_total block));
+        ("stream", Perf.Trace.Int stream.str_id);
       ];
-  tr_end t ~cat:"kernel" entry;
-  let stats =
-    {
-      st_entry = entry;
-      st_grid = grid;
-      st_block = block;
-      st_breakdown = breakdown;
-      st_blocks_simulated = counters.Counters.blocks_executed;
-      st_blocks_total = counters.Counters.blocks_total;
-      st_counters = counters;
-    }
-  in
-  t.launches <- stats :: t.launches;
-  stats
+  emit_launch_counters t counters;
+  record_launch t ~entry ~grid ~block counters breakdown
 
 (* Last-ditch device-to-host copy used when declaring the device dead:
    bypasses fault injection (the simulated device's global memory stays
@@ -287,4 +459,8 @@ let take_output t =
 let reset t =
   Hashtbl.reset t.modules;
   t.launches <- [];
-  t.kernels_launched <- 0
+  t.kernels_launched <- 0;
+  t.streams <- [];
+  t.next_stream_id <- 1;
+  t.copy_busy <- [];
+  t.compute_busy <- []

@@ -20,6 +20,14 @@ type launch_stats = {
   st_counters : Counters.t;  (** raw dynamic statistics of the launch *)
 }
 
+(** A device stream: a work queue with its own timeline on the shared
+    simulated clock.  Async enqueues advance only [str_done_ns]; the
+    global clock catches up at synchronization points. *)
+type stream = {
+  str_id : int;  (** 1-based: trace timeline ("tid") 0 is the host *)
+  mutable str_done_ns : float;  (** absolute sim time when the queue drains *)
+}
+
 type t = {
   spec : Spec.t;
   clock : Simclock.t;
@@ -35,6 +43,13 @@ type t = {
   mutable kernels_launched : int;
   mutable trace : Perf.Trace.t option;  (** launch-phase tracing, off by default *)
   mutable inject : (string -> unit) option;  (** fault-injection hook, off by default *)
+  mutable streams : stream list;  (** creation order *)
+  mutable next_stream_id : int;
+  mutable copy_busy : (float * float) list;
+      (** single copy engine: busy intervals (start_ns, end_ns), sorted by
+          start.  Placement is work-conserving first-fit: the hardware
+          channels feed the engine with whichever queued op is ready. *)
+  mutable compute_busy : (float * float) list;  (** single compute engine, same scheme *)
 }
 
 val create : ?spec:Spec.t -> Simclock.t -> t
@@ -80,6 +95,59 @@ val get_function : loaded_module -> string -> Ast.fundef
     counts to time, and advance the simulated clock. *)
 val launch_kernel :
   t ->
+  modul:loaded_module ->
+  entry:string ->
+  grid:Simt.dim3 ->
+  block:Simt.dim3 ->
+  args:Value.t list ->
+  install_builtins:(Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit) ->
+  ?block_filter:(int -> bool) ->
+  ?occupancy_penalty:float ->
+  unit ->
+  launch_stats
+
+(** {1 Streams (asynchronous copies and launches)}
+
+    Async operations perform their memory effect eagerly, in enqueue
+    (= host program) order — only the {e time} is modelled
+    asynchronously, on per-stream timelines behind a single copy engine
+    and a single compute engine (the Nano has one of each, so only
+    transfer/compute overlap is possible).  Any enqueue order the
+    dependency tracker admits therefore replays to the same memory
+    image as the synchronous schedule. *)
+
+(** CPU-side cost (µs) of issuing one async driver call, charged to the
+    global clock at enqueue. *)
+val async_api_overhead_us : float
+
+val stream_create : t -> stream
+
+(** Is there enqueued work on this stream that completes after the
+    current simulated time? *)
+val stream_busy : t -> stream -> bool
+
+(** cuStreamWaitEvent: the stream will not start new work before the
+    given absolute time (pure timeline arithmetic, no trace event). *)
+val stream_wait_until : stream -> float -> unit
+
+(** cuStreamSynchronize: advance the global clock to the stream's
+    completion timestamp.  Emits a cat:"async" "stream_sync" instant. *)
+val stream_sync : t -> stream -> unit
+
+(** cuCtxSynchronize: advance the global clock past every stream. *)
+val device_sync : t -> unit
+
+val memcpy_h2d_async : t -> stream:stream -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+
+val memcpy_d2h_async : t -> stream:stream -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+
+(** Async launch: the SIMT run (and its memory effects) happens eagerly
+    at enqueue; the kernel's modelled duration lands on the stream's
+    timeline.  The host clock pays only the launch-issue overhead.
+    Emits a cat:"async" Complete event spanning the scheduled run. *)
+val launch_kernel_async :
+  t ->
+  stream:stream ->
   modul:loaded_module ->
   entry:string ->
   grid:Simt.dim3 ->

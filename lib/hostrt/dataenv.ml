@@ -48,16 +48,40 @@ type t = {
   driver : Driver.t;
   mutable de_dead : string option; (* Some reason once the device is declared dead *)
   mutable de_policy : Resilience.policy;
+  (* Async-awareness hooks, installed by Rt against its stream tracker
+     (kept as closures so this module does not depend on Async): is any
+     queued stream work touching this host range, and wait for it. *)
+  mutable de_pending : (Addr.t -> bytes:int -> bool) option;
+  mutable de_sync_range : (Addr.t -> bytes:int -> unit) option;
 }
 
 let create ~(host : Mem.t) ~(driver : Driver.t) =
-  { entries = []; host; driver; de_dead = None; de_policy = Resilience.default_policy }
+  {
+    entries = [];
+    host;
+    driver;
+    de_dead = None;
+    de_policy = Resilience.default_policy;
+    de_pending = None;
+    de_sync_range = None;
+  }
 
 let is_dead t = t.de_dead <> None
 
 let dead_reason t = t.de_dead
 
 let set_policy t policy = t.de_policy <- policy
+
+let set_async_hooks t ~(pending : Addr.t -> bytes:int -> bool)
+    ~(sync_range : Addr.t -> bytes:int -> unit) : unit =
+  t.de_pending <- Some pending;
+  t.de_sync_range <- Some sync_range
+
+let async_pending t haddr ~bytes =
+  match t.de_pending with Some f -> f haddr ~bytes | None -> false
+
+let async_sync_range t haddr ~bytes =
+  match t.de_sync_range with Some f -> f haddr ~bytes | None -> ()
 
 let tr_instant t ?(args = []) name =
   match t.driver.Driver.trace with
@@ -158,6 +182,12 @@ let unmap t (haddr : Addr.t) (mt : map_type) : unit =
   match find_containing t haddr ~bytes:1 with
   | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
   | Some e -> (
+    (* Releasing the device buffer while queued stream work still
+       touches the range would free storage in flight: a program bug
+       (missing taskwait), reported as such. *)
+    if e.e_refcount <= 1 && async_pending t e.e_host ~bytes:e.e_bytes then
+      map_error "unmap of range %s with async work in flight (missing taskwait?)"
+        (Addr.show e.e_host);
     e.e_refcount <- e.e_refcount - 1;
     if e.e_refcount <= 0 then
       try
@@ -173,12 +203,68 @@ let unmap t (haddr : Addr.t) (mt : map_type) : unit =
            completing the copy-back the retries could not *)
         declare_dead t ~reason)
 
+(* Async variants, called from inside a stream task: transfers are
+   enqueued on [stream] (memory effects eager, costs on the stream's
+   timeline).  Alloc/free stay synchronous — they are CPU-side driver
+   calls.  No pending-range checks here: the caller IS the in-flight
+   work. *)
+let map_async t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
+  if bytes <= 0 then map_error "mapping of %d bytes" bytes;
+  if is_dead t then haddr
+  else
+    match find_containing t haddr ~bytes with
+    | Some e ->
+      e.e_refcount <- e.e_refcount + 1;
+      Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
+    | None -> (
+      try
+        let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
+        (match mt with
+        | To | Tofrom ->
+          guard t ~label:"map_h2d" (fun () ->
+              Driver.memcpy_h2d_async t.driver ~stream ~host:t.host ~src:haddr ~dst:dev ~len:bytes)
+        | Alloc | From -> ());
+        t.entries <-
+          {
+            e_host = haddr;
+            e_bytes = bytes;
+            e_dev = dev;
+            e_refcount = 1;
+            e_map = mt;
+            e_launches_at_map = t.driver.Driver.kernels_launched;
+          }
+          :: t.entries;
+        dev
+      with Resilience.Device_dead reason ->
+        declare_dead t ~reason;
+        haddr)
+
+let unmap_async t ~(stream : Driver.stream) (haddr : Addr.t) (mt : map_type) : unit =
+  match find_containing t haddr ~bytes:1 with
+  | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
+  | Some e -> (
+    e.e_refcount <- e.e_refcount - 1;
+    if e.e_refcount <= 0 then
+      try
+        (match mt with
+        | From | Tofrom ->
+          guard t ~label:"unmap_d2h" (fun () ->
+              Driver.memcpy_d2h_async t.driver ~stream ~host:t.host ~src:e.e_dev ~dst:e.e_host
+                ~len:e.e_bytes)
+        | Alloc | To -> ());
+        Driver.mem_free t.driver e.e_dev;
+        t.entries <- List.filter (fun e' -> e' != e) t.entries
+      with Resilience.Device_dead reason -> declare_dead t ~reason)
+
 let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
   if is_dead t then ()
   else
     match find_containing t haddr ~bytes with
     | None -> map_error "target update to: range not mapped"
     | Some e -> (
+      (* `target update` on a range mid-flight in a stream: the queued
+         work must complete first (emits a cat:"async" range_sync). *)
+      async_sync_range t haddr ~bytes;
       try
         guard t ~label:"update_to" (fun () ->
             Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr
@@ -192,6 +278,7 @@ let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
     match find_containing t haddr ~bytes with
     | None -> map_error "target update from: range not mapped"
     | Some e -> (
+      async_sync_range t haddr ~bytes;
       try
         guard t ~label:"update_from" (fun () ->
             Driver.memcpy_d2h t.driver ~host:t.host

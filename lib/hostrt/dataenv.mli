@@ -42,8 +42,29 @@ val create : host:Mem.t -> driver:Driver.t -> t
 val map : t -> Addr.t -> bytes:int -> map_type -> Addr.t
 
 (** Decrement; on the final release perform the map type's copy-back and
-    free the device buffer. *)
+    free the device buffer.
+    @raise Map_error if the final release hits a range with async work
+    still in flight (missing taskwait) *)
 val unmap : t -> Addr.t -> map_type -> unit
+
+(** {1 Async variants}
+
+    Called from inside a stream task: transfers are enqueued on the
+    stream (memory effects eager, costs on the stream's timeline);
+    alloc/free stay synchronous.  No pending-range checks — the caller
+    is the in-flight work. *)
+
+val map_async : t -> stream:Driver.stream -> Addr.t -> bytes:int -> map_type -> Addr.t
+
+val unmap_async : t -> stream:Driver.stream -> Addr.t -> map_type -> unit
+
+(** Install the async-awareness hooks (normally done by [Rt] against its
+    stream tracker): [pending] answers whether queued stream work
+    touches a host range; [sync_range] waits for it.  [unmap] refuses a
+    final release on a pending range; [update_to]/[update_from] sync the
+    range first. *)
+val set_async_hooks :
+  t -> pending:(Addr.t -> bytes:int -> bool) -> sync_range:(Addr.t -> bytes:int -> unit) -> unit
 
 (** Translate a host address inside a mapped range to its device image. *)
 val lookup : t -> Addr.t -> Addr.t option

@@ -88,6 +88,64 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
            Value.of_int 1
          with Resilience.Device_dead reason -> fallback reason)
       | _ -> host_error "ort_offload: bad arguments");
+  (* Asynchronous variant for `target ... nowait`: the region's maps
+     travel with the call as (base, bytes, map_type) triples —
+       ort_offload_nowait(dev, file, entry, teams, threads,
+                          base1, bytes1, mt1, ..., basek, bytesk, mtk)
+     — because the whole map/launch/unmap sequence is enqueued as one
+     stream task.  Same 1/0 protocol as ort_offload: on device death the
+     queue is quiesced and 0 routes the generated code to the inline
+     sequential body. *)
+  reg "ort_offload_nowait" (fun ctx args ->
+      let dev, args = dev_of args in
+      match args with
+      | file :: entry :: teams :: threads :: mapargs ->
+        let kernel_file = Cinterp.Interp.read_c_string ctx (Value.as_addr file) in
+        let entry = Cinterp.Interp.read_c_string ctx (Value.as_addr entry) in
+        let device = Rt.device rt dev in
+        let rec triples = function
+          | [] -> []
+          | base :: bytes :: mt :: rest ->
+            {
+              Offload.am_base = Value.as_addr base;
+              am_bytes = int_arg bytes;
+              am_map = Dataenv.map_type_of_int (int_arg mt);
+            }
+            :: triples rest
+          | _ -> host_error "ort_offload_nowait: map arguments not in (base, bytes, type) triples"
+        in
+        let maps = triples mapargs in
+        let fallback reason =
+          Offload.quiesce rt ~dev;
+          Dataenv.declare_dead device.Rt.dev_dataenv ~reason;
+          (match rt.Rt.trace with
+          | Some tr ->
+            Perf.Trace.instant tr ~cat:"fault" "host_fallback"
+              ~args:
+                [
+                  ("kernel_file", Perf.Trace.Str kernel_file);
+                  ("reason", Perf.Trace.Str reason);
+                ]
+          | None -> ());
+          Value.of_int 0
+        in
+        (try
+           let output =
+             Offload.launch_nowait rt ~dev ~kernel_file ~entry ~num_teams:(int_arg teams)
+               ~num_threads:(int_arg threads) ~maps ~translated:true ()
+           in
+           Buffer.add_string ctx.Cinterp.Interp.output output;
+           Value.of_int 1
+         with Resilience.Device_dead reason -> fallback reason)
+      | _ -> host_error "ort_offload_nowait: bad arguments");
+  reg "ort_taskwait" (fun _ args ->
+      match args with
+      | [] | [ _ ] ->
+        (* generated code passes the device id; bare calls default to 0 *)
+        let dev = match args with [ d ] -> int_arg d | _ -> 0 in
+        Offload.taskwait rt ~dev;
+        Value.VVoid
+      | _ -> host_error "ort_taskwait: bad arguments");
   reg "omp_get_wtime" (fun _ _ -> Value.flt ~ty:Cty.Double (Rt.now_s rt));
   reg "omp_get_num_devices" (fun _ _ -> Value.of_int (Rt.num_devices rt));
   reg "omp_is_initial_device" (fun _ _ -> Value.of_int 1);
@@ -148,6 +206,10 @@ let run (rt : Rt.t) (program : Ast.program) ?(entry = "main") ?(args = []) () : 
     | None -> host_error "host program has no '%s' function" entry
   in
   let ret = Cinterp.Interp.call_fundef ctx fd args in
+  (* Implicit end-of-program barrier: nowait regions still queued when
+     the entry returns complete here, so the reported simulated time
+     covers them. *)
+  Array.iter (fun (d : Rt.device) -> Async.wait_all d.Rt.dev_async) rt.Rt.devices;
   let exit_code = match ret with Value.VVoid -> 0 | v -> Value.to_int v in
   {
     rr_output = Buffer.contents ctx.Cinterp.Interp.output;

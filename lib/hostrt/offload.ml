@@ -93,6 +93,111 @@ let launch (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string) ~(
   in
   { r_stats = stats; r_output = Driver.take_output device.Rt.dev_driver }
 
+(* A `target ... nowait` region's mapped operand: the region owns its
+   whole map/launch/unmap sequence, so the maps travel with the launch
+   instead of arriving as separate ort_map calls. *)
+type async_map = { am_base : Addr.t; am_bytes : int; am_map : Dataenv.map_type }
+
+(* Host byte ranges a region reads and writes, per its map clauses: the
+   dependency tracker serializes regions whose ranges intersect.  Alloc
+   moves no host data but shares the (refcounted) device buffer with any
+   overlapping mapping, so it counts as a write to stay serialized. *)
+let access_sets (maps : async_map list) : Async.range list * Async.range list =
+  let range m = Async.range_of_addr m.am_base ~bytes:m.am_bytes in
+  let reads =
+    List.filter_map
+      (fun m -> match m.am_map with Dataenv.To | Dataenv.Tofrom -> Some (range m) | _ -> None)
+      maps
+  in
+  let writes =
+    List.filter_map
+      (fun m ->
+        match m.am_map with
+        | Dataenv.From | Dataenv.Tofrom | Dataenv.Alloc -> Some (range m)
+        | Dataenv.To -> None)
+      maps
+  in
+  (reads, writes)
+
+(* Asynchronous launch (`target ... nowait`): the region is submitted to
+   the device's stream tracker, which serializes it behind conflicting
+   in-flight regions and otherwise overlaps it with them.  The submitted
+   work maps the operands, launches, and unmaps — all on one stream.
+   Returns the device-side printf output (available immediately: memory
+   effects are eager).  Raises [Resilience.Device_dead] like the sync
+   path; the caller takes the host-fallback route. *)
+let launch_nowait (rt : Rt.t) ~(dev : int) ~(kernel_file : string) ~(entry : string)
+    ~(num_teams : int) ~(num_threads : int) ~(maps : async_map list) ?(translated = true) () :
+    string =
+  let device = Rt.device rt dev in
+  check_alive device;
+  let denv = device.Rt.dev_dataenv in
+  let artifact = Rt.find_kernel rt ~dev kernel_file in
+  (* Phase 1 (loading) is a CPU-side driver call: synchronous, as in the
+     sync path. *)
+  let modul =
+    phase rt "load"
+      ~args:[ ("kernel_file", Perf.Trace.Str kernel_file) ]
+      (fun () ->
+        resilient rt device ~artifact ~label:"load" (fun () ->
+            Driver.load_module device.Rt.dev_driver artifact))
+  in
+  let entry_fn = Driver.get_function modul entry in
+  let params = entry_fn.Minic.Ast.f_params in
+  if List.length params <> List.length maps then
+    Rt.ort_error "kernel '%s' expects %d parameters, got %d maps" entry (List.length params)
+      (List.length maps);
+  let reads, writes = access_sets maps in
+  Async.submit device.Rt.dev_async ~label:entry ~reads ~writes (fun stream ->
+      (* Phase 2: map the operands on this stream and coerce the device
+         addresses against the kernel's parameter types. *)
+      let values =
+        phase rt "parameter_preparation"
+          ~args:[ ("nargs", Perf.Trace.Int (List.length maps)) ]
+          (fun () ->
+            List.map2
+              (fun (_, pty) m ->
+                let daddr = Dataenv.map_async denv ~stream m.am_base ~bytes:m.am_bytes m.am_map in
+                match Cty.decay pty with
+                | Cty.Ptr elt -> Value.ptr ~ty:elt daddr
+                | ty ->
+                  Rt.ort_error "mapped argument bound to non-pointer kernel parameter %s"
+                    (Cty.show ty))
+              params maps)
+      in
+      (* The maps may have exhausted their retries and killed the device;
+         launching on host addresses would be meaningless. *)
+      (match Dataenv.dead_reason denv with
+      | Some reason -> raise (Resilience.Device_dead reason)
+      | None -> ());
+      (* Phase 3: enqueue the launch behind the transfers. *)
+      let grid, block = Rt.geometry ~num_teams ~num_threads in
+      let total_blocks = Simt.dim3_total grid in
+      let occupancy_penalty =
+        if translated then rt.Rt.translated_kernel_penalty total_blocks else 1.0
+      in
+      let block_filter = Rt.sampling_filter ~total_blocks rt.Rt.sample_max_blocks in
+      let _stats =
+        phase rt "launch"
+          ~args:[ ("entry", Perf.Trace.Str entry) ]
+          (fun () ->
+            resilient rt device ~artifact ~label:"launch" (fun () ->
+                Driver.launch_kernel_async device.Rt.dev_driver ~stream ~modul ~entry ~grid ~block
+                  ~args:values ~install_builtins:Devrt.Api.install ?block_filter ~occupancy_penalty
+                  ()))
+      in
+      (* Copy-backs, reverse map order (mirrors the sync lowering). *)
+      List.iter (fun m -> Dataenv.unmap_async denv ~stream m.am_base m.am_map) (List.rev maps);
+      Driver.take_output device.Rt.dev_driver)
+
+(* Barrier over every queued nowait region of [dev] (ort_taskwait and
+   the end-of-data-environment barrier). *)
+let taskwait (rt : Rt.t) ~(dev : int) : unit = Async.wait_all (Rt.device rt dev).Rt.dev_async
+
+(* Device died with regions queued: drop the queue on a coherent
+   timeline before running the host fallback. *)
+let quiesce (rt : Rt.t) ~(dev : int) : unit = Async.quiesce (Rt.device rt dev).Rt.dev_async
+
 (* Typed-parameter variant used by OCaml-level callers: the kernel entry
    declares pointer parameter types; coerce the raw device addresses so
    that pointer arithmetic inside the kernel uses the right element

@@ -37,3 +37,27 @@ val launch :
 val launch_typed :
   Rt.t -> dev:int -> kernel_file:string -> entry:string -> num_teams:int -> num_threads:int ->
   args:arg list -> ?translated:bool -> ?block_filter:(int -> bool) -> unit -> result
+
+(** {1 Asynchronous launch ([target ... nowait])} *)
+
+(** A nowait region's mapped operand: the region owns its whole
+    map/launch/unmap sequence, so the maps travel with the launch. *)
+type async_map = { am_base : Addr.t; am_bytes : int; am_map : Dataenv.map_type }
+
+(** Submit the region to the device's stream tracker: serialized behind
+    conflicting in-flight regions (read/write intersection on host
+    ranges), overlapped with independent ones.  The submitted work maps
+    the operands, launches, and unmaps — all on one stream.  Returns the
+    device-side printf output (available immediately: memory effects are
+    eager).  Raises {!Resilience.Device_dead} like the sync path. *)
+val launch_nowait :
+  Rt.t -> dev:int -> kernel_file:string -> entry:string -> num_teams:int -> num_threads:int ->
+  maps:async_map list -> ?translated:bool -> unit -> string
+
+(** Barrier over every queued nowait region of [dev] (ort_taskwait and
+    the end-of-data-environment barrier). *)
+val taskwait : Rt.t -> dev:int -> unit
+
+(** Device died with regions queued: drop the queue on a coherent
+    timeline before running the host fallback. *)
+val quiesce : Rt.t -> dev:int -> unit

@@ -14,6 +14,7 @@ type device = {
   dev_id : int;
   dev_driver : Driver.t;
   dev_dataenv : Dataenv.t;
+  dev_async : Async.t; (* stream pool + dependency tracker for nowait regions *)
   (* the "kernel files next to the executable" *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;
 }
@@ -53,12 +54,27 @@ let sampling_filter ~(total_blocks : int) (max_blocks : int option) : (int -> bo
 
 let default_penalty _total_blocks = 1.0
 
-let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) () : t =
+let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams = Async.default_streams) () : t =
   let clock = Simclock.create () in
   let host_mem = Mem.create ~initial:(1 lsl 20) ~space:Addr.Host "host" in
   let driver = Driver.create ~spec clock in
+  let dataenv = Dataenv.create ~host:host_mem ~driver in
+  let async = Async.create ~streams driver in
+  (* The data environment must refuse to unmap ranges with queued stream
+     work and sync ranges before a `target update`; it learns about
+     in-flight work through these closures (keeps Dataenv independent of
+     Async). *)
+  Dataenv.set_async_hooks dataenv
+    ~pending:(fun haddr ~bytes -> Async.pending_on async (Async.range_of_addr haddr ~bytes) <> [])
+    ~sync_range:(fun haddr ~bytes -> Async.sync_range async (Async.range_of_addr haddr ~bytes));
   let device =
-    { dev_id = 0; dev_driver = driver; dev_dataenv = Dataenv.create ~host:host_mem ~driver; dev_kernels = Hashtbl.create 16 }
+    {
+      dev_id = 0;
+      dev_driver = driver;
+      dev_dataenv = dataenv;
+      dev_async = async;
+      dev_kernels = Hashtbl.create 16;
+    }
   in
   {
     clock;
@@ -90,6 +106,9 @@ let set_faults t (faults : Faults.t option) : unit =
 let set_fault_policy t (policy : Resilience.policy) : unit =
   t.fault_policy <- policy;
   Array.iter (fun d -> Dataenv.set_policy d.dev_dataenv policy) t.devices
+
+(* Resize every device's stream pool (the --streams N CLI knob). *)
+let set_streams t (n : int) : unit = Array.iter (fun d -> Async.set_streams d.dev_async n) t.devices
 
 let device t id =
   if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;

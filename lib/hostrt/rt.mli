@@ -14,6 +14,7 @@ type device = {
   dev_id : int;
   dev_driver : Driver.t;
   dev_dataenv : Dataenv.t;
+  dev_async : Async.t;  (** stream pool + dependency tracker for nowait regions *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;  (** the "kernel files on disk" *)
 }
 
@@ -41,7 +42,7 @@ type t = {
 
 val default_penalty : int -> float
 
-val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> unit -> t
+val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> ?streams:int -> unit -> t
 
 (** Attach (or detach, with [None]) a trace ring, propagating it to
     every device driver so host- and device-side events interleave on
@@ -55,6 +56,10 @@ val set_faults : t -> Faults.t option -> unit
 (** Set the retry/backoff policy, propagating it to every device's data
     environment. *)
 val set_fault_policy : t -> Resilience.policy -> unit
+
+(** Resize every device's stream pool (the [--streams N] CLI knob).
+    @raise Invalid_argument if non-positive or tasks are in flight *)
+val set_streams : t -> int -> unit
 
 val device : t -> int -> device
 

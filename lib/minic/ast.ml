@@ -112,6 +112,7 @@ type construct =
   | C_master
   | C_critical of string option
   | C_barrier
+  | C_taskwait
   | C_atomic
   | C_target_data
   | C_target_enter_data

@@ -230,6 +230,7 @@ let construct_str = function
   | Ast.C_critical None -> "critical"
   | Ast.C_critical (Some n) -> "critical(" ^ n ^ ")"
   | Ast.C_barrier -> "barrier"
+  | Ast.C_taskwait -> "taskwait"
   | Ast.C_atomic -> "atomic"
   | Ast.C_target_data -> "target data"
   | Ast.C_target_enter_data -> "target enter data"

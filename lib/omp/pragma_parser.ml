@@ -265,6 +265,9 @@ let parse_constructs c : Ast.construct list =
     | Some (Token.TIDENT "barrier") ->
       advance c;
       go (Ast.C_barrier :: acc)
+    | Some (Token.TIDENT "taskwait") ->
+      advance c;
+      go (Ast.C_taskwait :: acc)
     | Some (Token.TIDENT "atomic") ->
       advance c;
       (* optional atomic-clause keyword; only the update form is

@@ -4,7 +4,12 @@
    clock is nanoseconds, hence the /1000. *)
 
 let ph_of_kind (k : Trace.kind) : string =
-  match k with Trace.Begin -> "B" | Trace.End -> "E" | Trace.Instant -> "i" | Trace.Counter -> "C"
+  match k with
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+  | Trace.Counter -> "C"
+  | Trace.Complete -> "X"
 
 let json_of_value (v : Trace.value) : Json.t =
   match v with
@@ -21,10 +26,15 @@ let json_of_event (ev : Trace.event) : Json.t =
       ("ph", Json.Str (ph_of_kind ev.Trace.ev_kind));
       ("ts", Json.Num (ev.Trace.ev_ts_ns /. 1000.0));
       ("pid", Json.Num 0.0);
-      ("tid", Json.Num 0.0);
+      ("tid", Json.Num (float_of_int ev.Trace.ev_tid));
     ]
   in
-  let scope = match ev.Trace.ev_kind with Trace.Instant -> [ ("s", Json.Str "g") ] | _ -> [] in
+  let scope =
+    match ev.Trace.ev_kind with
+    | Trace.Instant -> [ ("s", Json.Str "g") ]
+    | Trace.Complete -> [ ("dur", Json.Num (ev.Trace.ev_dur_ns /. 1000.0)) ]
+    | _ -> []
+  in
   let args =
     match ev.Trace.ev_args with
     | [] -> []

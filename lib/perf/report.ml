@@ -97,7 +97,7 @@ let print_trace_summary ?(oc = stdout) (t : Trace.t) : unit =
       | Trace.Instant | Trace.Counter ->
         let key = (ev.Trace.ev_cat, ev.Trace.ev_name, ev.Trace.ev_kind) in
         Hashtbl.replace points key (1 + Option.value ~default:0 (Hashtbl.find_opt points key))
-      | Trace.Begin | Trace.End -> ())
+      | Trace.Begin | Trace.End | Trace.Complete -> () (* Complete already counted via spans *))
     (Trace.events t);
   let point_rows =
     Hashtbl.fold (fun key n acc -> (key, n) :: acc) points []

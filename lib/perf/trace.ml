@@ -16,15 +16,18 @@ type value =
   | Bool of bool
 [@@deriving show { with_path = false }, eq]
 
-type kind = Begin | End | Instant | Counter [@@deriving show { with_path = false }, eq]
+type kind = Begin | End | Instant | Counter | Complete
+[@@deriving show { with_path = false }, eq]
 
 type event = {
   ev_seq : int; (* monotone emission index, survives ring wraps *)
   ev_ts_ns : float; (* simulated-clock timestamp *)
   ev_kind : kind;
-  ev_cat : string; (* e.g. "launch", "transfer", "jit", "kernel" *)
+  ev_cat : string; (* e.g. "launch", "transfer", "jit", "kernel", "async" *)
   ev_name : string;
   ev_args : (string * value) list;
+  ev_dur_ns : float; (* Complete events only; 0 otherwise *)
+  ev_tid : int; (* timeline id: 0 = host, 1+N = device stream N *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -36,7 +39,16 @@ type t = {
 }
 
 let dummy_event =
-  { ev_seq = -1; ev_ts_ns = 0.0; ev_kind = Instant; ev_cat = ""; ev_name = ""; ev_args = [] }
+  {
+    ev_seq = -1;
+    ev_ts_ns = 0.0;
+    ev_kind = Instant;
+    ev_cat = "";
+    ev_name = "";
+    ev_args = [];
+    ev_dur_ns = 0.0;
+    ev_tid = 0;
+  }
 
 let default_capacity = 65536
 
@@ -52,12 +64,22 @@ let clear t = t.next_seq <- 0
 
 let now_ns t = Simclock.now_ns t.clock
 
-let emit t (kind : kind) ~(cat : string) (name : string) (args : (string * value) list) : unit =
-  let ev =
-    { ev_seq = t.next_seq; ev_ts_ns = now_ns t; ev_kind = kind; ev_cat = cat; ev_name = name; ev_args = args }
-  in
+let push t (ev : event) : unit =
   t.ring.(t.next_seq mod t.capacity) <- ev;
   t.next_seq <- t.next_seq + 1
+
+let emit t (kind : kind) ~(cat : string) (name : string) (args : (string * value) list) : unit =
+  push t
+    {
+      ev_seq = t.next_seq;
+      ev_ts_ns = now_ns t;
+      ev_kind = kind;
+      ev_cat = cat;
+      ev_name = name;
+      ev_args = args;
+      ev_dur_ns = 0.0;
+      ev_tid = 0;
+    }
 
 (* Retained events, oldest first. *)
 let events t : event list =
@@ -72,6 +94,24 @@ let counter t ?(args = []) ~cat name = emit t Counter ~cat name args
 let begin_span t ?(args = []) ~cat name = emit t Begin ~cat name args
 
 let end_span t ?(args = []) ~cat name = emit t End ~cat name args
+
+(* Complete ("X") event with an explicit start/duration/timeline, for
+   work whose wall-clock interval is known only at enqueue time (async
+   stream operations).  Unlike [emit], the timestamp is caller-supplied:
+   the interval may lie ahead of the current clock. *)
+let complete t ?(args = []) ?(tid = 0) ~cat ~(ts_ns : float) ~(dur_ns : float) name : unit =
+  if dur_ns < 0.0 then invalid_arg "Trace.complete: negative duration";
+  push t
+    {
+      ev_seq = t.next_seq;
+      ev_ts_ns = ts_ns;
+      ev_kind = Complete;
+      ev_cat = cat;
+      ev_name = name;
+      ev_args = args;
+      ev_dur_ns = dur_ns;
+      ev_tid = tid;
+    }
 
 (* Span around [f]; the end event repeats the name so B/E pairs can be
    matched even when nested. *)
@@ -121,6 +161,16 @@ let spans t : span list =
             }
             :: !out
         | _ -> () (* unmatched end: its begin fell off the ring *))
+      | Complete ->
+        out :=
+          {
+            sp_cat = ev.ev_cat;
+            sp_name = ev.ev_name;
+            sp_ts_ns = ev.ev_ts_ns;
+            sp_dur_ns = ev.ev_dur_ns;
+            sp_args = ev.ev_args;
+          }
+          :: !out
       | Instant | Counter -> ())
     (events t);
   List.rev !out

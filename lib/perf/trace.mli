@@ -14,7 +14,7 @@ val show_value : value -> string
 
 val equal_value : value -> value -> bool
 
-type kind = Begin | End | Instant | Counter
+type kind = Begin | End | Instant | Counter | Complete
 
 val pp_kind : Format.formatter -> kind -> unit
 
@@ -26,9 +26,11 @@ type event = {
   ev_seq : int;  (** monotone emission index, survives ring wraps *)
   ev_ts_ns : float;  (** simulated-clock timestamp *)
   ev_kind : kind;
-  ev_cat : string;  (** e.g. "launch", "transfer", "jit", "kernel" *)
+  ev_cat : string;  (** e.g. "launch", "transfer", "jit", "kernel", "async" *)
   ev_name : string;
   ev_args : (string * value) list;
+  ev_dur_ns : float;  (** Complete events only; 0 otherwise *)
+  ev_tid : int;  (** timeline id: 0 = host, 1+N = device stream N *)
 }
 
 val pp_event : Format.formatter -> event -> unit
@@ -61,6 +63,20 @@ val begin_span : t -> ?args:(string * value) list -> cat:string -> string -> uni
 
 val end_span : t -> ?args:(string * value) list -> cat:string -> string -> unit
 
+(** Complete ("X") event with an explicit start, duration and timeline
+    id, for work whose interval is known only at enqueue time (async
+    stream operations); [ts_ns] may lie ahead of the current clock.
+    @raise Invalid_argument on negative [dur_ns] *)
+val complete :
+  t ->
+  ?args:(string * value) list ->
+  ?tid:int ->
+  cat:string ->
+  ts_ns:float ->
+  dur_ns:float ->
+  string ->
+  unit
+
 (** [with_span t ~cat name f] brackets [f] with begin/end events; on
     exception the end event carries an ["error"] arg and the exception
     is re-raised. *)
@@ -77,8 +93,9 @@ type span = {
   sp_args : (string * value) list;  (** begin-event args *)
 }
 
-(** Completed begin/end pairs, in completion order.  Pairs whose begin
-    or end fell off the ring are skipped. *)
+(** Completed begin/end pairs (in completion order) plus Complete
+    events (in emission order).  Pairs whose begin or end fell off the
+    ring are skipped. *)
 val spans : t -> span list
 
 (** Retained events filtered by category and/or name, oldest first. *)

@@ -52,6 +52,8 @@ let set_max_retries ctx (n : int) : unit =
 
 let device_dead ctx = Hostrt.Dataenv.is_dead (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv
 
+let set_streams ctx (n : int) : unit = Hostrt.Rt.set_streams ctx.rt n
+
 let driver ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_driver
 
 let dataenv ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv

@@ -46,6 +46,10 @@ val set_max_retries : ctx -> int -> unit
 (** Has device 0 been declared dead (host-fallback mode)? *)
 val device_dead : ctx -> bool
 
+(** Resize device 0's stream pool (used by [target ... nowait]
+    regions); must be called while no async work is in flight. *)
+val set_streams : ctx -> int -> unit
+
 val driver : ctx -> Driver.t
 
 val dataenv : ctx -> Hostrt.Dataenv.t

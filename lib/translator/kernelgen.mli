@@ -37,6 +37,13 @@ val mw_block_threads : int
 
 val default_threads : int
 
+(** Does the directive carry a [nowait] clause?  Shared with the host
+    pipeline: on device-side worksharing constructs (for / sections /
+    single) it omits the closing barrier; on [target] directives the
+    pipeline routes the region to the asynchronous offload entry
+    point. *)
+val has_nowait : Ast.directive -> bool
+
 (** Build the kernel for a directive whose constructs start with
     [target], choosing the lowering strategy from the combination. *)
 val build : env:Typecheck.env -> program:Ast.program -> name:string -> Ast.directive ->

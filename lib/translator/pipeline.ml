@@ -24,6 +24,7 @@ type state = {
   s_program : Ast.program;
   mutable s_kernels : Kernelgen.kernel list;
   mutable s_counter : int;
+  mutable s_nowait : int; (* nowait target regions lowered so far *)
 }
 
 let dev0 = Ast.int_lit 0
@@ -44,6 +45,20 @@ let offload_expr (k : Kernelgen.kernel) =
   Ast.call "ort_offload"
     ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
     @ List.map (fun (mv : Region.mapped_var) -> cvoid mv.Region.mv_base) k.Kernelgen.k_params)
+
+(* The async entry point owns the whole map/launch/unmap sequence (it is
+   enqueued as one stream task), so the maps travel with the call as
+   (base, bytes, map_type) triples instead of surrounding ort_map /
+   ort_unmap statements. *)
+let offload_nowait_expr (k : Kernelgen.kernel) =
+  Ast.call "ort_offload_nowait"
+    ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
+    @ List.concat_map
+        (fun (mv : Region.mapped_var) ->
+          [ cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+        k.Kernelgen.k_params)
+
+let taskwait_call = Ast.expr_stmt (Ast.call "ort_taskwait" [ dev0 ])
 
 (* ort_offload returns 1 on device execution, 0 when the runtime has
    declared the device dead — then the stripped (sequential) region body
@@ -66,10 +81,18 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
       let kernel = Kernelgen.build ~env:st.s_env ~program:st.s_program ~name dir body in
       st.s_kernels <- st.s_kernels @ [ kernel ];
       let offload_block =
-        Ast.Sblock
-          (List.map map_call kernel.Kernelgen.k_params
-          @ [ offload_call kernel (Strip.strip_stmt body) ]
-          @ List.rev_map unmap_call kernel.Kernelgen.k_params)
+        if Kernelgen.has_nowait dir then begin
+          (* nowait: one async entry point carrying the maps; 0 means the
+             device is dead and the stripped body runs inline, exactly as
+             in the synchronous protocol *)
+          st.s_nowait <- st.s_nowait + 1;
+          Ast.Sif (Ast.Unop (Ast.Not, offload_nowait_expr kernel), Strip.strip_stmt body, None)
+        end
+        else
+          Ast.Sblock
+            (List.map map_call kernel.Kernelgen.k_params
+            @ [ offload_call kernel (Strip.strip_stmt body) ]
+            @ List.rev_map unmap_call kernel.Kernelgen.k_params)
       in
       (* if() clause: host fallback executes the stripped body *)
       (match Ast.find_clause dir (function Ast.Cif e -> Some e | _ -> None) with
@@ -81,8 +104,14 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
     | None -> translate_error "target data requires a body"
     | Some body ->
       let items = data_maps st dir in
+      let before = st.s_nowait in
       let body' = xform_stmt st enclosing_fn body in
-      Ast.Sblock (List.map map_call items @ [ body' ] @ List.rev_map unmap_call items)
+      (* End-of-data-environment barrier: if the region body launched
+         nowait work, it must drain before the unmaps release (and copy
+         back) the enclosing mappings.  Regions with no async work keep
+         their exact synchronous lowering. *)
+      let barrier = if st.s_nowait > before then [ taskwait_call ] else [] in
+      Ast.Sblock (List.map map_call items @ [ body' ] @ barrier @ List.rev_map unmap_call items)
   end
   else if has Ast.C_target_enter_data then Ast.Sblock (List.map map_call (data_maps st dir))
   else if has Ast.C_target_exit_data then Ast.Sblock (List.map unmap_call (data_maps st dir))
@@ -138,7 +167,8 @@ and xform_stmt st (fn : string) (s : Ast.stmt) : Ast.stmt =
         Ast.Sfor (init', c, u, xform_stmt st fn b))
       st.s_env
   | Ast.Spragma (Ast.Omp dir, body) ->
-    if
+    if dir.Ast.dir_constructs = [ Ast.C_taskwait ] then taskwait_call
+    else if
       List.exists
         (fun c ->
           match c with
@@ -157,7 +187,7 @@ and xform_stmt st (fn : string) (s : Ast.stmt) : Ast.stmt =
 
 let translate (program : Ast.program) : output =
   let env = Typecheck.of_program program in
-  let st = { s_env = env; s_program = program; s_kernels = []; s_counter = 0 } in
+  let st = { s_env = env; s_program = program; s_kernels = []; s_counter = 0; s_nowait = 0 } in
   let host =
     List.map
       (fun g ->

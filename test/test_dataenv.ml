@@ -106,6 +106,82 @@ let test_from_copies_back_only () =
   Hostrt.Dataenv.unmap env h Hostrt.Dataenv.From;
   Alcotest.(check bool) "from copies back at release" true (get_f32 host h 2 = 8.0)
 
+(* ----------------- async interaction (nowait regions) ----------------- *)
+
+(* Fake async hooks: a mutable "in flight" flag plus a log of sync_range
+   calls, standing in for the runtime's dependency tracker. *)
+let install_fake_hooks env =
+  let in_flight = ref false in
+  let synced = ref [] in
+  Hostrt.Dataenv.set_async_hooks env
+    ~pending:(fun _addr ~bytes:_ -> !in_flight)
+    ~sync_range:(fun addr ~bytes ->
+      synced := (addr, bytes) :: !synced;
+      in_flight := false);
+  (in_flight, synced)
+
+(* Unmapping a range with async work in flight is a clean Map_error at
+   the *final* release only — inner (refcounted) unmaps stay legal. *)
+let test_unmap_pending_refcount () =
+  let env, host, _, _ = make () in
+  let in_flight, _ = install_fake_hooks env in
+  let h = Mem.alloc host 256 in
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  in_flight := true;
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  Alcotest.(check int) "inner unmap is refcount-only, no pending check" 1
+    (Hostrt.Dataenv.active_mappings env);
+  Alcotest.(check bool) "final unmap while pending errors" true
+    (match Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To with
+    | exception Hostrt.Dataenv.Map_error _ -> true
+    | () -> false);
+  Alcotest.(check int) "failed release keeps the mapping intact" 1
+    (Hostrt.Dataenv.active_mappings env);
+  in_flight := false;
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  Alcotest.(check int) "released once quiet" 0 (Hostrt.Dataenv.active_mappings env)
+
+(* target update on an in-flight range synchronizes the range first,
+   then transfers — the transfer must see post-sync device data. *)
+let test_update_syncs_in_flight_range () =
+  let env, host, _, _ = make () in
+  let in_flight, synced = install_fake_hooks env in
+  let h = Mem.alloc host 64 in
+  ignore (Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Tofrom);
+  in_flight := true;
+  Hostrt.Dataenv.update_to env h ~bytes:64;
+  (match !synced with
+  | [ (addr, bytes) ] ->
+    Alcotest.(check bool) "synced the updated range" true (Addr.equal addr h);
+    Alcotest.(check int) "synced the full extent" 64 bytes
+  | l -> Alcotest.failf "expected one sync_range call, got %d" (List.length l));
+  in_flight := true;
+  Hostrt.Dataenv.update_from env h ~bytes:64;
+  Alcotest.(check int) "update from also syncs first" 2 (List.length !synced);
+  in_flight := false;
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom
+
+(* map_async/unmap_async: eager memory effects over async copies; the
+   caller IS the in-flight work, so no pending checks apply. *)
+let test_map_async_eager_effects () =
+  let env, host, driver, clock = make () in
+  let in_flight, _ = install_fake_hooks env in
+  let s = Driver.stream_create driver in
+  let h = Mem.alloc host 64 in
+  set_f32 host h 2 4.5;
+  let d = Hostrt.Dataenv.map_async env ~stream:s h ~bytes:64 Hostrt.Dataenv.Tofrom in
+  Alcotest.(check bool) "async map(to:) copies in eagerly" true
+    (get_f32 driver.Driver.global d 2 = 4.5);
+  set_f32 driver.Driver.global d 2 6.25;
+  in_flight := true;
+  (* no Map_error even though the hook reports pending work *)
+  Hostrt.Dataenv.unmap_async env ~stream:s h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check bool) "async unmap copies back eagerly" true (get_f32 host h 2 = 6.25);
+  Alcotest.(check int) "entry removed" 0 (Hostrt.Dataenv.active_mappings env);
+  Alcotest.(check bool) "work landed on the stream, not the clock" true
+    (s.Driver.str_done_ns > Simclock.now_ns clock)
+
 let test_geometry () =
   let grid, block = Hostrt.Rt.geometry ~num_teams:100 ~num_threads:256 in
   Alcotest.(check int) "grid 1d" 100 grid.Gpusim.Simt.x;
@@ -132,6 +208,13 @@ let () =
           Alcotest.test_case "interior-address lookup" `Quick test_containment_lookup;
           Alcotest.test_case "target update to/from" `Quick test_update_to_from;
           Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "unmap-while-pending vs refcount" `Quick test_unmap_pending_refcount;
+          Alcotest.test_case "target update syncs in-flight range" `Quick
+            test_update_syncs_in_flight_range;
+          Alcotest.test_case "map_async eager effects" `Quick test_map_async_eager_effects;
         ] );
       ("geometry", [ Alcotest.test_case "teams/threads to grid/block" `Quick test_geometry ]);
     ]

@@ -241,6 +241,67 @@ int main(void)
   Alcotest.(check int) "second region fell back" 1 (count inst "host_fallback");
   Alcotest.(check bool) "device dead" true (dead_reason inst <> None)
 
+(* ----------------- faults under asynchronous offloading ----------------- *)
+
+(* Two nowait tiles behind a taskwait; each tile writes its half of y
+   through a pointer local (array sections must start at 0). *)
+let nowait_src =
+  {|
+int main(void)
+{
+  float x[8];
+  float y[16];
+  int t;
+  int i;
+  for (i = 0; i < 8; i++) x[i] = i;
+  for (i = 0; i < 16; i++) y[i] = 0.0f;
+  #pragma omp target data map(to: x[0:8])
+  {
+    for (t = 0; t < 2; t++) {
+      float *yt = y + t * 8;
+      #pragma omp target nowait map(to: x[0:8]) map(from: yt[0:8])
+      {
+        #pragma omp parallel for
+        for (i = 0; i < 8; i++)
+          yt[i] = 2.0f * x[i] + 1.0f;
+      }
+    }
+    #pragma omp taskwait
+  }
+  printf("y[0]=%f y[15]=%f\n", y[0], y[15]);
+  return 0;
+}
+|}
+
+let nowait_expected = "y[0]=1.000000 y[15]=15.000000\n"
+
+let test_async_transient_launch_recovers () =
+  (* The second tile's launch fails once inside its nowait region; the
+     retry ladder absorbs it without abandoning the device. *)
+  let inst = load ~faults:"launch:nth=2" nowait_src in
+  let r = Ompi.run inst () in
+  Alcotest.(check string) "async result correct despite fault" nowait_expected r.Ompi.run_output;
+  Alcotest.(check int) "one fault injected" 1 (count inst "fault_injected");
+  Alcotest.(check bool) "absorbed by retry" true (List.length (backoff_delays inst) >= 1);
+  Alcotest.(check int) "no fallback" 0 (count inst "host_fallback");
+  Alcotest.(check (option string)) "device stays alive" None (dead_reason inst);
+  Alcotest.(check bool) "both tiles enqueued async" true
+    (Perf.Trace.count_events (trace_of inst) ~cat:"async" ~name:"enqueue" () >= 2)
+
+let test_async_persistent_transfer_falls_back () =
+  (* From the 3rd transfer on, every copy fails: retries exhaust inside
+     a nowait region, the queue is quiesced, the device declared dead,
+     and the region re-executes inline on the host.  Eager effects keep
+     the already-completed tile's result intact. *)
+  let inst = load ~faults:"transfer:from=3" nowait_src in
+  let r = Ompi.run inst () in
+  Alcotest.(check string) "host fallback converges to the reference" nowait_expected
+    r.Ompi.run_output;
+  Alcotest.(check bool) "faults injected" true (count inst "fault_injected" >= 1);
+  Alcotest.(check bool) "host fallback taken" true (count inst "host_fallback" >= 1);
+  Alcotest.(check int) "device declared dead" 1 (count inst "device_dead");
+  Alcotest.(check bool) "dead reason recorded" true (dead_reason inst <> None)
+
 let () =
   Alcotest.run "faults"
     [
@@ -268,5 +329,12 @@ let () =
             test_corrupt_jit_cache_recompiles;
           Alcotest.test_case "dead device salvages kernel-written residents" `Quick
             test_dead_device_salvages_resident_data;
+        ] );
+      ( "async",
+        [
+          Alcotest.test_case "transient launch fault in a nowait region recovers" `Quick
+            test_async_transient_launch_recovers;
+          Alcotest.test_case "persistent transfer faults fall back to the host" `Quick
+            test_async_persistent_transfer_falls_back;
         ] );
     ]

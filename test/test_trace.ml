@@ -175,6 +175,59 @@ let test_chrome_export_shape () =
   | Some (Json.Num 0.0) -> ()
   | _ -> Alcotest.fail "otherData.droppedEvents missing or wrong"
 
+(* ---------------- Complete ("X") events ---------------- *)
+
+let test_complete_events () =
+  let clock, tr = make () in
+  Machine.Simclock.advance_us clock 5.0;
+  (* the interval may start ahead of the current clock (enqueue time) *)
+  Trace.complete tr ~tid:2 ~cat:"async" ~ts_ns:9000.0 ~dur_ns:3000.0 "HtoD"
+    ~args:[ ("bytes", Trace.Int 4096) ];
+  (match Trace.events tr with
+  | [ e ] ->
+    Alcotest.(check bool) "kind" true (e.Trace.ev_kind = Trace.Complete);
+    Alcotest.(check (float 0.0)) "scheduled start, not clock" 9000.0 e.Trace.ev_ts_ns;
+    Alcotest.(check (float 0.0)) "duration" 3000.0 e.Trace.ev_dur_ns;
+    Alcotest.(check int) "timeline id" 2 e.Trace.ev_tid
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  Alcotest.(check bool) "negative duration raises" true
+    (match Trace.complete tr ~cat:"async" ~ts_ns:0.0 ~dur_ns:(-1.0) "bad" with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_complete_in_spans () =
+  let clock, tr = make () in
+  Trace.begin_span tr ~cat:"kernel" "launch";
+  Machine.Simclock.advance_us clock 4.0;
+  Trace.end_span tr ~cat:"kernel" "launch";
+  Trace.complete tr ~tid:1 ~cat:"async" ~ts_ns:10000.0 ~dur_ns:2000.0 "DtoH";
+  let spans = Trace.spans tr in
+  Alcotest.(check int) "pair and Complete both reported" 2 (List.length spans);
+  let sp = List.find (fun s -> s.Trace.sp_name = "DtoH") spans in
+  Alcotest.(check (float 0.0)) "span start" 10000.0 sp.Trace.sp_ts_ns;
+  Alcotest.(check (float 0.0)) "span duration" 2000.0 sp.Trace.sp_dur_ns
+
+let test_chrome_export_complete () =
+  let _, tr = make () in
+  Trace.complete tr ~tid:3 ~cat:"async" ~ts_ns:2000.0 ~dur_ns:1500.0 "HtoD";
+  let doc =
+    match Json.of_string (Chrome_trace.to_string tr) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "export does not parse: %s" msg
+  in
+  let e =
+    match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+    | Some [ e ] -> e
+    | _ -> Alcotest.fail "expected exactly one trace event"
+  in
+  let num k = Option.bind (Json.member k e) Json.to_number_opt in
+  Alcotest.(check (option string)) "ph X" (Some "X")
+    (Option.bind (Json.member "ph" e) Json.to_string_opt);
+  (* Chrome wants microseconds *)
+  Alcotest.(check (option (float 0.0))) "ts us" (Some 2.0) (num "ts");
+  Alcotest.(check (option (float 0.0))) "dur us" (Some 1.5) (num "dur");
+  Alcotest.(check (option (float 0.0))) "tid is the stream" (Some 3.0) (num "tid")
+
 let test_chrome_write_file () =
   let _, tr = make () in
   Trace.instant tr ~cat:"init" "device_init";
@@ -212,9 +265,15 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
+      ( "complete events",
+        [
+          Alcotest.test_case "emit, read, negative dur" `Quick test_complete_events;
+          Alcotest.test_case "reported as spans" `Quick test_complete_in_spans;
+        ] );
       ( "chrome export",
         [
           Alcotest.test_case "event shape" `Quick test_chrome_export_shape;
+          Alcotest.test_case "Complete as ph X" `Quick test_chrome_export_complete;
           Alcotest.test_case "write_file" `Quick test_chrome_write_file;
         ] );
     ]
