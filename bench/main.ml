@@ -652,6 +652,245 @@ let fault_matrix ~smoke () =
   end;
   say "fault-matrix: PASS (%d cells)\n" !total
 
+(* ------------------------------------------------------------------ *)
+(* memshift: copy vs zero-copy vs transfer elision (unified DRAM)       *)
+(* ------------------------------------------------------------------ *)
+
+(* The suite's ap_run entry points allocate fresh host arrays per call,
+   which hides exactly what elision exploits: a host working set that is
+   offloaded repeatedly.  So each cell here allocates its arrays once
+   and replays the app's translated entry point [iters] times — the
+   shape of an iterative solver calling an offloaded step in a loop. *)
+
+type ms_app = {
+  ms_name : string;
+  ms_source : string;
+  ms_entry : string;
+  (* allocate + fill persistent host arrays; returns the call arguments
+     and the (address, length) ranges holding the results *)
+  ms_setup : Polybench.Harness.ctx -> n:int -> Machine.Value.t list * (Machine.Addr.t * int) list;
+}
+
+(* One extra micro-app with a read-only tofrom mapping: the kernel never
+   writes [a], so under elision its copy-back disappears (the visible
+   elided-D2H case; the suite apps only exercise elided H2D). *)
+let readscale_source =
+  {|
+void readscale(int n, int teams, float a[], float y[])
+{
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(64) \
+      map(tofrom: a[0:n]) map(tofrom: y[0:n])
+  for (int i = 0; i < n; i++)
+    y[i] = a[i] * 2.0f + y[i] * 0.5f;
+}
+|}
+
+(* Same program with map(always, ...): forces every transfer, the
+   opt-out that must neutralize elision. *)
+let readscale_always_source =
+  {|
+void readscale(int n, int teams, float a[], float y[])
+{
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(64) \
+      map(always, to: n) map(always, tofrom: a[0:n]) map(always, tofrom: y[0:n])
+  for (int i = 0; i < n; i++)
+    y[i] = a[i] * 2.0f + y[i] * 0.5f;
+}
+|}
+
+let ms_apps =
+  let open Polybench.Harness in
+  let teams_of n = (n + 255) / 256 in
+  [
+    {
+      ms_name = "atax";
+      ms_source = Polybench.Atax.omp_source;
+      ms_entry = "atax_omp";
+      ms_setup =
+        (fun ctx ~n ->
+          let a = alloc_f32 ctx (n * n) and x = alloc_f32 ctx n in
+          let y = alloc_f32 ctx n and tmp = alloc_f32 ctx n in
+          fill_f32 ctx a (n * n) (fun t -> float_of_int ((t mod 17) - 8) /. 32.0);
+          fill_f32 ctx x n (fun i -> 1.0 +. (float_of_int (i mod 5) /. 5.0));
+          fill_f32 ctx y n (fun _ -> 0.0);
+          fill_f32 ctx tmp n (fun _ -> 0.0);
+          ([ vint n; vint (teams_of n); fptr a; fptr x; fptr y; fptr tmp ], [ (y, n) ]));
+    };
+    {
+      ms_name = "bicg";
+      ms_source = Polybench.Bicg.omp_source;
+      ms_entry = "bicg_omp";
+      ms_setup =
+        (fun ctx ~n ->
+          let a = alloc_f32 ctx (n * n) and r = alloc_f32 ctx n and p = alloc_f32 ctx n in
+          let s = alloc_f32 ctx n and q = alloc_f32 ctx n in
+          fill_f32 ctx a (n * n) (fun t -> float_of_int ((t mod 13) - 6) /. 26.0);
+          fill_f32 ctx r n (fun i -> float_of_int (i mod 7) /. 7.0);
+          fill_f32 ctx p n (fun i -> float_of_int (i mod 3) /. 3.0);
+          fill_f32 ctx s n (fun _ -> 0.0);
+          fill_f32 ctx q n (fun _ -> 0.0);
+          ([ vint n; vint (teams_of n); fptr a; fptr r; fptr p; fptr s; fptr q ], [ (s, n); (q, n) ]));
+    };
+    {
+      ms_name = "mvt";
+      ms_source = Polybench.Mvt.omp_source;
+      ms_entry = "mvt_omp";
+      ms_setup =
+        (fun ctx ~n ->
+          let a = alloc_f32 ctx (n * n) in
+          let x1 = alloc_f32 ctx n and x2 = alloc_f32 ctx n in
+          let y1 = alloc_f32 ctx n and y2 = alloc_f32 ctx n in
+          fill_f32 ctx a (n * n) (fun t -> float_of_int ((t mod 11) - 5) /. 22.0);
+          fill_f32 ctx x1 n (fun i -> float_of_int (i mod 4) /. 4.0);
+          fill_f32 ctx x2 n (fun i -> float_of_int (i mod 6) /. 6.0);
+          fill_f32 ctx y1 n (fun i -> float_of_int (i mod 9) /. 9.0);
+          fill_f32 ctx y2 n (fun i -> float_of_int (i mod 8) /. 8.0);
+          ( [ vint n; vint (teams_of n); fptr a; fptr x1; fptr x2; fptr y1; fptr y2 ],
+            [ (x1, n); (x2, n) ] ));
+    };
+    {
+      ms_name = "readscale";
+      ms_source = readscale_source;
+      ms_entry = "readscale";
+      ms_setup =
+        (fun ctx ~n ->
+          let a = alloc_f32 ctx n and y = alloc_f32 ctx n in
+          fill_f32 ctx a n (fun i -> float_of_int ((i mod 19) - 9) /. 19.0);
+          fill_f32 ctx y n (fun i -> float_of_int (i mod 5) /. 5.0);
+          ([ vint n; vint ((n + 63) / 64); fptr a; fptr y ], [ (y, n) ]));
+    };
+  ]
+
+type ms_variant = Ms_copy | Ms_elide | Ms_zerocopy | Ms_host
+
+let run_memshift_variant ?(trace = false) ?faults ?(source = None) (app : ms_app) ~n ~iters variant
+    =
+  let ctx = Polybench.Harness.create () in
+  Polybench.Harness.set_sampling ctx None;
+  (* block-sampled launches conservatively dirty the device write epoch,
+     so elision is only meaningful (and only measured) unsampled *)
+  (match variant with
+  | Ms_elide -> Polybench.Harness.set_elide ctx true
+  | Ms_zerocopy -> Polybench.Harness.set_zerocopy ctx true
+  | Ms_copy | Ms_host -> ());
+  let tr = if trace then Some (Polybench.Harness.enable_trace ctx) else None in
+  (match faults with Some rules -> Polybench.Harness.set_faults ctx ~seed:7 rules | None -> ());
+  let args, outs = app.ms_setup ctx ~n in
+  let source = Option.value source ~default:app.ms_source in
+  let p =
+    Polybench.Harness.prepare_omp ~host_interp:(variant = Ms_host) ctx ~name:app.ms_name source
+  in
+  let t =
+    Polybench.Harness.measure ctx (fun () ->
+        for _ = 1 to iters do
+          Polybench.Harness.call_omp p app.ms_entry args
+        done)
+  in
+  let result =
+    Array.concat (List.map (fun (a, len) -> Polybench.Harness.read_f32_array ctx a len) outs)
+  in
+  (t, result, tr, ctx)
+
+(* The elided-path fault cell of the acceptance criteria: a launch fault
+   injected into the second (fast-path, transfer-elided) iteration must
+   retry and still produce bit-identical data. *)
+let memshift_fault_cell app ~n ~iters (r_ref : float array) : bool =
+  let rules =
+    match Hostrt.Faults.parse "launch:nth=2" with
+    | Ok rules -> rules
+    | Error msg -> failwith ("bad spec: " ^ msg)
+  in
+  let _, r, tr, ctx = run_memshift_variant ~trace:true ~faults:rules app ~n ~iters Ms_elide in
+  let evs = trace_events (Option.get tr) in
+  let st = Polybench.Harness.mem_stats ctx in
+  let correct = r = r_ref in
+  let retried = fault_event_count evs "retry_backoff" >= 1 in
+  let elided = st.Hostrt.Dataenv.elided_h2d >= 1 in
+  let ok = correct && retried && elided && not (Polybench.Harness.device_dead ctx) in
+  say "  fault %-10s launch:nth=2 retried=%b elided-h2d=%d %s\n" app.ms_name retried
+    st.Hostrt.Dataenv.elided_h2d
+    (if ok then "ok" else if correct then "FAIL(no evidence)" else "FAIL(wrong result)");
+  ok
+
+let memshift ~smoke () =
+  say "=== memshift: copy vs zero-copy vs transfer elision (shared-DRAM model) ===\n";
+  let n = if smoke then 32 else 96 in
+  let iters = if smoke then 3 else 4 in
+  say "(each app: persistent host arrays, %d offloaded iterations at n=%d; simulated seconds)\n"
+    iters n;
+  let failures = ref 0 in
+  let check ok what = if not ok then (incr failures; say "  FAIL: %s\n" what) in
+  let json_rows = ref [] in
+  List.iter
+    (fun app ->
+      let _, r_host, _, _ = run_memshift_variant app ~n ~iters Ms_host in
+      let t_copy, r_copy, _, _ = run_memshift_variant app ~n ~iters Ms_copy in
+      let t_elide, r_elide, tr_elide, ctx_elide =
+        run_memshift_variant ~trace:true app ~n ~iters Ms_elide
+      in
+      let t_zc, r_zc, _, ctx_zc = run_memshift_variant app ~n ~iters Ms_zerocopy in
+      let st_e = Polybench.Harness.mem_stats ctx_elide in
+      let st_z = Polybench.Harness.mem_stats ctx_zc in
+      let identical = r_copy = r_host && r_elide = r_host && r_zc = r_host in
+      let sp_e = t_copy /. t_elide and sp_z = t_copy /. t_zc in
+      say
+        "  %-10s copy=%.6f elide=%.6f (%.2fx, h2d-elided=%d d2h-elided=%d) zerocopy=%.6f \
+         (%.2fx, %d accesses) %s\n"
+        app.ms_name t_copy t_elide sp_e st_e.Hostrt.Dataenv.elided_h2d
+        st_e.Hostrt.Dataenv.elided_d2h t_zc sp_z st_z.Hostrt.Dataenv.zerocopy_accesses
+        (if identical then "bit-identical" else "RESULTS DIFFER");
+      check identical (app.ms_name ^ ": copy/elide/zerocopy/host results differ");
+      check
+        (st_e.Hostrt.Dataenv.elided_h2d >= 1 || st_e.Hostrt.Dataenv.elided_d2h >= 1)
+        (app.ms_name ^ ": elision variant elided nothing");
+      check (st_z.Hostrt.Dataenv.zerocopy_accesses >= 1) (app.ms_name ^ ": no zero-copy accesses");
+      check (sp_e > 1.0)
+        (Printf.sprintf "%s: elision speedup %.3fx <= 1.0x over always-copy" app.ms_name sp_e);
+      (match Sys.getenv_opt "MEMSHIFT_TRACE" with
+      | Some file when app.ms_name = "atax" ->
+        Perf.Chrome_trace.write_file file (Option.get tr_elide)
+      | _ -> ());
+      json_rows :=
+        Printf.sprintf
+          {|    { "app": %S, "t_copy_s": %.9f, "t_elide_s": %.9f, "t_zerocopy_s": %.9f,
+      "speedup_elide": %.4f, "speedup_zerocopy": %.4f,
+      "elided_h2d": %d, "elided_d2h": %d, "zerocopy_accesses": %d, "bit_identical": %b }|}
+          app.ms_name t_copy t_elide t_zc sp_e sp_z st_e.Hostrt.Dataenv.elided_h2d
+          st_e.Hostrt.Dataenv.elided_d2h st_z.Hostrt.Dataenv.zerocopy_accesses identical
+        :: !json_rows)
+    ms_apps;
+  (* map(always, ...) must force the transfers even under elision *)
+  let readscale = List.find (fun a -> a.ms_name = "readscale") ms_apps in
+  let _, r_always, _, ctx_always =
+    run_memshift_variant ~source:(Some readscale_always_source) readscale ~n ~iters Ms_elide
+  in
+  let _, r_plain, _, _ = run_memshift_variant readscale ~n ~iters Ms_host in
+  let st_a = Polybench.Harness.mem_stats ctx_always in
+  say "  readscale under map(always,...): h2d-elided=%d d2h-elided=%d (both must be 0)\n"
+    st_a.Hostrt.Dataenv.elided_h2d st_a.Hostrt.Dataenv.elided_d2h;
+  check
+    (st_a.Hostrt.Dataenv.elided_h2d = 0 && st_a.Hostrt.Dataenv.elided_d2h = 0)
+    "map(always,...) failed to force transfers under elision";
+  check (r_always = r_plain) "map(always,...) changed the readscale result";
+  say "  -- fault injected into an elided-path launch (differential vs host) --\n";
+  let atax = List.hd ms_apps in
+  let _, r_ref, _, _ = run_memshift_variant atax ~n ~iters Ms_host in
+  if not (memshift_fault_cell atax ~n ~iters r_ref) then incr failures;
+  if not smoke then begin
+    let oc = open_out "BENCH_memshift.json" in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"memshift\",\n  \"n\": %d,\n  \"iters\": %d,\n  \"apps\": [\n%s\n  ]\n}\n" n
+      iters
+      (String.concat ",\n" (List.rev !json_rows));
+    close_out oc;
+    say "  [written: BENCH_memshift.json]\n"
+  end;
+  if !failures > 0 then begin
+    say "memshift: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "memshift: PASS\n"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -677,6 +916,8 @@ let () =
   | [ "overlap"; "--smoke" ] -> overlap ~smoke:true ()
   | [ "fault-matrix" ] -> fault_matrix ~smoke:false ()
   | [ "fault-matrix"; "--smoke" ] -> fault_matrix ~smoke:true ()
+  | [ "memshift" ] -> memshift ~smoke:false ()
+  | [ "memshift"; "--smoke" ] -> memshift ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

@@ -4,7 +4,11 @@
    begin/end span pairs, at least one transfer event carrying a byte
    count, and JIT-cache hit/miss information.
 
-     dune exec bench/trace_check.exe -- out.json
+     dune exec bench/trace_check.exe -- [--expect-elision] out.json
+
+   With --expect-elision, additionally requires at least one cat:"mem"
+   elide_h2d/elide_d2h instant — the CI witness that the transfer-
+   elision layer actually fired (bench memshift --smoke emits these).
 
    Exits 0 when the schema holds, 1 with a diagnostic otherwise.  Used
    by bench/trace_smoke.sh. *)
@@ -21,11 +25,12 @@ let read_file path =
 let str_field key ev = Option.bind (Perf.Json.member key ev) Perf.Json.to_string_opt
 
 let () =
-  let path =
+  let expect_elision, path =
     match Sys.argv with
-    | [| _; path |] -> path
+    | [| _; path |] -> (false, path)
+    | [| _; "--expect-elision"; path |] -> (true, path)
     | _ ->
-      prerr_endline "usage: trace_check <trace.json>";
+      prerr_endline "usage: trace_check [--expect-elision] <trace.json>";
       exit 2
   in
   if not (Sys.file_exists path) then fail "no such file: %s" path;
@@ -99,5 +104,17 @@ let () =
       events
   in
   if not has_cache_info then fail "no JIT-cache hit/miss event";
-  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced)\n" path
+  (* Elision evidence: at least one elided transfer on the mem timeline. *)
+  let elisions =
+    List.length
+      (List.filter
+         (fun ev ->
+           str_field "cat" ev = Some "mem"
+           &&
+           match str_field "name" ev with Some ("elide_h2d" | "elide_d2h") -> true | _ -> false)
+         events)
+  in
+  if expect_elision && elisions = 0 then fail "no elide_h2d/elide_d2h mem event";
+  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s)\n" path
     (List.length events)
+    (if expect_elision then Printf.sprintf ", %d elided transfer(s)" elisions else "")

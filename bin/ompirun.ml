@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams zerocopy elide verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -42,7 +42,16 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
     exit 1
   end;
   let config =
-    { Ompi.default_config with binary_mode = mode; faults; fault_seed; max_retries; streams }
+    {
+      Ompi.default_config with
+      binary_mode = mode;
+      faults;
+      fault_seed;
+      max_retries;
+      streams;
+      zerocopy;
+      elide;
+    }
   in
   try
     let compiled = Ompi.compile ~config ~name:stem source in
@@ -59,6 +68,14 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
         | Some reason -> Printf.sprintf "; device dead (%s), host fallback used" reason
         | None -> "")
     | None -> ());
+    (if zerocopy || elide then begin
+       let dataenv = (Hostrt.Rt.device instance.Ompi.i_rt 0).Hostrt.Rt.dev_dataenv in
+       let st = Hostrt.Dataenv.stats dataenv in
+       Printf.eprintf "[mem: %d h2d + %d d2h elided, %d zero-copy accesses, %d resident buffer(s)]\n"
+         st.Hostrt.Dataenv.elided_h2d st.Hostrt.Dataenv.elided_d2h
+         st.Hostrt.Dataenv.zerocopy_accesses
+         (Hostrt.Dataenv.resident_buffers dataenv)
+     end);
     Printf.eprintf "[simulated time: %.6f s, %d kernel launch(es), exit code %d]\n"
       result.Ompi.run_time_s result.Ompi.run_kernel_launches result.Ompi.run_exit;
     (match (trace_file, instance.Ompi.i_trace) with
@@ -145,6 +162,26 @@ let streams_arg =
           "Size of the device stream pool used by target nowait regions (default 4); 1 \
            serializes all async work on a single stream")
 
+let zerocopy_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "zerocopy" ]
+        ~doc:
+          "Map target data through pinned host memory instead of device buffers: kernels access \
+           the shared DRAM in place (the Nano's CPU and GPU share LPDDR4), trading copy time for \
+           uncached device access")
+
+let elide_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "elide" ]
+        ~doc:
+          "Park released device buffers in a resident cache and skip host/device transfers whose \
+           source and destination provably hold the same bytes (map(always, ...) forces the \
+           transfer)")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
 
 let cmd =
@@ -153,6 +190,6 @@ let cmd =
     (Cmd.info "ompirun" ~doc)
     Term.(
       const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
-      $ fault_seed_arg $ streams_arg $ verbose_arg)
+      $ fault_seed_arg $ streams_arg $ zerocopy_arg $ elide_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

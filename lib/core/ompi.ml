@@ -23,6 +23,8 @@ type config = {
   fault_seed : int; (* seed for probabilistic fault rules *)
   max_retries : int option; (* retry-policy override; None = default *)
   streams : int; (* stream-pool size for `target ... nowait` regions *)
+  zerocopy : bool; (* pin-and-share host memory instead of copying (unified DRAM) *)
+  elide : bool; (* park released buffers and skip provably redundant transfers *)
 }
 
 let default_config =
@@ -33,6 +35,8 @@ let default_config =
     fault_seed = 42;
     max_retries = None;
     streams = Hostrt.Async.default_streams;
+    zerocopy = false;
+    elide = false;
   }
 
 type compiled = Translator.Pipeline.compiled = {
@@ -65,6 +69,8 @@ let load ?(config = default_config) ?(trace = false) (compiled : compiled) : ins
   Hostrt.Rt.set_trace rt tr;
   if config.faults <> [] then
     Hostrt.Rt.set_faults rt (Some (Hostrt.Faults.create ~seed:config.fault_seed config.faults));
+  if config.zerocopy then Hostrt.Rt.set_zerocopy rt true;
+  if config.elide then Hostrt.Rt.set_elide rt true;
   (match config.max_retries with
   | Some n ->
     Hostrt.Rt.set_fault_policy rt

@@ -27,6 +27,13 @@ type config = {
   streams : int;
       (** stream-pool size used by [target ... nowait] regions (default
           {!Hostrt.Async.default_streams}) *)
+  zerocopy : bool;
+      (** map via pinned host memory instead of device buffers — the
+          Nano's CPU and GPU share DRAM (see
+          {!Hostrt.Dataenv.set_zerocopy}); default off *)
+  elide : bool;
+      (** park released device buffers and skip provably redundant
+          transfers (see {!Hostrt.Dataenv.set_elide}); default off *)
 }
 
 val default_config : config

@@ -55,6 +55,28 @@ let dyn_counter (bs : Simt.block_state) rid ~init =
     Hashtbl.replace bs.bs_dyn_counters rid r;
     r
 
+(* A dynamic/guided region's shared counter must not survive into a
+   sequential re-entry of the same region: a nowait worksharing loop
+   nested in a sequential loop never passes through ws_finish, so the
+   counter would stay parked at range.hi and the re-entered loop would
+   silently get zero iterations.  Each participant that drains the range
+   (gets None) is counted here; once every team member has drained, the
+   region's state is recycled so the next entry reinitializes it. *)
+let dyn_drained (bs : Simt.block_state) rid nthr =
+  let r =
+    match Hashtbl.find_opt bs.bs_dyn_drained rid with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace bs.bs_dyn_drained rid r;
+      r
+  in
+  incr r;
+  if !r >= nthr then begin
+    Hashtbl.remove bs.bs_dyn_drained rid;
+    Hashtbl.remove bs.bs_dyn_counters rid
+  end
+
 let section_counter (bs : Simt.block_state) rid =
   match Hashtbl.find_opt bs.bs_section_counters rid with
   | Some r -> r
@@ -81,6 +103,7 @@ let ws_finish (bs : Simt.block_state) rid nthr =
   if !done_r >= nthr then begin
     Hashtbl.remove bs.bs_ws_done rid;
     Hashtbl.remove bs.bs_dyn_counters rid;
+    Hashtbl.remove bs.bs_dyn_drained rid;
     Hashtbl.remove bs.bs_section_counters rid
   end
 
@@ -256,6 +279,7 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
       match args with
       | [ rid; chunk; lo; hi; lb_out; ub_out ] ->
         let rid = int_arg rid and chunk = max 1 (int_arg chunk) in
+        if rid < 0 then devrt_error "cudadev_get_dynamic_chunk: invalid region id %d" rid;
         let range = { Sched.lo = int_arg lo; hi = int_arg hi } in
         let counter = dyn_counter bs rid ~init:range.Sched.lo in
         bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
@@ -269,12 +293,15 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
              hardware scheduler would *)
           Simt.yield ();
           ret_int 1
-        | None -> ret_int 0)
+        | None ->
+          dyn_drained bs rid (max 1 omp.omp_num);
+          ret_int 0)
       | _ -> bad_args "cudadev_get_dynamic_chunk");
   reg "cudadev_get_guided_chunk" (fun ctx args ->
       match args with
       | [ rid; minchunk; lo; hi; lb_out; ub_out ] ->
         let rid = int_arg rid and minchunk = max 1 (int_arg minchunk) in
+        if rid < 0 then devrt_error "cudadev_get_guided_chunk: invalid region id %d" rid;
         let range = { Sched.lo = int_arg lo; hi = int_arg hi } in
         let counter = dyn_counter bs rid ~init:range.Sched.lo in
         bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
@@ -286,7 +313,9 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
           store_int ctx ub_out r.Sched.hi;
           Simt.yield ();
           ret_int 1
-        | None -> ret_int 0)
+        | None ->
+          dyn_drained bs rid (max 1 omp.omp_num);
+          ret_int 0)
       | _ -> bad_args "cudadev_get_guided_chunk");
   reg "cudadev_ws_barrier" (fun _ args ->
       match args with

@@ -16,6 +16,7 @@ type breakdown = {
   bd_total_cycles : float;
   bd_time_ns : float;
   bd_global_bytes : float;
+  bd_zerocopy_bytes : float; (* uncached pinned-host traffic (zero-copy maps) *)
   bd_divergence : float; (* warp-max sum vs thread-average ratio, >= 1 *)
 }
 
@@ -46,7 +47,8 @@ let kernel_time (spec : Spec.t) (t : Counters.t) ~block_threads ~total_blocks
      warp; this is what makes load-heavy kernels insensitive to modest
      amounts of extra integer arithmetic *)
   let mem_insts =
-    (float_of_int (Counters.global_accesses t) +. float_of_int t.Counters.shared_accesses)
+    (float_of_int (Counters.global_accesses t) +. float_of_int t.Counters.shared_accesses
+   +. float_of_int (Counters.zerocopy_accesses t))
     *. scale /. float_of_int spec.Spec.warp_size
   in
   let mix = cpi spec t.Counters.classes in
@@ -76,7 +78,16 @@ let kernel_time (spec : Spec.t) (t : Counters.t) ~block_threads ~total_blocks
     if resident_warps >= 8 then 0.0
     else transactions *. mem_latency_cycles /. (float_of_int resident_warps *. 4.0)
   in
-  let mem_cycles = Float.max bandwidth_cycles latency_cycles in
+  (* Zero-copy traffic bypasses L2 entirely and streams over the shared
+     DRAM at the (lower) uncached pinned bandwidth.  There is no cache
+     discount and no coalescing sample: one warp-wide transaction per
+     warp memory instruction. *)
+  let zc_transactions =
+    float_of_int (Counters.zerocopy_accesses t) *. scale /. float_of_int spec.Spec.warp_size
+  in
+  let zc_bytes = zc_transactions *. float_of_int spec.Spec.transaction_bytes in
+  let zc_cycles = zc_bytes /. (spec.Spec.zerocopy_bandwidth /. spec.Spec.gpu_clock_hz) in
+  let mem_cycles = Float.max bandwidth_cycles latency_cycles +. zc_cycles in
   let barrier_cycles = float_of_int t.Counters.barrier_warp_arrivals *. scale *. 24.0 in
   let total = (Float.max issue_cycles mem_cycles +. barrier_cycles) *. occupancy_penalty in
   {
@@ -86,6 +97,7 @@ let kernel_time (spec : Spec.t) (t : Counters.t) ~block_threads ~total_blocks
     bd_total_cycles = total;
     bd_time_ns = total /. spec.Spec.gpu_clock_hz *. 1e9;
     bd_global_bytes = global_bytes;
+    bd_zerocopy_bytes = zc_bytes;
     bd_divergence = divergence;
   }
 

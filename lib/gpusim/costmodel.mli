@@ -19,6 +19,7 @@ type breakdown = {
   bd_total_cycles : float;
   bd_time_ns : float;
   bd_global_bytes : float;
+  bd_zerocopy_bytes : float;  (** uncached pinned-host traffic (zero-copy maps) *)
   bd_divergence : float;  (** warp-max sum vs thread-average ratio, >= 1 *)
 }
 

@@ -47,9 +47,13 @@ type t = {
   mutable chunk_grabs : int; (* dynamic/guided scheduler chunk grants *)
   mutable blocks_executed : int;
   mutable blocks_total : int; (* including non-simulated (sampled-out) ones *)
+  mutable zerocopy_loads : int; (* kernel accesses to pinned host memory *)
+  mutable zerocopy_stores : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;
   (* allocation table for addr -> allocation id: sorted (off, len, id) *)
   mutable alloc_table : (int * int * int) array;
+  (* pinned host ranges visible to the device (zero-copy): sorted (off, len, id) *)
+  mutable pinned_table : (int * int * int) array;
   (* Coalescing is sampled on warp 0 of the first [max_sample_blocks]
      simulated blocks; [sample_block_seq] is the index of the block
      currently contributing samples, or -1 when sampling is off. *)
@@ -74,21 +78,27 @@ let create spec =
     chunk_grabs = 0;
     blocks_executed = 0;
     blocks_total = 0;
+    zerocopy_loads = 0;
+    zerocopy_stores = 0;
     per_alloc = Hashtbl.create 16;
     alloc_table = [||];
+    pinned_table = [||];
     sample_block_seq = -1;
     block_contributed = false;
     max_sample_blocks = 8;
     sample_cap = 2048;
   }
 
-let set_alloc_table t (allocs : (int * int * int) array) =
+let sorted_ranges (allocs : (int * int * int) array) =
   let allocs = Array.copy allocs in
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) allocs;
-  t.alloc_table <- allocs
+  allocs
 
-let find_alloc t off : int option =
-  let arr = t.alloc_table in
+let set_alloc_table t (allocs : (int * int * int) array) = t.alloc_table <- sorted_ranges allocs
+
+let set_pinned_table t (ranges : (int * int * int) array) = t.pinned_table <- sorted_ranges ranges
+
+let find_range (arr : (int * int * int) array) off : int option =
   let n = Array.length arr in
   let rec bsearch lo hi =
     if lo >= hi then None
@@ -100,6 +110,10 @@ let find_alloc t off : int option =
       else Some id
   in
   bsearch 0 n
+
+let find_alloc t off : int option = find_range t.alloc_table off
+
+let find_pinned t off : int option = find_range t.pinned_table off
 
 let alloc_stats t id =
   match Hashtbl.find_opt t.per_alloc id with
@@ -171,6 +185,16 @@ let on_global_access t ~(lin : int) ~(seq : (int, int ref) Hashtbl.t) (acc : Cin
         | None -> Hashtbl.replace s.samples key (ref (Int_set.singleton seg), ref 1)
       end
     end
+
+(* Zero-copy: a kernel access that resolved to pinned host memory.  These
+   bypass the GPU caches entirely, so there is no coalescing sample to
+   keep — the cost model charges them at the uncached bandwidth. *)
+let on_zerocopy_access t (acc : Cinterp.Interp.access) =
+  match acc.acc_kind with
+  | `Load -> t.zerocopy_loads <- t.zerocopy_loads + 1
+  | `Store -> t.zerocopy_stores <- t.zerocopy_stores + 1
+
+let zerocopy_accesses t = t.zerocopy_loads + t.zerocopy_stores
 
 (* Estimated DRAM transactions for one allocation: transactions per
    sampled access (so partially-populated edge warps are weighted by

@@ -45,8 +45,11 @@ type t = {
   mutable chunk_grabs : int;  (** dynamic/guided scheduler chunk grants *)
   mutable blocks_executed : int;
   mutable blocks_total : int;
+  mutable zerocopy_loads : int;  (** kernel accesses to pinned host memory *)
+  mutable zerocopy_stores : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;
   mutable alloc_table : (int * int * int) array;
+  mutable pinned_table : (int * int * int) array;
   mutable sample_block_seq : int;
   mutable block_contributed : bool;
   max_sample_blocks : int;
@@ -60,6 +63,12 @@ val set_alloc_table : t -> (int * int * int) array -> unit
 
 val find_alloc : t -> int -> int option
 
+(** Sorted (offset, length, id) table of pinned host ranges the device
+    may access zero-copy. *)
+val set_pinned_table : t -> (int * int * int) array -> unit
+
+val find_pinned : t -> int -> int option
+
 val begin_block : t -> int -> unit
 
 val retire_block : t -> int -> unit
@@ -67,6 +76,12 @@ val retire_block : t -> int -> unit
 val on_step : t -> int -> Cinterp.Interp.step -> unit
 
 val on_global_access : t -> lin:int -> seq:(int, int ref) Hashtbl.t -> Cinterp.Interp.access -> unit
+
+(** Count a kernel access that resolved to pinned host memory (zero-copy;
+    uncached, so no coalescing sample is kept). *)
+val on_zerocopy_access : t -> Cinterp.Interp.access -> unit
+
+val zerocopy_accesses : t -> int
 
 (** Estimated DRAM transactions for one allocation (sampled
     transactions-per-access scaled to all accesses; perfectly coalesced

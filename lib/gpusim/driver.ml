@@ -55,6 +55,18 @@ type t = {
      work-conserving first-fit rather than strict enqueue order. *)
   mutable copy_busy : (float * float) list;
   mutable compute_busy : (float * float) list;
+  (* Unified-memory zero-copy: host ranges pinned via cuMemHostRegister,
+     directly addressable from kernels (off, len, id in host space). *)
+  mutable pinned : (int * int * int) list;
+  mutable pinned_host : Mem.t option; (* the host image, Some iff pinned <> [] *)
+  mutable next_pin_id : int;
+  mutable zerocopy_total : int; (* zero-copy kernel accesses across launches *)
+  (* Transfer-elision support: cumulative kernel stores per allocation id,
+     and a conservative epoch bumped whenever a launch's store counts may
+     be incomplete (block sampling) — any epoch change means "assume every
+     allocation was written". *)
+  dev_stores : (int, int) Hashtbl.t;
+  mutable write_epoch : int;
 }
 
 (* Earliest start >= ready where the engine is idle for [dur]; returns
@@ -119,6 +131,12 @@ let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
     next_stream_id = 1;
     copy_busy = [];
     compute_busy = [];
+    pinned = [];
+    pinned_host = None;
+    next_pin_id = 0;
+    zerocopy_total = 0;
+    dev_stores = Hashtbl.create 16;
+    write_epoch = 0;
   }
 
 let set_trace t trace = t.trace <- trace
@@ -187,6 +205,30 @@ let memcpy_d2h t ~(host : Mem.t) ~(src : Addr.t) ~(dst : Addr.t) ~(len : int) : 
   Simclock.advance_ns t.clock (transfer_cost t len);
   Mem.copy ~src:t.global ~src_off:src.Addr.off ~dst:host ~dst_off:dst.Addr.off ~len;
   tr_end t ~cat:"transfer" "DtoH"
+
+(* cuMemHostRegister: pin a host range so kernels can address it in
+   place (the Nano's CPU and GPU share the same LPDDR4).  Pinning walks
+   and locks the pages, which is not free. *)
+let host_register t ~(host : Mem.t) ~(addr : Addr.t) ~(bytes : int) : unit =
+  ensure_initialized t;
+  if bytes <= 0 then cuda_error "cuMemHostRegister of %d bytes" bytes;
+  if addr.Addr.space <> Addr.Host then cuda_error "cuMemHostRegister: not a host address";
+  t.pinned_host <- Some host;
+  let id = t.next_pin_id in
+  t.next_pin_id <- id + 1;
+  t.pinned <- (addr.Addr.off, bytes, id) :: t.pinned;
+  Simclock.advance_us t.clock (5.0 +. (float_of_int bytes /. 4096.0 *. 0.4));
+  tr_instant t ~cat:"mem" "host_register" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
+
+let host_unregister t (addr : Addr.t) : unit =
+  ensure_initialized t;
+  let bytes =
+    List.fold_left (fun acc (off, len, _) -> if off = addr.Addr.off then len else acc) 0 t.pinned
+  in
+  t.pinned <- List.filter (fun (off, _, _) -> off <> addr.Addr.off) t.pinned;
+  if t.pinned = [] then t.pinned_host <- None;
+  Simclock.advance_us t.clock 2.0;
+  tr_instant t ~cat:"mem" "host_unregister" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
 
 let memset_d t ~(dst : Addr.t) ~(len : int) : unit =
   ensure_initialized t;
@@ -265,11 +307,12 @@ let simulate_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.d
     Counters.t * Costmodel.breakdown =
   let counters = Counters.create t.spec in
   Counters.set_alloc_table counters (Array.of_list t.allocs);
+  Counters.set_pinned_table counters (Array.of_list t.pinned);
   let config =
     { Simt.lc_grid = grid; lc_block = block; lc_entry = entry; lc_args = args; lc_block_filter = block_filter }
   in
-  Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global } ~source:modul.lm_source ~counters
-    ~install_builtins ~output:t.output config;
+  Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global; dm_host = t.pinned_host }
+    ~source:modul.lm_source ~counters ~install_builtins ~output:t.output config;
   let breakdown =
     Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
       ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()
@@ -289,9 +332,30 @@ let emit_launch_counters t (counters : Counters.t) =
         ("blocks_total", Perf.Trace.Int counters.Counters.blocks_total);
       ]
 
+(* Accessors used by the transfer-elision layer in Hostrt.Dataenv. *)
+let alloc_id_of t (a : Addr.t) : int option =
+  List.fold_left
+    (fun acc (off, len, id) ->
+      if a.Addr.off >= off && a.Addr.off < off + len then Some id else acc)
+    None t.allocs
+
+let alloc_stores t id = Option.value ~default:0 (Hashtbl.find_opt t.dev_stores id)
+
+(* Record device-side writes that bypassed a kernel (tests and salvage
+   paths poke device memory directly). *)
+let note_stores t id n = Hashtbl.replace t.dev_stores id (alloc_stores t id + n)
+
 let record_launch t ~entry ~grid ~block (counters : Counters.t) (breakdown : Costmodel.breakdown) :
     launch_stats =
   t.kernels_launched <- t.kernels_launched + 1;
+  Hashtbl.iter
+    (fun id (s : Counters.alloc_stats) ->
+      if s.Counters.a_stores > 0 then note_stores t id s.Counters.a_stores)
+    counters.Counters.per_alloc;
+  (* a sampled launch under-counts stores: poison every pending elision *)
+  if counters.Counters.blocks_executed < counters.Counters.blocks_total then
+    t.write_epoch <- t.write_epoch + 1;
+  t.zerocopy_total <- t.zerocopy_total + Counters.zerocopy_accesses counters;
   let stats =
     {
       st_entry = entry;
@@ -463,4 +527,9 @@ let reset t =
   t.streams <- [];
   t.next_stream_id <- 1;
   t.copy_busy <- [];
-  t.compute_busy <- []
+  t.compute_busy <- [];
+  t.pinned <- [];
+  t.pinned_host <- None;
+  (* device state after a context teardown is unknown: no elision may
+     trust store counts recorded before the reset *)
+  t.write_epoch <- t.write_epoch + 1

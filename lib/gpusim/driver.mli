@@ -50,6 +50,15 @@ type t = {
           start.  Placement is work-conserving first-fit: the hardware
           channels feed the engine with whichever queued op is ready. *)
   mutable compute_busy : (float * float) list;  (** single compute engine, same scheme *)
+  mutable pinned : (int * int * int) list;
+      (** zero-copy: pinned host ranges (off, len, id) kernels may address in place *)
+  mutable pinned_host : Mem.t option;  (** the host image, [Some] iff [pinned <> []] *)
+  mutable next_pin_id : int;
+  mutable zerocopy_total : int;  (** zero-copy kernel accesses across launches *)
+  dev_stores : (int, int) Hashtbl.t;  (** cumulative kernel stores per allocation id *)
+  mutable write_epoch : int;
+      (** bumped whenever store counts may be incomplete (block-sampled
+          launches, context reset): elision must not trust older counts *)
 }
 
 val create : ?spec:Spec.t -> Simclock.t -> t
@@ -82,6 +91,24 @@ val memcpy_h2d : t -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
 val memcpy_d2h : t -> host:Mem.t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
 
 val memset_d : t -> dst:Addr.t -> len:int -> unit
+
+(** cuMemHostRegister: pin a host range so kernels address it in place
+    (the Nano's CPU and GPU share the same LPDDR4).  Charges the
+    page-locking cost; emits a cat:"mem" "host_register" instant. *)
+val host_register : t -> host:Mem.t -> addr:Addr.t -> bytes:int -> unit
+
+val host_unregister : t -> Addr.t -> unit
+
+(** {1 Transfer-elision accessors (Hostrt.Dataenv)} *)
+
+(** Allocation id owning a device address, if any. *)
+val alloc_id_of : t -> Addr.t -> int option
+
+(** Cumulative kernel stores recorded against an allocation id. *)
+val alloc_stores : t -> int -> int
+
+(** Record device-side writes that bypassed a kernel (tests, salvage). *)
+val note_stores : t -> int -> int -> unit
 
 (** {1 Modules and launch} *)
 

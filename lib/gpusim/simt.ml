@@ -60,6 +60,7 @@ type block_state = {
   mutable bs_region : parallel_region option;
   mutable bs_target_done : bool;
   bs_dyn_counters : (int, int ref) Hashtbl.t; (* dynamic/guided schedule state *)
+  bs_dyn_drained : (int, int ref) Hashtbl.t; (* threads that saw a region run dry *)
   bs_section_counters : (int, int ref) Hashtbl.t;
   bs_ws_done : (int, int ref) Hashtbl.t; (* end-of-worksharing bookkeeping *)
   bs_shmem_stack : (Addr.t * Addr.t * int * int) Stack.t; (* shared addr, origin, size, mark *)
@@ -112,7 +113,10 @@ type launch_config = {
   lc_block_filter : (int -> bool) option;
 }
 
-type device_memories = { dm_global : Mem.t }
+(* [dm_host] is the host memory image as seen from the device: present
+   only when the driver has pinned (zero-copy) host ranges registered, so
+   plain host addresses still fault with a helpful message. *)
+type device_memories = { dm_global : Mem.t; dm_host : Mem.t option }
 
 (* Write a dim3 value into thread-local memory and register it. *)
 let bind_dim3 (ctx : Cinterp.Interp.t) name (d : dim3) =
@@ -148,6 +152,7 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
       bs_region = None;
       bs_target_done = false;
       bs_dyn_counters = Hashtbl.create 8;
+      bs_dyn_drained = Hashtbl.create 8;
       bs_section_counters = Hashtbl.create 8;
       bs_ws_done = Hashtbl.create 8;
       bs_shmem_stack = Stack.create ();
@@ -178,7 +183,10 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
       | Addr.Shared b -> simt_error "access to shared memory of another block (%d)" b
       | Addr.Local i when i < Array.length local_pool -> local_pool.(i)
       | Addr.Local i -> simt_error "access to foreign local memory %d" i
-      | Addr.Host -> simt_error "device code accessed host memory (missing map clause?)"
+      | Addr.Host -> (
+        match mem.dm_host with
+        | Some m -> m
+        | None -> simt_error "device code accessed host memory (missing map clause?)")
       | Addr.Strings -> simt_error "unreachable: string arena is resolved inside the interpreter"
     in
     let shared_decl name ty =
@@ -199,7 +207,15 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
         match acc.Cinterp.Interp.acc_addr.Addr.space with
         | Addr.Global -> Counters.on_global_access counters ~lin ~seq:ts.ts_alloc_seq acc
         | Addr.Shared _ -> counters.Counters.shared_accesses <- counters.Counters.shared_accesses + 1
-        | Addr.Local _ | Addr.Host | Addr.Strings ->
+        | Addr.Host -> (
+          (* only pinned (zero-copy) ranges are reachable: dm_host is None
+             otherwise and [resolve] has already faulted *)
+          match Counters.find_pinned counters acc.Cinterp.Interp.acc_addr.Addr.off with
+          | Some _ -> Counters.on_zerocopy_access counters acc
+          | None ->
+            simt_error "device code accessed unpinned host memory at %d (missing map clause?)"
+              acc.Cinterp.Interp.acc_addr.Addr.off)
+        | Addr.Local _ | Addr.Strings ->
           counters.Counters.local_accesses <- counters.Counters.local_accesses + 1);
     Cinterp.Interp.install_common_builtins ctx;
     Hashtbl.iter (fun name (ty, addr) -> Cinterp.Interp.register_global ctx name ty addr) source.ks_globals;

@@ -69,6 +69,7 @@ type block_state = {
   mutable bs_region : parallel_region option;
   mutable bs_target_done : bool;
   bs_dyn_counters : (int, int ref) Hashtbl.t;
+  bs_dyn_drained : (int, int ref) Hashtbl.t;
   bs_section_counters : (int, int ref) Hashtbl.t;
   bs_ws_done : (int, int ref) Hashtbl.t;
   bs_shmem_stack : (Addr.t * Addr.t * int * int) Stack.t;
@@ -96,7 +97,9 @@ type launch_config = {
   lc_block_filter : (int -> bool) option;
 }
 
-type device_memories = { dm_global : Mem.t }
+(** [dm_host] is the host memory image as seen from the device — present
+    only when pinned (zero-copy) host ranges are registered. *)
+type device_memories = { dm_global : Mem.t; dm_host : Mem.t option }
 
 (** Launch a kernel over the grid (subject to the block filter),
     detecting barrier deadlocks and illegal memory-space accesses. *)

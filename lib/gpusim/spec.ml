@@ -24,6 +24,7 @@ type t = {
   transaction_bytes : int; (* DRAM transaction granularity *)
   warp_schedulers : int; (* concurrently issuing warps per SM *)
   l2_hit_fraction : float; (* share of transactions served by the L2/L1 caches *)
+  zerocopy_bandwidth : float; (* uncached pinned-host access bandwidth, bytes/s *)
 }
 
 let jetson_nano_2gb =
@@ -47,6 +48,10 @@ let jetson_nano_2gb =
     transaction_bytes = 32;
     warp_schedulers = 4;
     l2_hit_fraction = 0.57;
+    (* Zero-copy (cudaHostAllocMapped) accesses bypass the GPU caches and
+       go straight to the shared LPDDR4; roughly half the cached-path
+       streaming bandwidth on Tegra parts. *)
+    zerocopy_bandwidth = 12.8e9;
   }
 
 (* Host CPU model (used to time host-interpreted code). *)

@@ -24,6 +24,7 @@ type t = {
   transaction_bytes : int;  (** DRAM transaction granularity *)
   warp_schedulers : int;
   l2_hit_fraction : float;  (** share of transactions served by the caches *)
+  zerocopy_bandwidth : float;  (** uncached pinned-host access bandwidth, bytes/s *)
 }
 
 val jetson_nano_2gb : t

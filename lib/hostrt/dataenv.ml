@@ -9,6 +9,20 @@
    - [target update] moves data for present ranges without changing
      refcounts.
 
+   On top of that sit two unified-memory optimisations, both opt-in:
+
+   - transfer elision ([set_elide]): released buffers are parked in a
+     small resident cache instead of freed, and both directions of the
+     copy are skipped when host and device images provably still agree —
+     the host side via a digest taken at the last synchronisation point,
+     the device side via the driver's cumulative per-allocation store
+     counts and its conservative write epoch.  A map with the [always]
+     modifier forces the copies regardless;
+   - zero-copy ([set_zerocopy]): the Nano's CPU and GPU share DRAM, so a
+     map pins the host range (cuMemHostRegister) and hands the kernel
+     the host address itself — no device buffer and no copies at all;
+     the cost model charges the kernel's uncached accesses instead.
+
    Driver calls made here are fallible under fault injection; they are
    wrapped in the Resilience retry policy, and when an operation still
    fails the device is declared dead: live from/tofrom mappings are
@@ -33,14 +47,31 @@ let map_type_of_int = function
   | 3 -> Tofrom
   | n -> map_error "bad map type code %d" n
 
+(* The generated ort_map calls encode the [always] modifier as bit 4 on
+   top of the two-bit map type. *)
+let decode_map_code n : map_type * bool = (map_type_of_int (n land 3), n land 4 <> 0)
+
 type entry = {
   e_host : Addr.t;
   e_bytes : int;
-  e_dev : Addr.t;
+  e_dev : Addr.t; (* aliases e_host in zero-copy mode *)
   mutable e_refcount : int;
   e_map : map_type; (* type used at initial mapping *)
-  e_launches_at_map : int; (* driver launch count when mapped *)
+  mutable e_launches_at_map : int; (* driver launch count when (re-)mapped *)
+  e_zerocopy : bool;
+  e_alloc_id : int; (* device allocation id; -1 for zero-copy entries *)
+  (* Last point where host and device images provably agreed (end of a
+     successful h2d or d2h over the full extent).  [e_synced] stays false
+     for alloc/from mappings until their first copy-back: their device
+     image starts uninitialised, so eliding the d2h would change what
+     lands in host memory. *)
+  mutable e_synced : bool;
+  mutable e_stores_at_sync : int; (* Driver.alloc_stores at that point *)
+  mutable e_epoch_at_sync : int; (* Driver.write_epoch at that point *)
+  mutable e_digest : Digest.t option; (* host-range digest at that point *)
 }
+
+type stats = { elided_h2d : int; elided_d2h : int; zerocopy_accesses : int }
 
 type t = {
   mutable entries : entry list;
@@ -53,6 +84,12 @@ type t = {
      queued stream work touching this host range, and wait for it. *)
   mutable de_pending : (Addr.t -> bytes:int -> bool) option;
   mutable de_sync_range : (Addr.t -> bytes:int -> unit) option;
+  mutable de_elide : bool;
+  mutable de_zerocopy : bool;
+  mutable resident : entry list; (* refcount-0 parked buffers, MRU first *)
+  resident_cap : int;
+  mutable elided_h2d : int;
+  mutable elided_d2h : int;
 }
 
 let create ~(host : Mem.t) ~(driver : Driver.t) =
@@ -64,6 +101,12 @@ let create ~(host : Mem.t) ~(driver : Driver.t) =
     de_policy = Resilience.default_policy;
     de_pending = None;
     de_sync_range = None;
+    de_elide = false;
+    de_zerocopy = false;
+    resident = [];
+    resident_cap = 16;
+    elided_h2d = 0;
+    elided_d2h = 0;
   }
 
 let is_dead t = t.de_dead <> None
@@ -71,6 +114,17 @@ let is_dead t = t.de_dead <> None
 let dead_reason t = t.de_dead
 
 let set_policy t policy = t.de_policy <- policy
+
+let set_elide t on = t.de_elide <- on
+
+let set_zerocopy t on = t.de_zerocopy <- on
+
+let stats t =
+  {
+    elided_h2d = t.elided_h2d;
+    elided_d2h = t.elided_d2h;
+    zerocopy_accesses = t.driver.Driver.zerocopy_total;
+  }
 
 let set_async_hooks t ~(pending : Addr.t -> bytes:int -> bool)
     ~(sync_range : Addr.t -> bytes:int -> unit) : unit =
@@ -88,10 +142,101 @@ let tr_instant t ?(args = []) name =
   | Some tr -> Perf.Trace.instant tr ~args ~cat:"fault" name
   | None -> ()
 
+let tr_mem t ?(args = []) name =
+  match t.driver.Driver.trace with
+  | Some tr -> Perf.Trace.instant tr ~args ~cat:"mem" name
+  | None -> ()
+
 (* Retry-wrap one fallible driver call under this environment's policy. *)
 let guard t ~label f =
   Resilience.run ~clock:t.driver.Driver.clock ?trace:t.driver.Driver.trace ~policy:t.de_policy
     ~label f
+
+(* ------------------------- elision bookkeeping ------------------------- *)
+
+let host_digest t e = Digest.subbytes t.host.Mem.data e.e_host.Addr.off e.e_bytes
+
+let digest_matches t e =
+  match e.e_digest with Some d -> Digest.equal d (host_digest t e) | None -> false
+
+(* Record "host and device agree over the full extent right now". *)
+let mark_synced t e =
+  if not e.e_zerocopy then begin
+    e.e_stores_at_sync <- Driver.alloc_stores t.driver e.e_alloc_id;
+    e.e_epoch_at_sync <- t.driver.Driver.write_epoch;
+    e.e_digest <- Some (host_digest t e);
+    e.e_synced <- true
+  end
+
+(* Has no kernel (provably) written this allocation since the sync point?
+   A write-epoch bump means some launch's store counts were incomplete
+   (block sampling, context reset) — assume everything was written. *)
+let device_unwritten t e =
+  t.driver.Driver.write_epoch = e.e_epoch_at_sync
+  && Driver.alloc_stores t.driver e.e_alloc_id = e.e_stores_at_sync
+
+(* Both images provably identical: safe to skip a transfer entirely. *)
+let images_agree t e = e.e_synced && device_unwritten t e && digest_matches t e
+
+let fresh_entry t ~haddr ~bytes ~dev ~(mt : map_type) ~zerocopy =
+  {
+    e_host = haddr;
+    e_bytes = bytes;
+    e_dev = dev;
+    e_refcount = 1;
+    e_map = mt;
+    e_launches_at_map = t.driver.Driver.kernels_launched;
+    e_zerocopy = zerocopy;
+    e_alloc_id =
+      (if zerocopy then -1 else Option.value ~default:(-1) (Driver.alloc_id_of t.driver dev));
+    e_synced = false;
+    e_stores_at_sync = 0;
+    e_epoch_at_sync = 0;
+    e_digest = None;
+  }
+
+(* Pull a parked buffer covering [haddr, haddr+bytes) out of the resident
+   cache, if any. *)
+let take_resident t (haddr : Addr.t) ~bytes : entry option =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+      if
+        Addr.equal_space e.e_host.Addr.space haddr.Addr.space
+        && haddr.Addr.off >= e.e_host.Addr.off
+        && haddr.Addr.off + bytes <= e.e_host.Addr.off + e.e_bytes
+      then begin
+        t.resident <- List.rev_append acc rest;
+        Some e
+      end
+      else go (e :: acc) rest
+  in
+  go [] t.resident
+
+(* A fresh device buffer is about to cover this host range: any parked
+   buffer overlapping it would go stale, so drop those now. *)
+let drop_resident_overlapping t (haddr : Addr.t) ~bytes =
+  let overlaps e =
+    Addr.equal_space e.e_host.Addr.space haddr.Addr.space
+    && haddr.Addr.off < e.e_host.Addr.off + e.e_bytes
+    && e.e_host.Addr.off < haddr.Addr.off + bytes
+  in
+  let dead, keep = List.partition overlaps t.resident in
+  List.iter (fun e -> Driver.mem_free t.driver e.e_dev) dead;
+  t.resident <- keep
+
+let park_resident t e =
+  t.resident <- e :: t.resident;
+  if List.length t.resident > t.resident_cap then begin
+    match List.rev t.resident with
+    | last :: rev_rest ->
+      Driver.mem_free t.driver last.e_dev;
+      tr_mem t "resident_evict" ~args:[ ("bytes", Perf.Trace.Int last.e_bytes) ];
+      t.resident <- List.rev rev_rest
+    | [] -> ()
+  end
+
+(* ----------------------------- fault path ----------------------------- *)
 
 (* Declare the device dead (idempotent).  A mapping's device image is
    the current logical value of the data whenever a kernel has launched
@@ -101,7 +246,9 @@ let guard t ~label f =
    salvaged with raw copies before the environment is dropped.  Entries
    no kernel could have touched are skipped: for to/tofrom the host copy
    is identical, and for alloc/from the device image is uninitialised
-   and salvaging it would clobber live host data. *)
+   and salvaging it would clobber live host data.  Zero-copy entries
+   need no salvage (the data already lives in host memory), and parked
+   resident buffers hold nothing the host does not already have. *)
 let declare_dead t ~(reason : string) : unit =
   if not (is_dead t) then begin
     t.de_dead <- Some reason;
@@ -113,10 +260,11 @@ let declare_dead t ~(reason : string) : unit =
         ];
     List.iter
       (fun e ->
-        if t.driver.Driver.kernels_launched > e.e_launches_at_map then
+        if (not e.e_zerocopy) && t.driver.Driver.kernels_launched > e.e_launches_at_map then
           Driver.salvage_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
       t.entries;
-    t.entries <- []
+    t.entries <- [];
+    t.resident <- []
   end
 
 let find_containing t (haddr : Addr.t) ~bytes =
@@ -129,7 +277,8 @@ let find_containing t (haddr : Addr.t) ~bytes =
 
 (* Translate a host address inside a mapped range to its device image.
    On a dead device the host address is its own image: the fallback
-   path works directly on host memory. *)
+   path works directly on host memory.  (For zero-copy entries the
+   translation is the identity, since e_dev aliases e_host.) *)
 let lookup t (haddr : Addr.t) : Addr.t option =
   if is_dead t then Some haddr
   else
@@ -144,43 +293,99 @@ let lookup_exn t haddr =
 
 let is_present t haddr ~bytes = (not (is_dead t)) && find_containing t haddr ~bytes <> None
 
+let dev_of e (haddr : Addr.t) = Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
+
 (* Map a host range; returns the corresponding device address. *)
-let map t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
+let map ?(always = false) t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
   if bytes <= 0 then map_error "mapping of %d bytes" bytes;
   if is_dead t then haddr
   else
     match find_containing t haddr ~bytes with
-    | Some e ->
+    | Some e -> (
       e.e_refcount <- e.e_refcount + 1;
-      Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
-    | None -> (
-      try
-        let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
-        (match mt with
-        | To | Tofrom ->
+      (* map(always, to:) transfers even when the range is present *)
+      (match mt with
+      | (To | Tofrom) when always && not e.e_zerocopy -> (
+        try
           guard t ~label:"map_h2d" (fun () ->
-              Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes)
-        | Alloc | From -> ());
-        t.entries <-
-          {
-            e_host = haddr;
-            e_bytes = bytes;
-            e_dev = dev;
-            e_refcount = 1;
-            e_map = mt;
-            e_launches_at_map = t.driver.Driver.kernels_launched;
-          }
-          :: t.entries;
-        dev
-      with Resilience.Device_dead reason ->
-        declare_dead t ~reason;
-        haddr)
+              Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:(dev_of e haddr) ~len:bytes);
+          if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+        with Resilience.Device_dead reason -> declare_dead t ~reason)
+      | _ -> ());
+      if is_dead t then haddr else dev_of e haddr)
+    | None when t.de_zerocopy ->
+      (* Unified memory: pin the range and let the kernel address it in
+         place.  No device buffer, no copies in either direction. *)
+      Driver.host_register t.driver ~host:t.host ~addr:haddr ~bytes;
+      t.entries <- fresh_entry t ~haddr ~bytes ~dev:haddr ~mt ~zerocopy:true :: t.entries;
+      tr_mem t "zerocopy_map" ~args:[ ("bytes", Perf.Trace.Int bytes) ];
+      haddr
+    | None -> (
+      let revived =
+        if t.de_elide && not always then
+          (* only to/tofrom maps may revive a parked buffer: alloc/from
+             expect an uninitialised device image, which a reused buffer
+             would not provide *)
+          match mt with To | Tofrom -> take_resident t haddr ~bytes | Alloc | From -> None
+        else None
+      in
+      match revived with
+      | Some e -> (
+        e.e_refcount <- 1;
+        e.e_launches_at_map <- t.driver.Driver.kernels_launched;
+        if (not (async_pending t e.e_host ~bytes:e.e_bytes)) && images_agree t e then begin
+          (* resident and clean on both sides: the h2d is a no-op *)
+          t.elided_h2d <- t.elided_h2d + 1;
+          tr_mem t "elide_h2d" ~args:[ ("bytes", Perf.Trace.Int e.e_bytes) ];
+          t.entries <- e :: t.entries;
+          dev_of e haddr
+        end
+        else begin
+          (* stale (or still in flight): settle any queued work on the
+             range, then refresh the reused buffer with a real copy *)
+          if async_pending t e.e_host ~bytes:e.e_bytes then
+            async_sync_range t e.e_host ~bytes:e.e_bytes;
+          try
+            guard t ~label:"map_h2d" (fun () ->
+                Driver.memcpy_h2d t.driver ~host:t.host ~src:e.e_host ~dst:e.e_dev ~len:e.e_bytes);
+            mark_synced t e;
+            t.entries <- e :: t.entries;
+            dev_of e haddr
+          with Resilience.Device_dead reason ->
+            declare_dead t ~reason;
+            haddr
+        end)
+      | None -> (
+        try
+          if t.de_elide then drop_resident_overlapping t haddr ~bytes;
+          let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
+          let e = fresh_entry t ~haddr ~bytes ~dev ~mt ~zerocopy:false in
+          (match mt with
+          | To | Tofrom ->
+            guard t ~label:"map_h2d" (fun () ->
+                Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes);
+            mark_synced t e
+          | Alloc | From -> ());
+          t.entries <- e :: t.entries;
+          dev
+        with Resilience.Device_dead reason ->
+          declare_dead t ~reason;
+          haddr))
 
 (* Unmap (end of construct / target exit data).  The map type decides
    whether data flows back on the final release. *)
-let unmap t (haddr : Addr.t) (mt : map_type) : unit =
+let unmap ?(always = false) t (haddr : Addr.t) (mt : map_type) : unit =
   match find_containing t haddr ~bytes:1 with
   | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
+  | Some e when e.e_zerocopy ->
+    if e.e_refcount <= 1 && async_pending t e.e_host ~bytes:e.e_bytes then
+      map_error "unmap of range %s with async work in flight (missing taskwait?)"
+        (Addr.show e.e_host);
+    e.e_refcount <- e.e_refcount - 1;
+    if e.e_refcount <= 0 then begin
+      Driver.host_unregister t.driver e.e_host;
+      t.entries <- List.filter (fun e' -> e' != e) t.entries
+    end
   | Some e -> (
     (* Releasing the device buffer while queued stream work still
        touches the range would free storage in flight: a program bug
@@ -188,27 +393,51 @@ let unmap t (haddr : Addr.t) (mt : map_type) : unit =
     if e.e_refcount <= 1 && async_pending t e.e_host ~bytes:e.e_bytes then
       map_error "unmap of range %s with async work in flight (missing taskwait?)"
         (Addr.show e.e_host);
-    e.e_refcount <- e.e_refcount - 1;
-    if e.e_refcount <= 0 then
+    (* map(always, from:) copies back on every decrement, not only the
+       final release *)
+    (match mt with
+    | (From | Tofrom) when always && e.e_refcount > 1 -> (
       try
-        (match mt with
-        | From | Tofrom ->
-          guard t ~label:"unmap_d2h" (fun () ->
-              Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
-        | Alloc | To -> ());
-        Driver.mem_free t.driver e.e_dev;
-        t.entries <- List.filter (fun e' -> e' != e) t.entries
-      with Resilience.Device_dead reason ->
-        (* declare_dead salvages this still-registered from/tofrom entry,
-           completing the copy-back the retries could not *)
-        declare_dead t ~reason)
+        guard t ~label:"unmap_d2h" (fun () ->
+            Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes);
+        mark_synced t e
+      with Resilience.Device_dead reason -> declare_dead t ~reason)
+    | _ -> ());
+    if not (is_dead t) then begin
+      e.e_refcount <- e.e_refcount - 1;
+      if e.e_refcount <= 0 then
+        try
+          (match mt with
+          | From | Tofrom ->
+            if t.de_elide && (not always) && images_agree t e then begin
+              (* no kernel wrote the buffer and the host range is
+                 untouched since the last sync: the d2h is a no-op *)
+              t.elided_d2h <- t.elided_d2h + 1;
+              tr_mem t "elide_d2h" ~args:[ ("bytes", Perf.Trace.Int e.e_bytes) ]
+            end
+            else begin
+              guard t ~label:"unmap_d2h" (fun () ->
+                  Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes);
+              mark_synced t e
+            end
+          | Alloc | To -> ());
+          t.entries <- List.filter (fun e' -> e' != e) t.entries;
+          if t.de_elide then park_resident t e else Driver.mem_free t.driver e.e_dev
+        with Resilience.Device_dead reason ->
+          (* declare_dead salvages this still-registered from/tofrom entry,
+             completing the copy-back the retries could not *)
+          declare_dead t ~reason
+    end)
 
 (* Async variants, called from inside a stream task: transfers are
    enqueued on [stream] (memory effects eager, costs on the stream's
    timeline).  Alloc/free stay synchronous — they are CPU-side driver
    calls.  No pending-range checks here: the caller IS the in-flight
-   work. *)
-let map_async t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
+   work.  Neither elision nor zero-copy applies on this path: an
+   in-flight range can never be proven clean, and zero-copy + streams
+   is an open item (see ROADMAP). *)
+let map_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int)
+    (mt : map_type) : Addr.t =
   if bytes <= 0 then map_error "mapping of %d bytes" bytes;
   if is_dead t then haddr
   else
@@ -218,28 +447,21 @@ let map_async t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int) (mt : 
       Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
     | None -> (
       try
+        if t.de_elide then drop_resident_overlapping t haddr ~bytes;
         let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
         (match mt with
         | To | Tofrom ->
           guard t ~label:"map_h2d" (fun () ->
               Driver.memcpy_h2d_async t.driver ~stream ~host:t.host ~src:haddr ~dst:dev ~len:bytes)
         | Alloc | From -> ());
-        t.entries <-
-          {
-            e_host = haddr;
-            e_bytes = bytes;
-            e_dev = dev;
-            e_refcount = 1;
-            e_map = mt;
-            e_launches_at_map = t.driver.Driver.kernels_launched;
-          }
-          :: t.entries;
+        t.entries <- fresh_entry t ~haddr ~bytes ~dev ~mt ~zerocopy:false :: t.entries;
         dev
       with Resilience.Device_dead reason ->
         declare_dead t ~reason;
         haddr)
 
-let unmap_async t ~(stream : Driver.stream) (haddr : Addr.t) (mt : map_type) : unit =
+let unmap_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t) (mt : map_type) :
+    unit =
   match find_containing t haddr ~bytes:1 with
   | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
   | Some e -> (
@@ -265,12 +487,12 @@ let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
       (* `target update` on a range mid-flight in a stream: the queued
          work must complete first (emits a cat:"async" range_sync). *)
       async_sync_range t haddr ~bytes;
-      try
-        guard t ~label:"update_to" (fun () ->
-            Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr
-              ~dst:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
-              ~len:bytes)
-      with Resilience.Device_dead reason -> declare_dead t ~reason)
+      if not e.e_zerocopy then
+        try
+          guard t ~label:"update_to" (fun () ->
+              Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:(dev_of e haddr) ~len:bytes);
+          if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+        with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
   if is_dead t then ()
@@ -279,11 +501,13 @@ let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
     | None -> map_error "target update from: range not mapped"
     | Some e -> (
       async_sync_range t haddr ~bytes;
-      try
-        guard t ~label:"update_from" (fun () ->
-            Driver.memcpy_d2h t.driver ~host:t.host
-              ~src:(Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off))
-              ~dst:haddr ~len:bytes)
-      with Resilience.Device_dead reason -> declare_dead t ~reason)
+      if not e.e_zerocopy then
+        try
+          guard t ~label:"update_from" (fun () ->
+              Driver.memcpy_d2h t.driver ~host:t.host ~src:(dev_of e haddr) ~dst:haddr ~len:bytes);
+          if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+        with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let active_mappings t = List.length t.entries
+
+let resident_buffers t = List.length t.resident

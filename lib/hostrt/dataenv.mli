@@ -10,6 +10,14 @@
     - [target update] moves data for present ranges without touching
       refcounts.
 
+    Two opt-in unified-memory optimisations sit on top (the Nano's CPU
+    and GPU share DRAM): transfer elision ({!set_elide}) parks released
+    buffers in a small resident cache and skips copies whose source and
+    destination provably hold the same bytes, and zero-copy
+    ({!set_zerocopy}) pins host ranges so kernels address them in place
+    with no device buffer and no copies at all.  A map with the [always]
+    modifier forces the transfers regardless.
+
     Fallible driver calls are retried under a {!Resilience.policy}; when
     one still fails the device is declared dead: live from/tofrom
     mappings are salvaged back to the host and every later operation
@@ -33,19 +41,48 @@ val equal_map_type : map_type -> map_type -> bool
     (0 alloc, 1 to, 2 from, 3 tofrom). *)
 val map_type_of_int : int -> map_type
 
+(** Decode a full ort_map code: two-bit map type plus the [always]
+    modifier as bit 4. *)
+val decode_map_code : int -> map_type * bool
+
 type t
 
 val create : host:Mem.t -> driver:Driver.t -> t
 
 (** Map a host range; returns the corresponding device address.
-    Present ranges are reference-counted and reused. *)
-val map : t -> Addr.t -> bytes:int -> map_type -> Addr.t
+    Present ranges are reference-counted and reused.  [always] forces
+    the to/tofrom transfer even when the range is present or provably
+    clean in the resident cache. *)
+val map : ?always:bool -> t -> Addr.t -> bytes:int -> map_type -> Addr.t
 
 (** Decrement; on the final release perform the map type's copy-back and
-    free the device buffer.
+    free (or, under elision, park) the device buffer.  [always] forces
+    the from/tofrom copy-back on every decrement.
     @raise Map_error if the final release hits a range with async work
     still in flight (missing taskwait) *)
-val unmap : t -> Addr.t -> map_type -> unit
+val unmap : ?always:bool -> t -> Addr.t -> map_type -> unit
+
+(** {1 Unified-memory optimisations} *)
+
+(** Enable transfer elision: released device buffers are parked in a
+    small resident cache, and h2d/d2h copies are skipped when host and
+    device images provably agree (host side: digest at last sync point;
+    device side: the driver's per-allocation store counts and write
+    epoch).  Off by default. *)
+val set_elide : t -> bool -> unit
+
+(** Enable zero-copy mapping: a map pins the host range
+    (cuMemHostRegister) and returns the host address itself — kernels
+    access the shared DRAM in place, paying the uncached-access cost
+    instead of copy time.  Off by default; synchronous path only. *)
+val set_zerocopy : t -> bool -> unit
+
+type stats = { elided_h2d : int; elided_d2h : int; zerocopy_accesses : int }
+
+val stats : t -> stats
+
+(** Parked buffers currently in the resident cache. *)
+val resident_buffers : t -> int
 
 (** {1 Async variants}
 
@@ -54,9 +91,9 @@ val unmap : t -> Addr.t -> map_type -> unit
     alloc/free stay synchronous.  No pending-range checks — the caller
     is the in-flight work. *)
 
-val map_async : t -> stream:Driver.stream -> Addr.t -> bytes:int -> map_type -> Addr.t
+val map_async : ?always:bool -> t -> stream:Driver.stream -> Addr.t -> bytes:int -> map_type -> Addr.t
 
-val unmap_async : t -> stream:Driver.stream -> Addr.t -> map_type -> unit
+val unmap_async : ?always:bool -> t -> stream:Driver.stream -> Addr.t -> map_type -> unit
 
 (** Install the async-awareness hooks (normally done by [Rt] against its
     stream tracker): [pending] answers whether queued stream work

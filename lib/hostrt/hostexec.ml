@@ -26,9 +26,9 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
       match args with
       | [ h; bytes; mt ] ->
         let device = Rt.device rt dev in
+        let mt, always = Dataenv.decode_map_code (int_arg mt) in
         let daddr =
-          Dataenv.map device.Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes)
-            (Dataenv.map_type_of_int (int_arg mt))
+          Dataenv.map ~always device.Rt.dev_dataenv (Value.as_addr h) ~bytes:(int_arg bytes) mt
         in
         Value.ptr daddr
       | _ -> host_error "ort_map: bad arguments");
@@ -37,7 +37,8 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
       match args with
       | [ h; mt ] ->
         let device = Rt.device rt dev in
-        Dataenv.unmap device.Rt.dev_dataenv (Value.as_addr h) (Dataenv.map_type_of_int (int_arg mt));
+        let mt, always = Dataenv.decode_map_code (int_arg mt) in
+        Dataenv.unmap ~always device.Rt.dev_dataenv (Value.as_addr h) mt;
         Value.VVoid
       | _ -> host_error "ort_unmap: bad arguments");
   reg "ort_update_to" (fun _ args ->
@@ -109,7 +110,8 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
             {
               Offload.am_base = Value.as_addr base;
               am_bytes = int_arg bytes;
-              am_map = Dataenv.map_type_of_int (int_arg mt);
+              (* async path ignores the always bit (no elision there anyway) *)
+              am_map = fst (Dataenv.decode_map_code (int_arg mt));
             }
             :: triples rest
           | _ -> host_error "ort_offload_nowait: map arguments not in (base, bytes, type) triples"

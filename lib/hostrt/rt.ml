@@ -10,6 +10,22 @@ exception Ort_error of string
 
 let ort_error fmt = Format.kasprintf (fun s -> raise (Ort_error s)) fmt
 
+(* Steady-state launch cache (one slot per device): the last
+   (kernel file, entry) launched keeps its artifact/module handles and a
+   preallocated parameter buffer so repeated launches of the same kernel
+   skip the loading and parameter-preparation phases.  Offload validates
+   residency against the driver's module table before every reuse, so
+   context resets and corrupt-cache invalidation fall back to the full
+   three-phase path. *)
+type launch_cache = {
+  lc_file : string;
+  lc_entry : string;
+  lc_artifact : Nvcc.artifact;
+  lc_modul : Driver.loaded_module;
+  mutable lc_params : Value.t array; (* reused across launches *)
+  mutable lc_hits : int;
+}
+
 type device = {
   dev_id : int;
   dev_driver : Driver.t;
@@ -17,6 +33,7 @@ type device = {
   dev_async : Async.t; (* stream pool + dependency tracker for nowait regions *)
   (* the "kernel files next to the executable" *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;
+  mutable dev_launch_cache : launch_cache option;
 }
 
 type t = {
@@ -74,6 +91,7 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams 
       dev_dataenv = dataenv;
       dev_async = async;
       dev_kernels = Hashtbl.create 16;
+      dev_launch_cache = None;
     }
   in
   {
@@ -109,6 +127,13 @@ let set_fault_policy t (policy : Resilience.policy) : unit =
 
 (* Resize every device's stream pool (the --streams N CLI knob). *)
 let set_streams t (n : int) : unit = Array.iter (fun d -> Async.set_streams d.dev_async n) t.devices
+
+(* Unified-memory knobs (the --zerocopy / elision CLI and bench modes). *)
+let set_zerocopy t (on : bool) : unit =
+  Array.iter (fun d -> Dataenv.set_zerocopy d.dev_dataenv on) t.devices
+
+let set_elide t (on : bool) : unit =
+  Array.iter (fun d -> Dataenv.set_elide d.dev_dataenv on) t.devices
 
 let device t id =
   if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;

@@ -10,12 +10,27 @@ exception Ort_error of string
 
 val ort_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
+(** Steady-state launch cache (one slot per device): the last
+    (kernel file, entry) launched keeps its artifact/module handles and
+    a preallocated parameter buffer, so repeated launches of the same
+    kernel skip the loading and parameter-preparation phases.  Residency
+    is validated against the driver's module table before every reuse. *)
+type launch_cache = {
+  lc_file : string;
+  lc_entry : string;
+  lc_artifact : Nvcc.artifact;
+  lc_modul : Driver.loaded_module;
+  mutable lc_params : Value.t array;
+  mutable lc_hits : int;
+}
+
 type device = {
   dev_id : int;
   dev_driver : Driver.t;
   dev_dataenv : Dataenv.t;
   dev_async : Async.t;  (** stream pool + dependency tracker for nowait regions *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;  (** the "kernel files on disk" *)
+  mutable dev_launch_cache : launch_cache option;
 }
 
 type t = {
@@ -60,6 +75,12 @@ val set_fault_policy : t -> Resilience.policy -> unit
 (** Resize every device's stream pool (the [--streams N] CLI knob).
     @raise Invalid_argument if non-positive or tasks are in flight *)
 val set_streams : t -> int -> unit
+
+(** Enable zero-copy mapping on every device (see {!Dataenv.set_zerocopy}). *)
+val set_zerocopy : t -> bool -> unit
+
+(** Enable transfer elision on every device (see {!Dataenv.set_elide}). *)
+val set_elide : t -> bool -> unit
 
 val device : t -> int -> device
 

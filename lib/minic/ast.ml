@@ -79,7 +79,7 @@ type clause =
   | Cnum_teams of expr
   | Cnum_threads of expr
   | Cthread_limit of expr
-  | Cmap of map_type * map_item list
+  | Cmap of map_type * bool * map_item list (* bool: the [always] modifier *)
   | Cprivate of string list
   | Cfirstprivate of string list
   | Cshared of string list

@@ -199,7 +199,8 @@ let pp_clause fmt (c : Ast.clause) =
   | Ast.Cnum_teams e -> fprintf fmt "num_teams(%a)" pp_expr e
   | Ast.Cnum_threads e -> fprintf fmt "num_threads(%a)" pp_expr e
   | Ast.Cthread_limit e -> fprintf fmt "thread_limit(%a)" pp_expr e
-  | Ast.Cmap (mt, items) -> fprintf fmt "map(%s: %a)" (map_type_str mt) pp_items items
+  | Ast.Cmap (mt, always, items) ->
+    fprintf fmt "map(%s%s: %a)" (if always then "always, " else "") (map_type_str mt) pp_items items
   | Ast.Cprivate xs -> fprintf fmt "private(%a)" pp_strings xs
   | Ast.Cfirstprivate xs -> fprintf fmt "firstprivate(%a)" pp_strings xs
   | Ast.Cshared xs -> fprintf fmt "shared(%a)" pp_strings xs

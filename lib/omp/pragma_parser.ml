@@ -207,14 +207,30 @@ let parse_clause c (name : string) ~(is_update : bool) : Ast.clause =
         | None, _ -> pragma_error "reduction clause requires 'op: list'")
   | "map" ->
     with_args (fun ts ->
-        let mt, items_toks =
+        (* map([always,] [map-type:] list) — the head before the colon is
+           a comma-separated modifier/type list *)
+        let (mt, always), items_toks =
           match split_colon ts with
-          | Some [ Token.TIDENT mt ], rest -> (map_type_of_string mt, rest)
-          | Some other, _ ->
-            pragma_error "bad map type '%s'" (String.concat " " (List.map Token.to_source other))
-          | None, rest -> (Ast.Map_tofrom, rest)
+          | Some head, rest ->
+            let parts = split_commas head in
+            let step (mt, always) part =
+              match part with
+              | [ Token.TIDENT "always" ] ->
+                if always then pragma_error "duplicate 'always' map modifier";
+                (mt, true)
+              | [ Token.TIDENT name ] -> (
+                match mt with
+                | None -> (Some (map_type_of_string name), always)
+                | Some _ -> pragma_error "duplicate map type '%s'" name)
+              | other ->
+                pragma_error "bad map modifier '%s'"
+                  (String.concat " " (List.map Token.to_source other))
+            in
+            let mt, always = List.fold_left step (None, false) parts in
+            ((Option.value mt ~default:Ast.Map_tofrom, always), rest)
+          | None, rest -> ((Ast.Map_tofrom, false), rest)
         in
-        Ast.Cmap (mt, List.map parse_map_item (split_commas items_toks)))
+        Ast.Cmap (mt, always, List.map parse_map_item (split_commas items_toks)))
   | "to" when is_update -> with_args (fun ts -> Ast.Cupdate_to (List.map parse_map_item (split_commas ts)))
   | "from" when is_update ->
     with_args (fun ts -> Ast.Cupdate_from (List.map parse_map_item (split_commas ts)))

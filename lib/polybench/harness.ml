@@ -58,6 +58,14 @@ let driver ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_driver
 
 let dataenv ctx = (Hostrt.Rt.device ctx.rt 0).Hostrt.Rt.dev_dataenv
 
+(* Unified-memory knobs: zero-copy pinned-host mapping and transfer
+   elision (bench memshift toggles these between variants). *)
+let set_zerocopy ctx (on : bool) : unit = Hostrt.Rt.set_zerocopy ctx.rt on
+
+let set_elide ctx (on : bool) : unit = Hostrt.Rt.set_elide ctx.rt on
+
+let mem_stats ctx : Hostrt.Dataenv.stats = Hostrt.Dataenv.stats (dataenv ctx)
+
 let set_sampling ctx max_blocks = ctx.rt.Hostrt.Rt.sample_max_blocks <- max_blocks
 
 let set_translated_penalty ctx f = ctx.rt.Hostrt.Rt.translated_kernel_penalty <- f

@@ -54,6 +54,17 @@ val driver : ctx -> Driver.t
 
 val dataenv : ctx -> Hostrt.Dataenv.t
 
+(** Enable zero-copy pinned-host mapping on device 0 (see
+    {!Hostrt.Dataenv.set_zerocopy}). *)
+val set_zerocopy : ctx -> bool -> unit
+
+(** Enable transfer elision on device 0 (see
+    {!Hostrt.Dataenv.set_elide}). *)
+val set_elide : ctx -> bool -> unit
+
+(** Elision/zero-copy counters for device 0's data environment. *)
+val mem_stats : ctx -> Hostrt.Dataenv.stats
+
 val set_sampling : ctx -> int option -> unit
 
 val set_translated_penalty : ctx -> (int -> float) -> unit

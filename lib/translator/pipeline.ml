@@ -35,11 +35,11 @@ let cvoid e = Ast.Cast (Cty.Ptr Cty.Void, e)
 let map_call (mv : Region.mapped_var) =
   Ast.expr_stmt
     (Ast.call "ort_map"
-       [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+       [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_code mv) ])
 
 let unmap_call (mv : Region.mapped_var) =
   Ast.expr_stmt
-    (Ast.call "ort_unmap" [ dev0; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+    (Ast.call "ort_unmap" [ dev0; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_code mv) ])
 
 let offload_expr (k : Kernelgen.kernel) =
   Ast.call "ort_offload"
@@ -55,7 +55,7 @@ let offload_nowait_expr (k : Kernelgen.kernel) =
     ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
     @ List.concat_map
         (fun (mv : Region.mapped_var) ->
-          [ cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_type_code mv.Region.mv_map) ])
+          [ cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_code mv) ])
         k.Kernelgen.k_params)
 
 let taskwait_call = Ast.expr_stmt (Ast.call "ort_taskwait" [ dev0 ])
@@ -145,7 +145,7 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
 and data_maps st (dir : Ast.directive) : Region.mapped_var list =
   List.concat_map
     (function
-      | Ast.Cmap (mt, items) -> List.map (Region.plan_one st.s_env mt) items
+      | Ast.Cmap (mt, always, items) -> List.map (Region.plan_one ~always st.s_env mt) items
       | _ -> [])
     dir.Ast.dir_clauses
 

@@ -15,6 +15,7 @@ type mapped_var = {
   mv_name : string;
   mv_host_ty : Cty.t;
   mv_map : Ast.map_type;
+  mv_always : bool; (* the [always] map modifier: force transfers *)
   mv_base : Ast.expr; (* host address expression *)
   mv_bytes : Ast.expr; (* byte count expression *)
   mv_param_ty : Cty.t; (* kernel parameter type (always a pointer) *)
@@ -40,7 +41,7 @@ let section_bytes (ty : Cty.t) (sections : (Ast.expr option * Ast.expr option) l
     Ast.mul len (sizeof_expr elt)
   | _, _ -> unsupported "multi-dimensional array sections are not supported; map the whole array"
 
-let plan_one (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : mapped_var =
+let plan_one ?(always = false) (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : mapped_var =
   let name = item.Ast.mi_var in
   let ty =
     match Typecheck.lookup_var env name with
@@ -55,6 +56,7 @@ let plan_one (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : m
       mv_name = name;
       mv_host_ty = ty;
       mv_map = mt;
+      mv_always = always;
       mv_base = Ast.Ident name (* decays to the base pointer *);
       mv_bytes = section_bytes ty item.Ast.mi_sections;
       mv_param_ty = Cty.decay ty;
@@ -67,6 +69,7 @@ let plan_one (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : m
       mv_name = name;
       mv_host_ty = ty;
       mv_map = mt;
+      mv_always = always;
       mv_base = Ast.Ident name;
       mv_bytes = section_bytes ty item.Ast.mi_sections;
       mv_param_ty = Cty.Ptr elt;
@@ -78,6 +81,7 @@ let plan_one (env : Typecheck.env) (mt : Ast.map_type) (item : Ast.map_item) : m
       mv_name = name;
       mv_host_ty = ty;
       mv_map = mt;
+      mv_always = always;
       mv_base = Ast.AddrOf (Ast.Ident name);
       mv_bytes = sizeof_expr ty;
       mv_param_ty = Cty.Ptr ty;
@@ -92,7 +96,7 @@ let plan (env : Typecheck.env) (dir : Ast.directive) ~(referenced : string list)
   let explicit =
     List.concat_map
       (function
-        | Ast.Cmap (mt, items) -> List.map (plan_one env mt) items
+        | Ast.Cmap (mt, always, items) -> List.map (plan_one ~always env mt) items
         | _ -> [])
       dir.Ast.dir_clauses
   in
@@ -124,3 +128,7 @@ let map_type_code = function
   | Ast.Map_to -> 1
   | Ast.Map_from -> 2
   | Ast.Map_tofrom -> 3
+
+(* Full ort_map code: two-bit map type, [always] as bit 4 (decoded by
+   Hostrt.Dataenv.decode_map_code). *)
+let map_code mv = map_type_code mv.mv_map lor (if mv.mv_always then 4 else 0)

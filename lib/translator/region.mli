@@ -16,6 +16,7 @@ type mapped_var = {
   mv_name : string;
   mv_host_ty : Cty.t;
   mv_map : Ast.map_type;
+  mv_always : bool;  (** the [always] map modifier: force transfers *)
   mv_base : Ast.expr;  (** host address expression *)
   mv_bytes : Ast.expr;  (** byte count expression *)
   mv_param_ty : Cty.t;  (** kernel parameter type (always a pointer) *)
@@ -23,7 +24,7 @@ type mapped_var = {
 }
 
 (** Plan one explicit map item against the typing environment. *)
-val plan_one : Typecheck.env -> Ast.map_type -> Ast.map_item -> mapped_var
+val plan_one : ?always:bool -> Typecheck.env -> Ast.map_type -> Ast.map_item -> mapped_var
 
 (** Full plan for a target directive: explicit map clauses first (in
     clause order), then implicit captures — referenced scalars map [to],
@@ -34,3 +35,7 @@ val plan : Typecheck.env -> Ast.directive -> referenced:string list -> mapped_va
 
 (** Integer code used by the generated ort_map calls. *)
 val map_type_code : Ast.map_type -> int
+
+(** Full ort_map code: two-bit map type, [always] as bit 4 (decoded by
+    [Hostrt.Dataenv.decode_map_code]). *)
+val map_code : mapped_var -> int

@@ -182,6 +182,116 @@ let test_map_async_eager_effects () =
   Alcotest.(check bool) "work landed on the stream, not the clock" true
     (s.Driver.str_done_ns > Simclock.now_ns clock)
 
+(* -------------- unified-memory optimisations (elide/zerocopy) -------------- *)
+
+let test_decode_map_code () =
+  let pp fmt (mt, a) = Format.fprintf fmt "(%a, %b)" Hostrt.Dataenv.pp_map_type mt a in
+  let code = Alcotest.testable pp (fun (m1, a1) (m2, a2) -> m1 = m2 && a1 = a2) in
+  let check n exp = Alcotest.check code (Printf.sprintf "code %d" n) exp (Hostrt.Dataenv.decode_map_code n) in
+  check 0 (Hostrt.Dataenv.Alloc, false);
+  check 1 (Hostrt.Dataenv.To, false);
+  check 2 (Hostrt.Dataenv.From, false);
+  check 3 (Hostrt.Dataenv.Tofrom, false);
+  check 4 (Hostrt.Dataenv.Alloc, true);
+  check 5 (Hostrt.Dataenv.To, true);
+  check 6 (Hostrt.Dataenv.From, true);
+  check 7 (Hostrt.Dataenv.Tofrom, true)
+
+let elided_h2d env = (Hostrt.Dataenv.stats env).Hostrt.Dataenv.elided_h2d
+
+let elided_d2h env = (Hostrt.Dataenv.stats env).Hostrt.Dataenv.elided_d2h
+
+(* Re-mapping a released range whose bytes changed on neither side skips
+   the h2d; dirtying the host image forces the copy again. *)
+let test_elide_clean_remap () =
+  let env, host, _, clock = make () in
+  Hostrt.Dataenv.set_elide env true;
+  let h = Mem.alloc host 256 in
+  set_f32 host h 0 1.0;
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  Alcotest.(check int) "released buffer parked" 1 (Hostrt.Dataenv.resident_buffers env);
+  let t = Simclock.now_s clock in
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check int) "clean re-map elides the h2d" 1 (elided_h2d env);
+  Alcotest.(check bool) "no copy time charged" true (Simclock.now_s clock -. t < 1e-9);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  set_f32 host h 0 2.0;
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check int) "dirty host forces the copy" 1 (elided_h2d env);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To
+
+(* Copy-back of a tofrom range the device never wrote is a no-op; once
+   kernel stores are recorded against the allocation it must happen. *)
+let test_elide_d2h_unwritten () =
+  let env, host, driver, _ = make () in
+  Hostrt.Dataenv.set_elide env true;
+  let h = Mem.alloc host 64 in
+  set_f32 host h 1 3.5;
+  ignore (Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Tofrom);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check int) "unwritten tofrom skips the copy-back" 1 (elided_d2h env);
+  Alcotest.(check bool) "host bytes intact" true (get_f32 host h 1 = 3.5);
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Tofrom in
+  set_f32 driver.Driver.global d 1 9.0;
+  (match Driver.alloc_id_of driver d with
+  | Some id -> Driver.note_stores driver id 1
+  | None -> Alcotest.fail "device address should carry an allocation id");
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check int) "written buffer is copied back" 1 (elided_d2h env);
+  Alcotest.(check bool) "device value landed on host" true (get_f32 host h 1 = 9.0)
+
+(* The [always] modifier defeats elision in both directions. *)
+let test_always_forces_transfers () =
+  let env, host, driver, clock = make () in
+  Hostrt.Dataenv.set_elide env true;
+  let h = Mem.alloc host 128 in
+  ignore (Hostrt.Dataenv.map env h ~bytes:128 Hostrt.Dataenv.To);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  let t = Simclock.now_s clock in
+  let d = Hostrt.Dataenv.map ~always:true env h ~bytes:128 Hostrt.Dataenv.Tofrom in
+  Alcotest.(check int) "always map: no h2d elision" 0 (elided_h2d env);
+  Alcotest.(check bool) "always map: copy time charged" true (Simclock.now_s clock -. t > 0.0);
+  (* an unrecorded device write — exactly what always is for *)
+  set_f32 driver.Driver.global d 0 5.0;
+  Hostrt.Dataenv.unmap ~always:true env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check int) "always unmap: no d2h elision" 0 (elided_d2h env);
+  Alcotest.(check bool) "unrecorded write still copied back" true (get_f32 host h 0 = 5.0)
+
+(* A revived range with async work in flight is synchronized and copied,
+   never elided. *)
+let test_elide_pending_never_elided () =
+  let env, host, _, _ = make () in
+  let in_flight, synced = install_fake_hooks env in
+  Hostrt.Dataenv.set_elide env true;
+  let h = Mem.alloc host 256 in
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  in_flight := true;
+  ignore (Hostrt.Dataenv.map env h ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check int) "in-flight range not elided" 0 (elided_h2d env);
+  Alcotest.(check int) "range synchronized before the copy" 1 (List.length !synced);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To
+
+(* Zero-copy: the map pins the host range and hands kernels the host
+   address itself — one shared image, no transfers. *)
+let test_zerocopy_map_in_place () =
+  let env, host, driver, _ = make () in
+  Hostrt.Dataenv.set_zerocopy env true;
+  let h = Mem.alloc host 64 in
+  set_f32 host h 0 2.5;
+  let d = Hostrt.Dataenv.map env h ~bytes:64 Hostrt.Dataenv.Tofrom in
+  Alcotest.(check bool) "map returns the host address itself" true (Addr.equal d h);
+  Alcotest.(check bool) "range pinned in the driver" true (driver.Driver.pinned <> []);
+  Alcotest.(check bool) "lookup is the identity" true
+    (match Hostrt.Dataenv.lookup env h with Some a -> Addr.equal a h | None -> false);
+  (* host writes are device-visible: there is no separate device image *)
+  set_f32 host h 0 4.0;
+  Alcotest.(check bool) "shared DRAM" true (get_f32 host d 0 = 4.0);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.Tofrom;
+  Alcotest.(check bool) "unpinned at release" true (driver.Driver.pinned = []);
+  Alcotest.(check int) "entry removed" 0 (Hostrt.Dataenv.active_mappings env)
+
 let test_geometry () =
   let grid, block = Hostrt.Rt.geometry ~num_teams:100 ~num_threads:256 in
   Alcotest.(check int) "grid 1d" 100 grid.Gpusim.Simt.x;
@@ -215,6 +325,15 @@ let () =
           Alcotest.test_case "target update syncs in-flight range" `Quick
             test_update_syncs_in_flight_range;
           Alcotest.test_case "map_async eager effects" `Quick test_map_async_eager_effects;
+        ] );
+      ( "unified memory",
+        [
+          Alcotest.test_case "map-code decoding" `Quick test_decode_map_code;
+          Alcotest.test_case "clean re-map elides h2d" `Quick test_elide_clean_remap;
+          Alcotest.test_case "unwritten tofrom elides d2h" `Quick test_elide_d2h_unwritten;
+          Alcotest.test_case "always modifier forces transfers" `Quick test_always_forces_transfers;
+          Alcotest.test_case "in-flight ranges never elided" `Quick test_elide_pending_never_elided;
+          Alcotest.test_case "zero-copy maps in place" `Quick test_zerocopy_map_in_place;
         ] );
       ("geometry", [ Alcotest.test_case "teams/threads to grid/block" `Quick test_geometry ]);
     ]

@@ -91,6 +91,64 @@ void k(int n, int *marks)
     if read_i32 d buf i <> 1 then Alcotest.failf "iteration %d marked %d times" i (read_i32 d buf i)
   done
 
+let test_dynamic_chunk_reentry () =
+  (* Two sequential visits to the same nowait-style worksharing loops
+     (no cudadev_ws_barrier, which is what normally resets the shared
+     counters).  Before the drain-recycling fix the second pass found
+     the counters parked at [hi] and handed out zero iterations. *)
+  let d = make_driver () in
+  let n = 37 in
+  let buf = Driver.mem_alloc d (4 * n) in
+  let src =
+    {|
+void k(int n, int *marks)
+{
+  int pass;
+  for (pass = 0; pass < 2; pass++) {
+    int lb;
+    int ub;
+    while (cudadev_get_dynamic_chunk(9, 5, 0, n, &lb, &ub)) {
+      int i;
+      for (i = lb; i < ub; i++)
+        marks[i] = marks[i] + 1;
+    }
+    /* a thread reaching here has drained region 9 exactly once; the
+       barrier keeps fast threads from re-entering it early */
+    cudadev_barrier(0);
+    while (cudadev_get_guided_chunk(11, 2, 0, n, &lb, &ub)) {
+      int i;
+      for (i = lb; i < ub; i++)
+        marks[i] = marks[i] + 10;
+    }
+    cudadev_barrier(0);
+  }
+}
+|}
+  in
+  ignore (launch ~block:(Simt.dim3 16) d src "k" [ Value.of_int n; fi buf ]);
+  for i = 0 to n - 1 do
+    if read_i32 d buf i <> 22 then
+      Alcotest.failf "iteration %d marked %d (expected 22: both passes, both schedules)" i
+        (read_i32 d buf i)
+  done
+
+let test_dynamic_chunk_invalid_rid () =
+  let d = make_driver () in
+  let src =
+    {|
+void k(void)
+{
+  int lb;
+  int ub;
+  cudadev_get_dynamic_chunk(-1, 4, 0, 8, &lb, &ub);
+}
+|}
+  in
+  Alcotest.(check bool) "negative region id rejected" true
+    (match launch ~block:(Simt.dim3 8) d src "k" [] with
+    | exception Devrt.Api.Devrt_error _ -> true
+    | _ -> false)
+
 let test_distribute_across_teams () =
   let d = make_driver () in
   let n = 512 in
@@ -189,6 +247,9 @@ let () =
         [
           Alcotest.test_case "static chunk partition" `Quick test_static_chunk_partition;
           Alcotest.test_case "dynamic chunk partition" `Quick test_dynamic_chunk_partition;
+          Alcotest.test_case "nowait loop re-entry (counter recycling)" `Quick
+            test_dynamic_chunk_reentry;
+          Alcotest.test_case "invalid region id" `Quick test_dynamic_chunk_invalid_rid;
           Alcotest.test_case "distribute across teams" `Quick test_distribute_across_teams;
           Alcotest.test_case "sections exhaustion" `Quick test_sections_exhaustion;
         ] );

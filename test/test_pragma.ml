@@ -53,7 +53,7 @@ let test_scalar_clauses () =
 
 let test_map_clauses () =
   (match clauses "omp target map(to: a, x[0:n]) map(tofrom: y[0:n*2])" with
-  | [ Ast.Cmap (Ast.Map_to, [ a; x ]); Ast.Cmap (Ast.Map_tofrom, [ y ]) ] ->
+  | [ Ast.Cmap (Ast.Map_to, false, [ a; x ]); Ast.Cmap (Ast.Map_tofrom, false, [ y ]) ] ->
     Alcotest.(check string) "a" "a" a.Ast.mi_var;
     Alcotest.(check string) "x" "x" x.Ast.mi_var;
     Alcotest.(check int) "x sections" 1 (List.length x.Ast.mi_sections);
@@ -63,11 +63,18 @@ let test_map_clauses () =
   | cs -> Alcotest.failf "got %s" (String.concat ";" (List.map Ast.show_clause cs)));
   (* default map type is tofrom *)
   (match clauses "omp target map(z)" with
-  | [ Ast.Cmap (Ast.Map_tofrom, [ _ ]) ] -> ()
+  | [ Ast.Cmap (Ast.Map_tofrom, false, [ _ ]) ] -> ()
   | _ -> Alcotest.fail "default tofrom");
+  (* the always modifier, with and without an explicit map type *)
+  (match clauses "omp target map(always, to: x[0:n])" with
+  | [ Ast.Cmap (Ast.Map_to, true, [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "always to");
+  (match clauses "omp target map(always: z)" with
+  | [ Ast.Cmap (Ast.Map_tofrom, true, [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "always default tofrom");
   (* open-lower-bound section x[:n] *)
   match clauses "omp target map(alloc: x[:n])" with
-  | [ Ast.Cmap (Ast.Map_alloc, [ { Ast.mi_sections = [ (None, Some _) ]; _ } ]) ] -> ()
+  | [ Ast.Cmap (Ast.Map_alloc, false, [ { Ast.mi_sections = [ (None, Some _) ]; _ } ]) ] -> ()
   | _ -> Alcotest.fail "open section"
 
 let test_schedule_clauses () =

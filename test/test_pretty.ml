@@ -34,7 +34,7 @@ let test_directive_printing () =
         [
           Ast.Cnum_teams (Ast.int_lit 8);
           Ast.Ccollapse 2;
-          Ast.Cmap (Ast.Map_tofrom, [ { Ast.mi_var = "x"; mi_sections = [ (Some (Ast.int_lit 0), Some (Ast.ident "n")) ] } ]);
+          Ast.Cmap (Ast.Map_tofrom, false, [ { Ast.mi_var = "x"; mi_sections = [ (Some (Ast.int_lit 0), Some (Ast.ident "n")) ] } ]);
           Ast.Creduction (Ast.Rd_add, [ "s" ]);
         ];
     }

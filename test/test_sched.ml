@@ -247,6 +247,45 @@ let test_single_iteration () =
       (guided_chunk ~counter:r.hi ~num_threads:4 ~min_chunk:3 one = None)
   | None -> Alcotest.fail "guided: single-iteration range yielded nothing"
 
+(* Block-cyclic edge cases: a chunk wider than the whole range, stride
+   indices past the last chunk, and empty/inverted ranges. *)
+let test_static_cyclic_edges () =
+  let range = { lo = 0; hi = 10 } in
+  (* chunk > range: thread 0's first chunk clamps to the whole range... *)
+  (match static_cyclic_chunk ~thread:0 ~num_threads:4 ~chunk:64 ~k:0 range with
+  | Some r -> Alcotest.(check (pair int int)) "oversized chunk clamps" (0, 10) (r.lo, r.hi)
+  | None -> Alcotest.fail "oversized chunk yielded nothing");
+  (* ...and every other thread's first chunk starts past the range *)
+  List.iter
+    (fun thread ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread %d gets nothing" thread)
+        true
+        (static_cyclic_chunk ~thread ~num_threads:4 ~chunk:64 ~k:0 range = None))
+    [ 1; 2; 3 ];
+  (* stride walk at num_threads=2, chunk=3 over [0,10):
+     thread 0 owns [0,3) then [6,9); thread 1 owns [3,6) then the
+     clamped tail [9,10); both are exhausted at k=2 *)
+  (match static_cyclic_chunk ~thread:0 ~num_threads:2 ~chunk:3 ~k:1 range with
+  | Some r -> Alcotest.(check (pair int int)) "thread 0 second chunk" (6, 9) (r.lo, r.hi)
+  | None -> Alcotest.fail "thread 0 k=1 yielded nothing");
+  (match static_cyclic_chunk ~thread:1 ~num_threads:2 ~chunk:3 ~k:1 range with
+  | Some r -> Alcotest.(check (pair int int)) "thread 1 clamped tail" (9, 10) (r.lo, r.hi)
+  | None -> Alcotest.fail "thread 1 k=1 yielded nothing");
+  Alcotest.(check bool) "k past the last chunk yields None" true
+    (static_cyclic_chunk ~thread:0 ~num_threads:2 ~chunk:3 ~k:2 range = None);
+  Alcotest.(check bool) "far-past k yields None" true
+    (static_cyclic_chunk ~thread:1 ~num_threads:2 ~chunk:3 ~k:1000 range = None);
+  (* empty and inverted ranges yield nothing for any thread *)
+  Alcotest.(check bool) "empty range" true
+    (static_cyclic_chunk ~thread:0 ~num_threads:2 ~chunk:3 ~k:0 { lo = 5; hi = 5 } = None);
+  Alcotest.(check bool) "inverted range" true
+    (static_cyclic_chunk ~thread:0 ~num_threads:2 ~chunk:3 ~k:0 { lo = 9; hi = 2 } = None);
+  (* nonzero base offset: chunks are relative to range.lo *)
+  match static_cyclic_chunk ~thread:1 ~num_threads:3 ~chunk:2 ~k:0 { lo = 100; hi = 110 } with
+  | Some r -> Alcotest.(check (pair int int)) "offset base" (102, 104) (r.lo, r.hi)
+  | None -> Alcotest.fail "offset base yielded nothing"
+
 let test_invalid_args () =
   let inv f = match f () with exception Invalid_argument _ -> true | _ -> false in
   Alcotest.(check bool) "zero teams" true (inv (fun () -> distribute_chunk ~team:0 ~num_teams:0 { lo = 0; hi = 1 }));
@@ -278,6 +317,7 @@ let () =
           Alcotest.test_case "barrier rounding rule" `Quick test_barrier_round;
           Alcotest.test_case "empty ranges" `Quick test_empty_range;
           Alcotest.test_case "single-iteration ranges" `Quick test_single_iteration;
+          Alcotest.test_case "block-cyclic edge cases" `Quick test_static_cyclic_edges;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
         ] );
     ]
