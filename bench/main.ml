@@ -14,6 +14,10 @@
                                         -- target-nowait pipeline: async vs
                                            sync vs host, overlap evidence
      dune exec bench/main.exe -- fault-matrix [--smoke]
+     dune exec bench/main.exe -- jit [--smoke]
+                                        -- closure-JIT vs tree-walking
+                                           interpreter wall clock; fails
+                                           unless one app clears 3x
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -891,6 +895,102 @@ let memshift ~smoke () =
   end;
   say "memshift: PASS\n"
 
+(* ------------------------------------------------------------------ *)
+(* jit: closure-JIT executor vs tree-walking interpreter (wall clock)   *)
+(* ------------------------------------------------------------------ *)
+
+(* The closure JIT must be invisible to the simulation (bit-identical
+   outputs, identical simulated times) and visible only to the wall
+   clock.  Per app: best-of-[reps] wall time for each executor, the
+   cross-checks, and a once-per-module-load compile assertion; the run
+   fails unless at least one app clears a 3x speedup. *)
+let jit_bench ~smoke () =
+  say "== closure JIT vs tree-walking interpreter (wall clock) ==\n";
+  let failures = ref 0 in
+  let check ok msg =
+    if not ok then begin
+      say "  CHECK FAILED: %s\n" msg;
+      incr failures
+    end
+  in
+  let reps = if smoke then 2 else 3 in
+  let run_leg (app : Polybench.Suite.app) ~jit ~n =
+    let ctx = Polybench.Harness.create () in
+    Polybench.Harness.set_sampling ctx None;
+    Polybench.Harness.set_jit ctx jit;
+    let t0 = Unix.gettimeofday () in
+    let sim, out = app.Polybench.Suite.ap_run ctx Polybench.Harness.Cuda ~n in
+    (Unix.gettimeofday () -. t0, sim, out)
+  in
+  let rows = ref [] in
+  let best = ref (0.0, "none") in
+  List.iter
+    (fun (app : Polybench.Suite.app) ->
+      let name = app.Polybench.Suite.ap_name in
+      let n = List.nth app.Polybench.Suite.ap_validate_sizes 1 in
+      let wall_i = ref infinity and wall_j = ref infinity in
+      let sim_i = ref 0.0 and sim_j = ref 0.0 in
+      let out_i = ref [||] and out_j = ref [||] in
+      for _ = 1 to reps do
+        let w, s, o = run_leg app ~jit:false ~n in
+        if w < !wall_i then wall_i := w;
+        sim_i := s;
+        out_i := o;
+        let w, s, o = run_leg app ~jit:true ~n in
+        if w < !wall_j then wall_j := w;
+        sim_j := s;
+        out_j := o
+      done;
+      let bits a = Array.map Int32.bits_of_float a in
+      check (!sim_i = !sim_j) (name ^ ": simulated time differs between JIT and interpreter");
+      check (bits !out_i = bits !out_j) (name ^ ": output not bit-identical under JIT");
+      let sp = !wall_i /. !wall_j in
+      say "  %-12s n=%-4d interp=%.3fs jit=%.3fs speedup=%.2fx\n" name n !wall_i !wall_j sp;
+      if sp > fst !best then best := (sp, name);
+      rows :=
+        Printf.sprintf
+          "    { \"name\": %S, \"n\": %d, \"interp_s\": %.6f, \"jit_s\": %.6f, \"speedup\": %.3f }"
+          name n !wall_i !wall_j sp
+        :: !rows)
+    Polybench.Suite.all;
+  (* relaunching from the same loaded module must not recompile *)
+  let ctx = Polybench.Harness.create () in
+  Polybench.Harness.set_sampling ctx None;
+  Polybench.Harness.set_jit ctx true;
+  let tr = Polybench.Harness.enable_trace ctx in
+  let atax = List.find (fun a -> a.Polybench.Suite.ap_name = "atax") Polybench.Suite.all in
+  let n0 = List.hd atax.Polybench.Suite.ap_validate_sizes in
+  ignore (atax.Polybench.Suite.ap_run ctx Polybench.Harness.Cuda ~n:n0);
+  let c1 = Perf.Trace.count_events tr ~cat:"jit" ~name:"closure_compile" () in
+  ignore (atax.Polybench.Suite.ap_run ctx Polybench.Harness.Cuda ~n:n0);
+  let c2 = Perf.Trace.count_events tr ~cat:"jit" ~name:"closure_compile" () in
+  say "  closure_compile events: first run=%d, after rerun=%d (module reused)\n" c1 c2;
+  check (c1 >= 1) "no closure_compile event on a JIT run";
+  check (c2 = c1) "closure compile fired again on relaunch (must be once per module load)";
+  let sp_max, sp_app = !best in
+  let oc = open_out "BENCH_jit.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"jit\",\n\
+    \  \"reps\": %d,\n\
+    \  \"apps\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"max_speedup\": %.3f,\n\
+    \  \"max_speedup_app\": %S\n\
+     }\n"
+    reps
+    (String.concat ",\n" (List.rev !rows))
+    sp_max sp_app;
+  close_out oc;
+  say "  [written: BENCH_jit.json]\n";
+  check (sp_max >= 3.0) (Printf.sprintf "best JIT speedup %.2fx (%s) is below the 3x bar" sp_max sp_app);
+  if !failures > 0 then begin
+    say "jit: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "jit: PASS (best %.2fx on %s)\n" sp_max sp_app
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -918,6 +1018,8 @@ let () =
   | [ "fault-matrix"; "--smoke" ] -> fault_matrix ~smoke:true ()
   | [ "memshift" ] -> memshift ~smoke:false ()
   | [ "memshift"; "--smoke" ] -> memshift ~smoke:true ()
+  | [ "jit" ] -> jit_bench ~smoke:false ()
+  | [ "jit"; "--smoke" ] -> jit_bench ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

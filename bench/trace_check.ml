@@ -104,6 +104,14 @@ let () =
       events
   in
   if not has_cache_info then fail "no JIT-cache hit/miss event";
+  (* Closure-JIT compiles are per module load, never per launch: when
+     present, there can be at most one closure_compile instant for each
+     module-load span (a --no-jit trace legitimately has zero). *)
+  let closure_compiles = count ~cat:"jit" ~name:"closure_compile" ~ph:"i" in
+  let module_loads = count ~cat:"launch" ~name:"load" ~ph:"B" in
+  if closure_compiles > module_loads then
+    fail "%d closure_compile events for %d module loads (must be at most once per load)"
+      closure_compiles module_loads;
   (* Elision evidence: at least one elided transfer on the mem timeline. *)
   let elisions =
     List.length

@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams zerocopy elide verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams zerocopy elide no_jit verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -51,6 +51,7 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
       streams;
       zerocopy;
       elide;
+      jit = not no_jit;
     }
   in
   try
@@ -182,6 +183,16 @@ let elide_arg =
            source and destination provably hold the same bytes (map(always, ...) forces the \
            transfer)")
 
+let no_jit_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-jit" ]
+        ~doc:
+          "Disable the closure JIT: execute kernels with the reference tree-walking interpreter \
+           instead of the closure-compiled form built at module load.  Results, counters and \
+           simulated times are identical; only real (host) execution is slower")
+
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-launch statistics")
 
 let cmd =
@@ -190,6 +201,6 @@ let cmd =
     (Cmd.info "ompirun" ~doc)
     Term.(
       const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
-      $ fault_seed_arg $ streams_arg $ zerocopy_arg $ elide_arg $ verbose_arg)
+      $ fault_seed_arg $ streams_arg $ zerocopy_arg $ elide_arg $ no_jit_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -47,6 +47,11 @@ type t = {
   mutable frames : frame list;
   mutable depth : int;
   max_depth : int;
+  (* Execution-engine hook: when set (by the closure JIT), function
+     calls are routed through it instead of the tree-walker, so that
+     builtin-originated calls (e.g. the device runtime invoking a
+     worker function by pointer) also reach the compiled form. *)
+  mutable dispatch : (t -> Ast.fundef -> Value.t list -> Value.t) option;
 }
 
 let create ~structs ~funcs ~resolve ~local ?shared_decl ?(output = Buffer.create 256) () =
@@ -70,6 +75,7 @@ let create ~structs ~funcs ~resolve ~local ?shared_decl ?(output = Buffer.create
     frames = [];
     depth = 0;
     max_depth = 256;
+    dispatch = None;
   }
 
 let register_builtin ctx name fn = Hashtbl.replace ctx.builtins name fn
@@ -123,6 +129,19 @@ let store ctx (a : Addr.t) (ty : Cty.t) (v : Value.t) : unit =
   let m = ctx.resolve a.Addr.space in
   ctx.on_access { acc_kind = `Store; acc_addr = a; acc_bytes = sizeof ctx ty };
   Mem.store_scalar m ctx.structs a ty (Value.cast (Cty.decay ty) v)
+
+(* [load]/[store] for a scalar type whose byte size the caller resolved
+   once ahead of time (the closure JIT knows slot types at compile time,
+   so it need not re-derive the size on every access). *)
+let load_sized ctx (a : Addr.t) (ty : Cty.t) ~(bytes : int) : Value.t =
+  let m = ctx.resolve a.Addr.space in
+  ctx.on_access { acc_kind = `Load; acc_addr = a; acc_bytes = bytes };
+  Mem.load_scalar m ctx.structs a ty
+
+let store_sized ctx (a : Addr.t) (ty : Cty.t) ~(bytes : int) (v : Value.t) : unit =
+  let m = ctx.resolve a.Addr.space in
+  ctx.on_access { acc_kind = `Store; acc_addr = a; acc_bytes = bytes };
+  Mem.store_scalar m ctx.structs a ty (Value.cast ty v)
 
 let intern_string ctx (s : string) : Addr.t =
   match Hashtbl.find_opt ctx.strings s with
@@ -315,13 +334,16 @@ and eval_unop ctx op a : Value.t =
     if op = Ast.PostInc || op = Ast.PostDec then old else updated
 
 and apply_binop ctx op (va : Value.t) (vb : Value.t) : Value.t =
-  let arith_step () =
-    match op with
-    | Ast.Mul -> step ctx St_mul
-    | Ast.Div | Ast.Mod -> step ctx St_div
-    | _ -> step ctx St_arith
-  in
-  arith_step ();
+  (match op with
+  | Ast.Mul -> step ctx St_mul
+  | Ast.Div | Ast.Mod -> step ctx St_div
+  | _ -> step ctx St_arith);
+  apply_binop_unstepped ctx op va vb
+
+(* The operator dispatch of [apply_binop] without the cost-model step,
+   for callers (the closure JIT's specialized arithmetic) that have
+   already charged the step and handled the common value shapes. *)
+and apply_binop_unstepped ctx op (va : Value.t) (vb : Value.t) : Value.t =
   match (op, va, vb) with
   (* pointer arithmetic *)
   | Ast.Add, Value.VPtr (p, elt), v -> Value.ptr ~ty:elt (Addr.add p (Value.to_int v * sizeof ctx elt))
@@ -368,9 +390,7 @@ and apply_binop ctx op (va : Value.t) (vb : Value.t) : Value.t =
       let a = Value.as_int va and b = Value.as_int vb in
       let wrap i = Value.int ~ty:ity i in
       let unsigned = Cty.is_unsigned ity in
-      let cmp f_signed f_unsigned =
-        Value.bool (if unsigned then f_unsigned (Int64.unsigned_compare a b) else f_signed (Int64.compare a b))
-      in
+      let icmp = if unsigned then Int64.unsigned_compare a b else Int64.compare a b in
       (match op with
       | Ast.Add -> wrap (Int64.add a b)
       | Ast.Sub -> wrap (Int64.sub a b)
@@ -389,10 +409,10 @@ and apply_binop ctx op (va : Value.t) (vb : Value.t) : Value.t =
       | Ast.BitAnd -> wrap (Int64.logand a b)
       | Ast.BitOr -> wrap (Int64.logor a b)
       | Ast.BitXor -> wrap (Int64.logxor a b)
-      | Ast.Lt -> cmp (fun c -> c < 0) (fun c -> c < 0)
-      | Ast.Gt -> cmp (fun c -> c > 0) (fun c -> c > 0)
-      | Ast.Le -> cmp (fun c -> c <= 0) (fun c -> c <= 0)
-      | Ast.Ge -> cmp (fun c -> c >= 0) (fun c -> c >= 0)
+      | Ast.Lt -> Value.bool (icmp < 0)
+      | Ast.Gt -> Value.bool (icmp > 0)
+      | Ast.Le -> Value.bool (icmp <= 0)
+      | Ast.Ge -> Value.bool (icmp >= 0)
       | Ast.Eq -> Value.bool (a = b)
       | Ast.Ne -> Value.bool (a <> b)
       | Ast.LogAnd -> Value.bool (a <> 0L && b <> 0L)
@@ -423,6 +443,12 @@ and call ctx (f : string) (args : Value.t list) : Value.t =
     | None -> runtime_error "call to undefined function '%s'" f)
 
 and call_fundef ctx (fd : Ast.fundef) (args : Value.t list) : Value.t =
+  match ctx.dispatch with
+  | Some d -> d ctx fd args
+  | None -> tree_call_fundef ctx fd args
+
+(* The reference executor: walk the function body's AST directly. *)
+and tree_call_fundef ctx (fd : Ast.fundef) (args : Value.t list) : Value.t =
   if ctx.depth >= ctx.max_depth then runtime_error "call stack overflow in '%s'" fd.f_name;
   if List.length args <> List.length fd.f_params then
     runtime_error "'%s' expects %d arguments, got %d" fd.f_name (List.length fd.f_params)

@@ -40,6 +40,10 @@ type t = {
   mutable frames : frame list;
   mutable depth : int;
   max_depth : int;
+  mutable dispatch : (t -> Ast.fundef -> Value.t list -> Value.t) option;
+      (** execution-engine hook: when set (by the closure JIT), calls
+          into defined functions are routed through it instead of the
+          tree-walker *)
 }
 
 val create :
@@ -64,6 +68,13 @@ val load : t -> Addr.t -> Cty.t -> Value.t
 
 val store : t -> Addr.t -> Cty.t -> Value.t -> unit
 
+(** [load]/[store] for a scalar (non-array, non-struct) type whose byte
+    size the caller resolved once ahead of time; the closure JIT uses
+    these for slot accesses where the type is known at compile time. *)
+val load_sized : t -> Addr.t -> Cty.t -> bytes:int -> Value.t
+
+val store_sized : t -> Addr.t -> Cty.t -> bytes:int -> Value.t -> unit
+
 val intern_string : t -> string -> Addr.t
 
 val read_c_string : t -> Addr.t -> string
@@ -75,6 +86,8 @@ val push_frame : t -> unit
 val pop_frame : t -> unit
 
 val declare_var : t -> string -> Cty.t -> Addr.t
+
+val declare_shared_var : t -> string -> Cty.t -> Addr.t
 
 val lookup_var : t -> string -> (Cty.t * Addr.t) option
 
@@ -99,6 +112,17 @@ val exec_init : t -> Addr.t -> Cty.t -> Ast.init -> unit
 val call : t -> string -> Value.t list -> Value.t
 
 val call_fundef : t -> Ast.fundef -> Value.t list -> Value.t
+
+(** The reference tree-walking executor, bypassing {!t.dispatch}. *)
+val tree_call_fundef : t -> Ast.fundef -> Value.t list -> Value.t
+
+(** Binary-operator semantics shared with the closure JIT (performs its
+    own {!t.on_step} accounting). *)
+val apply_binop : t -> Ast.binop -> Value.t -> Value.t -> Value.t
+
+(** [apply_binop] without the cost-model step, for callers that have
+    already charged it (the JIT's specialized arithmetic closures). *)
+val apply_binop_unstepped : t -> Ast.binop -> Value.t -> Value.t -> Value.t
 
 (** printf/math builtins shared by the host and device roles. *)
 val install_common_builtins : t -> unit

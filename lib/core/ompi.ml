@@ -25,6 +25,7 @@ type config = {
   streams : int; (* stream-pool size for `target ... nowait` regions *)
   zerocopy : bool; (* pin-and-share host memory instead of copying (unified DRAM) *)
   elide : bool; (* park released buffers and skip provably redundant transfers *)
+  jit : bool; (* closure-compile kernels at module load (--no-jit disables) *)
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     streams = Hostrt.Async.default_streams;
     zerocopy = false;
     elide = false;
+    jit = true;
   }
 
 type compiled = Translator.Pipeline.compiled = {
@@ -71,6 +73,7 @@ let load ?(config = default_config) ?(trace = false) (compiled : compiled) : ins
     Hostrt.Rt.set_faults rt (Some (Hostrt.Faults.create ~seed:config.fault_seed config.faults));
   if config.zerocopy then Hostrt.Rt.set_zerocopy rt true;
   if config.elide then Hostrt.Rt.set_elide rt true;
+  if not config.jit then Hostrt.Rt.set_jit rt false;
   (match config.max_retries with
   | Some n ->
     Hostrt.Rt.set_fault_policy rt

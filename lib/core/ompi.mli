@@ -34,6 +34,10 @@ type config = {
   elide : bool;
       (** park released device buffers and skip provably redundant
           transfers (see {!Hostrt.Dataenv.set_elide}); default off *)
+  jit : bool;
+      (** closure-compile kernel ASTs at module load (see
+          {!Cinterp.Jit}); default on — [--no-jit] falls back to the
+          reference tree-walking interpreter *)
 }
 
 val default_config : config

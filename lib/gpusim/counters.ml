@@ -52,6 +52,9 @@ type t = {
   per_alloc : (int, alloc_stats) Hashtbl.t;
   (* allocation table for addr -> allocation id: sorted (off, len, id) *)
   mutable alloc_table : (int * int * int) array;
+  (* stats record for each [alloc_table] entry, so the per-access hot
+     path resolves stats by binary search alone (no hashtable probe) *)
+  mutable alloc_table_stats : alloc_stats array;
   (* pinned host ranges visible to the device (zero-copy): sorted (off, len, id) *)
   mutable pinned_table : (int * int * int) array;
   (* Coalescing is sampled on warp 0 of the first [max_sample_blocks]
@@ -82,6 +85,7 @@ let create spec =
     zerocopy_stores = 0;
     per_alloc = Hashtbl.create 16;
     alloc_table = [||];
+    alloc_table_stats = [||];
     pinned_table = [||];
     sample_block_seq = -1;
     block_contributed = false;
@@ -94,7 +98,18 @@ let sorted_ranges (allocs : (int * int * int) array) =
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) allocs;
   allocs
 
-let set_alloc_table t (allocs : (int * int * int) array) = t.alloc_table <- sorted_ranges allocs
+let alloc_stats t id =
+  match Hashtbl.find_opt t.per_alloc id with
+  | Some s -> s
+  | None ->
+    let s = { a_loads = 0; a_stores = 0; samples = Hashtbl.create 64 } in
+    Hashtbl.replace t.per_alloc id s;
+    s
+
+let set_alloc_table t (allocs : (int * int * int) array) =
+  let sorted = sorted_ranges allocs in
+  t.alloc_table <- sorted;
+  t.alloc_table_stats <- Array.map (fun (_, _, id) -> alloc_stats t id) sorted
 
 let set_pinned_table t (ranges : (int * int * int) array) = t.pinned_table <- sorted_ranges ranges
 
@@ -111,17 +126,24 @@ let find_range (arr : (int * int * int) array) off : int option =
   in
   bsearch 0 n
 
+(* Like [find_range] but yielding the entry index (-1 when absent), so
+   the caller can reach the parallel stats array without a probe. *)
+let find_range_idx (arr : (int * int * int) array) off : int =
+  let n = Array.length arr in
+  let rec bsearch lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      let o, len, _ = Array.unsafe_get arr mid in
+      if off < o then bsearch lo mid
+      else if off >= o + len then bsearch (mid + 1) hi
+      else mid
+  in
+  bsearch 0 n
+
 let find_alloc t off : int option = find_range t.alloc_table off
 
 let find_pinned t off : int option = find_range t.pinned_table off
-
-let alloc_stats t id =
-  match Hashtbl.find_opt t.per_alloc id with
-  | Some s -> s
-  | None ->
-    let s = { a_loads = 0; a_stores = 0; samples = Hashtbl.create 64 } in
-    Hashtbl.replace t.per_alloc id s;
-    s
 
 let begin_block t n_threads =
   if Array.length t.thread_insts < n_threads then t.thread_insts <- Array.make n_threads 0
@@ -156,10 +178,11 @@ let on_step t (lin : int) (k : Cinterp.Interp.step) =
    thread state so that lanes can be aligned. *)
 let on_global_access t ~(lin : int) ~(seq : (int, int ref) Hashtbl.t) (acc : Cinterp.Interp.access) =
   let off = acc.acc_addr.Addr.off in
-  match find_alloc t off with
-  | None -> ()
-  | Some id ->
-    let s = alloc_stats t id in
+  match find_range_idx t.alloc_table off with
+  | -1 -> ()
+  | i ->
+    let _, _, id = Array.unsafe_get t.alloc_table i in
+    let s = Array.unsafe_get t.alloc_table_stats i in
     (match acc.acc_kind with
     | `Load -> s.a_loads <- s.a_loads + 1
     | `Store -> s.a_stores <- s.a_stores + 1);

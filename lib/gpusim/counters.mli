@@ -49,6 +49,8 @@ type t = {
   mutable zerocopy_stores : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;
   mutable alloc_table : (int * int * int) array;
+  mutable alloc_table_stats : alloc_stats array;
+      (** stats of each [alloc_table] entry, resolved by binary search *)
   mutable pinned_table : (int * int * int) array;
   mutable sample_block_seq : int;
   mutable block_contributed : bool;

@@ -10,7 +10,13 @@ exception Cuda_error of string
 
 let cuda_error fmt = Format.kasprintf (fun s -> raise (Cuda_error s)) fmt
 
-type loaded_module = { lm_artifact : Nvcc.artifact; lm_source : Simt.kernel_source }
+type loaded_module = {
+  lm_artifact : Nvcc.artifact;
+  lm_source : Simt.kernel_source;
+  (* closure-compiled form of the module's functions, produced once at
+     load time (None when the driver's closure JIT is disabled) *)
+  lm_compiled : Cinterp.Jit.compiled option;
+}
 
 type launch_stats = {
   st_entry : string;
@@ -67,6 +73,10 @@ type t = {
      allocation was written". *)
   dev_stores : (int, int) Hashtbl.t;
   mutable write_epoch : int;
+  (* Closure JIT (compile kernel ASTs to OCaml closures at module load):
+     on by default; the tree-walking interpreter remains the reference
+     executor behind --no-jit. *)
+  mutable closure_jit : bool;
 }
 
 (* Earliest start >= ready where the engine is idle for [dur]; returns
@@ -137,9 +147,12 @@ let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
     zerocopy_total = 0;
     dev_stores = Hashtbl.create 16;
     write_epoch = 0;
+    closure_jit = true;
   }
 
 let set_trace t trace = t.trace <- trace
+
+let set_jit t (on : bool) = t.closure_jit <- on
 
 let set_inject t inject = t.inject <- inject
 
@@ -281,12 +294,27 @@ let load_module t (artifact : Nvcc.artifact) : loaded_module =
             ("cache_hit", Perf.Trace.Bool false);
           ]);
     let alloc_global bytes = Mem.alloc t.global bytes in
-    let m =
-      {
-        lm_artifact = artifact;
-        lm_source = Simt.kernel_source_of_program ~alloc_global artifact.Nvcc.art_program;
-      }
+    let source = Simt.kernel_source_of_program ~alloc_global artifact.Nvcc.art_program in
+    (* Closure-compile the kernel functions once per module load.  This
+       is host-side simulator work, not a modelled device cost: no
+       simulated-clock advance, so JIT on/off leaves simulated times
+       identical (only real wall-clock changes). *)
+    let compiled =
+      if t.closure_jit then begin
+        Simt.ensure_dim3 source.Simt.ks_structs;
+        let c = Cinterp.Jit.compile ~structs:source.Simt.ks_structs ~funcs:source.Simt.ks_funcs in
+        tr_instant t ~cat:"jit" "closure_compile"
+          ~args:
+            [
+              ("module", Perf.Trace.Str artifact.Nvcc.art_name);
+              ("hash", Perf.Trace.Str artifact.Nvcc.art_hash);
+              ("functions", Perf.Trace.Int (Cinterp.Jit.function_count c));
+            ];
+        Some c
+      end
+      else None
     in
+    let m = { lm_artifact = artifact; lm_source = source; lm_compiled = compiled } in
     Hashtbl.replace t.modules artifact.Nvcc.art_hash m;
     tr_end t ~cat:"load" "module_load";
     m
@@ -312,7 +340,9 @@ let simulate_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.d
     { Simt.lc_grid = grid; lc_block = block; lc_entry = entry; lc_args = args; lc_block_filter = block_filter }
   in
   Simt.launch ~spec:t.spec ~mem:{ Simt.dm_global = t.global; dm_host = t.pinned_host }
-    ~source:modul.lm_source ~counters ~install_builtins ~output:t.output config;
+    ~source:modul.lm_source
+    ?compiled:(if t.closure_jit then modul.lm_compiled else None)
+    ~counters ~install_builtins ~output:t.output config;
   let breakdown =
     Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
       ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()

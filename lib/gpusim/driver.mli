@@ -8,7 +8,13 @@ open Minic
 
 exception Cuda_error of string
 
-type loaded_module = { lm_artifact : Nvcc.artifact; lm_source : Simt.kernel_source }
+type loaded_module = {
+  lm_artifact : Nvcc.artifact;
+  lm_source : Simt.kernel_source;
+  lm_compiled : Cinterp.Jit.compiled option;
+      (** closure-compiled form of the module's functions, produced once
+          at load time ([None] when the closure JIT is disabled) *)
+}
 
 type launch_stats = {
   st_entry : string;
@@ -59,6 +65,9 @@ type t = {
   mutable write_epoch : int;
       (** bumped whenever store counts may be incomplete (block-sampled
           launches, context reset): elision must not trust older counts *)
+  mutable closure_jit : bool;
+      (** compile kernel ASTs to OCaml closures at module load (default
+          true); the tree-walker remains the reference executor *)
 }
 
 val create : ?spec:Spec.t -> Simclock.t -> t
@@ -66,6 +75,14 @@ val create : ?spec:Spec.t -> Simclock.t -> t
 (** Attach (or detach, with [None]) a trace ring; the driver then emits
     init/mem/transfer/load/jit/kernel events into it. *)
 val set_trace : t -> Perf.Trace.t option -> unit
+
+(** Enable/disable the closure JIT.  Affects subsequent module loads
+    (whether a compiled form is built, with a cat:"jit"
+    "closure_compile" instant) and subsequent launches of
+    already-loaded modules (whether their compiled form is used).
+    Simulated times are identical either way — compilation is host-side
+    simulator work, not a modelled device cost. *)
+val set_jit : t -> bool -> unit
 
 (** Attach (or detach, with [None]) a fault-injection hook.  It is
     called with a site name ("alloc", "h2d", "d2h", "module_load",

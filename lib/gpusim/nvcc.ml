@@ -88,6 +88,12 @@ let load_cost ?(inject : (string -> unit) option) ~(jit_cache : (string, unit) H
       }
     end
 
-(* Drop a (corrupt) cache entry so the next load re-JITs. *)
-let invalidate ~(jit_cache : (string, unit) Hashtbl.t) (a : artifact) : unit =
-  Hashtbl.remove jit_cache a.art_hash
+(* Drop a (corrupt) cache entry so the next load re-JITs.  A resident
+   module built from the corrupt entry is just as tainted — and it
+   carries the closure-compiled form of the kernels — so when the
+   caller's module table is supplied, the module is evicted too and the
+   next load redoes BOTH the PTX JIT and the closure compile. *)
+let invalidate ~(jit_cache : (string, unit) Hashtbl.t) ?(modules : (string, 'm) Hashtbl.t option)
+    (a : artifact) : unit =
+  Hashtbl.remove jit_cache a.art_hash;
+  match modules with Some m -> Hashtbl.remove m a.art_hash | None -> ()

@@ -42,5 +42,9 @@ type load_cost = { lc_ns : float; lc_jit_compiled : bool; lc_cache_hit : bool }
 val load_cost : ?inject:(string -> unit) -> jit_cache:(string, unit) Hashtbl.t -> artifact -> load_cost
 
 (** Drop an artifact's (corrupt) JIT cache entry so the next load
-    re-compiles. *)
-val invalidate : jit_cache:(string, unit) Hashtbl.t -> artifact -> unit
+    re-compiles.  When the caller's module table is supplied, the
+    resident module built from the tainted entry (including its
+    closure-compiled form) is evicted as well, forcing the next load to
+    redo both the PTX JIT and the closure compile. *)
+val invalidate :
+  jit_cache:(string, unit) Hashtbl.t -> ?modules:(string, 'm) Hashtbl.t -> artifact -> unit

@@ -132,7 +132,8 @@ let bind_dim3 (ctx : Cinterp.Interp.t) name (d : dim3) =
 
 (* Execute one block to completion. *)
 let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source)
-    ~(counters : Counters.t) ~(install_builtins : Cinterp.Interp.t -> block_state -> thread_state -> unit)
+    ~(compiled : Cinterp.Jit.compiled option) ~(counters : Counters.t)
+    ~(install_builtins : Cinterp.Interp.t -> block_state -> thread_state -> unit)
     ~(local_pool : Mem.t array) ~(output : Buffer.t) ~(config : launch_config) ~(block_idx : dim3)
     ~(block_lin : int) : unit =
   let n_threads = dim3_total config.lc_block in
@@ -226,6 +227,10 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
     bind_dim3 ctx "blockDim" config.lc_block;
     bind_dim3 ctx "gridDim" config.lc_grid;
     install_builtins ctx bs ts;
+    (* Route this thread's calls through the module's closure-compiled
+       form (if any); builtins and the effects-based yield points are
+       untouched, so scheduling semantics do not change. *)
+    (match compiled with Some c -> Cinterp.Jit.attach c ctx | None -> ());
     fun () -> ignore (Cinterp.Interp.call_fundef ctx entry_fn config.lc_args)
   in
   (* Spawn all threads as fibers. *)
@@ -312,7 +317,8 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
 
 (* Launch a kernel over the whole grid (subject to the block filter). *)
 let launch ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source)
-    ~(counters : Counters.t) ~(install_builtins : Cinterp.Interp.t -> block_state -> thread_state -> unit)
+    ?(compiled : Cinterp.Jit.compiled option) ~(counters : Counters.t)
+    ~(install_builtins : Cinterp.Interp.t -> block_state -> thread_state -> unit)
     ~(output : Buffer.t) (config : launch_config) : unit =
   ensure_dim3 source.ks_structs;
   let n_threads = dim3_total config.lc_block in
@@ -340,8 +346,8 @@ let launch ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source)
             counters.Counters.block_contributed <- false
           end
           else counters.Counters.sample_block_seq <- -1;
-          run_block ~spec ~mem ~source ~counters ~install_builtins ~local_pool ~output ~config
-            ~block_idx:{ x = bx; y = by; z = bz } ~block_lin;
+          run_block ~spec ~mem ~source ~compiled ~counters ~install_builtins ~local_pool ~output
+            ~config ~block_idx:{ x = bx; y = by; z = bz } ~block_lin;
           if counters.Counters.sample_block_seq >= 0 && counters.Counters.block_contributed then
             incr sampled_blocks
         end

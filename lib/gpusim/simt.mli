@@ -102,11 +102,15 @@ type launch_config = {
 type device_memories = { dm_global : Mem.t; dm_host : Mem.t option }
 
 (** Launch a kernel over the grid (subject to the block filter),
-    detecting barrier deadlocks and illegal memory-space accesses. *)
+    detecting barrier deadlocks and illegal memory-space accesses.
+    With [?compiled], each thread executes the module's
+    closure-compiled form instead of tree-walking the AST (identical
+    semantics, hooks and yield points; see {!Cinterp.Jit}). *)
 val launch :
   spec:Spec.t ->
   mem:device_memories ->
   source:kernel_source ->
+  ?compiled:Cinterp.Jit.compiled ->
   counters:Counters.t ->
   install_builtins:(Cinterp.Interp.t -> block_state -> thread_state -> unit) ->
   output:Buffer.t ->

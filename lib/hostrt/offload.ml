@@ -39,8 +39,11 @@ let resilient (rt : Rt.t) (device : Rt.device) ~(artifact : Nvcc.artifact) ~labe
     ~on_fault:(fun _site kind ->
       match kind with
       | Faults.Corrupt_cache ->
-        Nvcc.invalidate ~jit_cache:driver.Driver.jit_cache artifact;
-        Hashtbl.remove driver.Driver.modules artifact.Nvcc.art_hash
+        (* drops the disk-cache entry AND the resident module (whose
+           closure-compiled kernels came from the corrupt entry), so
+           the retry re-JITs the PTX and re-runs the closure compile *)
+        Nvcc.invalidate ~jit_cache:driver.Driver.jit_cache ~modules:driver.Driver.modules
+          artifact
       | Faults.Transient | Faults.Fatal -> ())
     ~label f
 

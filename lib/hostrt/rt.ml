@@ -135,6 +135,9 @@ let set_zerocopy t (on : bool) : unit =
 let set_elide t (on : bool) : unit =
   Array.iter (fun d -> Dataenv.set_elide d.dev_dataenv on) t.devices
 
+(* Closure-JIT knob (the --no-jit CLI escape hatch disables it). *)
+let set_jit t (on : bool) : unit = Array.iter (fun d -> Driver.set_jit d.dev_driver on) t.devices
+
 let device t id =
   if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;
   t.devices.(id)

@@ -82,6 +82,10 @@ val set_zerocopy : t -> bool -> unit
 (** Enable transfer elision on every device (see {!Dataenv.set_elide}). *)
 val set_elide : t -> bool -> unit
 
+(** Enable/disable the closure JIT on every device (see
+    {!Gpusim.Driver.set_jit}; the [--no-jit] CLI escape hatch). *)
+val set_jit : t -> bool -> unit
+
 val device : t -> int -> device
 
 val default_dev : t -> device

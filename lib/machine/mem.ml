@@ -117,7 +117,16 @@ let load_scalar t (env : Cty.layout_env) (a : Addr.t) (ty : Cty.t) : Value.t =
     Value.int ~ty (Int64.of_int (Bytes.get_uint16_le t.data off))
   | Cty.Int | Cty.Uint ->
     check t off 4;
-    Value.int ~ty (Int64.of_int32 (Bytes.get_int32_le t.data off))
+    (* native assembly: no Int32/Int64 boxing on the executor's hottest
+       load (and [Value.of_int] shares cached small ints) *)
+    let d = t.data in
+    let u =
+      Char.code (Bytes.unsafe_get d off)
+      lor (Char.code (Bytes.unsafe_get d (off + 1)) lsl 8)
+      lor (Char.code (Bytes.unsafe_get d (off + 2)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get d (off + 3)) lsl 24)
+    in
+    Value.of_int ~ty u
   | Cty.Long | Cty.Ulong ->
     check t off 8;
     Value.int ~ty (Bytes.get_int64_le t.data off)
@@ -146,7 +155,12 @@ let store_scalar t (_env : Cty.layout_env) (a : Addr.t) (ty : Cty.t) (v : Value.
     Bytes.set_uint16_le t.data off (Int64.to_int (Value.as_int v) land 0xFFFF)
   | Cty.Int | Cty.Uint ->
     check t off 4;
-    Bytes.set_int32_le t.data off (Int64.to_int32 (Value.as_int v))
+    let i = Int64.to_int (Value.as_int v) in
+    let d = t.data in
+    Bytes.unsafe_set d off (Char.unsafe_chr (i land 0xFF));
+    Bytes.unsafe_set d (off + 1) (Char.unsafe_chr ((i lsr 8) land 0xFF));
+    Bytes.unsafe_set d (off + 2) (Char.unsafe_chr ((i lsr 16) land 0xFF));
+    Bytes.unsafe_set d (off + 3) (Char.unsafe_chr ((i lsr 24) land 0xFF))
   | Cty.Long | Cty.Ulong ->
     check t off 8;
     Bytes.set_int64_le t.data off (Value.as_int v)

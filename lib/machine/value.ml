@@ -35,9 +35,31 @@ let normalise_int ty (i : int64) =
   | Cty.Long | Cty.Ulong -> i
   | ty -> value_error "normalise_int: not an integer type %s" (Cty.show ty)
 
-let int ?(ty = Cty.Int) i = VInt (normalise_int ty i, ty)
+(* Values are immutable, so the common small ints (loop counters, thread
+   ids, array indices, booleans) are shared instead of re-boxed on every
+   creation; the interpreter allocates one per evaluated expression
+   otherwise, and the executors live on [int]-typed index arithmetic. *)
+let small_int_limit = 65536
 
-let of_int ?(ty = Cty.Int) i = int ~ty (Int64.of_int i)
+let small_ints = Array.init small_int_limit (fun i -> VInt (Int64.of_int i, Cty.Int))
+
+let int ?(ty = Cty.Int) i =
+  let v = normalise_int ty i in
+  match ty with
+  | Cty.Int when Int64.compare v 0L >= 0 && Int64.compare v (Int64.of_int small_int_limit) < 0 ->
+    Array.unsafe_get small_ints (Int64.to_int v)
+  | _ -> VInt (v, ty)
+
+(* Allocation-free for cached [int]-typed values: the normalisation runs
+   on the native int, so no intermediate Int64 is boxed on a cache hit. *)
+let of_int ?(ty = Cty.Int) i =
+  match ty with
+  | Cty.Int ->
+    let v = i land 0xFFFFFFFF in
+    let v = if v > 0x7FFFFFFF then v - 0x100000000 else v in
+    if v >= 0 && v < small_int_limit then Array.unsafe_get small_ints v
+    else VInt (Int64.of_int v, Cty.Int)
+  | _ -> int ~ty (Int64.of_int i)
 
 let flt ?(ty = Cty.Double) f =
   match ty with
@@ -83,9 +105,21 @@ let is_true = function
 
 let bool b = int ~ty:Cty.Int (if b then 1L else 0L)
 
-(* Convert [v] to type [ty] following C conversion rules. *)
+(* Convert [v] to type [ty] following C conversion rules.  A value that
+   already carries the target scalar type is normalised by construction,
+   so it is returned as-is (values are immutable). *)
 let cast ty v =
   match (ty, v) with
+  | Cty.Int, VInt (_, Cty.Int)
+  | Cty.Uint, VInt (_, Cty.Uint)
+  | Cty.Long, VInt (_, Cty.Long)
+  | Cty.Ulong, VInt (_, Cty.Ulong)
+  | Cty.Char, VInt (_, Cty.Char)
+  | Cty.Uchar, VInt (_, Cty.Uchar)
+  | Cty.Short, VInt (_, Cty.Short)
+  | Cty.Ushort, VInt (_, Cty.Ushort)
+  | Cty.Float, VFlt (_, Cty.Float)
+  | Cty.Double, VFlt (_, Cty.Double) -> v
   | Cty.Void, _ -> VVoid
   | (Cty.Float | Cty.Double), _ -> flt ~ty (as_float v)
   | ty, _ when Cty.is_integer ty -> int ~ty (as_int v)

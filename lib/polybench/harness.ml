@@ -64,6 +64,10 @@ let set_zerocopy ctx (on : bool) : unit = Hostrt.Rt.set_zerocopy ctx.rt on
 
 let set_elide ctx (on : bool) : unit = Hostrt.Rt.set_elide ctx.rt on
 
+(* Closure-JIT knob: the differential tests and the jit bench run the
+   same app with it on and off and require identical results. *)
+let set_jit ctx (on : bool) : unit = Hostrt.Rt.set_jit ctx.rt on
+
 let mem_stats ctx : Hostrt.Dataenv.stats = Hostrt.Dataenv.stats (dataenv ctx)
 
 let set_sampling ctx max_blocks = ctx.rt.Hostrt.Rt.sample_max_blocks <- max_blocks

@@ -62,6 +62,11 @@ val set_zerocopy : ctx -> bool -> unit
     {!Hostrt.Dataenv.set_elide}). *)
 val set_elide : ctx -> bool -> unit
 
+(** Enable/disable the closure JIT on this harness's devices (see
+    {!Gpusim.Driver.set_jit}); the differential tests and the jit bench
+    run the same app both ways and require identical results. *)
+val set_jit : ctx -> bool -> unit
+
 (** Elision/zero-copy counters for device 0's data environment. *)
 val mem_stats : ctx -> Hostrt.Dataenv.stats
 

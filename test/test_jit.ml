@@ -1,0 +1,424 @@
+(* The closure JIT (Cinterp.Jit) compiles each kernel AST once at module
+   load into slot-indexed OCaml closures; the tree-walking interpreter
+   stays available as the reference executor (--no-jit).  This suite
+   proves the two executors equivalent:
+
+   - differentially: every Polybench app, in both the hand-written CUDA
+     and the OMPi-translated variant, must produce bit-identical outputs,
+     identical per-launch dynamic counters, identical simulated cycle
+     costs and identical simulated times with the JIT on and off — also
+     under fault injection, zero-copy, transfer elision and a resized
+     stream pool;
+
+   - property-based: a QCheck generator of random mini-C kernels
+     (straight-line float arithmetic, bounded uniform loops, shared
+     memory with barriers, branches divergent on the thread id) checks
+     the same bit-identity on kernels nobody hand-wrote, with a shrinker
+     that reduces failures to minimal statement lists;
+
+   - and for the recovery path: a corrupt JIT-cache entry must force a
+     recompile of *both* the PTX and the closure form. *)
+
+open Gpusim
+open Polybench
+
+let parse_ok spec =
+  match Hostrt.Faults.parse spec with
+  | Ok rules -> rules
+  | Error msg -> Alcotest.fail (Printf.sprintf "bad fault spec %S: %s" spec msg)
+
+(* ---------------------------------------------------------------- *)
+(* Observation: everything a launch did, as comparable data           *)
+(* ---------------------------------------------------------------- *)
+
+(* Every dynamic statistic the cost model consumes, flattened to a
+   string so launch lists compare (and print on failure) wholesale. *)
+let counters_summary (c : Counters.t) : string =
+  let cl = c.Counters.classes in
+  Printf.sprintf
+    "arith=%d mul=%d div=%d branch=%d call=%d special=%d thread_sum=%.3f warp_sum=%.3f \
+     warp_max=%.3f shared=%d local=%d barriers=%d atomics=%d chunks=%d blocks=%d/%d zc=%d/%d \
+     glb=%d tx=%.3f"
+    cl.Counters.arith cl.Counters.mul cl.Counters.div cl.Counters.branch cl.Counters.call
+    cl.Counters.special c.Counters.thread_inst_sum c.Counters.warp_inst_sum
+    c.Counters.warp_inst_max c.Counters.shared_accesses c.Counters.local_accesses
+    c.Counters.barrier_warp_arrivals c.Counters.atomics c.Counters.chunk_grabs
+    c.Counters.blocks_executed c.Counters.blocks_total c.Counters.zerocopy_loads
+    c.Counters.zerocopy_stores
+    (Counters.global_accesses c)
+    (Counters.global_transactions c)
+
+(* Per-launch record (oldest first): entry, counters, cycles, time. *)
+let launch_log ctx : string list =
+  List.rev_map
+    (fun (s : Driver.launch_stats) ->
+      Printf.sprintf "%s: %s | cycles=%.6f time_ns=%.6f" s.Driver.st_entry
+        (counters_summary s.Driver.st_counters)
+        s.Driver.st_breakdown.Costmodel.bd_total_cycles
+        s.Driver.st_breakdown.Costmodel.bd_time_ns)
+    (Harness.driver ctx).Driver.launches
+
+let bits (a : float array) : int32 list = Array.to_list (Array.map Int32.bits_of_float a)
+
+type obs = { ob_time : float; ob_out : float array; ob_log : string list }
+
+let check_identical name (jit : obs) (interp : obs) =
+  Alcotest.(check (list int32))
+    (name ^ ": bit-identical outputs") (bits interp.ob_out) (bits jit.ob_out);
+  Alcotest.(check (list string))
+    (name ^ ": identical launch counters and cycle costs")
+    interp.ob_log jit.ob_log;
+  Alcotest.(check (float 0.0)) (name ^ ": identical simulated time") interp.ob_time jit.ob_time
+
+(* ---------------------------------------------------------------- *)
+(* Differential suite over the Polybench apps                         *)
+(* ---------------------------------------------------------------- *)
+
+let run_app ?(faults = []) ?streams ?(zerocopy = false) ?(elide = false) (app : Suite.app)
+    (variant : Harness.variant) ~(jit : bool) ~(n : int) : obs =
+  let ctx = Harness.create () in
+  Harness.set_sampling ctx None;
+  Harness.set_jit ctx jit;
+  (match streams with Some k -> Harness.set_streams ctx k | None -> ());
+  if zerocopy then Harness.set_zerocopy ctx true;
+  if elide then Harness.set_elide ctx true;
+  (match faults with [] -> () | rules -> Harness.set_faults ctx rules);
+  let time, out = app.Suite.ap_run ctx variant ~n in
+  { ob_time = time; ob_out = out; ob_log = launch_log ctx }
+
+let smallest (app : Suite.app) : int =
+  match app.Suite.ap_validate_sizes with
+  | n :: _ -> n
+  | [] -> Alcotest.fail (app.Suite.ap_name ^ " has no validation sizes")
+
+(* JIT vs interpreter on both device variants, plus the host-reference
+   anchor: equivalence alone would be vacuous if both executors were
+   wrong the same way. *)
+let test_app_differential (app : Suite.app) () =
+  let n = smallest app in
+  let jit = run_app app Harness.Ompi_cudadev ~jit:true ~n in
+  let interp = run_app app Harness.Ompi_cudadev ~jit:false ~n in
+  check_identical (app.Suite.ap_name ^ "/omp") jit interp;
+  let want = app.Suite.ap_reference ~n in
+  Alcotest.(check bool)
+    (app.Suite.ap_name ^ ": JIT output matches the host reference")
+    true
+    (Array.length jit.ob_out = Array.length want && Harness.max_rel_error jit.ob_out want < 1e-3);
+  let cjit = run_app app Harness.Cuda ~jit:true ~n in
+  let cinterp = run_app app Harness.Cuda ~jit:false ~n in
+  check_identical (app.Suite.ap_name ^ "/cuda") cjit cinterp
+
+(* The runtime configuration legs: the JIT must stay invisible when the
+   launch path is perturbed by recovery, memory policy or stream
+   count. *)
+let config_leg label ~run = check_identical label (run ~jit:true) (run ~jit:false)
+
+let test_config_legs () =
+  let app =
+    match Suite.find "atax" with Some a -> a | None -> Alcotest.fail "atax not in suite"
+  in
+  let n = smallest app in
+  config_leg "atax faulted launch" ~run:(fun ~jit ->
+      run_app ~faults:(parse_ok "launch:nth=1") app Harness.Ompi_cudadev ~jit ~n);
+  config_leg "atax zero-copy" ~run:(fun ~jit ->
+      run_app ~zerocopy:true app Harness.Ompi_cudadev ~jit ~n);
+  config_leg "atax transfer elision" ~run:(fun ~jit ->
+      run_app ~elide:true app Harness.Ompi_cudadev ~jit ~n);
+  config_leg "atax single stream" ~run:(fun ~jit ->
+      run_app ~streams:1 app Harness.Ompi_cudadev ~jit ~n)
+
+(* The gate itself: modules carry a closure form exactly when the JIT is
+   enabled on the driver. *)
+let tiny_src = "void k(float *out) { out[threadIdx.x] = 1.0f + threadIdx.x; }"
+
+let test_module_carries_closures () =
+  let ctx = Harness.create () in
+  let m = Harness.cuda_module ctx ~name:"tiny" ~source:tiny_src in
+  Alcotest.(check bool) "jit on: module carries the closure form" true
+    (Option.is_some m.Driver.lm_compiled);
+  let ctx2 = Harness.create () in
+  Harness.set_jit ctx2 false;
+  let m2 = Harness.cuda_module ctx2 ~name:"tiny" ~source:tiny_src in
+  Alcotest.(check bool) "jit off: module loads without a closure form" false
+    (Option.is_some m2.Driver.lm_compiled)
+
+(* ---------------------------------------------------------------- *)
+(* QCheck: random kernels                                             *)
+(* ---------------------------------------------------------------- *)
+
+(* A tiny structured kernel language, rendered to mini-C CUDA source.
+   Every generated kernel reads [in], accumulates into a local [acc],
+   round-trips through __shared__ memory, and writes out[i] — with
+   [t = threadIdx.x] available for divergence.  Barriers are generated
+   at top level and inside uniform-trip loops only, never under the
+   tid-divergent branch (that would deadlock a real block). *)
+
+let sh_size = 32
+
+type rexpr =
+  | Rin of int (* in[(i + k) % n] *)
+  | Rsh of int (* sh[(t + k) % sh_size] *)
+  | Racc
+  | Rconst of int (* k.0f, k >= 0 *)
+  | Rbin of char * rexpr * rexpr
+
+type rstmt =
+  | Racc_upd of char * rexpr (* acc = acc OP (e); *)
+  | Rsh_write of int * rexpr (* sh[(t + k) % sh_size] = e; *)
+  | Rbarrier
+  | Rif of rstmt list (* if (t % 2 == 0) { ... }  — divergent *)
+  | Rloop of int * rstmt list (* for (jL = 0; jL < c; jL++) { ... } — uniform *)
+
+type rkernel = { rk_stmts : rstmt list }
+
+let rec render_expr (b : Buffer.t) = function
+  | Rin k -> Buffer.add_string b (Printf.sprintf "in[(i + %d) %% n]" k)
+  | Rsh k -> Buffer.add_string b (Printf.sprintf "sh[(t + %d) %% %d]" k sh_size)
+  | Racc -> Buffer.add_string b "acc"
+  | Rconst k -> Buffer.add_string b (Printf.sprintf "%d.0f" k)
+  | Rbin (op, x, y) ->
+    Buffer.add_char b '(';
+    render_expr b x;
+    Buffer.add_char b ' ';
+    Buffer.add_char b op;
+    Buffer.add_char b ' ';
+    render_expr b y;
+    Buffer.add_char b ')'
+
+let rec render_stmt (b : Buffer.t) ~(lvl : int) (indent : string) = function
+  | Racc_upd (op, e) ->
+    Buffer.add_string b (Printf.sprintf "%sacc = acc %c " indent op);
+    render_expr b e;
+    Buffer.add_string b ";\n"
+  | Rsh_write (k, e) ->
+    Buffer.add_string b (Printf.sprintf "%ssh[(t + %d) %% %d] = " indent k sh_size);
+    render_expr b e;
+    Buffer.add_string b ";\n"
+  | Rbarrier -> Buffer.add_string b (indent ^ "__syncthreads();\n")
+  | Rif body ->
+    Buffer.add_string b (indent ^ "if (t % 2 == 0) {\n");
+    List.iter (render_stmt b ~lvl:(lvl + 1) (indent ^ "  ")) body;
+    Buffer.add_string b (indent ^ "}\n")
+  | Rloop (c, body) ->
+    Buffer.add_string b (Printf.sprintf "%sfor (j%d = 0; j%d < %d; j%d++) {\n" indent lvl lvl c lvl);
+    List.iter (render_stmt b ~lvl:(lvl + 1) (indent ^ "  ")) body;
+    Buffer.add_string b (indent ^ "}\n")
+
+let render (k : rkernel) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "void randk(float *in, float *out, int n)\n{\n";
+  Buffer.add_string b "  int t = threadIdx.x;\n";
+  Buffer.add_string b "  int i = blockIdx.x * blockDim.x + t;\n";
+  Buffer.add_string b "  int j0; int j1; int j2; int j3;\n";
+  Buffer.add_string b (Printf.sprintf "  __shared__ float sh[%d];\n" sh_size);
+  Buffer.add_string b (Printf.sprintf "  sh[t %% %d] = in[i %% n] + t;\n" sh_size);
+  Buffer.add_string b "  __syncthreads();\n";
+  Buffer.add_string b "  float acc = in[i % n];\n";
+  List.iter (render_stmt b ~lvl:0 "  ") k.rk_stmts;
+  Buffer.add_string b "  out[i % n] = acc;\n}\n";
+  Buffer.contents b
+
+let gen_expr : rexpr QCheck.Gen.t =
+  QCheck.Gen.(
+    sized_size (int_bound 3)
+      (fix (fun self d ->
+           let leaf =
+             oneof
+               [
+                 map (fun k -> Rin k) (int_bound 5);
+                 map (fun k -> Rsh k) (int_bound 5);
+                 return Racc;
+                 map (fun k -> Rconst k) (int_bound 5);
+               ]
+           in
+           if d = 0 then leaf
+           else
+             frequency
+               [
+                 (2, leaf);
+                 ( 3,
+                   map3
+                     (fun op x y -> Rbin (op, x, y))
+                     (oneofl [ '+'; '-'; '*'; '/' ])
+                     (self (d - 1)) (self (d - 1)) );
+               ])))
+
+(* [div] is true once we are under the tid-divergent branch: no barriers
+   below that point.  [depth] bounds statement nesting at 2. *)
+let rec gen_stmt ~(div : bool) ~(depth : int) : rstmt QCheck.Gen.t =
+  QCheck.Gen.(
+    let base =
+      [
+        (3, map2 (fun op e -> Racc_upd (op, e)) (oneofl [ '+'; '-'; '*' ]) gen_expr);
+        (2, map2 (fun k e -> Rsh_write (k, e)) (int_bound 5) gen_expr);
+      ]
+    in
+    let base = if div then base else (1, return Rbarrier) :: base in
+    let nested =
+      if depth = 0 then []
+      else
+        [
+          (1, map (fun ss -> Rif ss) (gen_stmts ~div:true ~depth:(depth - 1)));
+          ( 1,
+            map2 (fun c ss -> Rloop (c, ss)) (int_range 1 3) (gen_stmts ~div ~depth:(depth - 1))
+          );
+        ]
+    in
+    frequency (base @ nested))
+
+and gen_stmts ~div ~depth : rstmt list QCheck.Gen.t =
+  QCheck.Gen.(list_size (int_range 1 4) (gen_stmt ~div ~depth))
+
+let gen_kernel : rkernel QCheck.Gen.t =
+  QCheck.Gen.map (fun ss -> { rk_stmts = ss }) (gen_stmts ~div:false ~depth:2)
+
+(* Shrink by dropping statements, thinning nested bodies and shortening
+   loops: counterexamples come back as minimal statement lists. *)
+let rec shrink_stmt (s : rstmt) : rstmt QCheck.Iter.t =
+  QCheck.Iter.(
+    match s with
+    | Racc_upd _ | Rsh_write _ | Rbarrier -> empty
+    | Rif body -> map (fun b -> Rif b) (shrink_stmts body)
+    | Rloop (c, body) ->
+      append
+        (if c > 1 then return (Rloop (c - 1, body)) else empty)
+        (map (fun b -> Rloop (c, b)) (shrink_stmts body)))
+
+and shrink_stmts (ss : rstmt list) : rstmt list QCheck.Iter.t =
+  QCheck.Shrink.list ~shrink:shrink_stmt ss
+
+let shrink_kernel (k : rkernel) : rkernel QCheck.Iter.t =
+  QCheck.Iter.map (fun ss -> { rk_stmts = ss }) (shrink_stmts k.rk_stmts)
+
+let print_kernel (k : rkernel) : string = render k
+
+(* Run one random kernel through the driver: 2 blocks of 32 threads over
+   a 64-element buffer, explicit h2d/launch/d2h as in the CUDA variant. *)
+let run_random ~(jit : bool) (k : rkernel) : obs =
+  let n = 64 in
+  let ctx = Harness.create () in
+  Harness.set_sampling ctx None;
+  Harness.set_jit ctx jit;
+  let m = Harness.cuda_module ctx ~name:"randk" ~source:(render k) in
+  let h_in = Harness.alloc_f32 ctx n and h_out = Harness.alloc_f32 ctx n in
+  Harness.fill_f32 ctx h_in n (fun i -> (0.5 *. float_of_int ((i mod 7) + 1)) -. 1.0);
+  Harness.fill_f32 ctx h_out n (fun _ -> 0.0);
+  let d_in = Harness.dev_alloc ctx (4 * n) and d_out = Harness.dev_alloc ctx (4 * n) in
+  Harness.h2d ctx ~src:h_in ~dst:d_in ~bytes:(4 * n);
+  Harness.h2d ctx ~src:h_out ~dst:d_out ~bytes:(4 * n);
+  let time =
+    Harness.measure ctx (fun () ->
+        ignore
+          (Harness.launch_cuda ctx m ~entry:"randk" ~grid:(Simt.dim3 2) ~block:(Simt.dim3 32)
+             [ Harness.fptr d_in; Harness.fptr d_out; Harness.vint n ]))
+  in
+  Harness.d2h ctx ~src:d_out ~dst:h_out ~bytes:(4 * n);
+  { ob_time = time; ob_out = Harness.read_f32_array ctx h_out n; ob_log = launch_log ctx }
+
+let prop_random_kernel_equivalence =
+  QCheck.Test.make ~name:"random kernel: JIT == tree-walking interpreter" ~count:40
+    (QCheck.make gen_kernel ~shrink:shrink_kernel ~print:print_kernel) (fun k ->
+      let jit = run_random ~jit:true k in
+      let interp = run_random ~jit:false k in
+      bits jit.ob_out = bits interp.ob_out
+      && jit.ob_log = interp.ob_log
+      && jit.ob_time = interp.ob_time)
+
+(* ---------------------------------------------------------------- *)
+(* Corrupt JIT cache: both compiled forms must be rebuilt             *)
+(* ---------------------------------------------------------------- *)
+
+let saxpy_src =
+  {|
+int main(void)
+{
+  float x[10];
+  float y[10];
+  int i;
+  for (i = 0; i < 10; i++) { x[i] = i; y[i] = 10.0f; }
+  #pragma omp target map(to: x[0:10]) map(tofrom: y[0:10])
+  {
+    #pragma omp parallel for
+    for (i = 0; i < 10; i++)
+      y[i] = 2.0f * x[i] + y[i];
+  }
+  printf("y[0]=%f y[9]=%f\n", y[0], y[9]);
+  return 0;
+}
+|}
+
+let saxpy_expected = "y[0]=10.000000 y[9]=28.000000\n"
+
+(* PTX mode.  The first run JIT-compiles the PTX and closure-compiles
+   the module.  After a device reset (module table cleared, disk cache
+   kept) the reload's cache hit is injected as corrupt: recovery must
+   invalidate the entry AND the resident module, so the retry recompiles
+   both forms — a second jit_compile and a second closure_compile. *)
+let test_corrupt_cache_recompiles_both_forms () =
+  let config = { Ompi.default_config with Ompi.binary_mode = Nvcc.Ptx } in
+  let inst = Ompi.load ~config ~trace:true (Ompi.compile ~config ~name:"jit_corrupt" saxpy_src) in
+  let tr =
+    match inst.Ompi.i_trace with Some tr -> tr | None -> Alcotest.fail "instance has no trace"
+  in
+  let jit_events name = Perf.Trace.count_events tr ~cat:"jit" ~name () in
+  let r1 = Ompi.run inst () in
+  Alcotest.(check string) "clean run correct" saxpy_expected r1.Ompi.run_output;
+  Alcotest.(check int) "one initial PTX compile" 1 (jit_events "jit_compile");
+  Alcotest.(check int) "one initial closure compile" 1 (jit_events "closure_compile");
+  Driver.reset (Hostrt.Rt.device inst.Ompi.i_rt 0).Hostrt.Rt.dev_driver;
+  Hostrt.Rt.set_faults inst.Ompi.i_rt (Some (Hostrt.Faults.create (parse_ok "jit:nth=1")));
+  let r2 = Ompi.run inst () in
+  Alcotest.(check string) "recovered run correct" saxpy_expected r2.Ompi.run_output;
+  Alcotest.(check int) "corrupt cache entry injected" 1
+    (Perf.Trace.count_events tr ~cat:"fault" ~name:"fault_injected" ());
+  Alcotest.(check int) "PTX recompiled after invalidation" 2 (jit_events "jit_compile");
+  Alcotest.(check int) "closure form recompiled too" 2 (jit_events "closure_compile");
+  Alcotest.(check (option string)) "device stays alive" None
+    (Hostrt.Dataenv.dead_reason (Hostrt.Rt.device inst.Ompi.i_rt 0).Hostrt.Rt.dev_dataenv)
+
+(* Compilation is once per module load, not per launch: relaunching must
+   not add closure_compile events. *)
+let test_compile_once_per_module () =
+  let ctx = Harness.create () in
+  let tr = Harness.enable_trace ctx in
+  let app =
+    match Suite.find "atax" with Some a -> a | None -> Alcotest.fail "atax not in suite"
+  in
+  let n = smallest app in
+  ignore (app.Suite.ap_run ctx Harness.Ompi_cudadev ~n);
+  let after_first = Perf.Trace.count_events tr ~cat:"jit" ~name:"closure_compile" () in
+  Alcotest.(check bool) "at least one closure compile" true (after_first >= 1);
+  ignore (app.Suite.ap_run ctx Harness.Ompi_cudadev ~n);
+  let launches = List.length (Harness.driver ctx).Driver.launches in
+  Alcotest.(check bool) "several launches recorded" true (launches > after_first);
+  Alcotest.(check int) "no recompilation on relaunch" after_first
+    (Perf.Trace.count_events tr ~cat:"jit" ~name:"closure_compile" ())
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let app_cases =
+    List.map
+      (fun (app : Suite.app) ->
+        Alcotest.test_case (app.Suite.ap_name ^ " JIT == interpreter == reference") `Slow
+          (test_app_differential app))
+      Suite.all
+  in
+  Alcotest.run "jit"
+    [
+      ("differential", app_cases);
+      ( "legs",
+        [
+          Alcotest.test_case "fault/zerocopy/elide/stream legs" `Slow test_config_legs;
+          Alcotest.test_case "module carries closures iff jit on" `Quick
+            test_module_carries_closures;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_random_kernel_equivalence ]);
+      ( "cache",
+        [
+          Alcotest.test_case "corrupt cache recompiles PTX and closures" `Quick
+            test_corrupt_cache_recompiles_both_forms;
+          Alcotest.test_case "closure compile once per module load" `Quick
+            test_compile_once_per_module;
+        ] );
+    ]
