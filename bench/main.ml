@@ -18,6 +18,11 @@
                                         -- closure-JIT vs tree-walking
                                            interpreter wall clock; fails
                                            unless one app clears 3x
+     dune exec bench/main.exe -- serve [--smoke]
+                                        -- ompiserve under load: multi-
+                                           stream vs serialized throughput,
+                                           plus a fault-injected leg; every
+                                           response bit-checked
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -880,15 +885,14 @@ let memshift ~smoke () =
   let atax = List.hd ms_apps in
   let _, r_ref, _, _ = run_memshift_variant atax ~n ~iters Ms_host in
   if not (memshift_fault_cell atax ~n ~iters r_ref) then incr failures;
-  if not smoke then begin
-    let oc = open_out "BENCH_memshift.json" in
-    Printf.fprintf oc
-      "{\n  \"bench\": \"memshift\",\n  \"n\": %d,\n  \"iters\": %d,\n  \"apps\": [\n%s\n  ]\n}\n" n
-      iters
-      (String.concat ",\n" (List.rev !json_rows));
-    close_out oc;
-    say "  [written: BENCH_memshift.json]\n"
-  end;
+  let oc = open_out "BENCH_memshift.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"memshift\",\n  \"smoke\": %b,\n  \"n\": %d,\n  \"iters\": %d,\n  \"apps\": \
+     [\n%s\n  ]\n}\n"
+    smoke n iters
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  say "  [written: BENCH_memshift.json]\n";
   if !failures > 0 then begin
     say "memshift: FAIL (%d check(s))\n" !failures;
     exit 1
@@ -991,6 +995,124 @@ let jit_bench ~smoke () =
   end;
   say "jit: PASS (best %.2fx on %s)\n" sp_max sp_app
 
+(* ------------------------------------------------------------------ *)
+(* serve: the offload server under load                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Three legs over the same seeded arrival pattern: the stream pool
+   (the configuration ompiserve ships with), a fully serialized
+   baseline (streams=1), and the stream pool under transient fault
+   injection.  Every response of every leg is bit-checked against the
+   host reference inside Serve.run, and the per-session final outputs
+   must agree bit-for-bit across the legs — scheduling and recovery may
+   only move time, never bytes.  Fails unless the stream pool clears
+   1.2x the serialized throughput. *)
+let serve_bench ~smoke () =
+  say "=== serve: concurrent offload server — multi-stream vs serialized ===\n";
+  let failures = ref 0 in
+  let check ok msg =
+    if not ok then begin
+      say "  CHECK FAILED: %s\n" msg;
+      incr failures
+    end
+  in
+  let sessions = Serve.default_sessions ~smoke in
+  let base =
+    {
+      Serve.cf_streams = 4;
+      cf_max_inflight = 8;
+      cf_generations = 2;
+      cf_seed = 42;
+      cf_elide = true;
+      cf_resident_cap_bytes = None;
+      cf_faults = [];
+      cf_fault_seed = 7;
+      cf_max_retries = None;
+      cf_trace = true;
+    }
+  in
+  let fault_rules =
+    match Hostrt.Faults.parse "h2d:every=7,kind=transient;launch:every=11,kind=transient" with
+    | Ok rules -> rules
+    | Error msg -> failwith ("serve bench: bad fault spec: " ^ msg)
+  in
+  let multi, tr = Serve.run base sessions in
+  let serial, _ = Serve.run { base with Serve.cf_streams = 1; cf_trace = false } sessions in
+  let faulted, _ =
+    Serve.run { base with Serve.cf_faults = fault_rules; cf_trace = false } sessions
+  in
+  let leg name (r : Serve.report) =
+    say "  %-12s %3d/%3d req, %8.1f req/s, p50/p95/p99 %.3f/%.3f/%.3f ms, depth mean %.2f, %s\n"
+      name r.Serve.rp_completed r.Serve.rp_requests r.Serve.rp_throughput_rps r.Serve.rp_p50_ms
+      r.Serve.rp_p95_ms r.Serve.rp_p99_ms r.Serve.rp_mean_queue_depth
+      (if r.Serve.rp_all_identical then "bit-identical" else "RESULTS DIFFER");
+    check r.Serve.rp_all_identical (name ^ ": responses differ from host reference");
+    check
+      (r.Serve.rp_completed = r.Serve.rp_requests)
+      (Printf.sprintf "%s: only %d of %d requests completed" name r.Serve.rp_completed
+         r.Serve.rp_requests)
+  in
+  leg "streams=4" multi;
+  leg "streams=1" serial;
+  leg "faulted" faulted;
+  let speedup = multi.Serve.rp_throughput_rps /. serial.Serve.rp_throughput_rps in
+  say "  multi-stream throughput speedup: %.2fx (gate: >= 1.20x)\n" speedup;
+  say "  env hit rate %.0f%%, %d warm-open H2Ds elided, faults injected in fault leg: %d\n"
+    (100.0 *. multi.Serve.rp_env_hit_rate)
+    multi.Serve.rp_open_elisions faulted.Serve.rp_faults_injected;
+  check (speedup >= 1.2)
+    (Printf.sprintf "multi-stream throughput %.2fx below the 1.2x bar" speedup);
+  check (multi.Serve.rp_env_hit_rate >= 0.99) "persistent data environments missed";
+  check (multi.Serve.rp_open_elisions >= 1) "no warm-open elision across generations";
+  check (faulted.Serve.rp_faults_injected >= 1) "fault leg injected nothing";
+  List.iter
+    (fun (name, (r : Serve.report)) ->
+      check
+        (List.for_all2
+           (fun (a : Serve.session_report) (b : Serve.session_report) ->
+             a.Serve.sr_output_bits = b.Serve.sr_output_bits)
+           multi.Serve.rp_sessions r.Serve.rp_sessions)
+        (name ^ ": per-session outputs differ from the multi-stream leg"))
+    [ ("streams=1", serial); ("faulted", faulted) ];
+  (match (Sys.getenv_opt "SERVE_TRACE", tr) with
+  | Some file, Some trace ->
+    Perf.Chrome_trace.write_file file trace;
+    say "  [trace: %d events written to %s]\n" (Perf.Trace.length trace) file
+  | _ -> ());
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"serve\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"clients\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"throughput_multi_rps\": %.1f,\n\
+    \  \"throughput_serial_rps\": %.1f,\n\
+    \  \"speedup_throughput\": %.4f,\n\
+    \  \"p50_ms\": %.4f,\n\
+    \  \"p95_ms\": %.4f,\n\
+    \  \"p99_ms\": %.4f,\n\
+    \  \"mean_queue_depth\": %.2f,\n\
+    \  \"max_queue_depth\": %d,\n\
+    \  \"env_hit_rate\": %.4f,\n\
+    \  \"open_elisions\": %d,\n\
+    \  \"fault_leg\": { \"faults_injected\": %d, \"bit_identical\": %b },\n\
+    \  \"bit_identical\": %b\n\
+     }\n"
+    smoke (List.length sessions) multi.Serve.rp_requests multi.Serve.rp_throughput_rps
+    serial.Serve.rp_throughput_rps speedup multi.Serve.rp_p50_ms multi.Serve.rp_p95_ms
+    multi.Serve.rp_p99_ms multi.Serve.rp_mean_queue_depth multi.Serve.rp_max_queue_depth
+    multi.Serve.rp_env_hit_rate multi.Serve.rp_open_elisions faulted.Serve.rp_faults_injected
+    faulted.Serve.rp_all_identical
+    (multi.Serve.rp_all_identical && serial.Serve.rp_all_identical);
+  close_out oc;
+  say "  [written: BENCH_serve.json]\n";
+  if !failures > 0 then begin
+    say "serve: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "serve: PASS (%.2fx multi-stream throughput)\n" speedup
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -1020,6 +1142,8 @@ let () =
   | [ "memshift"; "--smoke" ] -> memshift ~smoke:true ()
   | [ "jit" ] -> jit_bench ~smoke:false ()
   | [ "jit"; "--smoke" ] -> jit_bench ~smoke:true ()
+  | [ "serve" ] -> serve_bench ~smoke:false ()
+  | [ "serve"; "--smoke" ] -> serve_bench ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

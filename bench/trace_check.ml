@@ -4,11 +4,16 @@
    begin/end span pairs, at least one transfer event carrying a byte
    count, and JIT-cache hit/miss information.
 
-     dune exec bench/trace_check.exe -- [--expect-elision] out.json
+     dune exec bench/trace_check.exe -- [--expect-elision] [--expect-serve] out.json
 
    With --expect-elision, additionally requires at least one cat:"mem"
    elide_h2d/elide_d2h instant — the CI witness that the transfer-
    elision layer actually fired (bench memshift --smoke emits these).
+
+   With --expect-serve, requires cat:"serve" request-lifecycle events
+   and validates their pairing; pairing is validated whenever serve
+   events are present at all: every admitted request (args.req) must
+   have exactly one matching complete, and must have been enqueued.
 
    Exits 0 when the schema holds, 1 with a diagnostic otherwise.  Used
    by bench/trace_smoke.sh. *)
@@ -25,12 +30,14 @@ let read_file path =
 let str_field key ev = Option.bind (Perf.Json.member key ev) Perf.Json.to_string_opt
 
 let () =
-  let expect_elision, path =
-    match Sys.argv with
-    | [| _; path |] -> (false, path)
-    | [| _; "--expect-elision"; path |] -> (true, path)
+  let args = List.tl (Array.to_list Sys.argv) in
+  let expect_elision = List.mem "--expect-elision" args in
+  let expect_serve = List.mem "--expect-serve" args in
+  let path =
+    match List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args with
+    | [ path ] -> path
     | _ ->
-      prerr_endline "usage: trace_check [--expect-elision] <trace.json>";
+      prerr_endline "usage: trace_check [--expect-elision] [--expect-serve] <trace.json>";
       exit 2
   in
   if not (Sys.file_exists path) then fail "no such file: %s" path;
@@ -123,6 +130,36 @@ let () =
          events)
   in
   if expect_elision && elisions = 0 then fail "no elide_h2d/elide_d2h mem event";
-  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s)\n" path
+  (* Serve request lifecycle: each cat:"serve" instant names its request
+     in args.req; every admitted request needs exactly one complete, and
+     an enqueue before it could be admitted at all. *)
+  let serve_reqs name =
+    List.filter_map
+      (fun ev ->
+        if str_field "cat" ev = Some "serve" && str_field "name" ev = Some name then
+          match Option.bind (Perf.Json.member "args" ev) (str_field "req") with
+          | Some req -> Some req
+          | None -> fail "serve %S event without args.req" name
+        else None)
+      events
+  in
+  let admits = serve_reqs "admit" in
+  let completes = serve_reqs "complete" in
+  let enqueues = serve_reqs "enqueue" in
+  if expect_serve && admits = [] then fail "no cat=\"serve\" admit events";
+  List.iter
+    (fun req ->
+      let n = List.length (List.filter (( = ) req) completes) in
+      if n <> 1 then fail "serve request %s admitted but completed %d times" req n;
+      if not (List.mem req enqueues) then fail "serve request %s admitted without enqueue" req)
+    admits;
+  List.iter
+    (fun req ->
+      if not (List.mem req admits) then fail "serve request %s completed without admit" req)
+    completes;
+  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s%s)\n" path
     (List.length events)
     (if expect_elision then Printf.sprintf ", %d elided transfer(s)" elisions else "")
+    (if admits <> [] then
+       Printf.sprintf ", %d serve request(s) admit/complete paired" (List.length admits)
+     else "")

@@ -1,0 +1,140 @@
+(* ompiserve — a long-lived offload server on the simulated Jetson Nano
+   2GB: many clients, one device context.  Sessions keep persistent
+   data environments, requests multiplex onto the stream pool, closed
+   sessions warm the resident cache for the next generation.  Prints
+   throughput/latency/queue statistics and verifies every response
+   bit-identical against a sequential host reference. *)
+
+open Cmdliner
+
+let run_cmd streams inflight generations seed smoke no_elide resident_cap faults_spec fault_seed
+    max_retries trace_file =
+  let faults =
+    match faults_spec with
+    | None -> []
+    | Some spec -> (
+      match Hostrt.Faults.parse spec with
+      | Ok rules -> rules
+      | Error msg ->
+        Printf.eprintf "ompiserve: bad --faults spec: %s\n%s\n" msg Hostrt.Faults.spec_syntax;
+        exit 1)
+  in
+  let cfg =
+    {
+      Serve.cf_streams = streams;
+      cf_max_inflight = inflight;
+      cf_generations = generations;
+      cf_seed = seed;
+      cf_elide = not no_elide;
+      cf_resident_cap_bytes = resident_cap;
+      cf_faults = faults;
+      cf_fault_seed = fault_seed;
+      cf_max_retries = max_retries;
+      cf_trace = trace_file <> None;
+    }
+  in
+  let sessions = Serve.default_sessions ~smoke in
+  match Serve.run cfg sessions with
+  | exception Invalid_argument msg ->
+    Printf.eprintf "ompiserve: %s\n" msg;
+    exit 1
+  | r, trace ->
+    Printf.printf "ompiserve: %d clients, %d stream(s), max %d in flight, %d generation(s)\n"
+      (List.length sessions) streams inflight generations;
+    Printf.printf "  %d/%d requests served in %.6f s busy time -> %.1f req/s\n"
+      r.Serve.rp_completed r.Serve.rp_requests r.Serve.rp_busy_s r.Serve.rp_throughput_rps;
+    Printf.printf "  latency p50/p95/p99: %.3f / %.3f / %.3f ms; queue depth mean %.2f max %d\n"
+      r.Serve.rp_p50_ms r.Serve.rp_p95_ms r.Serve.rp_p99_ms r.Serve.rp_mean_queue_depth
+      r.Serve.rp_max_queue_depth;
+    Printf.printf
+      "  data env: %.0f%% persistent-map hits; %d warm-open H2Ds elided (%d h2d + %d d2h total), \
+       %d resident buffer(s)\n"
+      (100.0 *. r.Serve.rp_env_hit_rate)
+      r.Serve.rp_open_elisions r.Serve.rp_elided_h2d r.Serve.rp_elided_d2h
+      r.Serve.rp_resident_buffers_end;
+    if r.Serve.rp_faults_injected > 0 || r.Serve.rp_device_dead then
+      Printf.printf "  faults: %d injected%s\n" r.Serve.rp_faults_injected
+        (if r.Serve.rp_device_dead then "; device dead, host fallback" else "");
+    List.iter
+      (fun s ->
+        Printf.printf "    session %d %-7s n=%-4d %3d req, mean %.3f ms, env %d/%d, %s\n"
+          s.Serve.sr_id s.Serve.sr_app s.Serve.sr_n s.Serve.sr_requests s.Serve.sr_mean_ms
+          s.Serve.sr_env_hits s.Serve.sr_env_lookups
+          (if s.Serve.sr_ok then "ok" else "MISMATCH"))
+      r.Serve.rp_sessions;
+    (match (trace_file, trace) with
+    | Some path, Some tr ->
+      Perf.Chrome_trace.write_file path tr;
+      Printf.printf "  [trace: %d events written to %s]\n" (Perf.Trace.length tr) path
+    | _ -> ());
+    if r.Serve.rp_all_identical then print_endline "  all responses bit-identical to host reference"
+    else begin
+      print_endline "  RESPONSE MISMATCH against host reference";
+      exit 1
+    end
+
+let streams_arg =
+  Arg.(value & opt int 4 & info [ "streams" ] ~docv:"N" ~doc:"Stream-pool size (1 = serialized)")
+
+let inflight_arg =
+  Arg.(
+    value & opt int 8 & info [ "inflight" ] ~docv:"N" ~doc:"Admission bound on in-flight requests")
+
+let generations_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "generations" ] ~docv:"N"
+        ~doc:"Open-serve-close cycles; generation 2+ re-opens sessions against the resident cache")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Arrival-process seed")
+
+let smoke_arg = Arg.(value & flag & info [ "smoke" ] ~doc:"Small CI-sized workload")
+
+let no_elide_arg =
+  Arg.(value & flag & info [ "no-elide" ] ~doc:"Disable the resident cache / transfer elision")
+
+let resident_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "resident-cap" ] ~docv:"BYTES" ~doc:"Resident-cache byte budget override")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          ("Inject deterministic device faults under load; responses must stay bit-identical. "
+          ^ Hostrt.Faults.spec_syntax))
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed for probabilistic fault rules")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:"Bound the per-operation retries of the recovery policy")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the request lifecycle (cat:\"serve\": enqueue/admit/map/launch/complete) \
+           alongside the runtime's async/mem/launch events and write a Chrome-trace JSON file")
+
+let cmd =
+  let doc = "serve concurrent offload requests on one simulated device context" in
+  Cmd.v
+    (Cmd.info "ompiserve" ~doc)
+    Term.(
+      const run_cmd $ streams_arg $ inflight_arg $ generations_arg $ seed_arg $ smoke_arg
+      $ no_elide_arg $ resident_cap_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

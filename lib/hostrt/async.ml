@@ -50,13 +50,18 @@ type t = {
   mutable pool : Driver.stream list; (* created lazily on first submit *)
   mutable tasks : task list; (* most recent first; pruned as they retire *)
   mutable next_task_id : int;
+  mutable last_task : task option; (* most recently submitted, even if retired *)
 }
 
 let default_streams = 4
 
 let create ?(streams = default_streams) (driver : Driver.t) : t =
   if streams <= 0 then invalid_arg "Async.create: stream count must be positive";
-  { driver; n_streams = streams; pool = []; tasks = []; next_task_id = 0 }
+  { driver; n_streams = streams; pool = []; tasks = []; next_task_id = 0; last_task = None }
+
+let submitted_total t = t.next_task_id
+
+let last_task t = t.last_task
 
 let tr_instant t ?(args = []) name =
   match t.driver.Driver.trace with
@@ -141,7 +146,7 @@ let submit t ~(label : string) ~(reads : range list) ~(writes : range list)
           ])
     deps;
   let result = f stream in
-  t.tasks <-
+  let task =
     {
       t_id = id;
       t_label = label;
@@ -151,7 +156,9 @@ let submit t ~(label : string) ~(reads : range list) ~(writes : range list)
       t_deps = List.map (fun d -> d.t_id) deps;
       t_done_ns = stream.Driver.str_done_ns;
     }
-    :: t.tasks;
+  in
+  t.tasks <- task :: t.tasks;
+  t.last_task <- Some task;
   result
 
 (* ort_taskwait / end-of-data-environment barrier: the host blocks until

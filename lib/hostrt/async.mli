@@ -40,6 +40,17 @@ val create : ?streams:int -> Driver.t -> t
     @raise Invalid_argument if non-positive or tasks are in flight *)
 val set_streams : t -> int -> unit
 
+(** Total number of tasks ever submitted (monotone; the next task id).
+    Callers such as the offload server diff this around a submission to
+    learn whether work was actually enqueued or the host-fallback path
+    ran instead. *)
+val submitted_total : t -> int
+
+(** The most recently submitted task, even when it has already retired
+    from the pending list — its [t_done_ns] is the completion timestamp
+    a server records for the request that enqueued it. *)
+val last_task : t -> task option
+
 (** Tasks whose scheduled completion lies ahead of the current simulated
     time (retired tasks are pruned as a side effect). *)
 val pending : t -> task list

@@ -87,10 +87,20 @@ type t = {
   mutable de_elide : bool;
   mutable de_zerocopy : bool;
   mutable resident : entry list; (* refcount-0 parked buffers, MRU first *)
-  resident_cap : int;
+  (* Eviction is byte-accounted, not entry-counted: a multiplexing
+     server parks buffers of wildly different sizes, and counting
+     entries would let one large session flush every small session's
+     buffer while staying "under budget". *)
+  mutable resident_cap_bytes : int;
+  mutable resident_bytes : int;
   mutable elided_h2d : int;
   mutable elided_d2h : int;
 }
+
+(* Roughly a quarter of the Nano's 4 MiB L2 worth of parked images: big
+   enough for a server's worth of small per-session buffers, small
+   enough that parking is a cache, not a leak. *)
+let default_resident_cap_bytes = 1 lsl 20
 
 let create ~(host : Mem.t) ~(driver : Driver.t) =
   {
@@ -104,7 +114,8 @@ let create ~(host : Mem.t) ~(driver : Driver.t) =
     de_elide = false;
     de_zerocopy = false;
     resident = [];
-    resident_cap = 16;
+    resident_cap_bytes = default_resident_cap_bytes;
+    resident_bytes = 0;
     elided_h2d = 0;
     elided_d2h = 0;
   }
@@ -207,6 +218,7 @@ let take_resident t (haddr : Addr.t) ~bytes : entry option =
         && haddr.Addr.off + bytes <= e.e_host.Addr.off + e.e_bytes
       then begin
         t.resident <- List.rev_append acc rest;
+        t.resident_bytes <- t.resident_bytes - e.e_bytes;
         Some e
       end
       else go (e :: acc) rest
@@ -222,18 +234,37 @@ let drop_resident_overlapping t (haddr : Addr.t) ~bytes =
     && e.e_host.Addr.off < haddr.Addr.off + bytes
   in
   let dead, keep = List.partition overlaps t.resident in
-  List.iter (fun e -> Driver.mem_free t.driver e.e_dev) dead;
+  List.iter
+    (fun e ->
+      Driver.mem_free t.driver e.e_dev;
+      t.resident_bytes <- t.resident_bytes - e.e_bytes)
+    dead;
   t.resident <- keep
 
+(* Park a released buffer under the byte budget: LRU entries are evicted
+   from the tail until the new total fits.  A buffer larger than the
+   whole budget is freed outright instead of parked — parking it would
+   evict every other session's buffer for a cache entry that cannot be
+   joined by any other. *)
 let park_resident t e =
-  t.resident <- e :: t.resident;
-  if List.length t.resident > t.resident_cap then begin
-    match List.rev t.resident with
-    | last :: rev_rest ->
-      Driver.mem_free t.driver last.e_dev;
-      tr_mem t "resident_evict" ~args:[ ("bytes", Perf.Trace.Int last.e_bytes) ];
-      t.resident <- List.rev rev_rest
-    | [] -> ()
+  if e.e_bytes > t.resident_cap_bytes then begin
+    Driver.mem_free t.driver e.e_dev;
+    tr_mem t "resident_evict"
+      ~args:[ ("bytes", Perf.Trace.Int e.e_bytes); ("reason", Perf.Trace.Str "oversized") ]
+  end
+  else begin
+    t.resident <- e :: t.resident;
+    t.resident_bytes <- t.resident_bytes + e.e_bytes;
+    while t.resident_bytes > t.resident_cap_bytes do
+      match List.rev t.resident with
+      | last :: rev_rest ->
+        Driver.mem_free t.driver last.e_dev;
+        t.resident_bytes <- t.resident_bytes - last.e_bytes;
+        tr_mem t "resident_evict"
+          ~args:[ ("bytes", Perf.Trace.Int last.e_bytes); ("reason", Perf.Trace.Str "lru") ];
+        t.resident <- List.rev rev_rest
+      | [] -> assert false (* resident_bytes > 0 implies a parked entry *)
+    done
   end
 
 (* ----------------------------- fault path ----------------------------- *)
@@ -264,7 +295,8 @@ let declare_dead t ~(reason : string) : unit =
           Driver.salvage_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
       t.entries;
     t.entries <- [];
-    t.resident <- []
+    t.resident <- [];
+    t.resident_bytes <- 0
   end
 
 let find_containing t (haddr : Addr.t) ~bytes =
@@ -511,3 +543,20 @@ let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
 let active_mappings t = List.length t.entries
 
 let resident_buffers t = List.length t.resident
+
+let resident_bytes t = t.resident_bytes
+
+let set_resident_cap_bytes t cap =
+  if cap < 0 then invalid_arg "Dataenv.set_resident_cap_bytes: negative budget";
+  t.resident_cap_bytes <- cap;
+  (* Shrinking the budget applies immediately: evict LRU down to it. *)
+  while t.resident_bytes > t.resident_cap_bytes do
+    match List.rev t.resident with
+    | last :: rev_rest ->
+      Driver.mem_free t.driver last.e_dev;
+      t.resident_bytes <- t.resident_bytes - last.e_bytes;
+      tr_mem t "resident_evict"
+        ~args:[ ("bytes", Perf.Trace.Int last.e_bytes); ("reason", Perf.Trace.Str "budget") ];
+      t.resident <- List.rev rev_rest
+    | [] -> assert false
+  done

@@ -84,6 +84,20 @@ val stats : t -> stats
 (** Parked buffers currently in the resident cache. *)
 val resident_buffers : t -> int
 
+(** Bytes currently parked in the resident cache. *)
+val resident_bytes : t -> int
+
+(** Byte budget of the resident cache (default
+    {!default_resident_cap_bytes}).  Eviction is byte-accounted — LRU
+    buffers are dropped until the parked total fits, and a buffer larger
+    than the whole budget is freed instead of parked — so one large
+    session cannot flush every small session's parked buffer.  Shrinking
+    the budget evicts immediately.
+    @raise Invalid_argument on a negative budget *)
+val set_resident_cap_bytes : t -> int -> unit
+
+val default_resident_cap_bytes : int
+
 (** {1 Async variants}
 
     Called from inside a stream task: transfers are enqueued on the

@@ -273,6 +273,82 @@ let test_elide_pending_never_elided () =
   Alcotest.(check int) "range synchronized before the copy" 1 (List.length !synced);
   Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To
 
+(* The resident cache is byte-accounted: a buffer larger than the whole
+   budget is freed instead of parked. *)
+let test_resident_oversized_not_parked () =
+  let env, host, _, _ = make () in
+  Hostrt.Dataenv.set_elide env true;
+  Hostrt.Dataenv.set_resident_cap_bytes env 512;
+  let h = Mem.alloc host 1024 in
+  ignore (Hostrt.Dataenv.map env h ~bytes:1024 Hostrt.Dataenv.To);
+  Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+  Alcotest.(check int) "oversized buffer not parked" 0 (Hostrt.Dataenv.resident_buffers env);
+  Alcotest.(check int) "no bytes accounted" 0 (Hostrt.Dataenv.resident_bytes env)
+
+(* Parking beyond the byte budget evicts the oldest parked buffers until
+   the total fits again. *)
+let test_resident_lru_byte_eviction () =
+  let env, host, _, _ = make () in
+  Hostrt.Dataenv.set_elide env true;
+  Hostrt.Dataenv.set_resident_cap_bytes env 512;
+  let park bytes =
+    let h = Mem.alloc host bytes in
+    ignore (Hostrt.Dataenv.map env h ~bytes Hostrt.Dataenv.To);
+    Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+    h
+  in
+  let a = park 256 in
+  let c = ignore (park 256); park 256 in
+  Alcotest.(check int) "two newest remain parked" 2 (Hostrt.Dataenv.resident_buffers env);
+  Alcotest.(check int) "bytes stay within the budget" 512 (Hostrt.Dataenv.resident_bytes env);
+  ignore (Hostrt.Dataenv.map env a ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check int) "evicted buffer cannot elide" 0 (elided_h2d env);
+  ignore (Hostrt.Dataenv.map env c ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check int) "surviving buffer elides its h2d" 1 (elided_h2d env);
+  Hostrt.Dataenv.unmap env a Hostrt.Dataenv.To;
+  Hostrt.Dataenv.unmap env c Hostrt.Dataenv.To
+
+(* One large session must not flush every small session's parked
+   buffer: an over-budget release is freed, the smalls stay warm. *)
+let test_resident_large_spares_smalls () =
+  let env, host, _, _ = make () in
+  Hostrt.Dataenv.set_elide env true;
+  Hostrt.Dataenv.set_resident_cap_bytes env 1024;
+  let cycle bytes =
+    let h = Mem.alloc host bytes in
+    ignore (Hostrt.Dataenv.map env h ~bytes Hostrt.Dataenv.To);
+    Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To;
+    h
+  in
+  let smalls = List.init 4 (fun _ -> cycle 128) in
+  ignore (cycle 4096);
+  Alcotest.(check int) "small sessions stay parked" 4 (Hostrt.Dataenv.resident_buffers env);
+  List.iter (fun h -> ignore (Hostrt.Dataenv.map env h ~bytes:128 Hostrt.Dataenv.To)) smalls;
+  Alcotest.(check int) "every small re-open elides" 4 (elided_h2d env);
+  List.iter (fun h -> Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To) smalls
+
+(* Shrinking the budget evicts immediately; a negative budget is
+   rejected. *)
+let test_resident_cap_shrink () =
+  let env, host, _, _ = make () in
+  Hostrt.Dataenv.set_elide env true;
+  let park bytes =
+    let h = Mem.alloc host bytes in
+    ignore (Hostrt.Dataenv.map env h ~bytes Hostrt.Dataenv.To);
+    Hostrt.Dataenv.unmap env h Hostrt.Dataenv.To
+  in
+  park 256;
+  park 256;
+  Alcotest.(check int) "both parked under the default budget" 2
+    (Hostrt.Dataenv.resident_buffers env);
+  Hostrt.Dataenv.set_resident_cap_bytes env 256;
+  Alcotest.(check int) "shrink evicts down to the new budget" 1
+    (Hostrt.Dataenv.resident_buffers env);
+  Alcotest.(check int) "bytes follow" 256 (Hostrt.Dataenv.resident_bytes env);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Dataenv.set_resident_cap_bytes: negative budget") (fun () ->
+      Hostrt.Dataenv.set_resident_cap_bytes env (-1))
+
 (* Zero-copy: the map pins the host range and hands kernels the host
    address itself — one shared image, no transfers. *)
 let test_zerocopy_map_in_place () =
@@ -333,6 +409,13 @@ let () =
           Alcotest.test_case "unwritten tofrom elides d2h" `Quick test_elide_d2h_unwritten;
           Alcotest.test_case "always modifier forces transfers" `Quick test_always_forces_transfers;
           Alcotest.test_case "in-flight ranges never elided" `Quick test_elide_pending_never_elided;
+          Alcotest.test_case "oversized buffer freed not parked" `Quick
+            test_resident_oversized_not_parked;
+          Alcotest.test_case "resident cache evicts by bytes (LRU)" `Quick
+            test_resident_lru_byte_eviction;
+          Alcotest.test_case "large release spares small sessions" `Quick
+            test_resident_large_spares_smalls;
+          Alcotest.test_case "shrinking the byte budget evicts" `Quick test_resident_cap_shrink;
           Alcotest.test_case "zero-copy maps in place" `Quick test_zerocopy_map_in_place;
         ] );
       ("geometry", [ Alcotest.test_case "teams/threads to grid/block" `Quick test_geometry ]);

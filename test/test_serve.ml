@@ -1,0 +1,209 @@
+(* Offload-server tests: the Serve library's session/request machinery
+   (bit-identical responses, persistent data environments, resident-
+   cache warm re-opens, admission control, serve-event pairing), its
+   composition with fault injection, and the QCheck isolation property:
+   random interleavings of N sessions — including sessions whose
+   persistent matrices are overlapping slices of one shared pool —
+   produce bit-identical per-session outputs vs running each session
+   alone. *)
+
+let mk_spec ?(shared = None) ~tag ~app ~n ~requests ~rate () =
+  {
+    Serve.ss_tag = tag;
+    ss_app = app;
+    ss_n = n;
+    ss_requests = requests;
+    ss_rate_hz = rate;
+    ss_shared_off = shared;
+  }
+
+let base_cfg =
+  {
+    Serve.cf_streams = 4;
+    cf_max_inflight = 8;
+    cf_generations = 2;
+    cf_seed = 42;
+    cf_elide = true;
+    cf_resident_cap_bytes = None;
+    cf_faults = [];
+    cf_fault_seed = 7;
+    cf_max_retries = None;
+    cf_trace = false;
+  }
+
+let small_mix =
+  [
+    mk_spec ~tag:0 ~app:Serve.Matvec ~n:24 ~requests:3 ~rate:5000.0 ~shared:(Some 0) ();
+    mk_spec ~tag:1 ~app:Serve.Matvec ~n:24 ~requests:3 ~rate:5000.0 ~shared:(Some (24 * 12)) ();
+    mk_spec ~tag:2 ~app:Serve.Ingest ~n:32 ~requests:3 ~rate:6000.0 ();
+    mk_spec ~tag:3 ~app:Serve.Scale ~n:32 ~requests:4 ~rate:7000.0 ();
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Unit tests                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_smoke_run () =
+  let r, _ = Serve.run base_cfg small_mix in
+  Alcotest.(check bool) "all responses bit-identical" true r.Serve.rp_all_identical;
+  Alcotest.(check int) "every request completed" r.Serve.rp_requests r.Serve.rp_completed;
+  Alcotest.(check int) "13 requests per generation, 2 generations" 26 r.Serve.rp_requests;
+  Alcotest.(check bool) "positive throughput" true (r.Serve.rp_throughput_rps > 0.0);
+  Alcotest.(check bool) "latency percentiles ordered" true
+    (r.Serve.rp_p50_ms <= r.Serve.rp_p95_ms && r.Serve.rp_p95_ms <= r.Serve.rp_p99_ms);
+  List.iter
+    (fun s -> Alcotest.(check bool) (s.Serve.sr_app ^ " session ok") true s.Serve.sr_ok)
+    r.Serve.rp_sessions
+
+(* Sessions with persistent inputs must hit their data environment on
+   every request; generation 2 re-opens against the resident cache. *)
+let test_persistent_env_and_warm_reopen () =
+  let r, _ = Serve.run base_cfg small_mix in
+  Alcotest.(check bool) "persistent maps all hit" true (r.Serve.rp_env_hit_rate >= 0.999);
+  Alcotest.(check bool) "warm re-open elided at least one h2d" true (r.Serve.rp_open_elisions >= 1);
+  List.iter
+    (fun s ->
+      if s.Serve.sr_app <> "scale" then begin
+        Alcotest.(check bool) (s.Serve.sr_app ^ " had env lookups") true (s.Serve.sr_env_lookups > 0);
+        Alcotest.(check int)
+          (s.Serve.sr_app ^ " env hits = lookups")
+          s.Serve.sr_env_lookups s.Serve.sr_env_hits
+      end)
+    r.Serve.rp_sessions
+
+(* Scheduling must move time, never bytes: per-session outputs are
+   bit-identical across stream-pool sizes and admission bounds. *)
+let test_outputs_invariant_under_scheduling () =
+  let out cfg =
+    let r, _ = Serve.run cfg small_mix in
+    Alcotest.(check bool) "leg bit-identical" true r.Serve.rp_all_identical;
+    List.map (fun s -> s.Serve.sr_output_bits) r.Serve.rp_sessions
+  in
+  let reference = out base_cfg in
+  List.iter
+    (fun cfg ->
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) "outputs bit-identical across scheduling configs" true (a = b))
+        reference (out cfg))
+    [
+      { base_cfg with Serve.cf_streams = 1 };
+      { base_cfg with Serve.cf_streams = 2; cf_max_inflight = 1 };
+      { base_cfg with Serve.cf_max_inflight = 3 };
+    ]
+
+(* Transient faults recover in place; a fatal fault kills the device
+   and every later request rides the host fallback — in both cases
+   every response stays bit-identical. *)
+let test_fault_legs () =
+  let rules spec =
+    match Hostrt.Faults.parse spec with Ok r -> r | Error m -> Alcotest.fail m
+  in
+  let transient, _ =
+    Serve.run
+      { base_cfg with Serve.cf_faults = rules "h2d:every=5,kind=transient;launch:every=7,kind=transient" }
+      small_mix
+  in
+  Alcotest.(check bool) "transient leg injected" true (transient.Serve.rp_faults_injected >= 1);
+  Alcotest.(check bool) "transient leg bit-identical" true transient.Serve.rp_all_identical;
+  Alcotest.(check bool) "transient leg device alive" false transient.Serve.rp_device_dead;
+  let fatal, _ =
+    Serve.run { base_cfg with Serve.cf_faults = rules "launch:nth=5,kind=fatal" } small_mix
+  in
+  Alcotest.(check bool) "fatal leg kills the device" true fatal.Serve.rp_device_dead;
+  Alcotest.(check bool) "fatal leg still bit-identical" true fatal.Serve.rp_all_identical;
+  Alcotest.(check int) "fatal leg completes everything" fatal.Serve.rp_requests
+    fatal.Serve.rp_completed
+
+(* Every admitted request must emit a matching complete instant. *)
+let test_serve_trace_pairing () =
+  let r, tr = Serve.run { base_cfg with Serve.cf_trace = true } small_mix in
+  let tr = match tr with Some tr -> tr | None -> Alcotest.fail "no trace ring" in
+  let count name = Perf.Trace.count_events tr ~cat:"serve" ~name () in
+  Alcotest.(check int) "one enqueue per request" r.Serve.rp_requests (count "enqueue");
+  Alcotest.(check int) "one admit per request" r.Serve.rp_requests (count "admit");
+  Alcotest.(check int) "one map per request" r.Serve.rp_requests (count "map");
+  Alcotest.(check int) "one launch per request" r.Serve.rp_requests (count "launch");
+  Alcotest.(check int) "one complete per admit" (count "admit") (count "complete")
+
+let test_invalid_configs () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty workload rejected" true
+    (raises (fun () -> ignore (Serve.run base_cfg [])));
+  Alcotest.(check bool) "zero streams rejected" true
+    (raises (fun () -> ignore (Serve.run { base_cfg with Serve.cf_streams = 0 } small_mix)));
+  Alcotest.(check bool) "zero inflight rejected" true
+    (raises (fun () -> ignore (Serve.run { base_cfg with Serve.cf_max_inflight = 0 } small_mix)));
+  Alcotest.(check bool) "zero generations rejected" true
+    (raises (fun () -> ignore (Serve.run { base_cfg with Serve.cf_generations = 0 } small_mix)))
+
+(* -------------------- QCheck isolation property -------------------- *)
+
+(* Random workloads of 2-3 sessions; matvec sessions draw their
+   persistent matrices from overlapping offsets of the shared pool. *)
+let workload_gen =
+  QCheck.Gen.(
+    let session_gen i =
+      let* kind = int_range 0 2 in
+      let* n = map (fun k -> 16 + (8 * k)) (int_range 0 2) in
+      let* requests = int_range 1 3 in
+      let* rate = map (fun k -> 3000.0 +. (1000.0 *. float_of_int k)) (int_range 0 3) in
+      let* tag = int_range 0 5 in
+      match kind with
+      | 0 ->
+        (* overlapping slices: session i starts at half the previous
+           slice, so neighbours share half their matrix *)
+        let shared = Some (i * n * n / 2) in
+        return (mk_spec ~tag ~app:Serve.Matvec ~n ~requests ~rate ~shared ())
+      | 1 -> return (mk_spec ~tag ~app:Serve.Ingest ~n ~requests ~rate ())
+      | _ -> return (mk_spec ~tag ~app:Serve.Scale ~n ~requests ~rate ())
+    in
+    let* count = int_range 2 3 in
+    let* seed = int_range 0 1000 in
+    let* sessions =
+      List.fold_right
+        (fun i acc ->
+          let* rest = acc in
+          let* s = session_gen i in
+          return (s :: rest))
+        (List.init count (fun i -> i))
+        (return [])
+    in
+    return (seed, sessions))
+
+let prop_interleaving_isolation =
+  QCheck.Test.make ~name:"interleaved sessions match each session run alone" ~count:8
+    (QCheck.make workload_gen) (fun (seed, specs) ->
+      let cfg = { base_cfg with Serve.cf_seed = seed; cf_generations = 1 } in
+      let mixed, _ = Serve.run cfg specs in
+      if not mixed.Serve.rp_all_identical then
+        QCheck.Test.fail_report "mixed run not bit-identical to host reference";
+      List.iteri
+        (fun i spec ->
+          let alone, _ = Serve.run cfg [ spec ] in
+          if not alone.Serve.rp_all_identical then
+            QCheck.Test.fail_report "solo run not bit-identical to host reference";
+          let mixed_out = (List.nth mixed.Serve.rp_sessions i).Serve.sr_output_bits in
+          let alone_out = (List.hd alone.Serve.rp_sessions).Serve.sr_output_bits in
+          if mixed_out <> alone_out then
+            QCheck.Test.fail_reportf "session %d (tag %d) output differs mixed vs alone" i
+              spec.Serve.ss_tag)
+        specs;
+      true)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "smoke run" `Quick test_smoke_run;
+          Alcotest.test_case "persistent env + warm re-open" `Quick
+            test_persistent_env_and_warm_reopen;
+          Alcotest.test_case "outputs invariant under scheduling" `Quick
+            test_outputs_invariant_under_scheduling;
+          Alcotest.test_case "fault legs stay bit-identical" `Quick test_fault_legs;
+          Alcotest.test_case "serve trace pairing" `Quick test_serve_trace_pairing;
+          Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
+        ] );
+      ("isolation", [ QCheck_alcotest.to_alcotest prop_interleaving_isolation ]);
+    ]
