@@ -23,6 +23,11 @@
                                            stream vs serialized throughput,
                                            plus a fault-injected leg; every
                                            response bit-checked
+     dune exec bench/main.exe -- reduction [--smoke]
+                                        -- multi-team tree reduce vs a
+                                           single-team serialized reduce,
+                                           bit-checked against the order-
+                                           exact host model + fault cells
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -1113,6 +1118,214 @@ let serve_bench ~smoke () =
   end;
   say "serve: PASS (%.2fx multi-stream throughput)\n" speedup
 
+(* ------------------------------------------------------------------ *)
+(* reduction: tree reduce vs single-team serialized reduce              *)
+(* ------------------------------------------------------------------ *)
+
+let reduction_float_src =
+  {|
+void red_f(int n, int teams, int nthr, float x[], float y[], float out[])
+{
+  float s = 0.0f;
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(nthr) reduction(+: s) map(to: n, x[0:n], y[0:n]) map(tofrom: s)
+  for (int i = 0; i < n; i++)
+    s += x[i] * y[i];
+  out[0] = s;
+}
+|}
+
+let reduction_int_src =
+  {|
+void red_i(int n, int teams, int nthr, int x[], int y[], int out[])
+{
+  int s = 0;
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(nthr) reduction(+: s) map(to: n, x[0:n], y[0:n]) map(tofrom: s)
+  for (int i = 0; i < n; i++)
+    s += x[i] * y[i];
+  out[0] = s;
+}
+|}
+
+let red_fx i = Polybench.Refmath.r32 (float_of_int (((i * 7) mod 31) - 15) /. 32.0)
+
+let red_fy i = Polybench.Refmath.r32 (float_of_int (((i * 5) mod 23) - 11) /. 16.0)
+
+let red_ix i = ((i * 7) mod 31) - 15
+
+let red_iy i = ((i * 5) mod 23) - 11
+
+(* The order-exact host model of the lowered float tree: per-thread
+   sequential accumulation over the distribute/static chunks, the
+   next-power-of-two halving tree within each team, and the sequential
+   cross-team publish (blocks run in linear order in the simulator).
+   All float arithmetic rounds to binary32 at every step, exactly as
+   the device does. *)
+let red_float_model ~n ~teams ~nthr : float =
+  let open Devrt.Sched in
+  let open Polybench.Refmath in
+  let space = { lo = 0; hi = n } in
+  let result = ref 0.0 in
+  for team = 0 to teams - 1 do
+    let tr = distribute_chunk ~team ~num_teams:teams space in
+    let slots =
+      Array.init nthr (fun thread ->
+          let r = static_chunk ~thread ~num_threads:nthr tr in
+          let acc = ref 0.0 in
+          for i = r.lo to r.hi - 1 do
+            acc := !acc +% (red_fx i *% red_fy i)
+          done;
+          !acc)
+    in
+    let s = ref 1 in
+    while !s < nthr do
+      s := !s * 2
+    done;
+    s := !s / 2;
+    while !s > 0 do
+      for tid = 0 to !s - 1 do
+        if tid + !s < nthr then slots.(tid) <- slots.(tid) +% slots.(tid + !s)
+      done;
+      s := !s / 2
+    done;
+    result := !result +% slots.(0)
+  done;
+  !result
+
+(* The translator's tree-reduction lowering under time pressure: a
+   multi-team tree reduce against the same reduction serialized onto a
+   single one-thread team, a bit-check of the tree result against the
+   order-exact host model, an atomics-shape check (one publish per
+   team), and two fault cells on the integer variant (order-insensitive,
+   so recovery must reproduce the bytes exactly): a transient launch
+   fault recovered by retry, and a fatal launch fault degraded to the
+   sequential host fallback.  Fails unless the tree clears 1.2x the
+   serialized simulated time. *)
+let reduction_bench ~smoke () =
+  say "=== reduction: multi-team tree reduce vs single-team serialized ===\n";
+  let failures = ref 0 in
+  let check ok msg =
+    if not ok then begin
+      say "  CHECK FAILED: %s\n" msg;
+      incr failures
+    end
+  in
+  let n = if smoke then 8192 else 65536 in
+  let teams = 16 and nthr = 128 in
+  let run_float ~jit ~teams ~nthr =
+    let ctx = Polybench.Harness.create () in
+    Polybench.Harness.set_sampling ctx None;
+    Polybench.Harness.set_jit ctx jit;
+    let open Polybench.Harness in
+    let x = alloc_f32 ctx n and y = alloc_f32 ctx n and out = alloc_f32 ctx 1 in
+    fill_f32 ctx x n red_fx;
+    fill_f32 ctx y n red_fy;
+    let p = prepare_omp ctx ~name:"bench_red_f" reduction_float_src in
+    let t =
+      measure ctx (fun () ->
+          call_omp p "red_f" [ vint n; vint teams; vint nthr; fptr x; fptr y; fptr out ])
+    in
+    (t, Int32.bits_of_float (get_f32 ctx out 0), ctx)
+  in
+  let run_int ~faults ~teams ~nthr =
+    let ctx = Polybench.Harness.create () in
+    Polybench.Harness.set_sampling ctx None;
+    let tr = Polybench.Harness.enable_trace ctx in
+    (match faults with [] -> () | rules -> Polybench.Harness.set_faults ctx ~seed:11 rules);
+    let open Polybench.Harness in
+    let x = alloc_i32 ctx n and y = alloc_i32 ctx n and out = alloc_i32 ctx 1 in
+    fill_i32 ctx x n red_ix;
+    fill_i32 ctx y n red_iy;
+    let p = prepare_omp ctx ~name:"bench_red_i" reduction_int_src in
+    call_omp p "red_i" [ vint n; vint teams; vint nthr; fptr x; fptr y; fptr out ];
+    (get_i32 ctx out 0, tr, ctx)
+  in
+  (* tree leg, both executors: the JIT may only move wall clock *)
+  let t_tree, bits_jit, ctx_tree = run_float ~jit:true ~teams ~nthr in
+  let t_tree_i, bits_interp, _ = run_float ~jit:false ~teams ~nthr in
+  check (bits_jit = bits_interp) "tree result differs between JIT and interpreter";
+  check (t_tree = t_tree_i) "simulated time differs between JIT and interpreter";
+  (* bit-identity against the order-exact host model *)
+  let model_bits = Int32.bits_of_float (red_float_model ~n ~teams ~nthr) in
+  check (bits_jit = model_bits) "tree result does not match the order-exact host model";
+  (* cost shape: exactly one publish atomic per team *)
+  let atomics =
+    match (Polybench.Harness.driver ctx_tree).Gpusim.Driver.launches with
+    | [ s ] -> s.Gpusim.Driver.st_counters.Gpusim.Counters.atomics
+    | _ -> -1
+  in
+  check (atomics = teams)
+    (Printf.sprintf "expected %d publish atomics (one per team), counted %d" teams atomics);
+  (* serialized baseline: one team, one thread *)
+  let t_serial, bits_serial, _ = run_float ~jit:true ~teams:1 ~nthr:1 in
+  let serial_close =
+    Float.abs (Int32.float_of_bits bits_serial -. Int32.float_of_bits bits_jit)
+    <= 1e-3 *. Float.max 1.0 (Float.abs (Int32.float_of_bits bits_serial))
+  in
+  check serial_close "tree and serialized results disagree beyond accumulation tolerance";
+  let speedup = t_serial /. t_tree in
+  say "  n=%d geometry %dx%d: tree %.6fs, serialized %.6fs, speedup %.2fx (gate: >= 1.20x)\n" n
+    teams nthr t_tree t_serial speedup;
+  say "  atomics per launch: %d (one per team), model bits match: %b\n" atomics
+    (bits_jit = model_bits);
+  (* fault cells on the int variant: recovery may never move the bytes *)
+  let ref_int, _, _ = run_int ~faults:[] ~teams ~nthr in
+  let parse_rules spec =
+    match Hostrt.Faults.parse spec with
+    | Ok rules -> rules
+    | Error msg -> failwith ("reduction bench: bad fault spec: " ^ msg)
+  in
+  let retry_int, retry_tr, retry_ctx =
+    run_int ~faults:(parse_rules "launch:nth=1,kind=transient") ~teams ~nthr
+  in
+  let retry_evs = trace_events retry_tr in
+  let retry_ok =
+    retry_int = ref_int
+    && fault_event_count retry_evs "retry_backoff" >= 1
+    && fault_event_count retry_evs "host_fallback" = 0
+    && not (Polybench.Harness.device_dead retry_ctx)
+  in
+  say "  fault launch:nth=1,kind=transient  retried, bit-identical: %b\n" retry_ok;
+  check retry_ok "transient launch fault: retry did not reproduce the bytes";
+  let fb_int, fb_tr, fb_ctx =
+    run_int ~faults:(parse_rules "launch:nth=1,kind=fatal") ~teams ~nthr
+  in
+  let fb_evs = trace_events fb_tr in
+  let fb_ok =
+    fb_int = ref_int
+    && fault_event_count fb_evs "host_fallback" >= 1
+    && Polybench.Harness.device_dead fb_ctx
+  in
+  say "  fault launch:nth=1,kind=fatal      host fallback, bit-identical: %b\n" fb_ok;
+  check fb_ok "fatal launch fault: host fallback did not reproduce the bytes";
+  let oc = open_out "BENCH_reduction.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"reduction\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"n\": %d,\n\
+    \  \"teams\": %d,\n\
+    \  \"threads\": %d,\n\
+    \  \"tree_sim_s\": %.6f,\n\
+    \  \"serial_sim_s\": %.6f,\n\
+    \  \"speedup\": %.4f,\n\
+    \  \"atomics_per_launch\": %d,\n\
+    \  \"model_bits_match\": %b,\n\
+    \  \"executors_identical\": %b,\n\
+    \  \"fault_legs\": { \"retry_bit_identical\": %b, \"fallback_bit_identical\": %b }\n\
+     }\n"
+    smoke n teams nthr t_tree t_serial speedup atomics (bits_jit = model_bits)
+    (bits_jit = bits_interp && t_tree = t_tree_i)
+    retry_ok fb_ok;
+  close_out oc;
+  say "  [written: BENCH_reduction.json]\n";
+  check (speedup >= 1.2)
+    (Printf.sprintf "tree speedup %.2fx below the 1.2x bar" speedup);
+  if !failures > 0 then begin
+    say "reduction: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "reduction: PASS (%.2fx over serialized)\n" speedup
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -1144,6 +1357,8 @@ let () =
   | [ "jit"; "--smoke" ] -> jit_bench ~smoke:true ()
   | [ "serve" ] -> serve_bench ~smoke:false ()
   | [ "serve"; "--smoke" ] -> serve_bench ~smoke:true ()
+  | [ "reduction" ] -> reduction_bench ~smoke:false ()
+  | [ "reduction"; "--smoke" ] -> reduction_bench ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

@@ -445,6 +445,12 @@ let install (ctx : Cinterp.Interp.t) (bs : Simt.block_state) (ts : Simt.thread_s
   reduce "cudadev_reduce_iland" (fun old v ->
       Value.int ~ty:(Value.ty_of old)
         (if Value.as_int old <> 0L && Value.as_int v <> 0L then 1L else 0L));
+  reduce "cudadev_reduce_fland" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old)
+        (if Value.as_float old <> 0.0 && Value.as_float v <> 0.0 then 1.0 else 0.0));
+  reduce "cudadev_reduce_flor" (fun old v ->
+      Value.flt ~ty:(Value.ty_of old)
+        (if Value.as_float old <> 0.0 || Value.as_float v <> 0.0 then 1.0 else 0.0));
 
   (* -------- CUDA intrinsics for hand-written kernels -------- *)
   reg "__syncthreads" (fun _ args ->

@@ -70,6 +70,8 @@ let builtin_return_types : (string * Cty.t) list =
     ("cudadev_reduce_ior", Cty.Void);
     ("cudadev_reduce_ixor", Cty.Void);
     ("cudadev_reduce_iland", Cty.Void);
+    ("cudadev_reduce_fland", Cty.Void);
+    ("cudadev_reduce_flor", Cty.Void);
     ("cudadev_thread_id", Cty.Int);
     (* CUDA intrinsics available to hand-written kernels *)
     ("__syncthreads", Cty.Void);

@@ -88,6 +88,39 @@ let check_directive (dir : Ast.directive) : diagnostic list =
       let n = List.length (List.filter (fun c -> clause_name c = name) dir.dir_clauses) in
       if n > 1 then err "clause '%s' appears %d times" name n)
     uniques;
+  (* reduction variables must keep a path back to the original list
+     item: privatisation or a to-only/alloc map on the same construct
+     would silently discard the combined value *)
+  let reduction_vars =
+    List.concat_map (function Ast.Creduction (_, vs) -> vs | _ -> []) dir.dir_clauses
+  in
+  if reduction_vars <> [] then begin
+    let private_vars =
+      List.concat_map
+        (function Ast.Cprivate vs | Ast.Cfirstprivate vs -> vs | _ -> [])
+        dir.dir_clauses
+    in
+    let mapped mts =
+      List.concat_map
+        (function
+          | Ast.Cmap (mt, _, items) when List.mem mt mts ->
+            List.map (fun i -> i.Ast.mi_var) items
+          | _ -> [])
+        dir.dir_clauses
+    in
+    let to_only = mapped [ Ast.Map_to; Ast.Map_alloc ] in
+    let writes_back = mapped [ Ast.Map_from; Ast.Map_tofrom ] in
+    List.iter
+      (fun v ->
+        if List.mem v private_vars then
+          err "variable '%s' appears in both reduction and private/firstprivate clauses" v;
+        if List.mem v to_only && not (List.mem v writes_back) then
+          err
+            "reduction variable '%s' is mapped 'to' only; the combined value would never reach \
+             the host (map it tofrom)"
+            v)
+      reduction_vars
+  end;
   List.rev !errs
 
 (* Collect diagnostics over a whole (rewritten) program. *)

@@ -1,0 +1,121 @@
+(* dotprod: dot = x . y, the canonical reduction workload.  Not one of
+   the paper's six plotted applications; added as the suite's exercise
+   of the tree-reduction lowering (reduction(+:) with num_teams /
+   num_threads geometry, one shared-memory tree per team and one atomic
+   publish per team).  The hand-written CUDA variant uses the same tree
+   shape explicitly. *)
+
+open Machine
+open Refmath
+
+let name = "dotprod"
+
+let figure = "extra-dotprod"
+
+let sizes = [ 4096; 16384; 65536; 262144 ]
+
+let validate_sizes = [ 512; 2048 ]
+
+let threads = 256
+
+let init_x _n i = r32 (float_of_int (((i * 7) mod 31) - 15) /. 32.0)
+
+let init_y _n i = r32 (float_of_int (((i * 5) mod 23) - 11) /. 16.0)
+
+(* Sequential binary32 dot product.  The offloaded variants accumulate
+   in a different (tree) order, so validation compares within the
+   suite's relative tolerance rather than bit-exactly; the bit-exact
+   order check lives in test/test_reduction.ml. *)
+let reference ~n : float array =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +% (init_x n i *% init_y n i)
+  done;
+  [| !acc |]
+
+let cuda_source =
+  {|
+void dotprod_kernel(int n, float *x, float *y, float *dot)
+{
+  __shared__ float sh[256];
+  int t = threadIdx.x;
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  int stride = gridDim.x * blockDim.x;
+  float acc = 0.0f;
+  int s = 128;
+  while (i < n) {
+    acc += x[i] * y[i];
+    i += stride;
+  }
+  sh[t] = acc;
+  __syncthreads();
+  while (s > 0) {
+    if (t < s)
+      sh[t] = sh[t] + sh[t + s];
+    __syncthreads();
+    s = s / 2;
+  }
+  if (t == 0)
+    cudadev_reduce_fadd(dot, sh[0]);
+}
+|}
+
+let omp_source =
+  {|
+void dotprod_omp(int n, int teams, float x[], float y[], float dot[])
+{
+  float s = 0.0f;
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(256) \
+      reduction(+: s) map(to: n, x[0:n], y[0:n]) map(tofrom: s)
+  for (int i = 0; i < n; i++)
+    s += x[i] * y[i];
+  dot[0] = s;
+}
+|}
+
+let fill_inputs ctx ~n =
+  let open Harness in
+  let x = alloc_f32 ctx n and y = alloc_f32 ctx n in
+  let dot = alloc_f32 ctx 1 in
+  fill_f32 ctx x n (init_x n);
+  fill_f32 ctx y n (init_y n);
+  (x, y, dot)
+
+let run_cuda ctx ~n : float * float array =
+  let open Harness in
+  let x, y, dot = fill_inputs ctx ~n in
+  set_f32 ctx dot 0 0.0;
+  let m = cuda_module ctx ~name:"dotprod_cuda" ~source:cuda_source in
+  let nb = 4 * n in
+  let time =
+    measure ctx (fun () ->
+        let dx = dev_alloc ctx nb and dy = dev_alloc ctx nb in
+        let dd = dev_alloc ctx 4 in
+        h2d ctx ~src:x ~dst:dx ~bytes:nb;
+        h2d ctx ~src:y ~dst:dy ~bytes:nb;
+        h2d ctx ~src:dot ~dst:dd ~bytes:4;
+        let blocks = min 64 ((n + threads - 1) / threads) in
+        let grid = Gpusim.Simt.dim3 blocks in
+        let block = Gpusim.Simt.dim3 threads in
+        let fp = Value.ptr ~ty:Cty.Float in
+        ignore (launch_cuda ctx m ~entry:"dotprod_kernel" ~grid ~block [ vint n; fp dx; fp dy; fp dd ]);
+        d2h ctx ~src:dd ~dst:dot ~bytes:4;
+        List.iter (dev_free ctx) [ dx; dy; dd ])
+  in
+  (time, read_f32_array ctx dot 1)
+
+let run_ompi ?(host_interp = false) ctx ~n : float * float array =
+  let open Harness in
+  let x, y, dot = fill_inputs ctx ~n in
+  let p = prepare_omp ~host_interp ctx ~name:"dotprod" omp_source in
+  let teams = min 64 ((n + threads - 1) / threads) in
+  let time =
+    measure ctx (fun () -> call_omp p "dotprod_omp" [ vint n; vint teams; fptr x; fptr y; fptr dot ])
+  in
+  (time, read_f32_array ctx dot 1)
+
+let run ctx (variant : Harness.variant) ~n =
+  match variant with
+  | Harness.Cuda -> run_cuda ctx ~n
+  | Harness.Ompi_cudadev -> run_ompi ctx ~n
+  | Harness.Host_interp -> run_ompi ~host_interp:true ctx ~n

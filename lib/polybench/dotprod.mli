@@ -1,0 +1,29 @@
+(** dotprod: dot = x . y (extra application).
+
+    The suite's exercise of the tree-reduction lowering: the OpenMP
+    variant reduces through [reduction(+:)] over a teams/threads
+    geometry, the CUDA variant writes the same shared-memory tree by
+    hand. *)
+
+val name : string
+
+val figure : string
+
+val sizes : int list
+
+val validate_sizes : int list
+
+val threads : int
+
+(** OpenMP C source of the translated variant (also used by goldens and
+    the micro-benchmarks). *)
+val omp_source : string
+
+(** Hand-written CUDA C kernels of the reference variant. *)
+val cuda_source : string
+
+(** Sequential binary32 reference of the output array(s). *)
+val reference : n:int -> float array
+
+(** Run one variant; returns (simulated seconds, result array). *)
+val run : Harness.ctx -> Harness.variant -> n:int -> float * float array

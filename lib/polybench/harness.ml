@@ -101,6 +101,24 @@ let fill_f32 ctx (a : Addr.t) (n : int) (f : int -> float) : unit =
 
 let read_f32_array ctx (a : Addr.t) (n : int) : float array = Array.init n (get_f32 ctx a)
 
+(* int32 host arrays, for integer-reduction workloads *)
+let alloc_i32 = alloc_f32
+
+let set_i32 ctx (a : Addr.t) (i : int) (v : int) : unit =
+  let m = mem_of ctx a in
+  Bytes.set_int32_le m.Mem.data (a.Addr.off + (4 * i)) (Int32.of_int v)
+
+let get_i32 ctx (a : Addr.t) (i : int) : int =
+  let m = mem_of ctx a in
+  Int32.to_int (Bytes.get_int32_le m.Mem.data (a.Addr.off + (4 * i)))
+
+let fill_i32 ctx (a : Addr.t) (n : int) (f : int -> int) : unit =
+  for i = 0 to n - 1 do
+    set_i32 ctx a i (f i)
+  done
+
+let read_i32_array ctx (a : Addr.t) (n : int) : int array = Array.init n (get_i32 ctx a)
+
 let checksum ctx (a : Addr.t) (n : int) : float =
   let acc = ref 0.0 in
   for i = 0 to n - 1 do

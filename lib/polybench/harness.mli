@@ -86,6 +86,18 @@ val fill_f32 : ctx -> Addr.t -> int -> (int -> float) -> unit
 
 val read_f32_array : ctx -> Addr.t -> int -> float array
 
+(** {1 Host int32 arrays} *)
+
+val alloc_i32 : ctx -> int -> Addr.t
+
+val set_i32 : ctx -> Addr.t -> int -> int -> unit
+
+val get_i32 : ctx -> Addr.t -> int -> int
+
+val fill_i32 : ctx -> Addr.t -> int -> (int -> int) -> unit
+
+val read_i32_array : ctx -> Addr.t -> int -> int array
+
 val checksum : ctx -> Addr.t -> int -> float
 
 val max_rel_error : float array -> float array -> float

@@ -123,6 +123,16 @@ let extras : app list =
       ap_penalty = no_penalty;
     };
     {
+      ap_name = Dotprod.name;
+      ap_figure = Dotprod.figure;
+      ap_title = "dotprod reduction (extra)";
+      ap_sizes = Dotprod.sizes;
+      ap_validate_sizes = Dotprod.validate_sizes;
+      ap_reference = (fun ~n -> Dotprod.reference ~n);
+      ap_run = (fun ctx v ~n -> Dotprod.run ctx v ~n);
+      ap_penalty = no_penalty;
+    };
+    {
       ap_name = Jacobi2d.name;
       ap_figure = Jacobi2d.figure;
       ap_title = "jacobi2d stencil (extra)";

@@ -92,9 +92,23 @@ let reduction_builtin (op : Ast.reduction_op) (ty : Cty.t) : string =
   | Ast.Rd_max -> if f then "cudadev_reduce_fmax" else "cudadev_reduce_imax"
   | Ast.Rd_min -> if f then "cudadev_reduce_fmin" else "cudadev_reduce_imin"
   | Ast.Rd_band -> "cudadev_reduce_iand"
-  | Ast.Rd_bor | Ast.Rd_lor -> "cudadev_reduce_ior"
+  | Ast.Rd_bor -> "cudadev_reduce_ior"
+  | Ast.Rd_lor -> if f then "cudadev_reduce_flor" else "cudadev_reduce_ior"
   | Ast.Rd_bxor -> "cudadev_reduce_ixor"
-  | Ast.Rd_land -> "cudadev_reduce_iland"
+  | Ast.Rd_land -> if f then "cudadev_reduce_fland" else "cudadev_reduce_iland"
+
+(* One pairwise combining step of the shared-memory tree. *)
+let reduction_combine (op : Ast.reduction_op) (a : Ast.expr) (b : Ast.expr) : Ast.expr =
+  match op with
+  | Ast.Rd_add -> Ast.add a b
+  | Ast.Rd_mul -> Ast.mul a b
+  | Ast.Rd_max -> Ast.Cond (Ast.lt a b, b, a)
+  | Ast.Rd_min -> Ast.Cond (Ast.lt b a, b, a)
+  | Ast.Rd_band -> Ast.Binop (Ast.BitAnd, a, b)
+  | Ast.Rd_bor -> Ast.Binop (Ast.BitOr, a, b)
+  | Ast.Rd_bxor -> Ast.Binop (Ast.BitXor, a, b)
+  | Ast.Rd_land -> Ast.Binop (Ast.LogAnd, a, b)
+  | Ast.Rd_lor -> Ast.Binop (Ast.LogOr, a, b)
 
 (* ---------------------------------------------------------------- *)
 (* Worksharing-loop lowering                                          *)
@@ -103,6 +117,90 @@ let reduction_builtin (op : Ast.reduction_op) (ty : Cty.t) : string =
 let decl_int ?init name = Ast.Sdecl [ Ast.mk_decl ?init name Cty.Int ]
 
 let addr_of name = Ast.AddrOf (Ast.Ident name)
+
+(* ---------------------------------------------------------------- *)
+(* Shared-memory tree reduction                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Static size of the per-team slot arrays; covers any block size the
+   device spec admits (max_threads_per_block = 1024 on the Nano). *)
+let reduce_slots = 1024
+
+(* The classic CUDA log-step reduce, emitted once per construct that
+   carries reduction clauses: every thread parks its private
+   accumulator [_red_v] in its team-shared slot, the team combines
+   slots pairwise — stride halving from the next power of two, a team
+   barrier between levels, the [tid + s < n] guard covering
+   non-power-of-two team sizes — and thread 0 alone publishes the
+   team's partial value into the reduction target with a single
+   atomic.  All reduction variables of the construct ride the same
+   barrier ladder.  [target_of] yields the device pointer the combined
+   value is published to; [uniq] keeps slot arrays of distinct
+   parallel regions in one kernel apart. *)
+let tree_reduce ?(uniq = "") (reductions : (string * Ast.reduction_op) list)
+    ~(ty_of : string -> Cty.t) ~(target_of : string -> Ast.expr) : Ast.stmt list =
+  if reductions = [] then []
+  else begin
+    let tid = "_rtid" ^ uniq and num = "_rnum" ^ uniq and s = "_rs" ^ uniq in
+    let sh name = Printf.sprintf "_redsh%s_%s" uniq name in
+    let slot name i = Ast.Index (Ast.ident (sh name), i) in
+    let barrier = Ast.expr_stmt (Ast.call "cudadev_barrier" [ Ast.int_lit 0 ]) in
+    let half e = Ast.Sexpr (Ast.assign e (Ast.Binop (Ast.Div, e, Ast.int_lit 2))) in
+    List.map
+      (fun (name, _) ->
+        Ast.Sdecl [ Ast.mk_decl ~shared:true (sh name) (Cty.Array (ty_of name, Some reduce_slots)) ])
+      reductions
+    @ [
+        decl_int ~init:(Ast.Iexpr (Ast.call "omp_get_thread_num" [])) tid;
+        decl_int ~init:(Ast.Iexpr (Ast.call "omp_get_num_threads" [])) num;
+      ]
+    @ List.map
+        (fun (name, _) ->
+          Ast.expr_stmt (Ast.assign (slot name (Ast.ident tid)) (Ast.ident ("_red_" ^ name))))
+        reductions
+    @ [
+        barrier;
+        (* s = next power of two >= num, then halve into the first stride *)
+        decl_int ~init:(Ast.Iexpr (Ast.int_lit 1)) s;
+        Ast.Swhile
+          ( Ast.lt (Ast.ident s) (Ast.ident num),
+            Ast.Sexpr (Ast.assign (Ast.ident s) (Ast.mul (Ast.ident s) (Ast.int_lit 2))) );
+        half (Ast.ident s);
+        Ast.Swhile
+          ( Ast.Binop (Ast.Gt, Ast.ident s, Ast.int_lit 0),
+            Ast.Sblock
+              [
+                Ast.Sif
+                  ( Ast.Binop
+                      ( Ast.LogAnd,
+                        Ast.lt (Ast.ident tid) (Ast.ident s),
+                        Ast.lt (Ast.add (Ast.ident tid) (Ast.ident s)) (Ast.ident num) ),
+                    Ast.Sblock
+                      (List.map
+                         (fun (name, op) ->
+                           Ast.expr_stmt
+                             (Ast.assign
+                                (slot name (Ast.ident tid))
+                                (reduction_combine op
+                                   (slot name (Ast.ident tid))
+                                   (slot name (Ast.add (Ast.ident tid) (Ast.ident s))))))
+                         reductions),
+                    None );
+                barrier;
+                half (Ast.ident s);
+              ] );
+        Ast.Sif
+          ( Ast.Binop (Ast.Eq, Ast.ident tid, Ast.int_lit 0),
+            Ast.Sblock
+              (List.map
+                 (fun (name, op) ->
+                   Ast.expr_stmt
+                     (Ast.call (reduction_builtin op (ty_of name))
+                        [ target_of name; slot name (Ast.int_lit 0) ]))
+                 reductions),
+            None );
+      ]
+  end
 
 (* Hoist non-trivial loop bounds and per-dimension extents into local
    variables: the common-subexpression elimination a production compiler
@@ -264,21 +362,21 @@ let scalar_subst (params : Region.mapped_var list) (reductions : (string * Ast.r
 
 let reduction_prologue_epilogue (params : Region.mapped_var list)
     (reductions : (string * Ast.reduction_op) list) : Ast.stmt list * Ast.stmt list =
-  let pro, epi =
-    List.split
-      (List.map
-         (fun (name, op) ->
-           match List.find_opt (fun mv -> mv.Region.mv_name = name) params with
-           | Some mv when mv.Region.mv_scalar ->
-             let ty = mv.Region.mv_host_ty in
-             let acc = "_red_" ^ name in
-             ( Ast.Sdecl [ Ast.mk_decl ~init:(Ast.Iexpr (reduction_identity op ty)) acc ty ],
-               Ast.expr_stmt
-                 (Ast.call (reduction_builtin op ty) [ Ast.ident name; Ast.ident acc ]) )
-           | Some _ -> unsupported "reduction variable '%s' must be a scalar" name
-           | None -> unsupported "reduction variable '%s' is not mapped into the region" name)
-         reductions)
+  let ty_of name =
+    match List.find_opt (fun mv -> mv.Region.mv_name = name) params with
+    | Some mv when mv.Region.mv_scalar -> mv.Region.mv_host_ty
+    | Some _ -> unsupported "reduction variable '%s' must be a scalar" name
+    | None -> unsupported "reduction variable '%s' is not mapped into the region" name
   in
+  let pro =
+    List.map
+      (fun (name, op) ->
+        let ty = ty_of name in
+        Ast.Sdecl [ Ast.mk_decl ~init:(Ast.Iexpr (reduction_identity op ty)) ("_red_" ^ name) ty ])
+      reductions
+  in
+  (* the reduction variable's kernel parameter is the device pointer *)
+  let epi = tree_reduce reductions ~ty_of ~target_of:(fun name -> Ast.ident name) in
   (pro, epi)
 
 (* ---------------------------------------------------------------- *)
@@ -369,20 +467,25 @@ let build_combined g ~(name : string) (dir : Ast.directive) (loop_stmt : Ast.stm
         match dist_schedule with
         | Some (Ast.Sch_static, Some chunk) ->
           (* dist_schedule(static, c): the team walks its block-cyclic
-             chunks; the thread-level schedule applies within each *)
+             chunks; the thread-level schedule applies within each.  The
+             reduction accumulator lives outside the chunk loop — one
+             tree combine per team, not one per chunk — which is safe
+             because every thread of the team sees the same chunk
+             sequence (the cyclic walk depends only on the team id). *)
           let dk = "_dk" in
           hoist_decls
+          @ [ decl_int dlb; decl_int dub ]
+          @ red_pro
           @ [
-              decl_int dlb;
-              decl_int dub;
               Ast.Sfor
                 ( Some (decl_int ~init:(Ast.Iexpr (Ast.int_lit 0)) dk),
                   Some
                     (Ast.call "cudadev_get_distribute_cyclic"
                        [ Ast.ident dk; chunk; Ast.int_lit 0; total; addr_of dlb; addr_of dub ]),
                   Some (Ast.Unop (Ast.PostInc, Ast.ident dk)),
-                  Ast.Sblock (red_pro @ loop_stmts @ red_epi) );
+                  Ast.Sblock loop_stmts );
             ]
+          @ red_epi
         | Some _ | None ->
           hoist_decls
           @ [
@@ -478,6 +581,11 @@ let build_combined g ~(name : string) (dir : Ast.directive) (loop_stmt : Ast.stm
         let t = Loops.total_extent orig_loops in
         Ast.Binop (Ast.Div, Ast.sub (Ast.add t threads) (Ast.int_lit 1), threads)
   in
+  (* target teams distribute without parallel for: only the team master
+     executes, so launch one thread per team instead of a full block of
+     threads redundantly running the same chunk (which would also
+     multiply reduction contributions). *)
+  let threads = if with_parallel_for then threads else Ast.int_lit 1 in
   {
     k_entry = name;
     k_program = program;
@@ -798,17 +906,14 @@ let gen_parallel g (params : Region.mapped_var list) (locals : (string * Cty.t) 
         reductions
   in
   let thr_epilogue =
-    List.map
-      (fun (v, op) ->
-        let ty =
-          match var_ty v with
-          | Some (`Param mv) -> mv.Region.mv_host_ty
-          | Some (`Local ty) -> ty
-          | None -> assert false
-        in
-        Ast.expr_stmt
-          (Ast.call (reduction_builtin op ty) [ Ast.Arrow (Ast.ident vars, v); Ast.ident ("_red_" ^ v) ]))
-      reductions
+    let ty_of v =
+      match var_ty v with
+      | Some (`Param mv) -> mv.Region.mv_host_ty
+      | Some (`Local ty) -> ty
+      | None -> assert false
+    in
+    tree_reduce ~uniq:(string_of_int id) reductions ~ty_of
+      ~target_of:(fun v -> Ast.Arrow (Ast.ident vars, v))
   in
   let thr_core =
     if is_parallel_for then begin

@@ -101,6 +101,11 @@ let plan (env : Typecheck.env) (dir : Ast.directive) ~(referenced : string list)
       dir.Ast.dir_clauses
   in
   let explicit_names = List.map (fun mv -> mv.mv_name) explicit in
+  let reduction_names =
+    List.concat_map
+      (function Ast.Creduction (_, vs) -> vs | _ -> [])
+      dir.Ast.dir_clauses
+  in
   let implicit =
     List.filter_map
       (fun name ->
@@ -109,8 +114,11 @@ let plan (env : Typecheck.env) (dir : Ast.directive) ~(referenced : string list)
           match Typecheck.lookup_var env name with
           | None -> None (* function name or builtin; calls are handled separately *)
           | Some ty when Cty.is_arith ty ->
-            (* implicit scalars: initialised device copies (OMPi maps them to) *)
-            Some (plan_one env Ast.Map_to { Ast.mi_var = name; mi_sections = [] })
+            (* implicit scalars: initialised device copies (OMPi maps
+               them to) — except reduction targets, whose combined value
+               must travel back (OpenMP 5: reduction implies tofrom) *)
+            let mt = if List.mem name reduction_names then Ast.Map_tofrom else Ast.Map_to in
+            Some (plan_one env mt { Ast.mi_var = name; mi_sections = [] })
           | Some (Cty.Array (_, Some _)) ->
             (* implicit aggregates default to tofrom; if an enclosing
                target data region already mapped them, the runtime's

@@ -35,7 +35,7 @@ int main(void)
 
 let test_combined_reduction () =
   check_output "dot product via reduction"
-    "dot=332833600.000000\n"  (* f32 accumulation of 332,833,500 *)
+    "dot=332833504.000000\n"  (* f32 tree-order accumulation of 332,833,500 *)
     {|
 int main(void)
 {

@@ -178,6 +178,46 @@ let test_pretty_parse_fixpoint () =
         Alcotest.failf "fixpoint failure.\n-- source --\n%s\n-- printed --\n%s" src printed)
     corpus
 
+(* Reduction clauses survive a pragma-parse -> pretty -> pragma-parse
+   round trip for every operator, including the min/max identifier
+   forms; unknown operators are rejected at parse time. *)
+let parse_omp_directive (line : string) : Ast.directive option =
+  match Lexer.tokenize ("#pragma " ^ line ^ "\nx;") |> List.map (fun s -> s.Token.tok) with
+  | Token.TPRAGMA toks :: _ -> Omp.Pragma_parser.parse toks
+  | _ -> None
+
+let test_reduction_roundtrip () =
+  List.iter
+    (fun op ->
+      let line = Printf.sprintf "omp target teams distribute parallel for reduction(%s: s, t)" op in
+      let d1 =
+        match parse_omp_directive line with
+        | Some d -> d
+        | None -> Alcotest.failf "'%s' not recognised" line
+      in
+      let printed = Format.asprintf "%a" Pretty.pp_directive d1 in
+      let reparse_line = String.sub printed 8 (String.length printed - 8) in
+      let d2 =
+        match parse_omp_directive reparse_line with
+        | Some d -> d
+        | None -> Alcotest.failf "printed form '%s' not recognised" printed
+      in
+      if d1 <> d2 then
+        Alcotest.failf "reduction(%s) round trip changed the directive:\n%s" op printed;
+      match List.filter (function Ast.Creduction _ -> true | _ -> false) d2.Ast.dir_clauses with
+      | [ Ast.Creduction (_, [ "s"; "t" ]) ] -> ()
+      | _ -> Alcotest.failf "reduction(%s) lost its variable list" op)
+    [ "+"; "*"; "max"; "min"; "&"; "|"; "^"; "&&"; "||" ]
+
+let test_reduction_bad_ops () =
+  List.iter
+    (fun op ->
+      let line = Printf.sprintf "omp parallel for reduction(%s: s)" op in
+      match parse_omp_directive line with
+      | exception Omp.Pragma_parser.Pragma_error _ -> ()
+      | _ -> Alcotest.failf "reduction(%s) should be a pragma error" op)
+    [ "-"; "/"; "%"; "<<"; "avg"; "minmax" ]
+
 let () =
   Alcotest.run "parser"
     [
@@ -203,5 +243,10 @@ let () =
           Alcotest.test_case "pragma attachment" `Quick test_pragma_attachment;
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
-      ("roundtrip", [ Alcotest.test_case "pretty-parse fixpoint" `Quick test_pretty_parse_fixpoint ]);
+      ( "roundtrip",
+        [
+          Alcotest.test_case "pretty-parse fixpoint" `Quick test_pretty_parse_fixpoint;
+          Alcotest.test_case "reduction operators" `Quick test_reduction_roundtrip;
+          Alcotest.test_case "unknown reduction operators" `Quick test_reduction_bad_ops;
+        ] );
     ]

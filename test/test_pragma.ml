@@ -160,6 +160,45 @@ let test_validate_duplicates () =
   Alcotest.(check bool) "duplicate num_threads" true
     (List.length (diags_of "omp parallel num_threads(2) num_threads(3)" "{ x[0] = 1.0f; }") > 0)
 
+(* A reduction variable must not also be privatised on the same
+   construct, and mapping it 'to'-only (or alloc) would discard the
+   combined value before it ever reaches the host. *)
+let test_validate_reduction_conflicts () =
+  let has_msg needle diags =
+    List.exists
+      (fun d ->
+        let m = d.Omp.Validate.diag_msg in
+        let rec find i =
+          i + String.length needle <= String.length m
+          && (String.sub m i (String.length needle) = needle || find (i + 1))
+        in
+        find 0)
+      diags
+  in
+  let loop = "for (int i = 0; i < n; i++) x[0] += x[i];" in
+  Alcotest.(check bool) "reduction + private rejected" true
+    (has_msg "both reduction and private"
+       (diags_of "omp target teams distribute parallel for reduction(+: n) private(n)" loop));
+  Alcotest.(check bool) "reduction + firstprivate rejected" true
+    (has_msg "both reduction and private"
+       (diags_of "omp target teams distribute parallel for reduction(+: n) firstprivate(n)" loop));
+  Alcotest.(check bool) "reduction mapped to-only rejected" true
+    (has_msg "mapped 'to' only"
+       (diags_of "omp target teams distribute parallel for reduction(+: n) map(to: n)" loop));
+  Alcotest.(check bool) "reduction mapped alloc-only rejected" true
+    (has_msg "mapped 'to' only"
+       (diags_of "omp target teams distribute parallel for reduction(+: n) map(alloc: n)" loop));
+  Alcotest.(check int) "reduction mapped tofrom accepted" 0
+    (List.length
+       (diags_of "omp target teams distribute parallel for reduction(+: n) map(tofrom: n)" loop));
+  Alcotest.(check int) "reduction with no map accepted (implicit tofrom)" 0
+    (List.length (diags_of "omp target teams distribute parallel for reduction(+: n)" loop));
+  (* to-only on one construct is fine when a later clause writes back *)
+  Alcotest.(check int) "reduction mapped to and from accepted" 0
+    (List.length
+       (diags_of "omp target teams distribute parallel for reduction(+: n) map(to: n) map(from: n)"
+          loop))
+
 let test_declare_target_region () =
   let src =
     "#pragma omp declare target\nint dbl(int v) { return v * 2; }\n#pragma omp end declare target\nint main(void) { return dbl(21); }"
@@ -193,6 +232,7 @@ let () =
           Alcotest.test_case "illegal combinations" `Quick test_validate_bad_combination;
           Alcotest.test_case "clause placement" `Quick test_validate_clause_placement;
           Alcotest.test_case "duplicate unique clauses" `Quick test_validate_duplicates;
+          Alcotest.test_case "reduction clause conflicts" `Quick test_validate_reduction_conflicts;
           Alcotest.test_case "declare target regions" `Quick test_declare_target_region;
         ] );
     ]

@@ -293,6 +293,56 @@ let test_invalid_args () =
     (inv (fun () -> distribute_chunk ~team:5 ~num_teams:3 { lo = 0; hi = 10 }));
   Alcotest.(check bool) "bad chunk" true (inv (fun () -> dynamic_chunk ~counter:0 ~chunk:0 { lo = 0; hi = 10 }))
 
+(* The chunk shapes the reduction tree consumes: composing distribute
+   and static must still partition the space when teams outnumber
+   iterations (empty team chunks), when every team has a single thread
+   (the tree degenerates to the publish), and when threads outnumber a
+   team's chunk (tail threads hold the identity). *)
+let test_reduction_geometry_chunks () =
+  let cover ~teams ~threads total =
+    let hits = Array.make (max total 1) 0 in
+    for team = 0 to teams - 1 do
+      let tr = distribute_chunk ~team ~num_teams:teams { lo = 0; hi = total } in
+      for thread = 0 to threads - 1 do
+        let r = static_chunk ~thread ~num_threads:threads tr in
+        for i = r.lo to r.hi - 1 do
+          hits.(i) <- hits.(i) + 1
+        done
+      done
+    done;
+    Array.for_all (fun c -> c = 1) (Array.sub hits 0 total)
+  in
+  Alcotest.(check bool) "surplus teams + surplus threads partition" true
+    (cover ~teams:8 ~threads:32 5);
+  Alcotest.(check bool) "single-thread teams partition" true (cover ~teams:5 ~threads:1 61);
+  Alcotest.(check bool) "empty space touches nothing" true (cover ~teams:4 ~threads:16 0);
+  Alcotest.(check bool) "non-power-of-two threads partition" true (cover ~teams:3 ~threads:100 257);
+  (* block-cyclic distribute composed with static: same invariant *)
+  let cover_cyclic ~teams ~threads ~chunk total =
+    let hits = Array.make (max total 1) 0 in
+    for team = 0 to teams - 1 do
+      let k = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        match static_cyclic_chunk ~thread:team ~num_threads:teams ~chunk ~k:!k { lo = 0; hi = total } with
+        | None -> continue_ := false
+        | Some tr ->
+          incr k;
+          for thread = 0 to threads - 1 do
+            let r = static_chunk ~thread ~num_threads:threads tr in
+            for i = r.lo to r.hi - 1 do
+              hits.(i) <- hits.(i) + 1
+            done
+          done
+      done
+    done;
+    Array.for_all (fun c -> c = 1) (Array.sub hits 0 total)
+  in
+  Alcotest.(check bool) "dist_schedule(static,16) x static partition" true
+    (cover_cyclic ~teams:3 ~threads:20 ~chunk:16 257);
+  Alcotest.(check bool) "dist_schedule(static,1) single-thread teams" true
+    (cover_cyclic ~teams:7 ~threads:1 ~chunk:1 29)
+
 let () =
   Alcotest.run "sched"
     [
@@ -319,5 +369,6 @@ let () =
           Alcotest.test_case "single-iteration ranges" `Quick test_single_iteration;
           Alcotest.test_case "block-cyclic edge cases" `Quick test_static_cyclic_edges;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+          Alcotest.test_case "reduction geometry chunks" `Quick test_reduction_geometry_chunks;
         ] );
     ]

@@ -287,6 +287,53 @@ void k(int n, int *out)
   Alcotest.(check int) "last waiter" 2 (read_i32 d buf 39);
   Alcotest.(check int) "retiring thread did its work" 25 (read_i32 d buf 50)
 
+(* The shared-memory tree the reduction lowering emits, hand-written:
+   a guarded log-step combine where fewer and fewer threads are active
+   at each barrier (the others arrive idle), and a CAS-based
+   cross-block publish.  Exercised at awkward block sizes — a single
+   thread (the tree degenerates to the publish), a sub-warp odd size,
+   and a non-power-of-two multi-warp size where [t + s < num] clips the
+   top stride. *)
+let test_tree_reduce_divergent_shapes () =
+  let src =
+    {|
+void k(int *out)
+{
+  __shared__ int sh[128];
+  int t = threadIdx.x;
+  int num = blockDim.x;
+  int s = 1;
+  sh[t] = t + 1;
+  __syncthreads();
+  while (s < num)
+    s = s * 2;
+  s = s / 2;
+  while (s > 0) {
+    if (t < s && t + s < num)
+      sh[t] = sh[t] + sh[t + s];
+    __syncthreads();
+    s = s / 2;
+  }
+  if (t == 0)
+    cudadev_reduce_iadd(out, sh[0]);
+}
+|}
+  in
+  List.iter
+    (fun (blocks, threads) ->
+      let d = make_driver () in
+      let buf = Driver.mem_alloc d 4 in
+      let stats =
+        launch ~grid:(Simt.dim3 blocks) ~block:(Simt.dim3 threads) d src "k" [ fi buf ]
+      in
+      let label = Printf.sprintf "%d blocks x %d threads" blocks threads in
+      Alcotest.(check int) label
+        (blocks * (threads * (threads + 1) / 2))
+        (read_i32 d buf 0);
+      (* exactly one publish atomic per block, regardless of tree shape *)
+      Alcotest.(check int) (label ^ ": atomics") blocks stats.Driver.st_counters.Counters.atomics)
+    [ (3, 1); (2, 7); (2, 37); (1, 100); (4, 64) ]
+
 let test_block_limit () =
   let d = make_driver () in
   Alcotest.(check bool) "block too large" true
@@ -320,6 +367,8 @@ let () =
           Alcotest.test_case "early-returning threads" `Quick test_early_return_threads;
           Alcotest.test_case "retiring thread re-evaluates barrier" `Quick
             test_retiring_thread_reevaluates_barrier;
+          Alcotest.test_case "tree reduce, divergent shapes" `Quick
+            test_tree_reduce_divergent_shapes;
         ] );
       ( "master-worker",
         [ Alcotest.test_case "B1/B2 protocol, non-warp-multiple team" `Quick test_master_worker_protocol ] );

@@ -105,7 +105,15 @@ void dot(int n, float a[], float b[], float result)
   in
   let text = kernel_text c "dot_kernel0" in
   assert_contains text "float _red_result = 0";
-  assert_contains text "cudadev_reduce_fadd(result, _red_result)"
+  (* per-team shared-memory tree: slot store, barrier ladder, pairwise
+     combine, and a single thread-0 atomic publish per team *)
+  assert_contains text "__shared__ float _redsh_result[1024]";
+  assert_contains text "_redsh_result[_rtid] = _red_result";
+  assert_contains text "cudadev_barrier(0)";
+  assert_contains text "if (_rtid < _rs && _rtid + _rs < _rnum)";
+  assert_contains text "_redsh_result[_rtid] = _redsh_result[_rtid] + _redsh_result[_rtid + _rs]";
+  assert_contains text "if (_rtid == 0)";
+  assert_contains text "cudadev_reduce_fadd(result, _redsh_result[0])"
 
 let test_default_teams () =
   let c =
