@@ -28,6 +28,12 @@
                                            single-team serialized reduce,
                                            bit-checked against the order-
                                            exact host model + fault cells
+     dune exec bench/main.exe -- multidev [--smoke]
+                                        -- sharded distribute across 1/2/4
+                                           device farms, bit-checked across
+                                           farm sizes + a secondary-death
+                                           fault cell; gates the 4-device
+                                           gemm speedup at 1.5x
 
    Times are simulated seconds on the modelled Jetson Nano 2GB (see
    DESIGN.md for the substitution rules); shapes, not absolute values,
@@ -1024,7 +1030,8 @@ let serve_bench ~smoke () =
   let sessions = Serve.default_sessions ~smoke in
   let base =
     {
-      Serve.cf_streams = 4;
+      Serve.cf_devices = 1;
+      cf_streams = 4;
       cf_max_inflight = 8;
       cf_generations = 2;
       cf_seed = 42;
@@ -1326,6 +1333,214 @@ let reduction_bench ~smoke () =
   end;
   say "reduction: PASS (%.2fx over serialized)\n" speedup
 
+(* ------------------------------------------------------------------ *)
+(* multidev: sharded distribute across an N-device farm                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure-writes shard witness: every c element is produced by exactly one
+   thread, so the ascending-shard merge must reproduce the single-device
+   bytes (and the host interpreter's bytes) exactly. *)
+let multidev_gemm_src =
+  {|
+void gemm_md(int n, int teams, float alpha, float beta, float a[], float b[], float c[])
+{
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(128) \
+      map(to: n, alpha, beta, a[0:n*n], b[0:n*n]) map(tofrom: c[0:n*n])
+  for (int i = 0; i < n; i++)
+    for (int j = 0; j < n; j++) {
+      float acc = 0.0f;
+      for (int k = 0; k < n; k++)
+        acc += a[i * n + k] * b[k * n + j];
+      c[i * n + j] = alpha * acc + beta * c[i * n + j];
+    }
+}
+|}
+
+(* Atomic-chain shard witness: each team publishes into s with one
+   atomic; across devices the publish chain rides the cross-device
+   D2H-before-H2D exchange, so the chained value must still match the
+   single-device tree bit-for-bit. *)
+let multidev_dot_src =
+  {|
+void dot_md(int n, int teams, float x[], float y[], float out[])
+{
+  float s = 0.0f;
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(128) \
+      reduction(+: s) map(to: n, x[0:n], y[0:n]) map(tofrom: s)
+  for (int i = 0; i < n; i++)
+    s += x[i] * y[i];
+  out[0] = s;
+}
+|}
+
+let md_a n i = Polybench.Refmath.r32 (float_of_int ((i * 7) mod (n + 13)) /. float_of_int (n + 13))
+
+let md_b n i = Polybench.Refmath.r32 (float_of_int ((i * 5) mod (n + 7)) /. float_of_int (n + 7))
+
+let md_c _n i = Polybench.Refmath.r32 (float_of_int ((i mod 11) - 5) /. 8.0)
+
+(* The translator only shards default-device launches, and the shard
+   planner only engages past one live device — everything else must
+   collapse to the single-device path, bit-for-bit. *)
+let multidev_bench ~smoke () =
+  say "=== multidev: sharded distribute across an N-device farm ===\n";
+  let failures = ref 0 in
+  let check ok msg =
+    if not ok then begin
+      say "  CHECK FAILED: %s\n" msg;
+      incr failures
+    end
+  in
+  let gemm_n = if smoke then 128 else 256 in
+  let gemm_teams = 64 in
+  let dot_n = if smoke then 8192 else 65536 in
+  let dot_teams = 32 in
+  let launches_of ctx d =
+    List.length (Hostrt.Rt.device ctx.Polybench.Harness.rt d).Hostrt.Rt.dev_driver.Gpusim.Driver.launches
+  in
+  let dead ctx d =
+    Hostrt.Dataenv.is_dead (Hostrt.Rt.device ctx.Polybench.Harness.rt d).Hostrt.Rt.dev_dataenv
+  in
+  let run_gemm ?(host_interp = false) ?(trace = false) ?faults ~devices () =
+    let ctx = Polybench.Harness.create ~devices () in
+    Polybench.Harness.set_sampling ctx None;
+    (* steady-state shape: the warm call re-broadcasts nothing the host
+       has not dirtied, so the window is shards + the c traffic *)
+    Polybench.Harness.set_elide ctx true;
+    let tr = if trace then Some (Polybench.Harness.enable_trace ctx) else None in
+    (match faults with
+    | None -> ()
+    | Some rules -> Polybench.Harness.set_faults ctx ~seed:7 rules);
+    let open Polybench.Harness in
+    let nn = gemm_n * gemm_n in
+    let a = alloc_f32 ctx nn and b = alloc_f32 ctx nn and c = alloc_f32 ctx nn in
+    fill_f32 ctx a nn (md_a gemm_n);
+    fill_f32 ctx b nn (md_b gemm_n);
+    fill_f32 ctx c nn (md_c gemm_n);
+    let p = prepare_omp ~host_interp ctx ~name:"bench_md_gemm" multidev_gemm_src in
+    let call () =
+      call_omp p "gemm_md"
+        [ vint gemm_n; vint gemm_teams; vf32 1.5; vf32 1.2; fptr a; fptr b; fptr c ]
+    in
+    (* warm-up: pay every device's one-time module load outside the
+       window, then restore c (tofrom) so the measured call sees the
+       same bytes on every leg *)
+    if faults = None then begin
+      call ();
+      fill_f32 ctx c nn (md_c gemm_n)
+    end;
+    let t = measure ctx call in
+    (t, Array.map Int32.bits_of_float (read_f32_array ctx c nn), ctx, tr)
+  in
+  let run_dot ?(host_interp = false) ~devices () =
+    let ctx = Polybench.Harness.create ~devices () in
+    Polybench.Harness.set_sampling ctx None;
+    Polybench.Harness.set_elide ctx true;
+    let open Polybench.Harness in
+    let x = alloc_f32 ctx dot_n and y = alloc_f32 ctx dot_n and out = alloc_f32 ctx 1 in
+    fill_f32 ctx x dot_n red_fx;
+    fill_f32 ctx y dot_n red_fy;
+    let p = prepare_omp ~host_interp ctx ~name:"bench_md_dot" multidev_dot_src in
+    let call () = call_omp p "dot_md" [ vint dot_n; vint dot_teams; fptr x; fptr y; fptr out ] in
+    call ();
+    (* warm-up as in the gemm legs; out is a pure write, x/y are to-only *)
+    let t = measure ctx call in
+    (t, Int32.bits_of_float (get_f32 ctx out 0), ctx)
+  in
+  (* gemm across the farm sizes: 0-byte diff, one shard launch per
+     device, and kernel-window time that shrinks with the farm *)
+  let g1_t, g1_bits, g1_ctx, _ = run_gemm ~devices:1 () in
+  let g2_t, g2_bits, g2_ctx, _ = run_gemm ~devices:2 () in
+  let g4_t, g4_bits, g4_ctx, _ = run_gemm ~devices:4 () in
+  let _, gh_bits, _, _ = run_gemm ~host_interp:true ~devices:1 () in
+  check (g2_bits = g1_bits) "gemm: 2-device bytes differ from 1-device";
+  check (g4_bits = g1_bits) "gemm: 4-device bytes differ from 1-device";
+  check (gh_bits = g1_bits) "gemm: device bytes differ from the host interpreter";
+  (* two region executions (warm-up + measured) -> exactly one shard
+     launch per device per execution, on every farm size *)
+  check (launches_of g1_ctx 0 = 2) "gemm: 1-device leg did not launch once per execution";
+  List.iter
+    (fun (ctx, devices) ->
+      for d = 0 to devices - 1 do
+        check
+          (launches_of ctx d = 2)
+          (Printf.sprintf "gemm: device %d of %d ran %d shard launches (want 2)" d devices
+             (launches_of ctx d))
+      done)
+    [ (g2_ctx, 2); (g4_ctx, 4) ];
+  let g2_sp = g1_t /. g2_t and g4_sp = g1_t /. g4_t in
+  say "  gemm   n=%-5d teams=%-3d  1dev %.6fs  2dev %.6fs (%.2fx)  4dev %.6fs (%.2fx)\n" gemm_n
+    gemm_teams g1_t g2_t g2_sp g4_t g4_sp;
+  (* dot: the atomic publish chain across devices *)
+  let d1_t, d1_bits, _ = run_dot ~devices:1 () in
+  let d2_t, d2_bits, _ = run_dot ~devices:2 () in
+  let d4_t, d4_bits, _ = run_dot ~devices:4 () in
+  let _, dh_bits, _ = run_dot ~host_interp:true ~devices:1 () in
+  check (d2_bits = d1_bits) "dot: 2-device reduction differs from 1-device";
+  check (d4_bits = d1_bits) "dot: 4-device reduction differs from 1-device";
+  let close a b = Float.abs (a -. b) <= 1e-3 *. Float.max 1.0 (Float.abs b) in
+  check
+    (close (Int32.float_of_bits d1_bits) (Int32.float_of_bits dh_bits))
+    "dot: device reduction drifted beyond accumulation tolerance of the host value";
+  say "  dot    n=%-5d teams=%-3d  1dev %.6fs  2dev %.6fs (%.2fx)  4dev %.6fs (%.2fx)\n" dot_n
+    dot_teams d1_t d2_t (d1_t /. d2_t) d4_t (d1_t /. d4_t);
+  (* fault cell: a fatal launch fault on device 1's shard (launch #2 in
+     ascending shard order) host-falls-back that shard only — device 0
+     stays alive and the merged bytes do not move *)
+  let rules =
+    match Hostrt.Faults.parse "launch:nth=2,kind=fatal" with
+    | Ok rules -> rules
+    | Error msg -> failwith ("multidev bench: bad fault spec: " ^ msg)
+  in
+  let _, gf_bits, gf_ctx, gf_tr = run_gemm ~devices:2 ~trace:true ~faults:rules () in
+  let fallbacks =
+    match gf_tr with
+    | Some tr -> Perf.Trace.count_events tr ~cat:"shard" ~name:"shard_host_fallback" ()
+    | None -> 0
+  in
+  let fault_ok =
+    gf_bits = g1_bits && fallbacks >= 1 && dead gf_ctx 1 && not (dead gf_ctx 0)
+  in
+  say "  fault launch:nth=2,kind=fatal on 2 devices: %d shard fallback(s), dev1 dead=%b, \
+       dev0 alive=%b, bit-identical=%b\n"
+    fallbacks (dead gf_ctx 1)
+    (not (dead gf_ctx 0))
+    (gf_bits = g1_bits);
+  check fault_ok "fault cell: secondary shard death did not degrade cleanly";
+  let oc = open_out "BENCH_multidev.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"multidev\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"gemm\": { \"n\": %d, \"teams\": %d, \"sim_s_1dev\": %.6f, \"sim_s_2dev\": %.6f,\n\
+    \             \"sim_s_4dev\": %.6f, \"speedup_2dev\": %.4f, \"speedup_4dev\": %.4f,\n\
+    \             \"bit_identical\": %b },\n\
+    \  \"dot\": { \"n\": %d, \"teams\": %d, \"sim_s_1dev\": %.6f, \"sim_s_2dev\": %.6f,\n\
+    \            \"sim_s_4dev\": %.6f, \"speedup_2dev\": %.4f, \"speedup_4dev\": %.4f,\n\
+    \            \"bit_identical\": %b },\n\
+    \  \"speedup_4dev\": %.4f,\n\
+    \  \"fault_cell\": { \"shard_fallbacks\": %d, \"secondary_dead\": %b, \"primary_alive\": %b,\n\
+    \                   \"bit_identical\": %b },\n\
+    \  \"bit_identical\": %b\n\
+     }\n"
+    smoke gemm_n gemm_teams g1_t g2_t g4_t g2_sp g4_sp
+    (g2_bits = g1_bits && g4_bits = g1_bits && gh_bits = g1_bits)
+    dot_n dot_teams d1_t d2_t d4_t (d1_t /. d2_t) (d1_t /. d4_t)
+    (d2_bits = d1_bits && d4_bits = d1_bits)
+    g4_sp fallbacks (dead gf_ctx 1)
+    (not (dead gf_ctx 0))
+    (gf_bits = g1_bits)
+    (g2_bits = g1_bits && g4_bits = g1_bits && d2_bits = d1_bits && d4_bits = d1_bits);
+  close_out oc;
+  say "  [written: BENCH_multidev.json]\n";
+  check (g4_sp >= 1.5)
+    (Printf.sprintf "gemm 4-device speedup %.2fx below the 1.5x bar" g4_sp);
+  if !failures > 0 then begin
+    say "multidev: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "multidev: PASS (%.2fx at 4 devices)\n" g4_sp
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--") in
   match args with
@@ -1359,6 +1574,8 @@ let () =
   | [ "serve"; "--smoke" ] -> serve_bench ~smoke:true ()
   | [ "reduction" ] -> reduction_bench ~smoke:false ()
   | [ "reduction"; "--smoke" ] -> reduction_bench ~smoke:true ()
+  | [ "multidev" ] -> multidev_bench ~smoke:false ()
+  | [ "multidev"; "--smoke" ] -> multidev_bench ~smoke:true ()
   | [ id ] when figure_by_id id <> None -> ignore (run_figure (Option.get (figure_by_id id)))
   | args ->
     prerr_endline ("unknown benchmark target: " ^ String.concat " " args);

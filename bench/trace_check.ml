@@ -4,7 +4,8 @@
    begin/end span pairs, at least one transfer event carrying a byte
    count, and JIT-cache hit/miss information.
 
-     dune exec bench/trace_check.exe -- [--expect-elision] [--expect-serve] out.json
+     dune exec bench/trace_check.exe -- [--expect-elision] [--expect-serve]
+                                        [--expect-devices N] out.json
 
    With --expect-elision, additionally requires at least one cat:"mem"
    elide_h2d/elide_d2h instant — the CI witness that the transfer-
@@ -14,6 +15,12 @@
    and validates their pairing; pairing is validated whenever serve
    events are present at all: every admitted request (args.req) must
    have exactly one matching complete, and must have been enqueued.
+
+   With --expect-devices N, requires the multi-device tid discipline:
+   every launch/copy Complete ("X") event must carry a device ordinal
+   in its args and sit on the device-qualified timeline
+   tid = device*1000 + stream; no tid may interleave events of two
+   devices, and all N devices must appear.
 
    Exits 0 when the schema holds, 1 with a diagnostic otherwise.  Used
    by bench/trace_smoke.sh. *)
@@ -33,11 +40,29 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let expect_elision = List.mem "--expect-elision" args in
   let expect_serve = List.mem "--expect-serve" args in
+  (* --expect-devices takes a value; strip the pair before the path scan *)
+  let expect_devices, args =
+    let rec scan acc = function
+      | "--expect-devices" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> (Some n, List.rev_append acc rest)
+        | _ ->
+          prerr_endline "trace_check: --expect-devices needs a positive integer";
+          exit 2)
+      | [ "--expect-devices" ] ->
+        prerr_endline "trace_check: --expect-devices needs a value";
+        exit 2
+      | a :: rest -> scan (a :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    scan [] args
+  in
   let path =
     match List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args with
     | [ path ] -> path
     | _ ->
-      prerr_endline "usage: trace_check [--expect-elision] [--expect-serve] <trace.json>";
+      prerr_endline
+        "usage: trace_check [--expect-elision] [--expect-serve] [--expect-devices N] <trace.json>";
       exit 2
   in
   if not (Sys.file_exists path) then fail "no such file: %s" path;
@@ -157,9 +182,62 @@ let () =
     (fun req ->
       if not (List.mem req admits) then fail "serve request %s completed without admit" req)
     completes;
-  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s%s)\n" path
+  (* Multi-device tid discipline: every stream-timeline Complete event
+     (async copies and async/sharded launches) names its device and
+     sits on tid = device*1000 + stream; a tid never carries events of
+     two devices; all expected devices show up. *)
+  (match expect_devices with
+  | None -> ()
+  | Some n ->
+    let tid_device : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let seen_devices = Hashtbl.create 8 in
+    let completes = ref 0 in
+    List.iteri
+      (fun i ev ->
+        if str_field "ph" ev = Some "X" then begin
+          incr completes;
+          let num key =
+            Option.bind (Perf.Json.member "args" ev) (fun args ->
+                Option.bind (Perf.Json.member key args) Perf.Json.to_number_opt)
+          in
+          let tid =
+            match Option.bind (Perf.Json.member "tid" ev) Perf.Json.to_number_opt with
+            | Some t -> int_of_float t
+            | None -> fail "event %d (X) has no tid" i
+          in
+          let device =
+            match num "device" with
+            | Some d -> int_of_float d
+            | None -> fail "event %d (X) carries no device ordinal in args" i
+          in
+          let stream =
+            match num "stream" with
+            | Some s -> int_of_float s
+            | None -> fail "event %d (X) carries no stream id in args" i
+          in
+          if device < 0 || device >= n then
+            fail "event %d (X) names device %d outside the %d-device farm" i device n;
+          if tid <> (device * 1000) + stream then
+            fail "event %d (X): tid %d is not device-qualified (device %d stream %d wants %d)" i
+              tid device stream ((device * 1000) + stream);
+          (match Hashtbl.find_opt tid_device tid with
+          | Some d when d <> device ->
+            fail "tid %d interleaves devices %d and %d (event %d)" tid d device i
+          | Some _ -> ()
+          | None -> Hashtbl.add tid_device tid device);
+          Hashtbl.replace seen_devices device ()
+        end)
+      events;
+    if !completes = 0 then fail "--expect-devices: no Complete (X) launch/copy events at all";
+    if Hashtbl.length seen_devices <> n then
+      fail "--expect-devices %d: only %d device(s) appear in the trace" n
+        (Hashtbl.length seen_devices));
+  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s%s%s)\n" path
     (List.length events)
     (if expect_elision then Printf.sprintf ", %d elided transfer(s)" elisions else "")
     (if admits <> [] then
        Printf.sprintf ", %d serve request(s) admit/complete paired" (List.length admits)
      else "")
+    (match expect_devices with
+    | Some n -> Printf.sprintf ", %d device timelines disciplined" n
+    | None -> "")

@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams zerocopy elide no_jit verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams devices zerocopy elide no_jit verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -41,6 +41,10 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
     Printf.eprintf "ompirun: --streams must be positive (got %d)\n" streams;
     exit 1
   end;
+  if devices <= 0 then begin
+    Printf.eprintf "ompirun: --devices must be positive (got %d)\n" devices;
+    exit 1
+  end;
   let config =
     {
       Ompi.default_config with
@@ -52,6 +56,7 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
       zerocopy;
       elide;
       jit = not no_jit;
+      devices;
     }
   in
   try
@@ -59,7 +64,8 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
     let instance = Ompi.load ~config ~trace:(trace_file <> None) compiled in
     let result = Ompi.run instance ~entry () in
     print_string result.Ompi.run_output;
-    Printf.eprintf "[%s on %s]\n" stem Gpusim.Spec.jetson_nano_2gb.Gpusim.Spec.name;
+    Printf.eprintf "[%s on %s%s]\n" stem Gpusim.Spec.jetson_nano_2gb.Gpusim.Spec.name
+      (if devices > 1 then Printf.sprintf " x%d devices" devices else "");
     (match instance.Ompi.i_rt.Hostrt.Rt.faults with
     | Some f ->
       let dataenv = (Hostrt.Rt.device instance.Ompi.i_rt 0).Hostrt.Rt.dev_dataenv in
@@ -163,6 +169,16 @@ let streams_arg =
           "Size of the device stream pool used by target nowait regions (default 4); 1 \
            serializes all async work on a single stream")
 
+let devices_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Number of simulated device instances (default 1).  With more than one, default-device \
+           distribute launches are sharded across the farm by compute weight; device(n) clauses \
+           pin a region to one device, and omp_get_num_devices() reports N")
+
 let zerocopy_arg =
   Arg.(
     value
@@ -201,6 +217,7 @@ let cmd =
     (Cmd.info "ompirun" ~doc)
     Term.(
       const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
-      $ fault_seed_arg $ streams_arg $ zerocopy_arg $ elide_arg $ no_jit_arg $ verbose_arg)
+      $ fault_seed_arg $ streams_arg $ devices_arg $ zerocopy_arg $ elide_arg $ no_jit_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

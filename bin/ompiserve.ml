@@ -7,8 +7,8 @@
 
 open Cmdliner
 
-let run_cmd streams inflight generations seed smoke no_elide resident_cap faults_spec fault_seed
-    max_retries trace_file =
+let run_cmd devices streams inflight generations seed smoke no_elide resident_cap faults_spec
+    fault_seed max_retries trace_file =
   let faults =
     match faults_spec with
     | None -> []
@@ -21,7 +21,8 @@ let run_cmd streams inflight generations seed smoke no_elide resident_cap faults
   in
   let cfg =
     {
-      Serve.cf_streams = streams;
+      Serve.cf_devices = devices;
+      cf_streams = streams;
       cf_max_inflight = inflight;
       cf_generations = generations;
       cf_seed = seed;
@@ -34,13 +35,19 @@ let run_cmd streams inflight generations seed smoke no_elide resident_cap faults
     }
   in
   let sessions = Serve.default_sessions ~smoke in
+  (* spread the default workload round-robin across the farm *)
+  let sessions =
+    if devices > 1 then
+      List.mapi (fun i s -> { s with Serve.ss_device = i mod devices }) sessions
+    else sessions
+  in
   match Serve.run cfg sessions with
   | exception Invalid_argument msg ->
     Printf.eprintf "ompiserve: %s\n" msg;
     exit 1
   | r, trace ->
-    Printf.printf "ompiserve: %d clients, %d stream(s), max %d in flight, %d generation(s)\n"
-      (List.length sessions) streams inflight generations;
+    Printf.printf "ompiserve: %d clients, %d device(s), %d stream(s), max %d in flight, %d generation(s)\n"
+      (List.length sessions) devices streams inflight generations;
     Printf.printf "  %d/%d requests served in %.6f s busy time -> %.1f req/s\n"
       r.Serve.rp_completed r.Serve.rp_requests r.Serve.rp_busy_s r.Serve.rp_throughput_rps;
     Printf.printf "  latency p50/p95/p99: %.3f / %.3f / %.3f ms; queue depth mean %.2f max %d\n"
@@ -72,6 +79,15 @@ let run_cmd streams inflight generations seed smoke no_elide resident_cap faults
       print_endline "  RESPONSE MISMATCH against host reference";
       exit 1
     end
+
+let devices_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Number of simulated device instances; the default workload's sessions are pinned \
+           round-robin across the farm, each with its own data environment and resident cache")
 
 let streams_arg =
   Arg.(value & opt int 4 & info [ "streams" ] ~docv:"N" ~doc:"Stream-pool size (1 = serialized)")
@@ -134,7 +150,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ompiserve" ~doc)
     Term.(
-      const run_cmd $ streams_arg $ inflight_arg $ generations_arg $ seed_arg $ smoke_arg
-      $ no_elide_arg $ resident_cap_arg $ faults_arg $ fault_seed_arg $ max_retries_arg $ trace_arg)
+      const run_cmd $ devices_arg $ streams_arg $ inflight_arg $ generations_arg $ seed_arg
+      $ smoke_arg $ no_elide_arg $ resident_cap_arg $ faults_arg $ fault_seed_arg $ max_retries_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

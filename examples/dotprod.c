@@ -1,0 +1,42 @@
+/* Dot product sharded across a farm of simulated devices.
+ *
+ * `target teams distribute` grids are split by compute weight across
+ * every device the runtime was booted with (DESIGN.md 5i), so the
+ * same program scales from one Nano to a farm:
+ *
+ *   dune exec bin/ompirun.exe -- examples/dotprod.c
+ *   dune exec bin/ompirun.exe -- --devices 4 examples/dotprod.c
+ *   dune exec bin/ompirun.exe -- --devices 4 --trace farm.json examples/dotprod.c
+ *   dune exec bench/trace_check.exe -- --expect-devices 4 farm.json
+ *
+ * Note the scalar reduction: array-section reductions like
+ * reduction(+: out[0:1]) are not supported, so reduce into a scalar
+ * and store it afterwards.
+ */
+
+void dot(float x[], float y[], float out[], int size)
+{
+  float s = 0.0f;
+  #pragma omp target teams distribute parallel for num_teams(32) \
+                     reduction(+: s) \
+                     map(to: size, x[0:size], y[0:size]) map(tofrom: s)
+  for (int i = 0; i < size; i++)
+    s += x[i] * y[i];
+  out[0] = s;
+}
+
+int main(void)
+{
+  float x[4096];
+  float y[4096];
+  float out[1];
+  int i;
+  for (i = 0; i < 4096; i++) {
+    x[i] = 1.0f;
+    y[i] = i * 1.0f;
+  }
+  dot(x, y, out, 4096);
+  /* sum of 0..4095 = 4095*4096/2 = 8386560 */
+  printf("dot = %f (expect 8386560)\n", out[0]);
+  return 0;
+}

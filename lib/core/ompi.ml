@@ -26,6 +26,8 @@ type config = {
   zerocopy : bool; (* pin-and-share host memory instead of copying (unified DRAM) *)
   elide : bool; (* park released buffers and skip provably redundant transfers *)
   jit : bool; (* closure-compile kernels at module load (--no-jit disables) *)
+  devices : int; (* simultaneously-live device instances (--devices N) *)
+  specs : Spec.t list; (* per-device spec overrides for heterogeneous farms *)
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     zerocopy = false;
     elide = false;
     jit = true;
+    devices = 1;
+    specs = [];
   }
 
 type compiled = Translator.Pipeline.compiled = {
@@ -65,7 +69,8 @@ type instance = {
 
 let load ?(config = default_config) ?(trace = false) (compiled : compiled) : instance =
   let rt =
-    Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec ~streams:config.streams ()
+    Hostrt.Rt.create ~binary_mode:config.binary_mode ~spec:config.spec ~streams:config.streams
+      ~devices:config.devices ~specs:config.specs ()
   in
   let tr = if trace then Some (Perf.Trace.create rt.Hostrt.Rt.clock) else None in
   Hostrt.Rt.set_trace rt tr;
@@ -86,7 +91,11 @@ let load ?(config = default_config) ?(trace = false) (compiled : compiled) : ins
           Nvcc.compile ?trace:tr ~mode:config.binary_mode ~name:k.Translator.Kernelgen.k_entry
             k.Translator.Kernelgen.k_program
         in
-        Hostrt.Rt.register_kernel rt ~dev:0 artifact;
+        (* every device gets its own copy of the kernel file, so sharded
+           sub-launches (and explicit device(n) regions) find it locally *)
+        for d = 0 to Hostrt.Rt.num_devices rt - 1 do
+          Hostrt.Rt.register_kernel rt ~dev:d artifact
+        done;
         artifact)
       compiled.c_kernels
   in
@@ -101,12 +110,16 @@ type run_result = {
 
 let run (instance : instance) ?(entry = "main") () : run_result =
   let r = Hostrt.Hostexec.run instance.i_rt instance.i_compiled.c_host ~entry () in
-  let dev = Hostrt.Rt.device instance.i_rt 0 in
+  let launches =
+    Array.fold_left
+      (fun acc (d : Hostrt.Rt.device) -> acc + d.Hostrt.Rt.dev_driver.Driver.kernels_launched)
+      0 instance.i_rt.Hostrt.Rt.devices
+  in
   {
     run_output = r.Hostrt.Hostexec.rr_output;
     run_exit = r.Hostrt.Hostexec.rr_exit;
     run_time_s = r.Hostrt.Hostexec.rr_time_s;
-    run_kernel_launches = dev.Hostrt.Rt.dev_driver.Driver.kernels_launched;
+    run_kernel_launches = launches;
   }
 
 let compile_and_run ?(config = default_config) ?(entry = "main") ~(name : string) (source : string)

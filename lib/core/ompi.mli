@@ -38,6 +38,14 @@ type config = {
       (** closure-compile kernel ASTs at module load (see
           {!Cinterp.Jit}); default on — [--no-jit] falls back to the
           reference tree-walking interpreter *)
+  devices : int;
+      (** number of simultaneously-live device instances; with more than
+          one, default-device [distribute] launches shard across the
+          farm (see {!Hostrt.Multidev}); default 1 *)
+  specs : Spec.t list;
+      (** per-device spec overrides (position [i] configures device
+          [i]); positions beyond the list fall back to [spec] —
+          heterogeneous farms get weight-proportional shards *)
 }
 
 val default_config : config

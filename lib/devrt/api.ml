@@ -117,6 +117,8 @@ let atomic_rmw ctx (bs : Simt.block_state) (ptr : Value.t) (f : Value.t -> Value
   bs.bs_counters.Counters.atomics <- bs.bs_counters.Counters.atomics + 1;
   match ptr with
   | Value.VPtr (addr, ty) ->
+    (if addr.Addr.space = Addr.Global then
+       Counters.note_atomic bs.bs_counters ~off:addr.Addr.off ~len:(Cinterp.Interp.sizeof ctx ty));
     let old = Cinterp.Interp.load ctx addr ty in
     Cinterp.Interp.store ctx addr ty (f old);
     old

@@ -29,6 +29,15 @@ let class_total c = c.arith + c.mul + c.div + c.branch + c.call + c.special
 type alloc_stats = {
   mutable a_loads : int;
   mutable a_stores : int;
+  (* byte interval written within the allocation (relative to its base;
+     lo >= hi means no store was observed).  Multi-device sharding uses
+     these to merge exactly the bytes each shard produced. *)
+  mutable a_store_lo : int;
+  mutable a_store_hi : int;
+  (* byte interval touched by atomic read-modify-writes: the only bytes a
+     later shard may legally read after another shard wrote them *)
+  mutable a_atomic_lo : int;
+  mutable a_atomic_hi : int;
   (* warp-0 sampling: (block, access index) -> segment set + lane count *)
   samples : (int, Int_set.t ref * int ref) Hashtbl.t;
 }
@@ -102,7 +111,17 @@ let alloc_stats t id =
   match Hashtbl.find_opt t.per_alloc id with
   | Some s -> s
   | None ->
-    let s = { a_loads = 0; a_stores = 0; samples = Hashtbl.create 64 } in
+    let s =
+      {
+        a_loads = 0;
+        a_stores = 0;
+        a_store_lo = max_int;
+        a_store_hi = 0;
+        a_atomic_lo = max_int;
+        a_atomic_hi = 0;
+        samples = Hashtbl.create 64;
+      }
+    in
     Hashtbl.replace t.per_alloc id s;
     s
 
@@ -181,11 +200,15 @@ let on_global_access t ~(lin : int) ~(seq : (int, int ref) Hashtbl.t) (acc : Cin
   match find_range_idx t.alloc_table off with
   | -1 -> ()
   | i ->
-    let _, _, id = Array.unsafe_get t.alloc_table i in
+    let base, _, id = Array.unsafe_get t.alloc_table i in
     let s = Array.unsafe_get t.alloc_table_stats i in
     (match acc.acc_kind with
     | `Load -> s.a_loads <- s.a_loads + 1
-    | `Store -> s.a_stores <- s.a_stores + 1);
+    | `Store ->
+      s.a_stores <- s.a_stores + 1;
+      let rel = off - base in
+      if rel < s.a_store_lo then s.a_store_lo <- rel;
+      if rel + acc.acc_bytes > s.a_store_hi then s.a_store_hi <- rel + acc.acc_bytes);
     if t.sample_block_seq >= 0 then begin
       let warp = lin / t.spec.Spec.warp_size in
       let k =
@@ -208,6 +231,34 @@ let on_global_access t ~(lin : int) ~(seq : (int, int ref) Hashtbl.t) (acc : Cin
         | None -> Hashtbl.replace s.samples key (ref (Int_set.singleton seg), ref 1)
       end
     end
+
+(* Record an atomic read-modify-write's target bytes.  Called from the
+   device-runtime atomics (which know the address), not from the access
+   hook: only RMWs matter for cross-shard exchange, and only they may
+   legally carry values between teams of one distribute. *)
+let note_atomic t ~(off : int) ~(len : int) =
+  match find_range_idx t.alloc_table off with
+  | -1 -> ()
+  | i ->
+    let base, _, _ = Array.unsafe_get t.alloc_table i in
+    let s = Array.unsafe_get t.alloc_table_stats i in
+    let rel = off - base in
+    if rel < s.a_atomic_lo then s.a_atomic_lo <- rel;
+    if rel + len > s.a_atomic_hi then s.a_atomic_hi <- rel + len
+
+let interval_opt lo hi = if hi > lo then Some (lo, hi) else None
+
+(* Byte interval (relative to the allocation base, hi exclusive) written
+   by this launch into allocation [id], if any. *)
+let store_interval t (id : int) : (int * int) option =
+  match Hashtbl.find_opt t.per_alloc id with
+  | None -> None
+  | Some s -> interval_opt s.a_store_lo s.a_store_hi
+
+let atomic_interval t (id : int) : (int * int) option =
+  match Hashtbl.find_opt t.per_alloc id with
+  | None -> None
+  | Some s -> interval_opt s.a_atomic_lo s.a_atomic_hi
 
 (* Zero-copy: a kernel access that resolved to pinned host memory.  These
    bypass the GPU caches entirely, so there is no coalescing sample to

@@ -27,6 +27,10 @@ val class_total : class_counts -> int
 type alloc_stats = {
   mutable a_loads : int;
   mutable a_stores : int;
+  mutable a_store_lo : int;  (** written byte interval, relative to base *)
+  mutable a_store_hi : int;  (** exclusive; [lo >= hi] means no store *)
+  mutable a_atomic_lo : int;  (** bytes touched by atomic RMWs *)
+  mutable a_atomic_hi : int;
   samples : (int, Int_set.t ref * int ref) Hashtbl.t;
       (** (block, access index) -> segment set + sampled lane count *)
 }
@@ -78,6 +82,18 @@ val retire_block : t -> int -> unit
 val on_step : t -> int -> Cinterp.Interp.step -> unit
 
 val on_global_access : t -> lin:int -> seq:(int, int ref) Hashtbl.t -> Cinterp.Interp.access -> unit
+
+(** Record the target bytes of an atomic read-modify-write (absolute
+    device offset + length); used by multi-device sharding to exchange
+    only the bytes a later shard may legally observe. *)
+val note_atomic : t -> off:int -> len:int -> unit
+
+(** Byte interval (relative to allocation base, hi exclusive) written by
+    this launch into the given allocation, if any. *)
+val store_interval : t -> int -> (int * int) option
+
+(** Byte interval touched by atomic RMWs in the given allocation. *)
+val atomic_interval : t -> int -> (int * int) option
 
 (** Count a kernel access that resolved to pinned host memory (zero-copy;
     uncached, so no coalescing sample is kept). *)

@@ -39,6 +39,12 @@ type stream = {
 type t = {
   spec : Spec.t;
   clock : Simclock.t;
+  (* position in a multi-device farm: device 0 is the default device.
+     Trace timelines are offset by [ordinal * 1000] so no two devices
+     ever share a tid (tid 0 stays the host; device 0 keeps tids 1..N,
+     exactly as in the single-device layout). *)
+  ordinal : int;
+  tid_base : int;
   global : Mem.t;
   jit_cache : (string, unit) Hashtbl.t; (* survives across contexts: disk cache *)
   mutable initialized : bool;
@@ -121,10 +127,12 @@ let tr_complete t ?(args = []) ~tid ~ts_ns ~dur_ns ~cat name =
    and trace spans stay balanced. *)
 let inj t site = match t.inject with Some f -> f site | None -> ()
 
-let create ?(spec = Spec.jetson_nano_2gb) (clock : Simclock.t) : t =
+let create ?(spec = Spec.jetson_nano_2gb) ?(ordinal = 0) (clock : Simclock.t) : t =
   {
     spec;
     clock;
+    ordinal;
+    tid_base = ordinal * 1000;
     global = Mem.create ~initial:(1 lsl 20) ~limit:spec.Spec.global_mem_bytes ~space:Addr.Global "device-global";
     jit_cache = Hashtbl.create 16;
     initialized = false;
@@ -331,8 +339,8 @@ let get_function (m : loaded_module) (name : string) : Ast.fundef =
 (* The SIMT run and cost conversion shared by sync and async launches.
    Memory effects happen here, at call time; no clock advance. *)
 let simulate_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim3)
-    ~(block : Simt.dim3) ~(args : Value.t list) ~install_builtins ~block_filter ~occupancy_penalty :
-    Counters.t * Costmodel.breakdown =
+    ~(block : Simt.dim3) ~(args : Value.t list) ~install_builtins ~block_filter ~logical_blocks
+    ~occupancy_penalty : Counters.t * Costmodel.breakdown =
   let counters = Counters.create t.spec in
   Counters.set_alloc_table counters (Array.of_list t.allocs);
   Counters.set_pinned_table counters (Array.of_list t.pinned);
@@ -343,9 +351,21 @@ let simulate_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.d
     ~source:modul.lm_source
     ?compiled:(if t.closure_jit then modul.lm_compiled else None)
     ~counters ~install_builtins ~output:t.output config;
+  (* A sharded launch executes only its own contiguous block range but
+     keeps the full grid (so global team ids stay correct); the caller
+     tells us how many blocks this device actually owns, which both
+     fixes the sampling scale-up and charges the device for its shard
+     rather than the whole grid. *)
+  let total_blocks =
+    match logical_blocks with
+    | Some n ->
+      counters.Counters.blocks_total <- n;
+      n
+    | None -> Simt.dim3_total grid
+  in
   let breakdown =
     Costmodel.kernel_time t.spec counters ~block_threads:(Simt.dim3_total block)
-      ~total_blocks:(Simt.dim3_total grid) ~occupancy_penalty ()
+      ~total_blocks ~occupancy_penalty ()
   in
   (counters, breakdown)
 
@@ -403,7 +423,8 @@ let record_launch t ~entry ~grid ~block (counters : Counters.t) (breakdown : Cos
 let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim3)
     ~(block : Simt.dim3) ~(args : Value.t list)
     ~(install_builtins : Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit)
-    ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
+    ?(block_filter : (int -> bool) option) ?(logical_blocks : int option)
+    ?(occupancy_penalty = 1.0) () : launch_stats =
   ensure_initialized t;
   ignore (get_function modul entry);
   (* before the SIMT run: a failed launch has written nothing, so device
@@ -414,10 +435,11 @@ let launch_kernel t ~(modul : loaded_module) ~(entry : string) ~(grid : Simt.dim
       [
         ("grid", Perf.Trace.Int (Simt.dim3_total grid));
         ("block", Perf.Trace.Int (Simt.dim3_total block));
+        ("device", Perf.Trace.Int t.ordinal);
       ];
   let counters, breakdown =
     simulate_kernel t ~modul ~entry ~grid ~block ~args ~install_builtins ~block_filter
-      ~occupancy_penalty
+      ~logical_blocks ~occupancy_penalty
   in
   Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
   Simclock.advance_ns t.clock breakdown.Costmodel.bd_time_ns;
@@ -478,8 +500,14 @@ let enqueue_copy t ~(stream : stream) ~(len : int) (name : string) : unit =
   let finish = start +. transfer_cost t len in
   stream.str_done_ns <- finish;
   t.copy_busy <- busy;
-  tr_complete t ~tid:stream.str_id ~ts_ns:start ~dur_ns:(finish -. start) ~cat:"async" name
-    ~args:[ ("bytes", Perf.Trace.Int len); ("stream", Perf.Trace.Int stream.str_id) ]
+  tr_complete t ~tid:(t.tid_base + stream.str_id) ~ts_ns:start ~dur_ns:(finish -. start) ~cat:"async"
+    name
+    ~args:
+      [
+        ("bytes", Perf.Trace.Int len);
+        ("stream", Perf.Trace.Int stream.str_id);
+        ("device", Perf.Trace.Int t.ordinal);
+      ]
 
 (* Async copies perform their memory effect eagerly, in enqueue (= host
    program) order; only the time is modelled asynchronously.  Any
@@ -509,13 +537,14 @@ let memcpy_d2h_async t ~(stream : stream) ~(host : Mem.t) ~(src : Addr.t) ~(dst 
 let launch_kernel_async t ~(stream : stream) ~(modul : loaded_module) ~(entry : string)
     ~(grid : Simt.dim3) ~(block : Simt.dim3) ~(args : Value.t list)
     ~(install_builtins : Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit)
-    ?(block_filter : (int -> bool) option) ?(occupancy_penalty = 1.0) () : launch_stats =
+    ?(block_filter : (int -> bool) option) ?(logical_blocks : int option)
+    ?(occupancy_penalty = 1.0) () : launch_stats =
   ensure_initialized t;
   ignore (get_function modul entry);
   inj t "launch";
   let counters, breakdown =
     simulate_kernel t ~modul ~entry ~grid ~block ~args ~install_builtins ~block_filter
-      ~occupancy_penalty
+      ~logical_blocks ~occupancy_penalty
   in
   Simclock.advance_us t.clock t.spec.Spec.kernel_launch_overhead_us;
   let now = Simclock.now_ns t.clock in
@@ -524,12 +553,14 @@ let launch_kernel_async t ~(stream : stream) ~(modul : loaded_module) ~(entry : 
   let finish = start +. breakdown.Costmodel.bd_time_ns in
   stream.str_done_ns <- finish;
   t.compute_busy <- busy;
-  tr_complete t ~tid:stream.str_id ~ts_ns:start ~dur_ns:(finish -. start) ~cat:"async" entry
+  tr_complete t ~tid:(t.tid_base + stream.str_id) ~ts_ns:start ~dur_ns:(finish -. start)
+    ~cat:"async" entry
     ~args:
       [
         ("grid", Perf.Trace.Int (Simt.dim3_total grid));
         ("block", Perf.Trace.Int (Simt.dim3_total block));
         ("stream", Perf.Trace.Int stream.str_id);
+        ("device", Perf.Trace.Int t.ordinal);
       ];
   emit_launch_counters t counters;
   record_launch t ~entry ~grid ~block counters breakdown

@@ -37,6 +37,10 @@ type stream = {
 type t = {
   spec : Spec.t;
   clock : Simclock.t;
+  ordinal : int;  (** position in a multi-device farm; 0 is the default *)
+  tid_base : int;
+      (** trace-timeline offset ([ordinal * 1000]) so no two devices share
+          a tid: device d's stream s completes on tid [d*1000 + s] *)
   global : Mem.t;  (** device global memory *)
   jit_cache : (string, unit) Hashtbl.t;  (** the on-disk JIT cache (survives contexts) *)
   mutable initialized : bool;
@@ -70,7 +74,7 @@ type t = {
           true); the tree-walker remains the reference executor *)
 }
 
-val create : ?spec:Spec.t -> Simclock.t -> t
+val create : ?spec:Spec.t -> ?ordinal:int -> Simclock.t -> t
 
 (** Attach (or detach, with [None]) a trace ring; the driver then emits
     init/mem/transfer/load/jit/kernel events into it. *)
@@ -146,6 +150,7 @@ val launch_kernel :
   args:Value.t list ->
   install_builtins:(Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit) ->
   ?block_filter:(int -> bool) ->
+  ?logical_blocks:int ->
   ?occupancy_penalty:float ->
   unit ->
   launch_stats
@@ -199,6 +204,7 @@ val launch_kernel_async :
   args:Value.t list ->
   install_builtins:(Cinterp.Interp.t -> Simt.block_state -> Simt.thread_state -> unit) ->
   ?block_filter:(int -> bool) ->
+  ?logical_blocks:int ->
   ?occupancy_penalty:float ->
   unit ->
   launch_stats

@@ -280,7 +280,7 @@ let park_resident t e =
    and salvaging it would clobber live host data.  Zero-copy entries
    need no salvage (the data already lives in host memory), and parked
    resident buffers hold nothing the host does not already have. *)
-let declare_dead t ~(reason : string) : unit =
+let declare_dead ?(salvage = true) t ~(reason : string) : unit =
   if not (is_dead t) then begin
     t.de_dead <- Some reason;
     tr_instant t "device_dead"
@@ -289,11 +289,15 @@ let declare_dead t ~(reason : string) : unit =
           ("reason", Perf.Trace.Str reason);
           ("live_mappings", Perf.Trace.Int (List.length t.entries));
         ];
-    List.iter
-      (fun e ->
-        if (not e.e_zerocopy) && t.driver.Driver.kernels_launched > e.e_launches_at_map then
-          Driver.salvage_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
-      t.entries;
+    (* [salvage:false] is for callers who already hold a newer image of
+       every live mapping in host memory (the multi-device shard merger):
+       copying the dead device's image back would clobber it. *)
+    if salvage then
+      List.iter
+        (fun e ->
+          if (not e.e_zerocopy) && t.driver.Driver.kernels_launched > e.e_launches_at_map then
+            Driver.salvage_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes)
+        t.entries;
     t.entries <- [];
     t.resident <- [];
     t.resident_bytes <- 0
@@ -538,6 +542,45 @@ let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
           guard t ~label:"update_from" (fun () ->
               Driver.memcpy_d2h t.driver ~host:t.host ~src:(dev_of e haddr) ~dst:haddr ~len:bytes);
           if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+        with Resilience.Device_dead reason -> declare_dead t ~reason)
+
+(* ------------------------- multi-device support ------------------------- *)
+
+(* The extent of the present-table entry containing a host address: what
+   the shard planner broadcasts to the other devices. *)
+type extent = { x_host : Addr.t; x_bytes : int; x_zerocopy : bool }
+
+let find_extent t (haddr : Addr.t) : extent option =
+  if is_dead t then None
+  else
+    match find_containing t haddr ~bytes:1 with
+    | None -> None
+    | Some e -> Some { x_host = e.e_host; x_bytes = e.e_bytes; x_zerocopy = e.e_zerocopy }
+
+(* Bring the host image of the containing entry up to date (d2h) unless
+   it provably already is.  The shard planner calls this before
+   broadcasting an operand to secondary devices, so a range kept
+   resident by an enclosing [target data] still broadcasts its current
+   value rather than the stale host bytes. *)
+let refresh_host t (haddr : Addr.t) : unit =
+  if not (is_dead t) then
+    match find_containing t haddr ~bytes:1 with
+    | None -> ()
+    | Some e when e.e_zerocopy -> ()
+    | Some e ->
+      (* Synced entries know exactly whether a kernel has written the
+         allocation since; unsynced ones (alloc/from: device image born
+         uninitialised) hold live data only once some kernel has run —
+         the same criterion the death-salvage path uses. *)
+      let may_hold_live_data =
+        if e.e_synced then not (device_unwritten t e)
+        else t.driver.Driver.kernels_launched > e.e_launches_at_map
+      in
+      if may_hold_live_data then (
+        try
+          guard t ~label:"shard_refresh_d2h" (fun () ->
+              Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes);
+          mark_synced t e
         with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let active_mappings t = List.length t.entries

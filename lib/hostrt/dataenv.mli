@@ -130,6 +130,18 @@ val update_from : t -> Addr.t -> bytes:int -> unit
 
 val active_mappings : t -> int
 
+(** {1 Multi-device sharding support} *)
+
+(** The extent of the present-table entry containing a host address. *)
+type extent = { x_host : Addr.t; x_bytes : int; x_zerocopy : bool }
+
+val find_extent : t -> Addr.t -> extent option
+
+(** Bring the host image of the containing entry up to date (d2h) unless
+    it provably already is; used before broadcasting an operand to the
+    secondary devices of a sharded launch. *)
+val refresh_host : t -> Addr.t -> unit
+
 (** {1 Fault handling} *)
 
 (** Set the retry policy used for this environment's driver calls. *)
@@ -143,5 +155,8 @@ val dead_reason : t -> string option
     event, salvage live from/tofrom mappings back to host memory, and
     drop the environment.  After this, [map] returns the host address
     unchanged, [unmap]/[update_*] are no-ops, and [lookup] is the
-    identity — the host fallback path works on host memory directly. *)
-val declare_dead : t -> reason:string -> unit
+    identity — the host fallback path works on host memory directly.
+    [salvage:false] skips the rescue copies, for callers that already
+    hold a newer host image of every live mapping (the multi-device
+    shard merger). *)
+val declare_dead : ?salvage:bool -> t -> reason:string -> unit

@@ -17,9 +17,31 @@ let int_arg = Value.to_int
 
 let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
   let reg name fn = Cinterp.Interp.register_builtin ctx name fn in
+  (* Generated ort_* calls carry a device id: -1 = "the current default
+     device" (resolved here, so omp_set_default_device takes effect at
+     call time), n >= 0 = an explicit device(n) clause.  A device number
+     beyond omp_get_num_devices() raises a graceful Map_error — the
+     directive is well-formed, the runtime just has no such device. *)
+  let resolve_dev raw =
+    if raw < 0 then Rt.get_default_device rt
+    else if raw >= Rt.num_devices rt then
+      raise
+        (Dataenv.Map_error
+           (Printf.sprintf "device(%d): no such device (omp_get_num_devices() = %d)" raw
+              (Rt.num_devices rt)))
+    else raw
+  in
   let dev_of args =
-    (* device id is currently always 0; kept for API fidelity *)
-    match args with d :: rest -> (int_arg d, rest) | [] -> host_error "missing device argument"
+    match args with
+    | d :: rest -> (resolve_dev (int_arg d), rest)
+    | [] -> host_error "missing device argument"
+  in
+  (* ort_offload keeps the raw id too: only default-device launches are
+     eligible for multi-device sharding — device(n) pins the region. *)
+  let raw_dev_of args =
+    match args with
+    | d :: rest -> (int_arg d, rest)
+    | [] -> host_error "missing device argument"
   in
   reg "ort_map" (fun _ args ->
       let dev, args = dev_of args in
@@ -60,7 +82,8 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
      the target region's sequential body inline:
        if (!ort_offload(...)) { <stripped region body> } *)
   reg "ort_offload" (fun ctx args ->
-      let dev, args = dev_of args in
+      let raw, args = raw_dev_of args in
+      let dev = resolve_dev raw in
       match args with
       | file :: entry :: teams :: threads :: kargs ->
         let kernel_file = Cinterp.Interp.read_c_string ctx (Value.as_addr file) in
@@ -81,11 +104,20 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
         in
         (try
            let args = List.map (fun v -> Offload.Mapped (Value.as_addr v)) kargs in
-           let result =
-             Offload.launch_typed rt ~dev ~kernel_file ~entry ~num_teams:(int_arg teams)
-               ~num_threads:(int_arg threads) ~args ~translated:true ()
+           let num_teams = int_arg teams and num_threads = int_arg threads in
+           let output =
+             (* default-device launches shard across the farm; an
+                explicit device(n) pins the region to that device *)
+             if raw < 0 then
+               (Multidev.launch rt ~dev ~kernel_file ~entry ~num_teams ~num_threads ~args
+                  ~translated:true ())
+                 .Multidev.r_output
+             else
+               (Offload.launch_typed rt ~dev ~kernel_file ~entry ~num_teams ~num_threads ~args
+                  ~translated:true ())
+                 .Offload.r_output
            in
-           Buffer.add_string ctx.Cinterp.Interp.output result.Offload.r_output;
+           Buffer.add_string ctx.Cinterp.Interp.output output;
            Value.of_int 1
          with Resilience.Device_dead reason -> fallback reason)
       | _ -> host_error "ort_offload: bad arguments");
@@ -143,13 +175,23 @@ let install_ort_builtins (rt : Rt.t) (ctx : Cinterp.Interp.t) : unit =
   reg "ort_taskwait" (fun _ args ->
       match args with
       | [] | [ _ ] ->
-        (* generated code passes the device id; bare calls default to 0 *)
-        let dev = match args with [ d ] -> int_arg d | _ -> 0 in
-        Offload.taskwait rt ~dev;
+        (* generated code passes the device id; the -1 sentinel (and a
+           bare call) drains every device's queue *)
+        let dev = match args with [ d ] -> int_arg d | _ -> -1 in
+        if dev < 0 then
+          Array.iter (fun (d : Rt.device) -> Offload.taskwait rt ~dev:d.Rt.dev_id) rt.Rt.devices
+        else Offload.taskwait rt ~dev:(resolve_dev dev);
         Value.VVoid
       | _ -> host_error "ort_taskwait: bad arguments");
   reg "omp_get_wtime" (fun _ _ -> Value.flt ~ty:Cty.Double (Rt.now_s rt));
   reg "omp_get_num_devices" (fun _ _ -> Value.of_int (Rt.num_devices rt));
+  reg "omp_set_default_device" (fun _ args ->
+      match args with
+      | [ d ] ->
+        Rt.set_default_device rt (int_arg d);
+        Value.VVoid
+      | _ -> host_error "omp_set_default_device: bad arguments");
+  reg "omp_get_default_device" (fun _ _ -> Value.of_int (Rt.get_default_device rt));
   reg "omp_is_initial_device" (fun _ _ -> Value.of_int 1);
   (* The host side runs the program single-threaded (host parallelism is
      outside the paper's scope); the API remains available. *)

@@ -34,6 +34,9 @@ type device = {
   (* the "kernel files next to the executable" *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;
   mutable dev_launch_cache : launch_cache option;
+  (* dedicated stream for sharded sub-launches, created on first use so
+     single-device runs pay nothing *)
+  mutable dev_shard_stream : Driver.stream option;
 }
 
 type t = {
@@ -55,6 +58,9 @@ type t = {
   mutable faults : Faults.t option;
   (* retry/backoff policy; [set_fault_policy] propagates to data envs *)
   mutable fault_policy : Resilience.policy;
+  (* shard `distribute` grids across all devices (on by default when the
+     runtime is created with more than one device) *)
+  mutable shard : bool;
 }
 
 (* Evenly-spaced block sampling filter.  The sample is offset by half a
@@ -71,34 +77,40 @@ let sampling_filter ~(total_blocks : int) (max_blocks : int option) : (int -> bo
 
 let default_penalty _total_blocks = 1.0
 
-let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams = Async.default_streams) () : t =
+let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams = Async.default_streams)
+    ?(devices = 1) ?(specs = []) () : t =
+  if devices < 1 then ort_error "need at least one device (got %d)" devices;
   let clock = Simclock.create () in
   let host_mem = Mem.create ~initial:(1 lsl 20) ~space:Addr.Host "host" in
-  let driver = Driver.create ~spec clock in
-  let dataenv = Dataenv.create ~host:host_mem ~driver in
-  let async = Async.create ~streams driver in
-  (* The data environment must refuse to unmap ranges with queued stream
-     work and sync ranges before a `target update`; it learns about
-     in-flight work through these closures (keeps Dataenv independent of
-     Async). *)
-  Dataenv.set_async_hooks dataenv
-    ~pending:(fun haddr ~bytes -> Async.pending_on async (Async.range_of_addr haddr ~bytes) <> [])
-    ~sync_range:(fun haddr ~bytes -> Async.sync_range async (Async.range_of_addr haddr ~bytes));
-  let device =
+  (* Heterogeneous farms: an explicit spec list overrides the shared
+     [spec] position by position; missing positions fall back to [spec]. *)
+  let spec_of id = match List.nth_opt specs id with Some s -> s | None -> spec in
+  let make_device id =
+    let driver = Driver.create ~spec:(spec_of id) ~ordinal:id clock in
+    let dataenv = Dataenv.create ~host:host_mem ~driver in
+    let async = Async.create ~streams driver in
+    (* The data environment must refuse to unmap ranges with queued stream
+       work and sync ranges before a `target update`; it learns about
+       in-flight work through these closures (keeps Dataenv independent of
+       Async). *)
+    Dataenv.set_async_hooks dataenv
+      ~pending:(fun haddr ~bytes -> Async.pending_on async (Async.range_of_addr haddr ~bytes) <> [])
+      ~sync_range:(fun haddr ~bytes -> Async.sync_range async (Async.range_of_addr haddr ~bytes));
     {
-      dev_id = 0;
+      dev_id = id;
       dev_driver = driver;
       dev_dataenv = dataenv;
       dev_async = async;
       dev_kernels = Hashtbl.create 16;
       dev_launch_cache = None;
+      dev_shard_stream = None;
     }
   in
   {
     clock;
     host_mem;
     cpu = Spec.cortex_a57;
-    devices = [| device |];
+    devices = Array.init devices make_device;
     default_device = 0;
     binary_mode;
     translated_kernel_penalty = default_penalty;
@@ -106,6 +118,7 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams 
     trace = None;
     faults = None;
     fault_policy = Resilience.default_policy;
+    shard = devices > 1;
   }
 
 (* Attach (or detach) a trace ring; devices share the runtime's ring so
@@ -145,6 +158,19 @@ let device t id =
 let default_dev t = device t t.default_device
 
 let num_devices t = Array.length t.devices
+
+(* omp_set_default_device / omp_get_default_device *)
+let set_default_device t (id : int) : unit =
+  if id < 0 || id >= Array.length t.devices then ort_error "no such device %d" id;
+  t.default_device <- id
+
+let get_default_device t = t.default_device
+
+let set_shard t (on : bool) : unit = t.shard <- on
+
+(* Device ids every shard planner considers live (context not torn down). *)
+let live_devices t : device list =
+  Array.to_list t.devices |> List.filter (fun d -> not (Dataenv.is_dead d.dev_dataenv))
 
 (* Register a compiled kernel file with a device (what OMPi's scripts do
    by placing the nvcc output next to the executable). *)

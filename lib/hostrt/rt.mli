@@ -31,6 +31,8 @@ type device = {
   dev_async : Async.t;  (** stream pool + dependency tracker for nowait regions *)
   dev_kernels : (string, Nvcc.artifact) Hashtbl.t;  (** the "kernel files on disk" *)
   mutable dev_launch_cache : launch_cache option;
+  mutable dev_shard_stream : Driver.stream option;
+      (** dedicated stream for sharded sub-launches (lazily created) *)
 }
 
 type t = {
@@ -53,11 +55,27 @@ type t = {
       (** fault injection; set via {!set_faults} *)
   mutable fault_policy : Resilience.policy;
       (** retry/backoff policy; set via {!set_fault_policy} *)
+  mutable shard : bool;
+      (** shard [distribute] grids across all devices; defaults to true
+          when the runtime was created with more than one device *)
 }
 
 val default_penalty : int -> float
 
-val create : ?binary_mode:Nvcc.binary_mode -> ?spec:Spec.t -> ?streams:int -> unit -> t
+(** [create ~devices:n ~specs ()] builds a farm of [n] simultaneously
+    live devices sharing one simulated clock and host memory, each with
+    its own driver (spec, global memory, allocation table, engine
+    timelines), data environment (present table, resident cache) and
+    stream pool.  [specs] overrides the shared [spec] position by
+    position for heterogeneous farms. *)
+val create :
+  ?binary_mode:Nvcc.binary_mode ->
+  ?spec:Spec.t ->
+  ?streams:int ->
+  ?devices:int ->
+  ?specs:Spec.t list ->
+  unit ->
+  t
 
 (** Attach (or detach, with [None]) a trace ring, propagating it to
     every device driver so host- and device-side events interleave on
@@ -91,6 +109,18 @@ val device : t -> int -> device
 val default_dev : t -> device
 
 val num_devices : t -> int
+
+(** omp_set_default_device.  @raise Ort_error on an out-of-range id *)
+val set_default_device : t -> int -> unit
+
+(** omp_get_default_device *)
+val get_default_device : t -> int
+
+(** Enable/disable sharding of [distribute] grids across devices. *)
+val set_shard : t -> bool -> unit
+
+(** Devices whose context has not been declared dead. *)
+val live_devices : t -> device list
 
 val register_kernel : t -> dev:int -> Nvcc.artifact -> unit
 

@@ -26,6 +26,8 @@ let builtin_return_types : (string * Cty.t) list =
     ("omp_get_team_num", Cty.Int);
     ("omp_get_num_teams", Cty.Int);
     ("omp_get_num_devices", Cty.Int);
+    ("omp_set_default_device", Cty.Void);
+    ("omp_get_default_device", Cty.Int);
     ("omp_get_wtime", Cty.Double);
     ("omp_is_initial_device", Cty.Int);
     ("printf", Cty.Int);

@@ -166,7 +166,13 @@ let parse_clause c (name : string) ~(is_update : bool) : Ast.clause =
   | "num_threads" -> with_args (fun ts -> Ast.Cnum_threads (parse_expr_exactly ts))
   | "thread_limit" -> with_args (fun ts -> Ast.Cthread_limit (parse_expr_exactly ts))
   | "if" -> with_args (fun ts -> Ast.Cif (parse_expr_exactly ts))
-  | "device" -> with_args (fun ts -> Ast.Cdevice (parse_expr_exactly ts))
+  | "device" ->
+    with_args (fun ts ->
+        let e = parse_expr_exactly ts in
+        match Ast.const_eval_opt e with
+        | Some n when n >= 0L -> Ast.Cdevice e
+        | Some _ -> pragma_error "device requires a non-negative device number"
+        | None -> pragma_error "device requires a constant expression")
   | "collapse" ->
     with_args (fun ts ->
         match Ast.const_eval_opt (parse_expr_exactly ts) with

@@ -26,11 +26,13 @@ let variant_label = function
   | Ompi_cudadev -> "OMPi CUDADEV"
   | Host_interp -> "Host (Cinterp)"
 
-let create ?(binary_mode = Nvcc.Cubin) () : ctx =
-  let rt = Hostrt.Rt.create ~binary_mode () in
+let create ?(binary_mode = Nvcc.Cubin) ?(devices = 1) ?(specs = []) () : ctx =
+  let rt = Hostrt.Rt.create ~binary_mode ~devices ~specs () in
   (* Pay the lazy device-initialisation cost up front so that timing
      windows only contain transfers and kernel work, as in the paper. *)
-  Driver.ensure_initialized (Hostrt.Rt.device rt 0).Hostrt.Rt.dev_driver;
+  Array.iter
+    (fun (d : Hostrt.Rt.device) -> Driver.ensure_initialized d.Hostrt.Rt.dev_driver)
+    rt.Hostrt.Rt.devices;
   { rt; cuda_modules = [] }
 
 (* Attach a fresh trace ring to this harness's runtime (and its device
@@ -216,7 +218,9 @@ let prepare_omp ?(host_interp = false) ctx ~(name : string) (source : string) : 
           Nvcc.compile ?trace:tr ~mode:ctx.rt.Hostrt.Rt.binary_mode
             ~name:k.Translator.Kernelgen.k_entry k.Translator.Kernelgen.k_program
         in
-        Hostrt.Rt.register_kernel ctx.rt ~dev:0 artifact)
+        for d = 0 to Hostrt.Rt.num_devices ctx.rt - 1 do
+          Hostrt.Rt.register_kernel ctx.rt ~dev:d artifact
+        done)
       compiled.Ompi.c_kernels;
     let ictx = Hostrt.Hostexec.make_context ctx.rt compiled.Ompi.c_host in
     { op_compiled = Some compiled; op_ctx = ictx }

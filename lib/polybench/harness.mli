@@ -28,8 +28,11 @@ val equal_variant : variant -> variant -> bool
 
 val variant_label : variant -> string
 
-(** Fresh runtime with the device initialisation cost already paid. *)
-val create : ?binary_mode:Nvcc.binary_mode -> unit -> ctx
+(** Fresh runtime with the device initialisation cost already paid.
+    [~devices] builds an N-device farm (default-device [distribute]
+    launches then shard across it); [~specs] overrides device specs
+    position by position for heterogeneous farms. *)
+val create : ?binary_mode:Nvcc.binary_mode -> ?devices:int -> ?specs:Spec.t list -> unit -> ctx
 
 (** Attach a fresh {!Perf.Trace} ring to this harness's runtime (and its
     device drivers) so every subsequent run records launch-phase
@@ -58,7 +61,7 @@ val dataenv : ctx -> Hostrt.Dataenv.t
     {!Hostrt.Dataenv.set_zerocopy}). *)
 val set_zerocopy : ctx -> bool -> unit
 
-(** Enable transfer elision on device 0 (see
+(** Enable transfer elision on every device of the farm (see
     {!Hostrt.Dataenv.set_elide}). *)
 val set_elide : ctx -> bool -> unit
 

@@ -40,9 +40,11 @@ type session_spec = {
   ss_requests : int;
   ss_rate_hz : float;
   ss_shared_off : int option;
+  ss_device : int;  (* device the session is pinned to (0 on a 1-device server) *)
 }
 
 type config = {
+  cf_devices : int; (* device instances; sessions pin to one via ss_device *)
   cf_streams : int;
   cf_max_inflight : int;
   cf_generations : int;
@@ -57,6 +59,7 @@ type config = {
 
 let default_config =
   {
+    cf_devices = 1;
     cf_streams = 4;
     cf_max_inflight = 8;
     cf_generations = 2;
@@ -83,6 +86,7 @@ let default_sessions ~smoke =
       ss_requests = requests;
       ss_rate_hz = rate;
       ss_shared_off = shared;
+      ss_device = 0;
     }
   in
   if smoke then
@@ -246,22 +250,38 @@ let percentile (sorted : float array) (q : float) : float =
 
 let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
   if specs = [] then invalid_arg "Serve.run: empty workload";
+  if cfg.cf_devices <= 0 then invalid_arg "Serve.run: devices must be positive";
   if cfg.cf_streams <= 0 then invalid_arg "Serve.run: streams must be positive";
   if cfg.cf_max_inflight <= 0 then invalid_arg "Serve.run: max_inflight must be positive";
   if cfg.cf_generations <= 0 then invalid_arg "Serve.run: generations must be positive";
-  let ctx = H.create () in
+  List.iter
+    (fun s ->
+      if s.ss_device < 0 || s.ss_device >= cfg.cf_devices then
+        invalid_arg
+          (Printf.sprintf "Serve.run: session tag %d pinned to device %d of a %d-device server"
+             s.ss_tag s.ss_device cfg.cf_devices))
+    specs;
+  let ctx = H.create ~devices:cfg.cf_devices () in
+  let rt = ctx.H.rt in
+  (* Pinned sessions own their whole region: the farm must not shard a
+     session's grid across devices behind its back. *)
+  Hostrt.Rt.set_shard rt false;
   let trace = if cfg.cf_trace then Some (H.enable_trace ctx) else None in
   H.set_sampling ctx None;
   H.set_streams ctx cfg.cf_streams;
   H.set_elide ctx cfg.cf_elide;
   (match cfg.cf_resident_cap_bytes with
-  | Some cap -> Hostrt.Dataenv.set_resident_cap_bytes (H.dataenv ctx) cap
+  | Some cap ->
+    Array.iter
+      (fun (d : Hostrt.Rt.device) -> Hostrt.Dataenv.set_resident_cap_bytes d.Hostrt.Rt.dev_dataenv cap)
+      rt.Hostrt.Rt.devices
   | None -> ());
   (match cfg.cf_max_retries with Some r -> H.set_max_retries ctx r | None -> ());
   if cfg.cf_faults <> [] then H.set_faults ctx ~seed:cfg.cf_fault_seed cfg.cf_faults;
-  let rt = ctx.H.rt in
-  let env = H.dataenv ctx in
-  let async = (Hostrt.Rt.device rt 0).Hostrt.Rt.dev_async in
+  (* Per-device views: a session's persistent environment, present-table
+     lookups and stream completions all live on its pinned device. *)
+  let env_of dev = (Hostrt.Rt.device rt dev).Hostrt.Rt.dev_dataenv in
+  let async_of dev = (Hostrt.Rt.device rt dev).Hostrt.Rt.dev_async in
   let clock = rt.Hostrt.Rt.clock in
   let now_ns () = Simclock.now_ns clock in
   let advance_to target =
@@ -407,15 +427,19 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
   let open_sessions () =
     List.iter
       (fun se ->
+        let env = env_of se.se_spec.ss_device in
         List.iter
           (fun (addr, bytes) -> ignore (Hostrt.Dataenv.map env addr ~bytes Hostrt.Dataenv.To))
           (persistent_ranges se))
       sessions
   in
   let close_sessions () =
-    Hostrt.Offload.taskwait rt ~dev:0;
+    Array.iter
+      (fun (d : Hostrt.Rt.device) -> Hostrt.Offload.taskwait rt ~dev:d.Hostrt.Rt.dev_id)
+      rt.Hostrt.Rt.devices;
     List.iter
       (fun se ->
+        let env = env_of se.se_spec.ss_device in
         List.iter
           (fun (addr, _) -> Hostrt.Dataenv.unmap env addr Hostrt.Dataenv.To)
           (persistent_ranges se))
@@ -454,6 +478,11 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
      eager-effects bit check.  Returns the completion timestamp. *)
   let issue rq =
     let se = rq.rq_sess in
+    let env = env_of se.se_spec.ss_device in
+    let async = async_of se.se_spec.ss_device in
+    (* Pin the session: the translated region's -1 device sentinel
+       resolves to the default device at enqueue time. *)
+    Hostrt.Rt.set_default_device rt se.se_spec.ss_device;
     apply_payload se.se_live se rq.rq_step;
     List.iter
       (fun (addr, bytes) ->
@@ -480,12 +509,17 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
     Float.max done_ns (now_ns ())
   in
 
+  let total_elided_h2d () =
+    Array.fold_left
+      (fun acc (d : Hostrt.Rt.device) ->
+        acc + (Hostrt.Dataenv.stats d.Hostrt.Rt.dev_dataenv).Hostrt.Dataenv.elided_h2d)
+      0 rt.Hostrt.Rt.devices
+  in
   for gen = 1 to cfg.cf_generations do
       fill_generation ();
-      let st0 = (Hostrt.Dataenv.stats env).Hostrt.Dataenv.elided_h2d in
+      let st0 = total_elided_h2d () in
       open_sessions ();
-      open_elisions :=
-        !open_elisions + ((Hostrt.Dataenv.stats env).Hostrt.Dataenv.elided_h2d - st0);
+      open_elisions := !open_elisions + (total_elided_h2d () - st0);
       if gen = 1 then compute_refs ();
       let start = now_ns () in
       let reqs = arrivals gen start in
@@ -546,7 +580,19 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
   let total_requests =
     cfg.cf_generations * List.fold_left (fun acc s -> acc + s.ss_requests) 0 specs
   in
-  let stats = Hostrt.Dataenv.stats env in
+  (* Whole-farm data-environment totals: per-device stats summed. *)
+  let stats =
+    Array.fold_left
+      (fun acc (d : Hostrt.Rt.device) ->
+        let s = Hostrt.Dataenv.stats d.Hostrt.Rt.dev_dataenv in
+        {
+          s with
+          Hostrt.Dataenv.elided_h2d = acc.Hostrt.Dataenv.elided_h2d + s.Hostrt.Dataenv.elided_h2d;
+          elided_d2h = acc.Hostrt.Dataenv.elided_d2h + s.Hostrt.Dataenv.elided_d2h;
+        })
+      (Hostrt.Dataenv.stats (env_of 0))
+      (Array.sub rt.Hostrt.Rt.devices 1 (Array.length rt.Hostrt.Rt.devices - 1))
+  in
   let env_lookups = List.fold_left (fun acc se -> acc + se.se_env_lookups) 0 sessions in
   let env_hits = List.fold_left (fun acc se -> acc + se.se_env_hits) 0 sessions in
   let report =
@@ -568,10 +614,17 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
       rp_open_elisions = !open_elisions;
       rp_elided_h2d = stats.Hostrt.Dataenv.elided_h2d;
       rp_elided_d2h = stats.Hostrt.Dataenv.elided_d2h;
-      rp_resident_buffers_end = Hostrt.Dataenv.resident_buffers env;
+      rp_resident_buffers_end =
+        Array.fold_left
+          (fun acc (d : Hostrt.Rt.device) ->
+            acc + Hostrt.Dataenv.resident_buffers d.Hostrt.Rt.dev_dataenv)
+          0 rt.Hostrt.Rt.devices;
       rp_faults_injected =
         (match rt.Hostrt.Rt.faults with Some f -> Hostrt.Faults.total_fired f | None -> 0);
-      rp_device_dead = H.device_dead ctx;
+      rp_device_dead =
+        Array.exists
+          (fun (d : Hostrt.Rt.device) -> Hostrt.Dataenv.is_dead d.Hostrt.Rt.dev_dataenv)
+          rt.Hostrt.Rt.devices;
       rp_all_identical = List.for_all (fun se -> se.se_ok) sessions;
       rp_sessions =
         List.map

@@ -53,9 +53,16 @@ type session_spec = {
           shared read-only input pool at this float offset — sessions
           whose slices overlap exercise cross-session present-table
           sharing and tracker arbitration *)
+  ss_device : int;
+      (** device the session is pinned to: its persistent environment
+          lives on that device and every request resolves there (0 on a
+          single-device server) *)
 }
 
 type config = {
+  cf_devices : int;
+      (** simultaneously-live device instances; sessions pin to one via
+          [ss_device] (and must name a device below this count) *)
   cf_streams : int;  (** stream-pool size; 1 = fully serialized baseline *)
   cf_max_inflight : int;  (** admission bound on in-flight requests *)
   cf_generations : int;
@@ -105,11 +112,11 @@ type report = {
   rp_open_elisions : int;
       (** session-open H2Ds elided via the resident cache (warm
           re-opens in generation ≥ 2) *)
-  rp_elided_h2d : int;  (** total, from the shared data environment *)
+  rp_elided_h2d : int;  (** total, summed over every device's data environment *)
   rp_elided_d2h : int;
-  rp_resident_buffers_end : int;
+  rp_resident_buffers_end : int;  (** summed over devices *)
   rp_faults_injected : int;
-  rp_device_dead : bool;
+  rp_device_dead : bool;  (** true when any device of the farm is dead *)
   rp_all_identical : bool;
   rp_sessions : session_report list;
 }

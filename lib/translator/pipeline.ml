@@ -27,51 +27,64 @@ type state = {
   mutable s_nowait : int; (* nowait target regions lowered so far *)
 }
 
-let dev0 = Ast.int_lit 0
+(* Device id argument of the generated ort_* calls: the constant of an
+   explicit device(n) clause, or -1 = "the current default device",
+   resolved by the host runtime at call time (after any
+   omp_set_default_device).  Only default-device launches are eligible
+   for multi-device sharding — an explicit device(n) pins the region. *)
+let dev_default = Ast.int_lit (-1)
+
+let dev_of (dir : Ast.directive) : Ast.expr =
+  match Ast.find_clause dir (function Ast.Cdevice e -> Some e | _ -> None) with
+  | Some e -> (
+    match Ast.const_eval_opt e with Some n -> Ast.int_lit (Int64.to_int n) | None -> e)
+  | None -> dev_default
 
 let cvoid e = Ast.Cast (Cty.Ptr Cty.Void, e)
 
 (* ort_map / ort_unmap / offload call builders *)
-let map_call (mv : Region.mapped_var) =
+let map_call dev (mv : Region.mapped_var) =
   Ast.expr_stmt
     (Ast.call "ort_map"
-       [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_code mv) ])
+       [ dev; cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_code mv) ])
 
-let unmap_call (mv : Region.mapped_var) =
+let unmap_call dev (mv : Region.mapped_var) =
   Ast.expr_stmt
-    (Ast.call "ort_unmap" [ dev0; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_code mv) ])
+    (Ast.call "ort_unmap" [ dev; cvoid mv.Region.mv_base; Ast.int_lit (Region.map_code mv) ])
 
-let offload_expr (k : Kernelgen.kernel) =
+let offload_expr dev (k : Kernelgen.kernel) =
   Ast.call "ort_offload"
-    ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
+    ([ dev; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
     @ List.map (fun (mv : Region.mapped_var) -> cvoid mv.Region.mv_base) k.Kernelgen.k_params)
 
 (* The async entry point owns the whole map/launch/unmap sequence (it is
    enqueued as one stream task), so the maps travel with the call as
    (base, bytes, map_type) triples instead of surrounding ort_map /
    ort_unmap statements. *)
-let offload_nowait_expr (k : Kernelgen.kernel) =
+let offload_nowait_expr dev (k : Kernelgen.kernel) =
   Ast.call "ort_offload_nowait"
-    ([ dev0; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
+    ([ dev; Ast.StrLit k.Kernelgen.k_entry; Ast.StrLit k.Kernelgen.k_entry; k.Kernelgen.k_teams; k.Kernelgen.k_threads ]
     @ List.concat_map
         (fun (mv : Region.mapped_var) ->
           [ cvoid mv.Region.mv_base; mv.Region.mv_bytes; Ast.int_lit (Region.map_code mv) ])
         k.Kernelgen.k_params)
 
-let taskwait_call = Ast.expr_stmt (Ast.call "ort_taskwait" [ dev0 ])
+(* ort_taskwait with the -1 sentinel drains every device's queue. *)
+let taskwait_call = Ast.expr_stmt (Ast.call "ort_taskwait" [ dev_default ])
 
 (* ort_offload returns 1 on device execution, 0 when the runtime has
    declared the device dead — then the stripped (sequential) region body
    runs inline on the host, inside the surrounding map/unmap pair, as
    graceful degradation.  The data environment is in dead mode at that
    point, so the maps are host-memory no-ops. *)
-let offload_call (k : Kernelgen.kernel) (fallback : Ast.stmt) =
-  Ast.Sif (Ast.Unop (Ast.Not, offload_expr k), fallback, None)
+let offload_call dev (k : Kernelgen.kernel) (fallback : Ast.stmt) =
+  Ast.Sif (Ast.Unop (Ast.Not, offload_expr dev k), fallback, None)
 
 (* Lower a target-family construct at the host level. *)
 let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : Ast.stmt option) :
     Ast.stmt =
   let has c = Ast.has_construct dir c in
+  let dev = dev_of dir in
   if has Ast.C_target then begin
     match body with
     | None -> translate_error "target construct requires a body"
@@ -86,13 +99,13 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
              device is dead and the stripped body runs inline, exactly as
              in the synchronous protocol *)
           st.s_nowait <- st.s_nowait + 1;
-          Ast.Sif (Ast.Unop (Ast.Not, offload_nowait_expr kernel), Strip.strip_stmt body, None)
+          Ast.Sif (Ast.Unop (Ast.Not, offload_nowait_expr dev kernel), Strip.strip_stmt body, None)
         end
         else
           Ast.Sblock
-            (List.map map_call kernel.Kernelgen.k_params
-            @ [ offload_call kernel (Strip.strip_stmt body) ]
-            @ List.rev_map unmap_call kernel.Kernelgen.k_params)
+            (List.map (map_call dev) kernel.Kernelgen.k_params
+            @ [ offload_call dev kernel (Strip.strip_stmt body) ]
+            @ List.rev_map (unmap_call dev) kernel.Kernelgen.k_params)
       in
       (* if() clause: host fallback executes the stripped body *)
       (match Ast.find_clause dir (function Ast.Cif e -> Some e | _ -> None) with
@@ -111,10 +124,11 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
          back) the enclosing mappings.  Regions with no async work keep
          their exact synchronous lowering. *)
       let barrier = if st.s_nowait > before then [ taskwait_call ] else [] in
-      Ast.Sblock (List.map map_call items @ [ body' ] @ barrier @ List.rev_map unmap_call items)
+      Ast.Sblock
+        (List.map (map_call dev) items @ [ body' ] @ barrier @ List.rev_map (unmap_call dev) items)
   end
-  else if has Ast.C_target_enter_data then Ast.Sblock (List.map map_call (data_maps st dir))
-  else if has Ast.C_target_exit_data then Ast.Sblock (List.map unmap_call (data_maps st dir))
+  else if has Ast.C_target_enter_data then Ast.Sblock (List.map (map_call dev) (data_maps st dir))
+  else if has Ast.C_target_exit_data then Ast.Sblock (List.map (unmap_call dev) (data_maps st dir))
   else if has Ast.C_target_update then begin
     let updates =
       List.concat_map
@@ -124,14 +138,14 @@ let rec lower_target st (enclosing_fn : string) (dir : Ast.directive) (body : As
               (fun item ->
                 let mv = Region.plan_one st.s_env Ast.Map_to item in
                 Ast.expr_stmt
-                  (Ast.call "ort_update_to" [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
+                  (Ast.call "ort_update_to" [ dev; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
               items
           | Ast.Cupdate_from items ->
             List.map
               (fun item ->
                 let mv = Region.plan_one st.s_env Ast.Map_from item in
                 Ast.expr_stmt
-                  (Ast.call "ort_update_from" [ dev0; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
+                  (Ast.call "ort_update_from" [ dev; cvoid mv.Region.mv_base; mv.Region.mv_bytes ]))
               items
           | _ -> [])
         dir.Ast.dir_clauses

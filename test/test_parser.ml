@@ -209,6 +209,40 @@ let test_reduction_roundtrip () =
       | _ -> Alcotest.failf "reduction(%s) lost its variable list" op)
     [ "+"; "*"; "max"; "min"; "&"; "|"; "^"; "&&"; "||" ]
 
+(* device(n) survives parse -> pretty -> parse with the constant
+   intact; negative and non-constant arguments are pragma errors. *)
+let test_device_roundtrip () =
+  let line = "omp target teams distribute parallel for device(2) map(tofrom: x[0:n])" in
+  let d1 =
+    match parse_omp_directive line with
+    | Some d -> d
+    | None -> Alcotest.failf "'%s' not recognised" line
+  in
+  let printed = Format.asprintf "%a" Pretty.pp_directive d1 in
+  Alcotest.(check bool) "printed form names the device" true
+    (let rec go i =
+       i + 9 <= String.length printed && (String.sub printed i 9 = "device(2)" || go (i + 1))
+     in
+     go 0);
+  let d2 =
+    match parse_omp_directive (String.sub printed 8 (String.length printed - 8)) with
+    | Some d -> d
+    | None -> Alcotest.failf "printed form '%s' not recognised" printed
+  in
+  if d1 <> d2 then Alcotest.failf "device(2) round trip changed the directive:\n%s" printed;
+  match List.filter (function Ast.Cdevice _ -> true | _ -> false) d2.Ast.dir_clauses with
+  | [ Ast.Cdevice e ] -> Alcotest.(check bool) "constant kept" true (Ast.const_eval_opt e = Some 2L)
+  | _ -> Alcotest.fail "device clause lost"
+
+let test_device_bad_args () =
+  List.iter
+    (fun arg ->
+      let line = Printf.sprintf "omp target device(%s)" arg in
+      match parse_omp_directive line with
+      | exception Omp.Pragma_parser.Pragma_error _ -> ()
+      | _ -> Alcotest.failf "device(%s) should be a pragma error" arg)
+    [ "-1"; "n"; "2 * k" ]
+
 let test_reduction_bad_ops () =
   List.iter
     (fun op ->
@@ -248,5 +282,7 @@ let () =
           Alcotest.test_case "pretty-parse fixpoint" `Quick test_pretty_parse_fixpoint;
           Alcotest.test_case "reduction operators" `Quick test_reduction_roundtrip;
           Alcotest.test_case "unknown reduction operators" `Quick test_reduction_bad_ops;
+          Alcotest.test_case "device clause" `Quick test_device_roundtrip;
+          Alcotest.test_case "bad device arguments" `Quick test_device_bad_args;
         ] );
     ]

@@ -53,7 +53,17 @@ let test_latency_floor_low_occupancy () =
   (* same access volume: 1 resident warp pays latency, 64 blocks hide it *)
   let mk () =
     let c = base_counters () in
-    let s = { Counters.a_loads = 100000; a_stores = 0; samples = Hashtbl.create 1 } in
+    let s =
+      {
+        Counters.a_loads = 100000;
+        a_stores = 0;
+        a_store_lo = max_int;
+        a_store_hi = 0;
+        a_atomic_lo = max_int;
+        a_atomic_hi = 0;
+        samples = Hashtbl.create 1;
+      }
+    in
     Hashtbl.replace c.Counters.per_alloc 0 s;
     c
   in

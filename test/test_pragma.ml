@@ -47,9 +47,13 @@ let test_scalar_clauses () =
   (match clauses "omp parallel num_threads(96) if(n > 0)" with
   | [ Ast.Cnum_threads _; Ast.Cif _ ] -> ()
   | _ -> Alcotest.fail "num_threads/if");
-  match clauses "omp for collapse(2) nowait" with
+  (match clauses "omp for collapse(2) nowait" with
   | [ Ast.Ccollapse 2; Ast.Cnowait ] -> ()
-  | _ -> Alcotest.fail "collapse/nowait"
+  | _ -> Alcotest.fail "collapse/nowait");
+  match clauses "omp target device(3) map(to: x)" with
+  | [ Ast.Cdevice e; Ast.Cmap _ ] ->
+    Alcotest.(check bool) "device id folded" true (Ast.const_eval_opt e = Some 3L)
+  | cs -> Alcotest.failf "device: got %s" (String.concat ";" (List.map Ast.show_clause cs))
 
 let test_map_clauses () =
   (match clauses "omp target map(to: a, x[0:n]) map(tofrom: y[0:n*2])" with
@@ -127,7 +131,9 @@ let test_pragma_errors () =
   Alcotest.(check bool) "bad schedule" true (fails "omp for schedule(bogus)");
   Alcotest.(check bool) "bad map type" true (fails "omp target map(sideways: x)");
   Alcotest.(check bool) "empty directive" true (fails "omp");
-  Alcotest.(check bool) "collapse non-const" true (fails "omp for collapse(n)")
+  Alcotest.(check bool) "collapse non-const" true (fails "omp for collapse(n)");
+  Alcotest.(check bool) "device negative" true (fails "omp target device(-1)");
+  Alcotest.(check bool) "device non-const" true (fails "omp target device(n)")
 
 (* ----------------------- validation ----------------------- *)
 

@@ -7,7 +7,7 @@
    produce bit-identical per-session outputs vs running each session
    alone. *)
 
-let mk_spec ?(shared = None) ~tag ~app ~n ~requests ~rate () =
+let mk_spec ?(shared = None) ?(device = 0) ~tag ~app ~n ~requests ~rate () =
   {
     Serve.ss_tag = tag;
     ss_app = app;
@@ -15,11 +15,13 @@ let mk_spec ?(shared = None) ~tag ~app ~n ~requests ~rate () =
     ss_requests = requests;
     ss_rate_hz = rate;
     ss_shared_off = shared;
+    ss_device = device;
   }
 
 let base_cfg =
   {
-    Serve.cf_streams = 4;
+    Serve.cf_devices = 1;
+    cf_streams = 4;
     cf_max_inflight = 8;
     cf_generations = 2;
     cf_seed = 42;
@@ -115,6 +117,73 @@ let test_fault_legs () =
   Alcotest.(check int) "fatal leg completes everything" fatal.Serve.rp_requests
     fatal.Serve.rp_completed
 
+(* Two sessions pinned to distinct devices of a 2-device farm: every
+   request resolves on its own device (its persistent environment lives
+   there), and each session's output is bit-identical to the same
+   session running alone on the farm. *)
+let test_two_device_pinning () =
+  let cfg = { base_cfg with Serve.cf_devices = 2 } in
+  let mix =
+    [
+      mk_spec ~tag:0 ~app:Serve.Matvec ~n:24 ~requests:3 ~rate:5000.0 ~device:0 ();
+      mk_spec ~tag:1 ~app:Serve.Ingest ~n:32 ~requests:3 ~rate:6000.0 ~device:1 ();
+      mk_spec ~tag:2 ~app:Serve.Scale ~n:32 ~requests:4 ~rate:7000.0 ~device:1 ();
+    ]
+  in
+  let mixed, _ = Serve.run cfg mix in
+  Alcotest.(check bool) "2-device mix bit-identical" true mixed.Serve.rp_all_identical;
+  Alcotest.(check int) "every request completed" mixed.Serve.rp_requests mixed.Serve.rp_completed;
+  List.iteri
+    (fun i spec ->
+      let alone, _ = Serve.run cfg [ spec ] in
+      Alcotest.(check bool) "solo leg bit-identical" true alone.Serve.rp_all_identical;
+      Alcotest.(check bool)
+        (Printf.sprintf "session %d (device %d) matches its solo run" i spec.Serve.ss_device)
+        true
+        ((List.nth mixed.Serve.rp_sessions i).Serve.sr_output_bits
+        = (List.hd alone.Serve.rp_sessions).Serve.sr_output_bits))
+    mix
+
+let test_device_out_of_range_rejected () =
+  let bad = [ mk_spec ~tag:0 ~app:Serve.Scale ~n:16 ~requests:1 ~rate:5000.0 ~device:2 () ] in
+  match Serve.run { base_cfg with Serve.cf_devices = 2 } bad with
+  | _ -> Alcotest.fail "session pinned past the farm must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The resident cache is per device: parking and byte-accounted
+   eviction on one device never touch what another device has parked. *)
+let test_resident_cache_isolation () =
+  let rt = Hostrt.Rt.create ~devices:2 () in
+  let env d = (Hostrt.Rt.device rt d).Hostrt.Rt.dev_dataenv in
+  let host = rt.Hostrt.Rt.host_mem in
+  Hostrt.Dataenv.set_elide (env 0) true;
+  Hostrt.Dataenv.set_elide (env 1) true;
+  Hostrt.Dataenv.set_resident_cap_bytes (env 0) 512;
+  Hostrt.Dataenv.set_resident_cap_bytes (env 1) 4096;
+  (* park one buffer on device 1 *)
+  let h1 = Machine.Mem.alloc host 256 in
+  ignore (Hostrt.Dataenv.map (env 1) h1 ~bytes:256 Hostrt.Dataenv.To);
+  Hostrt.Dataenv.unmap (env 1) h1 Hostrt.Dataenv.To;
+  Alcotest.(check int) "device 1 parked its buffer" 1 (Hostrt.Dataenv.resident_buffers (env 1));
+  (* churn device 0 past its byte budget *)
+  for _ = 1 to 4 do
+    let h = Machine.Mem.alloc host 256 in
+    ignore (Hostrt.Dataenv.map (env 0) h ~bytes:256 Hostrt.Dataenv.To);
+    Hostrt.Dataenv.unmap (env 0) h Hostrt.Dataenv.To
+  done;
+  Alcotest.(check bool) "device 0 evicted down to its budget" true
+    (Hostrt.Dataenv.resident_bytes (env 0) <= 512);
+  Alcotest.(check int) "device 1's parked buffer untouched" 1
+    (Hostrt.Dataenv.resident_buffers (env 1));
+  Alcotest.(check int) "device 1's bytes untouched" 256 (Hostrt.Dataenv.resident_bytes (env 1));
+  (* re-opening device 1's range elides its H2D; device 0's stats don't move *)
+  let d0_elided = (Hostrt.Dataenv.stats (env 0)).Hostrt.Dataenv.elided_h2d in
+  ignore (Hostrt.Dataenv.map (env 1) h1 ~bytes:256 Hostrt.Dataenv.To);
+  Alcotest.(check bool) "warm re-open elided on device 1" true
+    ((Hostrt.Dataenv.stats (env 1)).Hostrt.Dataenv.elided_h2d >= 1);
+  Alcotest.(check int) "device 0 accounting unmoved" d0_elided
+    (Hostrt.Dataenv.stats (env 0)).Hostrt.Dataenv.elided_h2d
+
 (* Every admitted request must emit a matching complete instant. *)
 let test_serve_trace_pairing () =
   let r, tr = Serve.run { base_cfg with Serve.cf_trace = true } small_mix in
@@ -202,6 +271,11 @@ let () =
           Alcotest.test_case "outputs invariant under scheduling" `Quick
             test_outputs_invariant_under_scheduling;
           Alcotest.test_case "fault legs stay bit-identical" `Quick test_fault_legs;
+          Alcotest.test_case "two-device pinning" `Quick test_two_device_pinning;
+          Alcotest.test_case "pin past the farm rejected" `Quick
+            test_device_out_of_range_rejected;
+          Alcotest.test_case "resident cache is per device" `Quick
+            test_resident_cache_isolation;
           Alcotest.test_case "serve trace pairing" `Quick test_serve_trace_pairing;
           Alcotest.test_case "invalid configs rejected" `Quick test_invalid_configs;
         ] );

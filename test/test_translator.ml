@@ -46,10 +46,10 @@ let test_combined_structure () =
   (* mapped read-only scalar is pre-loaded into a local *)
   assert_contains text "int _loc_n = *n;";
   (* host side maps in clause order and offloads *)
-  assert_contains c.Pipeline.c_host_text "ort_map(0, (void *)&n, sizeof(int), 1)";
-  assert_contains c.Pipeline.c_host_text "ort_map(0, (void *)b, n * sizeof(float), 3)";
-  assert_contains c.Pipeline.c_host_text "ort_offload(0, \"f_kernel0\", \"f_kernel0\", 8, 128";
-  assert_contains c.Pipeline.c_host_text "ort_unmap(0, (void *)b, 3)"
+  assert_contains c.Pipeline.c_host_text "ort_map(-1, (void *)&n, sizeof(int), 1)";
+  assert_contains c.Pipeline.c_host_text "ort_map(-1, (void *)b, n * sizeof(float), 3)";
+  assert_contains c.Pipeline.c_host_text "ort_offload(-1, \"f_kernel0\", \"f_kernel0\", 8, 128";
+  assert_contains c.Pipeline.c_host_text "ort_unmap(-1, (void *)b, 3)"
 
 let test_collapse () =
   let c =
@@ -281,10 +281,10 @@ void f(int n, float x[])
 }
 |}
   in
-  assert_contains c.Pipeline.c_host_text "ort_map(0, (void *)x, n * sizeof(float), 1)";
-  assert_contains c.Pipeline.c_host_text "ort_update_from(0, (void *)x, n * sizeof(float))";
-  assert_contains c.Pipeline.c_host_text "ort_update_to(0, (void *)x, n * sizeof(float))";
-  assert_contains c.Pipeline.c_host_text "ort_unmap(0, (void *)x, 2)"
+  assert_contains c.Pipeline.c_host_text "ort_map(-1, (void *)x, n * sizeof(float), 1)";
+  assert_contains c.Pipeline.c_host_text "ort_update_from(-1, (void *)x, n * sizeof(float))";
+  assert_contains c.Pipeline.c_host_text "ort_update_to(-1, (void *)x, n * sizeof(float))";
+  assert_contains c.Pipeline.c_host_text "ort_unmap(-1, (void *)x, 2)"
 
 let test_if_clause_fallback () =
   let c =
