@@ -781,7 +781,7 @@ let ms_apps =
     };
   ]
 
-type ms_variant = Ms_copy | Ms_elide | Ms_zerocopy | Ms_host
+type ms_variant = Ms_copy | Ms_elide | Ms_zerocopy | Ms_auto | Ms_host
 
 let run_memshift_variant ?(trace = false) ?faults ?(source = None) (app : ms_app) ~n ~iters variant
     =
@@ -792,6 +792,7 @@ let run_memshift_variant ?(trace = false) ?faults ?(source = None) (app : ms_app
   (match variant with
   | Ms_elide -> Polybench.Harness.set_elide ctx true
   | Ms_zerocopy -> Polybench.Harness.set_zerocopy ctx true
+  | Ms_auto -> Polybench.Harness.set_mem_mode ctx Hostrt.Mempolicy.Auto
   | Ms_copy | Ms_host -> ());
   let tr = if trace then Some (Polybench.Harness.enable_trace ctx) else None in
   (match faults with Some rules -> Polybench.Harness.set_faults ctx ~seed:7 rules | None -> ());
@@ -909,6 +910,153 @@ let memshift ~smoke () =
     exit 1
   end;
   say "memshift: PASS\n"
+
+(* ------------------------------------------------------------------ *)
+(* autopolicy: trace-informed policy vs each hand-forced memory mode    *)
+(* ------------------------------------------------------------------ *)
+
+(* A region with deliberately mixed buffer temperatures: [a] is a hot
+   read-only matrix (history should converge on elide — park it on the
+   device and never re-transfer), while [y] is rewritten by the device
+   every iteration, so its round trips are cheapest pinned in place
+   (zerocopy).  No single forced mode serves both buffers. *)
+let hotcold_source =
+  {|
+void hotcold(int n, int teams, float a[], float y[])
+{
+  #pragma omp target teams distribute parallel for num_teams(teams) num_threads(64) \
+      map(to: a[0:n*n]) map(tofrom: y[0:n])
+  for (int i = 0; i < n; i++) {
+    float s = 0.0f;
+    for (int j = 0; j < n; j++)
+      s += a[i * n + j] * (1.0f + (float)(j % 3));
+    y[i] = y[i] * 0.5f + s;
+  }
+}
+|}
+
+let hotcold_app =
+  let open Polybench.Harness in
+  {
+    ms_name = "hotcold";
+    ms_source = hotcold_source;
+    ms_entry = "hotcold";
+    ms_setup =
+      (fun ctx ~n ->
+        let a = alloc_f32 ctx (n * n) and y = alloc_f32 ctx n in
+        fill_f32 ctx a (n * n) (fun t -> float_of_int ((t mod 23) - 11) /. 46.0);
+        fill_f32 ctx y n (fun i -> float_of_int (i mod 7) /. 7.0);
+        (* enough teams to keep >=8 warps resident: at low occupancy the
+           latency model makes every global access so expensive that
+           pinning is the best mode for every buffer and no mixed
+           assignment could win *)
+        ([ vint n; vint 4; fptr a; fptr y ], [ (y, n) ]));
+  }
+
+let autopolicy ~smoke () =
+  say "=== autopolicy: trace-informed per-buffer policy vs hand-forced modes ===\n";
+  let n = if smoke then 32 else 96 in
+  let iters = if smoke then 3 else 4 in
+  say "(each app: persistent host arrays, %d offloaded iterations at n=%d; simulated seconds)\n"
+    iters n;
+  let failures = ref 0 in
+  let check ok what = if not ok then (incr failures; say "  FAIL: %s\n" what) in
+  let json_rows = ref [] in
+  let ge13 = ref 0 in
+  let run_all ?(iters = iters) app =
+    let _, r_host, _, _ = run_memshift_variant app ~n ~iters Ms_host in
+    let t_copy, r_copy, _, _ = run_memshift_variant app ~n ~iters Ms_copy in
+    let t_elide, r_elide, _, _ = run_memshift_variant app ~n ~iters Ms_elide in
+    let t_zc, r_zc, _, _ = run_memshift_variant app ~n ~iters Ms_zerocopy in
+    let t_auto, r_auto, tr_auto, ctx_auto = run_memshift_variant ~trace:true app ~n ~iters Ms_auto in
+    let identical = r_copy = r_host && r_elide = r_host && r_zc = r_host && r_auto = r_host in
+    (t_copy, t_elide, t_zc, t_auto, identical, tr_auto, ctx_auto)
+  in
+  let modes_str ctx =
+    match Polybench.Harness.policy_modes_used ctx with
+    | [] -> "none"
+    | ms -> String.concat "+" (List.map Hostrt.Mempolicy.mode_name ms)
+  in
+  let say_decisions ctx =
+    List.iter
+      (fun ((off, bytes), row) ->
+        say "      0x%x+%-6d %s\n" off bytes
+          (String.concat ", " (List.map (fun (m, k) -> Printf.sprintf "%s x%d" m k) row)))
+      (Polybench.Harness.policy_decisions ctx)
+  in
+  List.iter
+    (fun app ->
+      let t_copy, t_elide, t_zc, t_auto, identical, tr_auto, ctx_auto = run_all app in
+      let best = Float.min t_copy (Float.min t_elide t_zc) in
+      let sp_auto = t_copy /. t_auto in
+      let vs_best = t_auto /. best in
+      if sp_auto >= 1.3 then incr ge13;
+      say "  %-10s auto=%.6f copy=%.6f elide=%.6f zerocopy=%.6f (%.2fx vs copy, %.2f of best, \
+           modes %s) %s\n"
+        app.ms_name t_auto t_copy t_elide t_zc sp_auto vs_best (modes_str ctx_auto)
+        (if identical then "bit-identical" else "RESULTS DIFFER");
+      say_decisions ctx_auto;
+      check identical (app.ms_name ^ ": auto/copy/elide/zerocopy/host results differ");
+      check (vs_best <= 1.10)
+        (Printf.sprintf "%s: auto %.6fs is %.2fx the best forced mode (%.6fs), above the 10%% \
+                         budget" app.ms_name t_auto vs_best best);
+      (match Sys.getenv_opt "AUTOPOLICY_TRACE" with
+      | Some file when app.ms_name = "atax" ->
+        Perf.Chrome_trace.write_file file (Option.get tr_auto)
+      | _ -> ());
+      json_rows :=
+        Printf.sprintf
+          {|    { "app": %S, "t_copy_s": %.9f, "t_elide_s": %.9f, "t_zerocopy_s": %.9f,
+      "t_auto_s": %.9f, "speedup_auto": %.4f, "auto_vs_best": %.4f,
+      "modes": %S, "bit_identical": %b }|}
+          app.ms_name t_copy t_elide t_zc t_auto sp_auto vs_best (modes_str ctx_auto) identical
+        :: !json_rows)
+    ms_apps;
+  check (!ge13 >= 2)
+    (Printf.sprintf "auto beat forced-copy by >=1.3x on only %d app(s), need >=2" !ge13);
+  (* mixed temperatures in one region: auto must pick different modes for
+     different buffers and beat every single-mode forcing outright *)
+  say "  -- hotcold: mixed buffer temperatures in one target region --\n";
+  (* twice the iterations: the steady-state gains of the per-buffer mix
+     must outweigh the first cold cycle's conservative choices *)
+  let t_copy, t_elide, t_zc, t_auto, identical, _, ctx_auto =
+    run_all ~iters:(2 * iters) hotcold_app
+  in
+  let modes = Polybench.Harness.policy_modes_used ctx_auto in
+  let sp_auto = t_copy /. t_auto in
+  say "  %-10s auto=%.6f copy=%.6f elide=%.6f zerocopy=%.6f (%.2fx vs copy, modes %s) %s\n"
+    hotcold_app.ms_name t_auto t_copy t_elide t_zc sp_auto (modes_str ctx_auto)
+    (if identical then "bit-identical" else "RESULTS DIFFER");
+  say_decisions ctx_auto;
+  check identical "hotcold: auto/copy/elide/zerocopy/host results differ";
+  check (List.length modes >= 2) "hotcold: auto used fewer than 2 distinct modes in one region";
+  check
+    (t_auto < t_copy && t_auto < t_elide && t_auto < t_zc)
+    (Printf.sprintf
+       "hotcold: auto %.6fs does not beat every forcing (copy %.6f elide %.6f zerocopy %.6f)"
+       t_auto t_copy t_elide t_zc);
+  json_rows :=
+    Printf.sprintf
+      {|    { "app": %S, "t_copy_s": %.9f, "t_elide_s": %.9f, "t_zerocopy_s": %.9f,
+      "t_auto_s": %.9f, "speedup_auto": %.4f, "auto_vs_best": %.4f,
+      "modes": %S, "bit_identical": %b }|}
+      hotcold_app.ms_name t_copy t_elide t_zc t_auto sp_auto
+      (t_auto /. Float.min t_copy (Float.min t_elide t_zc))
+      (modes_str ctx_auto) identical
+    :: !json_rows;
+  let oc = open_out "BENCH_autopolicy.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"autopolicy\",\n  \"smoke\": %b,\n  \"n\": %d,\n  \"iters\": %d,\n  \
+     \"apps\": [\n%s\n  ]\n}\n"
+    smoke n iters
+    (String.concat ",\n" (List.rev !json_rows));
+  close_out oc;
+  say "  [written: BENCH_autopolicy.json]\n";
+  if !failures > 0 then begin
+    say "autopolicy: FAIL (%d check(s))\n" !failures;
+    exit 1
+  end;
+  say "autopolicy: PASS\n"
 
 (* ------------------------------------------------------------------ *)
 (* jit: closure-JIT executor vs tree-walking interpreter (wall clock)   *)
@@ -1036,6 +1184,7 @@ let serve_bench ~smoke () =
       cf_generations = 2;
       cf_seed = 42;
       cf_elide = true;
+      cf_mem_policy = None;
       cf_resident_cap_bytes = None;
       cf_faults = [];
       cf_fault_seed = 7;
@@ -1568,6 +1717,8 @@ let () =
   | [ "fault-matrix"; "--smoke" ] -> fault_matrix ~smoke:true ()
   | [ "memshift" ] -> memshift ~smoke:false ()
   | [ "memshift"; "--smoke" ] -> memshift ~smoke:true ()
+  | [ "autopolicy" ] -> autopolicy ~smoke:false ()
+  | [ "autopolicy"; "--smoke" ] -> autopolicy ~smoke:true ()
   | [ "jit" ] -> jit_bench ~smoke:false ()
   | [ "jit"; "--smoke" ] -> jit_bench ~smoke:true ()
   | [ "serve" ] -> serve_bench ~smoke:false ()

@@ -5,11 +5,18 @@
    count, and JIT-cache hit/miss information.
 
      dune exec bench/trace_check.exe -- [--expect-elision] [--expect-serve]
-                                        [--expect-devices N] out.json
+                                        [--expect-devices N] [--expect-policy] out.json
 
    With --expect-elision, additionally requires at least one cat:"mem"
    elide_h2d/elide_d2h instant — the CI witness that the transfer-
    elision layer actually fired (bench memshift --smoke emits these).
+
+   With --expect-policy, requires at least one cat:"mem" policy_decide
+   instant.  Whenever policy_decide events are present at all, their
+   consistency is validated: each names a device/off/bytes/mode/reason,
+   and per (device, buffer) the decision ordinals (args.seq) must be
+   exactly 1..k — every cold map of a buffer gets exactly one decision,
+   none dropped, none duplicated.
 
    With --expect-serve, requires cat:"serve" request-lifecycle events
    and validates their pairing; pairing is validated whenever serve
@@ -40,6 +47,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let expect_elision = List.mem "--expect-elision" args in
   let expect_serve = List.mem "--expect-serve" args in
+  let expect_policy = List.mem "--expect-policy" args in
   (* --expect-devices takes a value; strip the pair before the path scan *)
   let expect_devices, args =
     let rec scan acc = function
@@ -62,7 +70,8 @@ let () =
     | [ path ] -> path
     | _ ->
       prerr_endline
-        "usage: trace_check [--expect-elision] [--expect-serve] [--expect-devices N] <trace.json>";
+        "usage: trace_check [--expect-elision] [--expect-serve] [--expect-devices N] \
+         [--expect-policy] <trace.json>";
       exit 2
   in
   if not (Sys.file_exists path) then fail "no such file: %s" path;
@@ -155,6 +164,51 @@ let () =
          events)
   in
   if expect_elision && elisions = 0 then fail "no elide_h2d/elide_d2h mem event";
+  (* Memory-policy decisions: per (device, buffer), the decision
+     ordinals must be exactly 1..k — one decision per cold map, none
+     dropped, none duplicated — and each decision names a valid mode. *)
+  let policy_decides =
+    List.filter_map
+      (fun ev ->
+        if str_field "cat" ev = Some "mem" && str_field "name" ev = Some "policy_decide" then begin
+          let args = Perf.Json.member "args" ev in
+          let num key =
+            Option.bind args (fun a -> Option.bind (Perf.Json.member key a) Perf.Json.to_number_opt)
+          in
+          let str key = Option.bind args (str_field key) in
+          let get name = function
+            | Some v -> v
+            | None -> fail "policy_decide without args.%s" name
+          in
+          let mode = get "mode" (str "mode") in
+          if not (List.mem mode [ "copy"; "elide"; "zerocopy" ]) then
+            fail "policy_decide with unknown mode %S" mode;
+          if get "reason" (str "reason") = "" then fail "policy_decide with empty reason";
+          Some
+            ( ( int_of_float (get "device" (num "device")),
+                int_of_float (get "off" (num "off")),
+                int_of_float (get "bytes" (num "bytes")) ),
+              int_of_float (get "seq" (num "seq")) )
+        end
+        else None)
+      events
+  in
+  if expect_policy && policy_decides = [] then fail "no cat=\"mem\" policy_decide event";
+  let by_buffer = Hashtbl.create 16 in
+  List.iter
+    (fun (key, seq) ->
+      let seqs = Option.value ~default:[] (Hashtbl.find_opt by_buffer key) in
+      Hashtbl.replace by_buffer key (seq :: seqs))
+    policy_decides;
+  Hashtbl.iter
+    (fun (dev, off, bytes) seqs ->
+      let sorted = List.sort compare seqs in
+      let expected = List.init (List.length sorted) (fun i -> i + 1) in
+      if sorted <> expected then
+        fail "policy_decide ordinals for device %d buffer 0x%x+%d are not 1..%d: [%s]" dev off
+          bytes (List.length sorted)
+          (String.concat "; " (List.map string_of_int sorted)))
+    by_buffer;
   (* Serve request lifecycle: each cat:"serve" instant names its request
      in args.req; every admitted request needs exactly one complete, and
      an enqueue before it could be admitted at all. *)
@@ -232,9 +286,12 @@ let () =
     if Hashtbl.length seen_devices <> n then
       fail "--expect-devices %d: only %d device(s) appear in the trace" n
         (Hashtbl.length seen_devices));
-  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s%s%s)\n" path
+  Printf.printf "trace_check: OK: %s (%d events, launch phases balanced%s%s%s%s)\n" path
     (List.length events)
     (if expect_elision then Printf.sprintf ", %d elided transfer(s)" elisions else "")
+    (if policy_decides <> [] then
+       Printf.sprintf ", %d policy decision(s) consistent" (List.length policy_decides)
+     else "")
     (if admits <> [] then
        Printf.sprintf ", %d serve request(s) admit/complete paired" (List.length admits)
      else "")

@@ -22,13 +22,18 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 for mode in cubin ptx; do
   echo "== ompirun --trace ($mode) =="
-  dune exec bin/ompirun.exe -- -b "$mode" --trace "$tmpdir/quickstart-$mode.json" \
-    examples/quickstart >/dev/null
+  dune exec bin/ompirun.exe -- -b "$mode" --mem-policy=copy \
+    --trace "$tmpdir/quickstart-$mode.json" examples/quickstart >/dev/null
   dune exec bench/trace_check.exe -- "$tmpdir/quickstart-$mode.json"
 done
 
+echo "== ompirun --trace --mem-policy=auto (policy decisions) =="
+dune exec bin/ompirun.exe -- --mem-policy=auto \
+  --trace "$tmpdir/quickstart-auto.json" examples/quickstart >/dev/null
+dune exec bench/trace_check.exe -- --expect-policy "$tmpdir/quickstart-auto.json"
+
 echo "== ompirun --trace --faults (recovery events) =="
-dune exec bin/ompirun.exe -- --faults 'transfer:nth=2' \
+dune exec bin/ompirun.exe -- --faults 'transfer:nth=2' --mem-policy=copy \
   --trace "$tmpdir/quickstart-faults.json" examples/quickstart >/dev/null
 dune exec bench/trace_check.exe -- "$tmpdir/quickstart-faults.json"
 grep -q '"retry_backoff"' "$tmpdir/quickstart-faults.json" || {

@@ -16,7 +16,7 @@ let resolve_input path =
   else if Sys.file_exists (path ^ ".c") then Some (path ^ ".c")
   else None
 
-let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams devices zerocopy elide no_jit verbose =
+let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_seed streams devices zerocopy elide mem_policy no_jit verbose =
   let input =
     match resolve_input input with
     | Some p -> p
@@ -45,6 +45,17 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
     Printf.eprintf "ompirun: --devices must be positive (got %d)\n" devices;
     exit 1
   end;
+  (* The explicit legacy flags force their mode; otherwise --mem-policy
+     decides (default: the per-buffer auto policy). *)
+  let mem_policy_sel =
+    if zerocopy || elide then None
+    else
+      match Hostrt.Mempolicy.sel_of_string mem_policy with
+      | Some sel -> Some sel
+      | None ->
+        Printf.eprintf "ompirun: bad --mem-policy %s (want auto|copy|elide|zerocopy)\n" mem_policy;
+        exit 1
+  in
   let config =
     {
       Ompi.default_config with
@@ -55,6 +66,7 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
       streams;
       zerocopy;
       elide;
+      mem_policy = mem_policy_sel;
       jit = not no_jit;
       devices;
     }
@@ -75,13 +87,35 @@ let run_cmd input entry binary_mode trace_file faults_spec max_retries fault_see
         | Some reason -> Printf.sprintf "; device dead (%s), host fallback used" reason
         | None -> "")
     | None -> ());
-    (if zerocopy || elide then begin
+    (let interesting =
+       zerocopy || elide
+       || match mem_policy_sel with
+          | Some Hostrt.Mempolicy.Auto -> true
+          | Some (Hostrt.Mempolicy.Forced m) -> not (Hostrt.Mempolicy.equal_mode m Hostrt.Mempolicy.Copy)
+          | None -> false
+     in
+     if interesting then begin
        let dataenv = (Hostrt.Rt.device instance.Ompi.i_rt 0).Hostrt.Rt.dev_dataenv in
        let st = Hostrt.Dataenv.stats dataenv in
        Printf.eprintf "[mem: %d h2d + %d d2h elided, %d zero-copy accesses, %d resident buffer(s)]\n"
          st.Hostrt.Dataenv.elided_h2d st.Hostrt.Dataenv.elided_d2h
          st.Hostrt.Dataenv.zerocopy_accesses
-         (Hostrt.Dataenv.resident_buffers dataenv)
+         (Hostrt.Dataenv.resident_buffers dataenv);
+       if
+         st.Hostrt.Dataenv.elided_h2d_pages + st.Hostrt.Dataenv.elided_d2h_pages
+         + st.Hostrt.Dataenv.elided_update_to + st.Hostrt.Dataenv.elided_update_from
+         > 0
+       then
+         Printf.eprintf
+           "[mem: dirty tracking: %d h2d + %d d2h clean page(s) skipped, %d update-to + %d \
+            update-from elided]\n"
+           st.Hostrt.Dataenv.elided_h2d_pages st.Hostrt.Dataenv.elided_d2h_pages
+           st.Hostrt.Dataenv.elided_update_to st.Hostrt.Dataenv.elided_update_from;
+       List.iter
+         (fun ((off, bytes), row) ->
+           Printf.eprintf "[mem: buffer 0x%x+%d -> %s]\n" off bytes
+             (String.concat ", " (List.map (fun (m, n) -> Printf.sprintf "%s x%d" m n) row)))
+         (Hostrt.Dataenv.policy_decisions dataenv)
      end);
     Printf.eprintf "[simulated time: %.6f s, %d kernel launch(es), exit code %d]\n"
       result.Ompi.run_time_s result.Ompi.run_kernel_launches result.Ompi.run_exit;
@@ -199,6 +233,17 @@ let elide_arg =
            source and destination provably hold the same bytes (map(always, ...) forces the \
            transfer)")
 
+let mem_policy_arg =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "mem-policy" ] ~docv:"MODE"
+        ~doc:
+          "Per-buffer memory-mode policy: $(b,auto) (default) classifies each mapped buffer as \
+           copy, elide or zerocopy from its observed history and the device cost model; \
+           $(b,copy), $(b,elide) or $(b,zerocopy) force that mode for every buffer.  The \
+           explicit --zerocopy / --elide flags override this option")
+
 let no_jit_arg =
   Arg.(
     value
@@ -217,7 +262,7 @@ let cmd =
     (Cmd.info "ompirun" ~doc)
     Term.(
       const run_cmd $ input_arg $ entry_arg $ mode_arg $ trace_arg $ faults_arg $ max_retries_arg
-      $ fault_seed_arg $ streams_arg $ devices_arg $ zerocopy_arg $ elide_arg $ no_jit_arg
-      $ verbose_arg)
+      $ fault_seed_arg $ streams_arg $ devices_arg $ zerocopy_arg $ elide_arg $ mem_policy_arg
+      $ no_jit_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

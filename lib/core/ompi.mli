@@ -34,6 +34,12 @@ type config = {
   elide : bool;
       (** park released device buffers and skip provably redundant
           transfers (see {!Hostrt.Dataenv.set_elide}); default off *)
+  mem_policy : Hostrt.Mempolicy.sel option;
+      (** per-buffer memory-mode policy (the [--mem-policy] CLI knob):
+          [Some Auto] classifies each buffer copy/elide/zero-copy from
+          its observed history (see {!Hostrt.Mempolicy}), [Some (Forced
+          m)] forces one mode everywhere; [None] (default) keeps the
+          [zerocopy]/[elide] flags above *)
   jit : bool;
       (** closure-compile kernel ASTs at module load (see
           {!Cinterp.Jit}); default on — [--no-jit] falls back to the

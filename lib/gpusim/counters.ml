@@ -42,6 +42,13 @@ type alloc_stats = {
   samples : (int, Int_set.t ref * int ref) Hashtbl.t;
 }
 
+(* Zero-copy traffic per pinned range, so the memory policy can weigh a
+   specific buffer's observed access volume against its transfer cost. *)
+type pin_stats = {
+  mutable p_loads : int;
+  mutable p_stores : int;
+}
+
 type t = {
   spec : Spec.t;
   classes : class_counts;
@@ -59,6 +66,7 @@ type t = {
   mutable zerocopy_loads : int; (* kernel accesses to pinned host memory *)
   mutable zerocopy_stores : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;
+  per_pin : (int, pin_stats) Hashtbl.t; (* zero-copy accesses keyed by pin id *)
   (* allocation table for addr -> allocation id: sorted (off, len, id) *)
   mutable alloc_table : (int * int * int) array;
   (* stats record for each [alloc_table] entry, so the per-access hot
@@ -93,6 +101,7 @@ let create spec =
     zerocopy_loads = 0;
     zerocopy_stores = 0;
     per_alloc = Hashtbl.create 16;
+    per_pin = Hashtbl.create 4;
     alloc_table = [||];
     alloc_table_stats = [||];
     pinned_table = [||];
@@ -262,11 +271,26 @@ let atomic_interval t (id : int) : (int * int) option =
 
 (* Zero-copy: a kernel access that resolved to pinned host memory.  These
    bypass the GPU caches entirely, so there is no coalescing sample to
-   keep — the cost model charges them at the uncached bandwidth. *)
-let on_zerocopy_access t (acc : Cinterp.Interp.access) =
+   keep — the cost model charges them at the uncached bandwidth.  Traffic
+   is also attributed to the pinned range it hit, so the memory policy
+   can weigh a specific buffer's access volume against its pin cost. *)
+let pin_stats t id =
+  match Hashtbl.find_opt t.per_pin id with
+  | Some s -> s
+  | None ->
+    let s = { p_loads = 0; p_stores = 0 } in
+    Hashtbl.replace t.per_pin id s;
+    s
+
+let on_zerocopy_access t ~(pin : int) (acc : Cinterp.Interp.access) =
+  let s = pin_stats t pin in
   match acc.acc_kind with
-  | `Load -> t.zerocopy_loads <- t.zerocopy_loads + 1
-  | `Store -> t.zerocopy_stores <- t.zerocopy_stores + 1
+  | `Load ->
+    t.zerocopy_loads <- t.zerocopy_loads + 1;
+    s.p_loads <- s.p_loads + 1
+  | `Store ->
+    t.zerocopy_stores <- t.zerocopy_stores + 1;
+    s.p_stores <- s.p_stores + 1
 
 let zerocopy_accesses t = t.zerocopy_loads + t.zerocopy_stores
 

@@ -35,6 +35,12 @@ type alloc_stats = {
       (** (block, access index) -> segment set + sampled lane count *)
 }
 
+(** Zero-copy traffic of one pinned range, keyed by pin id. *)
+type pin_stats = {
+  mutable p_loads : int;
+  mutable p_stores : int;
+}
+
 type t = {
   spec : Spec.t;
   classes : class_counts;
@@ -52,6 +58,7 @@ type t = {
   mutable zerocopy_loads : int;  (** kernel accesses to pinned host memory *)
   mutable zerocopy_stores : int;
   per_alloc : (int, alloc_stats) Hashtbl.t;
+  per_pin : (int, pin_stats) Hashtbl.t;  (** zero-copy accesses keyed by pin id *)
   mutable alloc_table : (int * int * int) array;
   mutable alloc_table_stats : alloc_stats array;
       (** stats of each [alloc_table] entry, resolved by binary search *)
@@ -96,8 +103,9 @@ val store_interval : t -> int -> (int * int) option
 val atomic_interval : t -> int -> (int * int) option
 
 (** Count a kernel access that resolved to pinned host memory (zero-copy;
-    uncached, so no coalescing sample is kept). *)
-val on_zerocopy_access : t -> Cinterp.Interp.access -> unit
+    uncached, so no coalescing sample is kept).  [pin] is the pinned
+    range the access hit, so traffic is attributable per buffer. *)
+val on_zerocopy_access : t -> pin:int -> Cinterp.Interp.access -> unit
 
 val zerocopy_accesses : t -> int
 

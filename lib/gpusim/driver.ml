@@ -28,6 +28,14 @@ type launch_stats = {
   st_counters : Counters.t; (* raw dynamic statistics of the launch *)
 }
 
+(* One allocation's log of written byte intervals (relative to the
+   allocation base, most recent first, tagged with a monotonically
+   increasing sequence number). *)
+type store_log = {
+  mutable sl_seq : int;
+  mutable sl_items : (int * int * int) list; (* seq, lo, hi (exclusive) *)
+}
+
 (* A stream is a device-side work queue with its own timeline on the
    shared simulated clock: async enqueues advance only [str_done_ns];
    the global clock catches up to it at synchronization points. *)
@@ -78,6 +86,18 @@ type t = {
      be incomplete (block sampling) — any epoch change means "assume every
      allocation was written". *)
   dev_stores : (int, int) Hashtbl.t;
+  dev_loads : (int, int) Hashtbl.t; (* cumulative kernel loads per allocation id *)
+  (* Per-allocation log of written byte intervals (relative to the
+     allocation base, most recent first).  A consumer snapshots the log
+     length ([store_mark]) at its sync point and later asks for the
+     intervals appended since ([stores_since]) — the union of those
+     intervals is the bytes that may differ from the synced image, which
+     is what per-page dirty tracking transfers. *)
+  store_intervals : (int, store_log) Hashtbl.t;
+  (* Cumulative zero-copy traffic per pinned-range id, folded in from
+     each launch's counters: the policy's access-volume signal. *)
+  pin_loads : (int, int) Hashtbl.t;
+  pin_stores : (int, int) Hashtbl.t;
   mutable write_epoch : int;
   (* Closure JIT (compile kernel ASTs to OCaml closures at module load):
      on by default; the tree-walking interpreter remains the reference
@@ -154,6 +174,10 @@ let create ?(spec = Spec.jetson_nano_2gb) ?(ordinal = 0) (clock : Simclock.t) : 
     next_pin_id = 0;
     zerocopy_total = 0;
     dev_stores = Hashtbl.create 16;
+    dev_loads = Hashtbl.create 16;
+    store_intervals = Hashtbl.create 16;
+    pin_loads = Hashtbl.create 4;
+    pin_stores = Hashtbl.create 4;
     write_epoch = 0;
     closure_jit = true;
   }
@@ -203,6 +227,15 @@ let mem_free t (a : Addr.t) : unit =
     List.fold_left (fun acc (off, len, _) -> if off = a.Addr.off then len else acc) 0 t.allocs
   in
   Mem.free t.global a;
+  (* allocation ids are never reused, so dropping its logs is safe *)
+  List.iter
+    (fun (off, _, id) ->
+      if off = a.Addr.off then begin
+        Hashtbl.remove t.store_intervals id;
+        Hashtbl.remove t.dev_stores id;
+        Hashtbl.remove t.dev_loads id
+      end)
+    t.allocs;
   t.allocs <- List.filter (fun (off, _, _) -> off <> a.Addr.off) t.allocs;
   tr_instant t ~cat:"mem" "mem_free" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
 
@@ -391,17 +424,84 @@ let alloc_id_of t (a : Addr.t) : int option =
 
 let alloc_stores t id = Option.value ~default:0 (Hashtbl.find_opt t.dev_stores id)
 
+let alloc_loads t id = Option.value ~default:0 (Hashtbl.find_opt t.dev_loads id)
+
+let note_loads t id n = Hashtbl.replace t.dev_loads id (alloc_loads t id + n)
+
+let store_log t id =
+  match Hashtbl.find_opt t.store_intervals id with
+  | Some l -> l
+  | None ->
+    let l = { sl_seq = 0; sl_items = [] } in
+    Hashtbl.replace t.store_intervals id l;
+    l
+
+(* Long-lived allocations (ompiserve persistent environments) accumulate
+   one interval per launch; past [store_log_cap] the log collapses to a
+   single full-extent interval at the newest sequence number, which any
+   holder of an older mark reads as "everything dirty" — conservative,
+   never wrong. *)
+let store_log_cap = 64
+
+let log_store_interval t id (lo, hi) =
+  let l = store_log t id in
+  l.sl_seq <- l.sl_seq + 1;
+  l.sl_items <- (l.sl_seq, lo, hi) :: l.sl_items;
+  if List.length l.sl_items > store_log_cap then l.sl_items <- [ (l.sl_seq, 0, max_int) ]
+
+(* Current position in an allocation's store log: snapshot at a sync
+   point, then [stores_since] yields the intervals logged afterwards. *)
+let store_mark t id = match Hashtbl.find_opt t.store_intervals id with Some l -> l.sl_seq | None -> 0
+
+let stores_since t id (mark : int) : (int * int) list =
+  match Hashtbl.find_opt t.store_intervals id with
+  | None -> []
+  | Some l -> List.filter_map (fun (s, lo, hi) -> if s > mark then Some (lo, hi) else None) l.sl_items
+
+let alloc_len_of t id =
+  List.fold_left (fun acc (_, len, i) -> if i = id then len else acc) 0 t.allocs
+
 (* Record device-side writes that bypassed a kernel (tests and salvage
-   paths poke device memory directly). *)
-let note_stores t id n = Hashtbl.replace t.dev_stores id (alloc_stores t id + n)
+   paths poke device memory directly).  No byte interval is known, so the
+   full extent is logged as written. *)
+let note_stores t id n =
+  Hashtbl.replace t.dev_stores id (alloc_stores t id + n);
+  let len = alloc_len_of t id in
+  log_store_interval t id (0, (if len > 0 then len else max_int))
+
+let pin_traffic t id =
+  ( Option.value ~default:0 (Hashtbl.find_opt t.pin_loads id),
+    Option.value ~default:0 (Hashtbl.find_opt t.pin_stores id) )
+
+let pin_id_of t (a : Addr.t) : int option =
+  List.fold_left
+    (fun acc (off, len, id) ->
+      if a.Addr.off >= off && a.Addr.off < off + len then Some id else acc)
+    None t.pinned
 
 let record_launch t ~entry ~grid ~block (counters : Counters.t) (breakdown : Costmodel.breakdown) :
     launch_stats =
   t.kernels_launched <- t.kernels_launched + 1;
   Hashtbl.iter
     (fun id (s : Counters.alloc_stats) ->
-      if s.Counters.a_stores > 0 then note_stores t id s.Counters.a_stores)
+      if s.Counters.a_loads > 0 then note_loads t id s.Counters.a_loads;
+      if s.Counters.a_stores > 0 then begin
+        Hashtbl.replace t.dev_stores id (alloc_stores t id + s.Counters.a_stores);
+        match Counters.store_interval counters id with
+        | Some iv -> log_store_interval t id iv
+        | None -> log_store_interval t id (0, max_int)
+      end;
+      (* atomics write too, but are tracked in their own interval *)
+      match Counters.atomic_interval counters id with
+      | Some iv -> log_store_interval t id iv
+      | None -> ())
     counters.Counters.per_alloc;
+  Hashtbl.iter
+    (fun id (p : Counters.pin_stats) ->
+      let l, s = pin_traffic t id in
+      Hashtbl.replace t.pin_loads id (l + p.Counters.p_loads);
+      Hashtbl.replace t.pin_stores id (s + p.Counters.p_stores))
+    counters.Counters.per_pin;
   (* a sampled launch under-counts stores: poison every pending elision *)
   if counters.Counters.blocks_executed < counters.Counters.blocks_total then
     t.write_epoch <- t.write_epoch + 1;

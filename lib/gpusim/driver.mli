@@ -26,6 +26,14 @@ type launch_stats = {
   st_counters : Counters.t;  (** raw dynamic statistics of the launch *)
 }
 
+(** One allocation's log of written byte intervals (relative to the
+    allocation base, most recent first, tagged with a monotonically
+    increasing sequence number). *)
+type store_log = {
+  mutable sl_seq : int;
+  mutable sl_items : (int * int * int) list;  (** seq, lo, hi (exclusive) *)
+}
+
 (** A device stream: a work queue with its own timeline on the shared
     simulated clock.  Async enqueues advance only [str_done_ns]; the
     global clock catches up at synchronization points. *)
@@ -66,6 +74,11 @@ type t = {
   mutable next_pin_id : int;
   mutable zerocopy_total : int;  (** zero-copy kernel accesses across launches *)
   dev_stores : (int, int) Hashtbl.t;  (** cumulative kernel stores per allocation id *)
+  dev_loads : (int, int) Hashtbl.t;  (** cumulative kernel loads per allocation id *)
+  store_intervals : (int, store_log) Hashtbl.t;
+      (** per-allocation log of written byte intervals; see [store_mark] *)
+  pin_loads : (int, int) Hashtbl.t;  (** cumulative zero-copy loads per pin id *)
+  pin_stores : (int, int) Hashtbl.t;  (** cumulative zero-copy stores per pin id *)
   mutable write_epoch : int;
       (** bumped whenever store counts may be incomplete (block-sampled
           launches, context reset): elision must not trust older counts *)
@@ -128,8 +141,28 @@ val alloc_id_of : t -> Addr.t -> int option
 (** Cumulative kernel stores recorded against an allocation id. *)
 val alloc_stores : t -> int -> int
 
-(** Record device-side writes that bypassed a kernel (tests, salvage). *)
+(** Cumulative kernel loads recorded against an allocation id. *)
+val alloc_loads : t -> int -> int
+
+(** Current position in an allocation's store-interval log.  Snapshot at
+    a sync point; [stores_since] then yields the byte intervals
+    (relative to the allocation base, hi exclusive) written after that
+    mark.  The log is capped: when it overflows it collapses to one
+    full-extent interval, so stale marks read as "everything dirty" —
+    conservative, never unsound. *)
+val store_mark : t -> int -> int
+
+val stores_since : t -> int -> int -> (int * int) list
+
+(** Record device-side writes that bypassed a kernel (tests, salvage).
+    No byte interval is known, so the full extent is logged as dirty. *)
 val note_stores : t -> int -> int -> unit
+
+(** Cumulative zero-copy (loads, stores) recorded against a pin id. *)
+val pin_traffic : t -> int -> int * int
+
+(** Pin id owning a pinned host address, if any. *)
+val pin_id_of : t -> Addr.t -> int option
 
 (** {1 Modules and launch} *)
 

@@ -212,7 +212,7 @@ let run_block ~(spec : Spec.t) ~(mem : device_memories) ~(source : kernel_source
           (* only pinned (zero-copy) ranges are reachable: dm_host is None
              otherwise and [resolve] has already faulted *)
           match Counters.find_pinned counters acc.Cinterp.Interp.acc_addr.Addr.off with
-          | Some _ -> Counters.on_zerocopy_access counters acc
+          | Some pin -> Counters.on_zerocopy_access counters ~pin acc
           | None ->
             simt_error "device code accessed unpinned host memory at %d (missing map clause?)"
               acc.Cinterp.Interp.acc_addr.Addr.off)

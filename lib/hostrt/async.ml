@@ -51,13 +51,22 @@ type t = {
   mutable tasks : task list; (* most recent first; pruned as they retire *)
   mutable next_task_id : int;
   mutable last_task : task option; (* most recently submitted, even if retired *)
+  mutable pinned_ranges : range list; (* zero-copy pinned host ranges (see register_pinned) *)
 }
 
 let default_streams = 4
 
 let create ?(streams = default_streams) (driver : Driver.t) : t =
   if streams <= 0 then invalid_arg "Async.create: stream count must be positive";
-  { driver; n_streams = streams; pool = []; tasks = []; next_task_id = 0; last_task = None }
+  {
+    driver;
+    n_streams = streams;
+    pool = [];
+    tasks = [];
+    next_task_id = 0;
+    last_task = None;
+    pinned_ranges = [];
+  }
 
 let submitted_total t = t.next_task_id
 
@@ -80,10 +89,41 @@ let pending t : task list =
 
 let pending_count t = List.length (pending t)
 
-(* Pending tasks that conflict with an access of [reads]/[writes]. *)
+(* Zero-copy pinned host ranges, registered by the data environment.
+   Kernels address a pinned range in place, uncached and outside any
+   stream's copy bookkeeping, so ordering on it cannot be recovered from
+   read/write sets alone: any two tasks touching the same pinned range
+   are serialized, even read-read.  That is how zero-copy composes with
+   [--streams] without giving up eager-memory reproducibility. *)
+let register_pinned t (range : range) : unit =
+  t.pinned_ranges <- range :: t.pinned_ranges;
+  tr_instant t "pin_register"
+    ~args:[ ("offset", Perf.Trace.Int range.rg_off); ("bytes", Perf.Trace.Int range.rg_len) ]
+
+let unregister_pinned t (range : range) : unit =
+  let rec drop_one = function
+    | [] -> []
+    | r :: rest ->
+      if r.rg_off = range.rg_off && r.rg_len = range.rg_len then rest else r :: drop_one rest
+  in
+  t.pinned_ranges <- drop_one t.pinned_ranges;
+  tr_instant t "pin_unregister"
+    ~args:[ ("offset", Perf.Trace.Int range.rg_off); ("bytes", Perf.Trace.Int range.rg_len) ]
+
+let pinned_ranges t = t.pinned_ranges
+
+(* Pending tasks that conflict with an access of [reads]/[writes]:
+   RAW / WAR / WAW on host ranges, plus any shared touch of a registered
+   pinned range. *)
 let conflicting t ~(reads : range list) ~(writes : range list) : task list =
+  let pins =
+    List.filter (fun p -> any_overlap (reads @ writes) [ p ]) t.pinned_ranges
+  in
   List.filter
-    (fun tk -> any_overlap writes (tk.t_reads @ tk.t_writes) || any_overlap reads tk.t_writes)
+    (fun tk ->
+      any_overlap writes (tk.t_reads @ tk.t_writes)
+      || any_overlap reads tk.t_writes
+      || List.exists (fun p -> any_overlap (tk.t_reads @ tk.t_writes) [ p ]) pins)
     (pending t)
 
 (* Pending tasks touching [range] at all (read or write) — used by the

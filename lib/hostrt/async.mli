@@ -57,8 +57,21 @@ val pending : t -> task list
 
 val pending_count : t -> int
 
-(** Pending tasks that conflict with an access of the given ranges. *)
+(** Pending tasks that conflict with an access of the given ranges:
+    RAW / WAR / WAW, plus any shared touch of a registered pinned
+    range. *)
 val conflicting : t -> reads:range list -> writes:range list -> task list
+
+(** Advertise a zero-copy pinned host range: kernels address it in
+    place, outside any stream's copy bookkeeping, so tasks touching it
+    serialize against each other (even read-read) until it is
+    unregistered.  Emits cat:"async" pin_register / pin_unregister
+    instants. *)
+val register_pinned : t -> range -> unit
+
+val unregister_pinned : t -> range -> unit
+
+val pinned_ranges : t -> range list
 
 (** Pending tasks touching the range at all (read or write). *)
 val pending_on : t -> range -> task list

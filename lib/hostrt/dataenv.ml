@@ -9,19 +9,30 @@
    - [target update] moves data for present ranges without changing
      refcounts.
 
-   On top of that sit two unified-memory optimisations, both opt-in:
+   On top of that sit the unified-memory strategies.  Each mapping runs
+   in one of three modes, fixed at its cold map:
 
-   - transfer elision ([set_elide]): released buffers are parked in a
-     small resident cache instead of freed, and both directions of the
-     copy are skipped when host and device images provably still agree —
-     the host side via a digest taken at the last synchronisation point,
-     the device side via the driver's cumulative per-allocation store
-     counts and its conservative write epoch.  A map with the [always]
-     modifier forces the copies regardless;
-   - zero-copy ([set_zerocopy]): the Nano's CPU and GPU share DRAM, so a
-     map pins the host range (cuMemHostRegister) and hands the kernel
-     the host address itself — no device buffer and no copies at all;
-     the cost model charges the kernel's uncached accesses instead.
+   - copy: the classic alloc + h2d / d2h + free protocol;
+   - elide: released buffers are parked in a small resident cache
+     instead of freed, and transfers are skipped where host and device
+     images provably agree — whole-buffer via a digest taken at the
+     last synchronisation point plus the driver's per-allocation store
+     counts and write epoch, and page-wise via per-page digests plus the
+     driver's store-interval log, so a partially-dirty buffer moves only
+     its dirty pages.  [target update] transfers elide their clean pages
+     the same way.  A map with the [always] modifier forces full copies;
+   - zero-copy: the Nano's CPU and GPU share DRAM, so the map pins the
+     host range (cuMemHostRegister) and hands the kernel the host
+     address itself — no device buffer and no copies at all; the cost
+     model charges the kernel's uncached accesses instead.  Pinned
+     ranges are registered with the stream dependency tracker so
+     zero-copy composes with [--streams].
+
+   The mode comes either from the forced run-level flags ([set_elide] /
+   [set_zerocopy], the PR 5 behaviour) or, under [set_mem_mode Auto],
+   from the per-buffer [Mempolicy] cost model fed by each buffer's
+   observed history.  Every cold map emits a cat:"mem" "policy_decide"
+   instant naming the chosen mode and the signals that drove it.
 
    Driver calls made here are fallible under fault injection; they are
    wrapped in the Resilience retry policy, and when an operation still
@@ -58,8 +69,10 @@ type entry = {
   mutable e_refcount : int;
   e_map : map_type; (* type used at initial mapping *)
   mutable e_launches_at_map : int; (* driver launch count when (re-)mapped *)
-  e_zerocopy : bool;
+  e_mode : Mempolicy.mode; (* transfer strategy fixed at the cold map *)
+  e_zerocopy : bool; (* e_mode = Zerocopy, kept for cheap dispatch *)
   e_alloc_id : int; (* device allocation id; -1 for zero-copy entries *)
+  mutable e_pin_id : int; (* driver pin id; -1 unless zero-copy *)
   (* Last point where host and device images provably agreed (end of a
      successful h2d or d2h over the full extent).  [e_synced] stays false
      for alloc/from mappings until their first copy-back: their device
@@ -69,23 +82,50 @@ type entry = {
   mutable e_stores_at_sync : int; (* Driver.alloc_stores at that point *)
   mutable e_epoch_at_sync : int; (* Driver.write_epoch at that point *)
   mutable e_digest : Digest.t option; (* host-range digest at that point *)
+  (* Per-page refinement of the sync point (elide mode only): digest of
+     each host page when the images last agreed ([None] per page =
+     unknown, always dirty), plus the driver store-log position, so
+     device writes since then resolve to dirty pages. *)
+  mutable e_page_digests : Digest.t option array option;
+  mutable e_store_mark : int;
+  (* Observation snapshot taken at (re-)map, diffed at the final release
+     to feed the policy: cumulative loads/stores (allocation counters,
+     or pin traffic for zero-copy) and the store-log position. *)
+  mutable e_loads_at_map : int;
+  mutable e_stores_at_map : int;
+  mutable e_map_store_mark : int;
 }
 
-type stats = { elided_h2d : int; elided_d2h : int; zerocopy_accesses : int }
+type stats = {
+  elided_h2d : int;
+  elided_d2h : int;
+  elided_h2d_pages : int;
+  elided_d2h_pages : int;
+  elided_update_to : int;
+  elided_update_from : int;
+  zerocopy_accesses : int;
+}
 
 type t = {
   mutable entries : entry list;
   host : Mem.t;
   driver : Driver.t;
+  policy : Mempolicy.t; (* per-environment (= per-device) buffer histories *)
   mutable de_dead : string option; (* Some reason once the device is declared dead *)
   mutable de_policy : Resilience.policy;
   (* Async-awareness hooks, installed by Rt against its stream tracker
      (kept as closures so this module does not depend on Async): is any
-     queued stream work touching this host range, and wait for it. *)
+     queued stream work touching this host range, wait for it, and
+     advertise pinned (zero-copy) ranges so overlapping stream tasks
+     serialize. *)
   mutable de_pending : (Addr.t -> bytes:int -> bool) option;
   mutable de_sync_range : (Addr.t -> bytes:int -> unit) option;
+  mutable de_register_pinned : (Addr.t -> bytes:int -> unit) option;
+  mutable de_unregister_pinned : (Addr.t -> bytes:int -> unit) option;
   mutable de_elide : bool;
   mutable de_zerocopy : bool;
+  mutable de_auto : bool; (* per-buffer policy decides the mode *)
+  mutable de_page_bytes : int; (* dirty-tracking granularity *)
   mutable resident : entry list; (* refcount-0 parked buffers, MRU first *)
   (* Eviction is byte-accounted, not entry-counted: a multiplexing
      server parks buffers of wildly different sizes, and counting
@@ -95,6 +135,10 @@ type t = {
   mutable resident_bytes : int;
   mutable elided_h2d : int;
   mutable elided_d2h : int;
+  mutable elided_h2d_pages : int;
+  mutable elided_d2h_pages : int;
+  mutable elided_update_to : int;
+  mutable elided_update_from : int;
 }
 
 (* Roughly a quarter of the Nano's 4 MiB L2 worth of parked images: big
@@ -102,22 +146,33 @@ type t = {
    enough that parking is a cache, not a leak. *)
 let default_resident_cap_bytes = 1 lsl 20
 
+let default_page_bytes = 4096
+
 let create ~(host : Mem.t) ~(driver : Driver.t) =
   {
     entries = [];
     host;
     driver;
+    policy = Mempolicy.create driver.Driver.spec;
     de_dead = None;
     de_policy = Resilience.default_policy;
     de_pending = None;
     de_sync_range = None;
+    de_register_pinned = None;
+    de_unregister_pinned = None;
     de_elide = false;
     de_zerocopy = false;
+    de_auto = false;
+    de_page_bytes = default_page_bytes;
     resident = [];
     resident_cap_bytes = default_resident_cap_bytes;
     resident_bytes = 0;
     elided_h2d = 0;
     elided_d2h = 0;
+    elided_h2d_pages = 0;
+    elided_d2h_pages = 0;
+    elided_update_to = 0;
+    elided_update_from = 0;
   }
 
 let is_dead t = t.de_dead <> None
@@ -130,23 +185,62 @@ let set_elide t on = t.de_elide <- on
 
 let set_zerocopy t on = t.de_zerocopy <- on
 
+let set_mem_mode t (sel : Mempolicy.sel) =
+  match sel with
+  | Mempolicy.Auto ->
+    t.de_auto <- true;
+    t.de_elide <- false;
+    t.de_zerocopy <- false
+  | Mempolicy.Forced m ->
+    t.de_auto <- false;
+    t.de_elide <- Mempolicy.equal_mode m Mempolicy.Elide;
+    t.de_zerocopy <- Mempolicy.equal_mode m Mempolicy.Zerocopy
+
+let mem_mode t : Mempolicy.sel =
+  if t.de_auto then Mempolicy.Auto
+  else if t.de_zerocopy then Mempolicy.Forced Mempolicy.Zerocopy
+  else if t.de_elide then Mempolicy.Forced Mempolicy.Elide
+  else Mempolicy.Forced Mempolicy.Copy
+
+let set_page_bytes t n =
+  if n <= 0 then invalid_arg "Dataenv.set_page_bytes: non-positive page size";
+  t.de_page_bytes <- n
+
+let page_bytes t = t.de_page_bytes
+
 let stats t =
   {
     elided_h2d = t.elided_h2d;
     elided_d2h = t.elided_d2h;
+    elided_h2d_pages = t.elided_h2d_pages;
+    elided_d2h_pages = t.elided_d2h_pages;
+    elided_update_to = t.elided_update_to;
+    elided_update_from = t.elided_update_from;
     zerocopy_accesses = t.driver.Driver.zerocopy_total;
   }
 
-let set_async_hooks t ~(pending : Addr.t -> bytes:int -> bool)
-    ~(sync_range : Addr.t -> bytes:int -> unit) : unit =
+let policy_decisions t = Mempolicy.decisions t.policy
+
+let policy_modes_used t = Mempolicy.modes_used t.policy
+
+let set_async_hooks ?register_pinned ?unregister_pinned t
+    ~(pending : Addr.t -> bytes:int -> bool) ~(sync_range : Addr.t -> bytes:int -> unit) : unit =
   t.de_pending <- Some pending;
-  t.de_sync_range <- Some sync_range
+  t.de_sync_range <- Some sync_range;
+  t.de_register_pinned <- register_pinned;
+  t.de_unregister_pinned <- unregister_pinned
 
 let async_pending t haddr ~bytes =
   match t.de_pending with Some f -> f haddr ~bytes | None -> false
 
 let async_sync_range t haddr ~bytes =
   match t.de_sync_range with Some f -> f haddr ~bytes | None -> ()
+
+let register_pinned t haddr ~bytes =
+  match t.de_register_pinned with Some f -> f haddr ~bytes | None -> ()
+
+let unregister_pinned t haddr ~bytes =
+  match t.de_unregister_pinned with Some f -> f haddr ~bytes | None -> ()
 
 let tr_instant t ?(args = []) name =
   match t.driver.Driver.trace with
@@ -170,12 +264,23 @@ let host_digest t e = Digest.subbytes t.host.Mem.data e.e_host.Addr.off e.e_byte
 let digest_matches t e =
   match e.e_digest with Some d -> Digest.equal d (host_digest t e) | None -> false
 
+let npages t bytes = (bytes + t.de_page_bytes - 1) / t.de_page_bytes
+
+let page_digest t e p =
+  let off = p * t.de_page_bytes in
+  let len = min t.de_page_bytes (e.e_bytes - off) in
+  Digest.subbytes t.host.Mem.data (e.e_host.Addr.off + off) len
+
 (* Record "host and device agree over the full extent right now". *)
 let mark_synced t e =
   if not e.e_zerocopy then begin
     e.e_stores_at_sync <- Driver.alloc_stores t.driver e.e_alloc_id;
     e.e_epoch_at_sync <- t.driver.Driver.write_epoch;
+    e.e_store_mark <- Driver.store_mark t.driver e.e_alloc_id;
     e.e_digest <- Some (host_digest t e);
+    (if Mempolicy.equal_mode e.e_mode Mempolicy.Elide then
+       e.e_page_digests <- Some (Array.init (npages t e.e_bytes) (fun p -> Some (page_digest t e p)))
+     else e.e_page_digests <- None);
     e.e_synced <- true
   end
 
@@ -189,7 +294,166 @@ let device_unwritten t e =
 (* Both images provably identical: safe to skip a transfer entirely. *)
 let images_agree t e = e.e_synced && device_unwritten t e && digest_matches t e
 
-let fresh_entry t ~haddr ~bytes ~dev ~(mt : map_type) ~zerocopy =
+(* Per-page dirty map of a synced elide-mode entry: [Some dirty] when
+   per-page reasoning applies (true = images may differ on that page),
+   [None] when only whole-buffer reasoning is available.  A page is
+   clean iff its host content still matches the sync digest AND no
+   device store interval has touched it since the sync mark — exactly
+   the condition under which skipping it is sound in either transfer
+   direction. *)
+let dirty_pages t e : bool array option =
+  match e.e_page_digests with
+  | None -> None
+  | Some pds ->
+    if (not e.e_synced) || t.driver.Driver.write_epoch <> e.e_epoch_at_sync then None
+    else begin
+      let pb = t.de_page_bytes in
+      let np = Array.length pds in
+      if np <> npages t e.e_bytes then None (* page size changed under us *)
+      else begin
+        let dirty = Array.make np false in
+        List.iter
+          (fun (lo, hi) ->
+            let lo = max 0 lo and hi = min e.e_bytes hi in
+            if hi > lo then
+              for p = lo / pb to (hi - 1) / pb do
+                dirty.(p) <- true
+              done)
+          (Driver.stores_since t.driver e.e_alloc_id e.e_store_mark);
+        for p = 0 to np - 1 do
+          if not dirty.(p) then
+            match pds.(p) with
+            | None -> dirty.(p) <- true
+            | Some d -> if not (Digest.equal d (page_digest t e p)) then dirty.(p) <- true
+        done;
+        Some dirty
+      end
+    end
+
+let transfer_cost_ns t len =
+  (float_of_int len /. t.driver.Driver.spec.Spec.memcpy_bandwidth *. 1e9)
+  +. (t.driver.Driver.spec.Spec.memcpy_latency_us *. 1e3)
+
+(* Byte ranges (offset, length relative to the entry base) of maximal
+   runs of dirty pages. *)
+let dirty_runs t e (dirty : bool array) : (int * int) list =
+  let pb = t.de_page_bytes in
+  let np = Array.length dirty in
+  let runs = ref [] in
+  let p = ref 0 in
+  while !p < np do
+    if dirty.(!p) then begin
+      let q = ref !p in
+      while !q + 1 < np && dirty.(!q + 1) do
+        incr q
+      done;
+      let off = !p * pb in
+      let len = min e.e_bytes ((!q + 1) * pb) - off in
+      runs := (off, len) :: !runs;
+      p := !q + 1
+    end
+    else incr p
+  done;
+  List.rev !runs
+
+let run_copy t e ~label (dir : [ `H2d | `D2h ]) ~(off : int) ~(len : int) =
+  let h = Addr.add e.e_host off and d = Addr.add e.e_dev off in
+  match dir with
+  | `H2d -> guard t ~label (fun () -> Driver.memcpy_h2d t.driver ~host:t.host ~src:h ~dst:d ~len)
+  | `D2h -> guard t ~label (fun () -> Driver.memcpy_d2h t.driver ~host:t.host ~src:d ~dst:h ~len)
+
+(* Page-wise partial transfer over the whole extent: move only the dirty
+   runs and leave the entry fully synced (every dirty page transferred,
+   every clean page proven equal).  Returns [Some pages_elided] when the
+   partial path ran; [None] when the caller should fall back to a full
+   transfer — no per-page info, nothing to elide, or the summed run
+   latency would exceed one full copy (transfers are latency-dominated,
+   so many small runs can cost more than moving everything). *)
+let partial_transfer t e ~label (dir : [ `H2d | `D2h ]) : int option =
+  match dirty_pages t e with
+  | None -> None
+  | Some dirty ->
+    let np = Array.length dirty in
+    let n_dirty = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dirty in
+    if n_dirty = 0 || n_dirty = np then None
+    else begin
+      let runs = dirty_runs t e dirty in
+      let cost = List.fold_left (fun a (_, len) -> a +. transfer_cost_ns t len) 0.0 runs in
+      if cost >= transfer_cost_ns t e.e_bytes then None
+      else begin
+        List.iter (fun (off, len) -> run_copy t e ~label dir ~off ~len) runs;
+        mark_synced t e;
+        Some (np - n_dirty)
+      end
+    end
+
+(* ------------------------- policy bookkeeping ------------------------- *)
+
+let buffer_key (haddr : Addr.t) ~bytes = (haddr.Addr.off, bytes)
+
+(* Snapshot the cumulative access counters at (re-)map time; the final
+   release diffs them to feed the policy's history. *)
+let snapshot_map_counters t e =
+  if e.e_zerocopy then begin
+    let l, s = Driver.pin_traffic t.driver e.e_pin_id in
+    e.e_loads_at_map <- l;
+    e.e_stores_at_map <- s
+  end
+  else begin
+    e.e_loads_at_map <- Driver.alloc_loads t.driver e.e_alloc_id;
+    e.e_stores_at_map <- Driver.alloc_stores t.driver e.e_alloc_id;
+    e.e_map_store_mark <- Driver.store_mark t.driver e.e_alloc_id
+  end
+
+(* Fold one completed map→unmap cycle into the buffer's history. *)
+let observe_release t e =
+  if not (is_dead t) then begin
+    let loads, stores =
+      if e.e_zerocopy then begin
+        let l, s = Driver.pin_traffic t.driver e.e_pin_id in
+        (l - e.e_loads_at_map, s - e.e_stores_at_map)
+      end
+      else
+        ( Driver.alloc_loads t.driver e.e_alloc_id - e.e_loads_at_map,
+          Driver.alloc_stores t.driver e.e_alloc_id - e.e_stores_at_map )
+    in
+    let dev_dirty =
+      if e.e_zerocopy then if stores > 0 then 1.0 else 0.0
+      else begin
+        (* extent of the bytes written since map, from the store log *)
+        let lo, hi =
+          List.fold_left
+            (fun (lo, hi) (l, h) -> (min lo l, max hi h))
+            (max_int, 0)
+            (Driver.stores_since t.driver e.e_alloc_id e.e_map_store_mark)
+        in
+        if hi <= lo then 0.0
+        else float_of_int (min e.e_bytes hi - max 0 lo) /. float_of_int e.e_bytes
+      end
+    in
+    Mempolicy.observe t.policy ~key:(buffer_key e.e_host ~bytes:e.e_bytes) ~loads ~stores
+      ~dev_dirty ~digest:(Some (host_digest t e))
+  end
+
+let est_int v = if Float.is_finite v then int_of_float v else -1
+
+let emit_policy_decide t ~(haddr : Addr.t) ~(bytes : int) (d : Mempolicy.decision) =
+  tr_mem t "policy_decide"
+    ~args:
+      [
+        ("device", Perf.Trace.Int t.driver.Driver.ordinal);
+        ("off", Perf.Trace.Int haddr.Addr.off);
+        ("bytes", Perf.Trace.Int bytes);
+        ("mode", Perf.Trace.Str (Mempolicy.mode_name d.Mempolicy.d_mode));
+        ("reason", Perf.Trace.Str d.Mempolicy.d_reason);
+        ("seq", Perf.Trace.Int d.Mempolicy.d_seq);
+        ("est_copy_ns", Perf.Trace.Int (est_int d.Mempolicy.d_est_copy_ns));
+        ("est_elide_ns", Perf.Trace.Int (est_int d.Mempolicy.d_est_elide_ns));
+        ("est_zerocopy_ns", Perf.Trace.Int (est_int d.Mempolicy.d_est_zerocopy_ns));
+      ]
+
+let fresh_entry t ~haddr ~bytes ~dev ~(mt : map_type) ~(mode : Mempolicy.mode) =
+  let zerocopy = Mempolicy.equal_mode mode Mempolicy.Zerocopy in
   {
     e_host = haddr;
     e_bytes = bytes;
@@ -197,13 +461,20 @@ let fresh_entry t ~haddr ~bytes ~dev ~(mt : map_type) ~zerocopy =
     e_refcount = 1;
     e_map = mt;
     e_launches_at_map = t.driver.Driver.kernels_launched;
+    e_mode = mode;
     e_zerocopy = zerocopy;
     e_alloc_id =
       (if zerocopy then -1 else Option.value ~default:(-1) (Driver.alloc_id_of t.driver dev));
+    e_pin_id = -1;
     e_synced = false;
     e_stores_at_sync = 0;
     e_epoch_at_sync = 0;
     e_digest = None;
+    e_page_digests = None;
+    e_store_mark = 0;
+    e_loads_at_map = 0;
+    e_stores_at_map = 0;
+    e_map_store_mark = 0;
   }
 
 (* Pull a parked buffer covering [haddr, haddr+bytes) out of the resident
@@ -225,6 +496,14 @@ let take_resident t (haddr : Addr.t) ~bytes : entry option =
   in
   go [] t.resident
 
+let peek_resident t (haddr : Addr.t) ~bytes : bool =
+  List.exists
+    (fun e ->
+      Addr.equal_space e.e_host.Addr.space haddr.Addr.space
+      && haddr.Addr.off >= e.e_host.Addr.off
+      && haddr.Addr.off + bytes <= e.e_host.Addr.off + e.e_bytes)
+    t.resident
+
 (* A fresh device buffer is about to cover this host range: any parked
    buffer overlapping it would go stale, so drop those now. *)
 let drop_resident_overlapping t (haddr : Addr.t) ~bytes =
@@ -240,6 +519,9 @@ let drop_resident_overlapping t (haddr : Addr.t) ~bytes =
       t.resident_bytes <- t.resident_bytes - e.e_bytes)
     dead;
   t.resident <- keep
+
+(* May this environment have parked buffers at all? *)
+let parking_possible t = t.de_elide || t.de_auto
 
 (* Park a released buffer under the byte budget: LRU entries are evicted
    from the tail until the new total fits.  A buffer larger than the
@@ -331,6 +613,50 @@ let is_present t haddr ~bytes = (not (is_dead t)) && find_containing t haddr ~by
 
 let dev_of e (haddr : Addr.t) = Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
 
+(* Decide the transfer mode for a cold map: the forced run-level flags
+   when set, otherwise the per-buffer policy. *)
+let resolve_mode ?(async = false) t (haddr : Addr.t) ~(bytes : int) ~(mt : map_type)
+    ~(always : bool) : Mempolicy.decision =
+  let key = buffer_key haddr ~bytes in
+  if not t.de_auto then
+    Mempolicy.forced t.policy ~key
+      (if t.de_zerocopy then Mempolicy.Zerocopy
+       else if t.de_elide then Mempolicy.Elide
+       else Mempolicy.Copy)
+  else
+    Mempolicy.decide t.policy ~key
+      {
+        Mempolicy.i_bytes = bytes;
+        i_needs_h2d = (match mt with To | Tofrom -> true | Alloc | From -> false);
+        i_needs_d2h = (match mt with From | Tofrom -> true | Alloc | To -> false);
+        i_always = always;
+        i_pending = async_pending t haddr ~bytes;
+        i_async = async;
+        i_zerocopy_safe = (match mt with Tofrom | From -> true | To | Alloc -> false);
+        i_can_zerocopy_if_readonly = equal_map_type mt To;
+        i_revivable = peek_resident t haddr ~bytes;
+        i_host_digest = lazy (Digest.subbytes t.host.Mem.data haddr.Addr.off bytes);
+      }
+
+(* Pin a host range for zero-copy: no device buffer, no copies; the
+   range is advertised to the stream dependency tracker so overlapping
+   async work serializes against it. *)
+let map_zerocopy t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
+  (* A from map's device image is born zero-filled (cuMemAlloc zeroes),
+     and the copying runtime overwrites the full host extent on the
+     final release — so presenting that zero image in place keeps the
+     pinned path bit-identical even for kernels that read before they
+     write, or write only part of the buffer. *)
+  if equal_map_type mt From then Bytes.fill t.host.Mem.data haddr.Addr.off bytes '\000';
+  Driver.host_register t.driver ~host:t.host ~addr:haddr ~bytes;
+  let e = fresh_entry t ~haddr ~bytes ~dev:haddr ~mt ~mode:Mempolicy.Zerocopy in
+  e.e_pin_id <- Option.value ~default:(-1) (Driver.pin_id_of t.driver haddr);
+  snapshot_map_counters t e;
+  register_pinned t haddr ~bytes;
+  t.entries <- e :: t.entries;
+  tr_mem t "zerocopy_map" ~args:[ ("bytes", Perf.Trace.Int bytes) ];
+  haddr
+
 (* Map a host range; returns the corresponding device address. *)
 let map ?(always = false) t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Addr.t =
   if bytes <= 0 then map_error "mapping of %d bytes" bytes;
@@ -349,53 +675,93 @@ let map ?(always = false) t (haddr : Addr.t) ~(bytes : int) (mt : map_type) : Ad
         with Resilience.Device_dead reason -> declare_dead t ~reason)
       | _ -> ());
       if is_dead t then haddr else dev_of e haddr)
-    | None when t.de_zerocopy ->
-      (* Unified memory: pin the range and let the kernel address it in
-         place.  No device buffer, no copies in either direction. *)
-      Driver.host_register t.driver ~host:t.host ~addr:haddr ~bytes;
-      t.entries <- fresh_entry t ~haddr ~bytes ~dev:haddr ~mt ~zerocopy:true :: t.entries;
-      tr_mem t "zerocopy_map" ~args:[ ("bytes", Perf.Trace.Int bytes) ];
-      haddr
     | None -> (
-      let revived =
-        if t.de_elide && not always then
-          (* only to/tofrom maps may revive a parked buffer: alloc/from
-             expect an uninitialised device image, which a reused buffer
-             would not provide *)
-          match mt with To | Tofrom -> take_resident t haddr ~bytes | Alloc | From -> None
-        else None
-      in
-      match revived with
-      | Some e -> (
-        e.e_refcount <- 1;
-        e.e_launches_at_map <- t.driver.Driver.kernels_launched;
-        if (not (async_pending t e.e_host ~bytes:e.e_bytes)) && images_agree t e then begin
-          (* resident and clean on both sides: the h2d is a no-op *)
-          t.elided_h2d <- t.elided_h2d + 1;
-          tr_mem t "elide_h2d" ~args:[ ("bytes", Perf.Trace.Int e.e_bytes) ];
-          t.entries <- e :: t.entries;
-          dev_of e haddr
-        end
-        else begin
-          (* stale (or still in flight): settle any queued work on the
-             range, then refresh the reused buffer with a real copy *)
-          if async_pending t e.e_host ~bytes:e.e_bytes then
-            async_sync_range t e.e_host ~bytes:e.e_bytes;
-          try
-            guard t ~label:"map_h2d" (fun () ->
-                Driver.memcpy_h2d t.driver ~host:t.host ~src:e.e_host ~dst:e.e_dev ~len:e.e_bytes);
-            mark_synced t e;
+      let d = resolve_mode t haddr ~bytes ~mt ~always in
+      emit_policy_decide t ~haddr ~bytes d;
+      match d.Mempolicy.d_mode with
+      | Mempolicy.Zerocopy ->
+        (* Unified memory: pin the range and let the kernel address it in
+           place.  No device buffer, no copies in either direction. *)
+        map_zerocopy t haddr ~bytes mt
+      | Mempolicy.Elide -> (
+        let revived =
+          if not always then
+            (* only to/tofrom maps may revive a parked buffer: alloc/from
+               expect an uninitialised device image, which a reused buffer
+               would not provide *)
+            match mt with To | Tofrom -> take_resident t haddr ~bytes | Alloc | From -> None
+          else None
+        in
+        match revived with
+        | Some e -> (
+          e.e_refcount <- 1;
+          e.e_launches_at_map <- t.driver.Driver.kernels_launched;
+          snapshot_map_counters t e;
+          if (not (async_pending t e.e_host ~bytes:e.e_bytes)) && images_agree t e then begin
+            (* resident and clean on both sides: the h2d is a no-op *)
+            t.elided_h2d <- t.elided_h2d + 1;
+            tr_mem t "elide_h2d" ~args:[ ("bytes", Perf.Trace.Int e.e_bytes) ];
             t.entries <- e :: t.entries;
             dev_of e haddr
+          end
+          else if async_pending t e.e_host ~bytes:e.e_bytes then begin
+            (* still in flight: settle any queued work on the range, then
+               refresh the reused buffer with a real copy *)
+            async_sync_range t e.e_host ~bytes:e.e_bytes;
+            try
+              guard t ~label:"map_h2d" (fun () ->
+                  Driver.memcpy_h2d t.driver ~host:t.host ~src:e.e_host ~dst:e.e_dev
+                    ~len:e.e_bytes);
+              mark_synced t e;
+              t.entries <- e :: t.entries;
+              dev_of e haddr
+            with Resilience.Device_dead reason ->
+              declare_dead t ~reason;
+              haddr
+          end
+          else (
+            (* stale: move only the dirty pages when the per-page digests
+               prove the remainder still agrees, else the whole extent *)
+            try
+              (match partial_transfer t e ~label:"map_h2d" `H2d with
+              | Some pages ->
+                t.elided_h2d_pages <- t.elided_h2d_pages + pages;
+                tr_mem t "elide_h2d_pages"
+                  ~args:
+                    [ ("bytes", Perf.Trace.Int e.e_bytes); ("pages", Perf.Trace.Int pages) ]
+              | None ->
+                guard t ~label:"map_h2d" (fun () ->
+                    Driver.memcpy_h2d t.driver ~host:t.host ~src:e.e_host ~dst:e.e_dev
+                      ~len:e.e_bytes);
+                mark_synced t e);
+              t.entries <- e :: t.entries;
+              dev_of e haddr
+            with Resilience.Device_dead reason ->
+              declare_dead t ~reason;
+              haddr))
+        | None -> (
+          try
+            drop_resident_overlapping t haddr ~bytes;
+            let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
+            let e = fresh_entry t ~haddr ~bytes ~dev ~mt ~mode:Mempolicy.Elide in
+            snapshot_map_counters t e;
+            (match mt with
+            | To | Tofrom ->
+              guard t ~label:"map_h2d" (fun () ->
+                  Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:dev ~len:bytes);
+              mark_synced t e
+            | Alloc | From -> ());
+            t.entries <- e :: t.entries;
+            dev
           with Resilience.Device_dead reason ->
             declare_dead t ~reason;
-            haddr
-        end)
-      | None -> (
+            haddr))
+      | Mempolicy.Copy -> (
         try
-          if t.de_elide then drop_resident_overlapping t haddr ~bytes;
+          if parking_possible t then drop_resident_overlapping t haddr ~bytes;
           let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
-          let e = fresh_entry t ~haddr ~bytes ~dev ~mt ~zerocopy:false in
+          let e = fresh_entry t ~haddr ~bytes ~dev ~mt ~mode:Mempolicy.Copy in
+          snapshot_map_counters t e;
           (match mt with
           | To | Tofrom ->
             guard t ~label:"map_h2d" (fun () ->
@@ -419,6 +785,8 @@ let unmap ?(always = false) t (haddr : Addr.t) (mt : map_type) : unit =
         (Addr.show e.e_host);
     e.e_refcount <- e.e_refcount - 1;
     if e.e_refcount <= 0 then begin
+      observe_release t e;
+      unregister_pinned t e.e_host ~bytes:e.e_bytes;
       Driver.host_unregister t.driver e.e_host;
       t.entries <- List.filter (fun e' -> e' != e) t.entries
     end
@@ -443,22 +811,39 @@ let unmap ?(always = false) t (haddr : Addr.t) (mt : map_type) : unit =
       e.e_refcount <- e.e_refcount - 1;
       if e.e_refcount <= 0 then
         try
+          let elidable = Mempolicy.equal_mode e.e_mode Mempolicy.Elide && not always in
           (match mt with
           | From | Tofrom ->
-            if t.de_elide && (not always) && images_agree t e then begin
+            if elidable && images_agree t e then begin
               (* no kernel wrote the buffer and the host range is
                  untouched since the last sync: the d2h is a no-op *)
               t.elided_d2h <- t.elided_d2h + 1;
               tr_mem t "elide_d2h" ~args:[ ("bytes", Perf.Trace.Int e.e_bytes) ]
             end
             else begin
-              guard t ~label:"unmap_d2h" (fun () ->
-                  Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host ~len:e.e_bytes);
-              mark_synced t e
+              match if elidable then partial_transfer t e ~label:"unmap_d2h" `D2h else None with
+              | Some pages ->
+                t.elided_d2h_pages <- t.elided_d2h_pages + pages;
+                tr_mem t "elide_d2h_pages"
+                  ~args:[ ("bytes", Perf.Trace.Int e.e_bytes); ("pages", Perf.Trace.Int pages) ]
+              | None ->
+                guard t ~label:"unmap_d2h" (fun () ->
+                    Driver.memcpy_d2h t.driver ~host:t.host ~src:e.e_dev ~dst:e.e_host
+                      ~len:e.e_bytes);
+                mark_synced t e
             end
           | Alloc | To -> ());
+          observe_release t e;
           t.entries <- List.filter (fun e' -> e' != e) t.entries;
-          if t.de_elide then park_resident t e else Driver.mem_free t.driver e.e_dev
+          (* under the automatic policy, a synced copy-mode buffer parks
+             too: without a resident image the cost model could never
+             find elision cheaper than the copy it just made, so the
+             cold copy decision would be self-perpetuating *)
+          if
+            Mempolicy.equal_mode e.e_mode Mempolicy.Elide
+            || (t.de_auto && e.e_synced)
+          then park_resident t e
+          else Driver.mem_free t.driver e.e_dev
         with Resilience.Device_dead reason ->
           (* declare_dead salvages this still-registered from/tofrom entry,
              completing the copy-back the retries could not *)
@@ -469,10 +854,11 @@ let unmap ?(always = false) t (haddr : Addr.t) (mt : map_type) : unit =
    enqueued on [stream] (memory effects eager, costs on the stream's
    timeline).  Alloc/free stay synchronous — they are CPU-side driver
    calls.  No pending-range checks here: the caller IS the in-flight
-   work.  Neither elision nor zero-copy applies on this path: an
-   in-flight range can never be proven clean, and zero-copy + streams
-   is an open item (see ROADMAP). *)
-let map_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int)
+   work.  Elision never applies on this path (an in-flight range can
+   never be proven clean), but zero-copy does: the pin is a synchronous
+   CPU-side call, the pinned range is registered with the dependency
+   tracker, and the kernel then addresses host memory in place. *)
+let map_async ?(always = false) t ~(stream : Driver.stream) (haddr : Addr.t) ~(bytes : int)
     (mt : map_type) : Addr.t =
   if bytes <= 0 then map_error "mapping of %d bytes" bytes;
   if is_dead t then haddr
@@ -482,24 +868,40 @@ let map_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t) ~
       e.e_refcount <- e.e_refcount + 1;
       Addr.add e.e_dev (haddr.Addr.off - e.e_host.Addr.off)
     | None -> (
-      try
-        if t.de_elide then drop_resident_overlapping t haddr ~bytes;
-        let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
-        (match mt with
-        | To | Tofrom ->
-          guard t ~label:"map_h2d" (fun () ->
-              Driver.memcpy_h2d_async t.driver ~stream ~host:t.host ~src:haddr ~dst:dev ~len:bytes)
-        | Alloc | From -> ());
-        t.entries <- fresh_entry t ~haddr ~bytes ~dev ~mt ~zerocopy:false :: t.entries;
-        dev
-      with Resilience.Device_dead reason ->
-        declare_dead t ~reason;
-        haddr)
+      let d = resolve_mode ~async:true t haddr ~bytes ~mt ~always in
+      emit_policy_decide t ~haddr ~bytes d;
+      match d.Mempolicy.d_mode with
+      | Mempolicy.Zerocopy -> map_zerocopy t haddr ~bytes mt
+      | Mempolicy.Elide | Mempolicy.Copy -> (
+        try
+          if parking_possible t then drop_resident_overlapping t haddr ~bytes;
+          let dev = guard t ~label:"map_alloc" (fun () -> Driver.mem_alloc t.driver bytes) in
+          let e = fresh_entry t ~haddr ~bytes ~dev ~mt ~mode:Mempolicy.Copy in
+          snapshot_map_counters t e;
+          (match mt with
+          | To | Tofrom ->
+            guard t ~label:"map_h2d" (fun () ->
+                Driver.memcpy_h2d_async t.driver ~stream ~host:t.host ~src:haddr ~dst:dev
+                  ~len:bytes)
+          | Alloc | From -> ());
+          t.entries <- e :: t.entries;
+          dev
+        with Resilience.Device_dead reason ->
+          declare_dead t ~reason;
+          haddr))
 
 let unmap_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t) (mt : map_type) :
     unit =
   match find_containing t haddr ~bytes:1 with
   | None -> if not (is_dead t) then map_error "unmap of address %s that is not mapped" (Addr.show haddr)
+  | Some e when e.e_zerocopy ->
+    e.e_refcount <- e.e_refcount - 1;
+    if e.e_refcount <= 0 then begin
+      observe_release t e;
+      unregister_pinned t e.e_host ~bytes:e.e_bytes;
+      Driver.host_unregister t.driver e.e_host;
+      t.entries <- List.filter (fun e' -> e' != e) t.entries
+    end
   | Some e -> (
     e.e_refcount <- e.e_refcount - 1;
     if e.e_refcount <= 0 then
@@ -510,9 +912,57 @@ let unmap_async ?always:(_ = false) t ~(stream : Driver.stream) (haddr : Addr.t)
               Driver.memcpy_d2h_async t.driver ~stream ~host:t.host ~src:e.e_dev ~dst:e.e_host
                 ~len:e.e_bytes)
         | Alloc | To -> ());
+        observe_release t e;
         Driver.mem_free t.driver e.e_dev;
         t.entries <- List.filter (fun e' -> e' != e) t.entries
       with Resilience.Device_dead reason -> declare_dead t ~reason)
+
+(* Page-wise [target update] elision over a sub-range of an elide-mode
+   entry: skip the provably-clean pages, transfer the dirty ones (only
+   their intersection with the requested range), and refresh the page
+   digests of fully-covered transferred pages — after the copy those
+   pages' images agree again, so a repeated update of the same range is
+   free.  Returns [None] when per-page reasoning is unavailable or not
+   worth it (the caller falls back to the full-range copy, which is
+   always sound: stale page digests only ever read as dirty). *)
+let update_partial t e (dir : [ `H2d | `D2h ]) ~(rel_off : int) ~(len : int) : int option =
+  match dirty_pages t e with
+  | None -> None
+  | Some dirty ->
+    let pb = t.de_page_bytes in
+    let p0 = rel_off / pb and p1 = (rel_off + len - 1) / pb in
+    let label = match dir with `H2d -> "update_to" | `D2h -> "update_from" in
+    let pds = match e.e_page_digests with Some a -> a | None -> assert false in
+    let to_copy = ref [] in
+    for p = p1 downto p0 do
+      if dirty.(p) then to_copy := p :: !to_copy
+    done;
+    let n_range = p1 - p0 + 1 in
+    let n_copy = List.length !to_copy in
+    if n_copy = 0 then Some n_range
+    else begin
+      let cost =
+        List.fold_left
+          (fun a p ->
+            let lo = max rel_off (p * pb) and hi = min (rel_off + len) ((p + 1) * pb) in
+            a +. transfer_cost_ns t (hi - lo))
+          0.0 !to_copy
+      in
+      if n_copy = n_range || cost >= transfer_cost_ns t len then None
+      else begin
+        List.iter
+          (fun p ->
+            let lo = max rel_off (p * pb) and hi = min (rel_off + len) ((p + 1) * pb) in
+            run_copy t e ~label dir ~off:lo ~len:(hi - lo);
+            (* fully-covered page: images agree again at the current host
+               content; partially-covered: agreement unknown *)
+            let page_lo = p * pb and page_hi = min e.e_bytes ((p + 1) * pb) in
+            if lo = page_lo && hi = page_hi then pds.(p) <- Some (page_digest t e p)
+            else pds.(p) <- None)
+          !to_copy;
+        Some (n_range - n_copy)
+      end
+    end
 
 let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
   if is_dead t then ()
@@ -525,9 +975,18 @@ let update_to t (haddr : Addr.t) ~(bytes : int) : unit =
       async_sync_range t haddr ~bytes;
       if not e.e_zerocopy then
         try
-          guard t ~label:"update_to" (fun () ->
-              Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:(dev_of e haddr) ~len:bytes);
-          if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+          match update_partial t e `H2d ~rel_off:(haddr.Addr.off - e.e_host.Addr.off) ~len:bytes with
+          | Some pages ->
+            t.elided_h2d_pages <- t.elided_h2d_pages + pages;
+            if pages * t.de_page_bytes >= bytes then begin
+              (* every covered page was clean: the whole update is a no-op *)
+              t.elided_update_to <- t.elided_update_to + 1;
+              tr_mem t "elide_update_to" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
+            end
+          | None ->
+            guard t ~label:"update_to" (fun () ->
+                Driver.memcpy_h2d t.driver ~host:t.host ~src:haddr ~dst:(dev_of e haddr) ~len:bytes);
+            if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
         with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
@@ -539,9 +998,17 @@ let update_from t (haddr : Addr.t) ~(bytes : int) : unit =
       async_sync_range t haddr ~bytes;
       if not e.e_zerocopy then
         try
-          guard t ~label:"update_from" (fun () ->
-              Driver.memcpy_d2h t.driver ~host:t.host ~src:(dev_of e haddr) ~dst:haddr ~len:bytes);
-          if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
+          match update_partial t e `D2h ~rel_off:(haddr.Addr.off - e.e_host.Addr.off) ~len:bytes with
+          | Some pages ->
+            t.elided_d2h_pages <- t.elided_d2h_pages + pages;
+            if pages * t.de_page_bytes >= bytes then begin
+              t.elided_update_from <- t.elided_update_from + 1;
+              tr_mem t "elide_update_from" ~args:[ ("bytes", Perf.Trace.Int bytes) ]
+            end
+          | None ->
+            guard t ~label:"update_from" (fun () ->
+                Driver.memcpy_d2h t.driver ~host:t.host ~src:(dev_of e haddr) ~dst:haddr ~len:bytes);
+            if Addr.equal haddr e.e_host && bytes = e.e_bytes then mark_synced t e
         with Resilience.Device_dead reason -> declare_dead t ~reason)
 
 (* ------------------------- multi-device support ------------------------- *)

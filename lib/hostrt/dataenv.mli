@@ -10,13 +10,18 @@
     - [target update] moves data for present ranges without touching
       refcounts.
 
-    Two opt-in unified-memory optimisations sit on top (the Nano's CPU
-    and GPU share DRAM): transfer elision ({!set_elide}) parks released
-    buffers in a small resident cache and skips copies whose source and
-    destination provably hold the same bytes, and zero-copy
-    ({!set_zerocopy}) pins host ranges so kernels address them in place
-    with no device buffer and no copies at all.  A map with the [always]
-    modifier forces the transfers regardless.
+    Three unified-memory strategies sit on top (the Nano's CPU and GPU
+    share DRAM).  Every mapping runs in one of three modes, fixed at its
+    cold map: copy (the classic protocol), elide (released buffers park
+    in a small resident cache, copies are skipped whole-buffer or
+    page-wise where host and device images provably agree), and
+    zero-copy (the map pins the host range so kernels address it in
+    place — no device buffer, no copies).  The mode comes either from
+    the forced run-level flags ({!set_elide} / {!set_zerocopy}) or, under
+    {!set_mem_mode} [Auto], from the per-buffer {!Mempolicy} cost model
+    fed by observed history; every cold map emits a cat:"mem"
+    "policy_decide" trace instant.  A map with the [always] modifier
+    forces the transfers regardless.
 
     Fallible driver calls are retried under a {!Resilience.policy}; when
     one still fails the device is declared dead: live from/tofrom
@@ -74,12 +79,44 @@ val set_elide : t -> bool -> unit
 (** Enable zero-copy mapping: a map pins the host range
     (cuMemHostRegister) and returns the host address itself — kernels
     access the shared DRAM in place, paying the uncached-access cost
-    instead of copy time.  Off by default; synchronous path only. *)
+    instead of copy time.  Off by default. *)
 val set_zerocopy : t -> bool -> unit
 
-type stats = { elided_h2d : int; elided_d2h : int; zerocopy_accesses : int }
+(** Select the memory-mode policy: [Auto] decides per buffer via
+    {!Mempolicy}; [Forced m] behaves like the corresponding run-level
+    flag ([Forced Copy] clears both). *)
+val set_mem_mode : t -> Mempolicy.sel -> unit
+
+val mem_mode : t -> Mempolicy.sel
+
+(** Granularity of per-page dirty tracking (default
+    {!default_page_bytes}); tests shrink it to exercise page-boundary
+    behaviour without megabyte buffers.
+    @raise Invalid_argument on a non-positive size *)
+val set_page_bytes : t -> int -> unit
+
+val page_bytes : t -> int
+
+val default_page_bytes : int
+
+type stats = {
+  elided_h2d : int;  (** whole-buffer h2d elisions *)
+  elided_d2h : int;  (** whole-buffer d2h elisions *)
+  elided_h2d_pages : int;  (** clean pages skipped by partial h2d / update-to *)
+  elided_d2h_pages : int;  (** clean pages skipped by partial d2h / update-from *)
+  elided_update_to : int;  (** [target update to] fully elided *)
+  elided_update_from : int;  (** [target update from] fully elided *)
+  zerocopy_accesses : int;
+}
 
 val stats : t -> stats
+
+(** Per-buffer tally of cold-map mode decisions, sorted by host offset:
+    ((off, bytes), [(mode_name, count); ...]). *)
+val policy_decisions : t -> ((int * int) * (string * int) list) list
+
+(** Distinct modes decided across all buffers of this environment. *)
+val policy_modes_used : t -> Mempolicy.mode list
 
 (** Parked buffers currently in the resident cache. *)
 val resident_buffers : t -> int
@@ -111,11 +148,18 @@ val unmap_async : ?always:bool -> t -> stream:Driver.stream -> Addr.t -> map_typ
 
 (** Install the async-awareness hooks (normally done by [Rt] against its
     stream tracker): [pending] answers whether queued stream work
-    touches a host range; [sync_range] waits for it.  [unmap] refuses a
-    final release on a pending range; [update_to]/[update_from] sync the
-    range first. *)
+    touches a host range; [sync_range] waits for it; the optional
+    [register_pinned]/[unregister_pinned] advertise zero-copy pinned
+    ranges so overlapping stream tasks serialize against them.  [unmap]
+    refuses a final release on a pending range; [update_to]/[update_from]
+    sync the range first. *)
 val set_async_hooks :
-  t -> pending:(Addr.t -> bytes:int -> bool) -> sync_range:(Addr.t -> bytes:int -> unit) -> unit
+  ?register_pinned:(Addr.t -> bytes:int -> unit) ->
+  ?unregister_pinned:(Addr.t -> bytes:int -> unit) ->
+  t ->
+  pending:(Addr.t -> bytes:int -> bool) ->
+  sync_range:(Addr.t -> bytes:int -> unit) ->
+  unit
 
 (** Translate a host address inside a mapped range to its device image. *)
 val lookup : t -> Addr.t -> Addr.t option

@@ -1,0 +1,288 @@
+(* Per-buffer memory-mode policy (ROADMAP "adaptive memory policy"):
+   decide, at each cold map, whether a buffer should be copied, kept
+   resident with transfer elision, or pinned zero-copy — automatically,
+   from observed per-buffer signals plus the device's transfer and
+   zero-copy bandwidths as a cost model.
+
+   Buffers are identified by their stable host (offset, bytes) key, which
+   survives across data environments: the k-th offload of the same array
+   consults the history its first k-1 cycles recorded.  One policy
+   instance lives per data environment, so multi-device farms keep
+   per-device histories (the same array may be hot on one device and
+   cold on another).
+
+   Signals per completed map→unmap cycle:
+   - device loads/stores into the buffer (allocation counters, or pinned
+     zero-copy traffic), the access-volume side of the zero-copy cost;
+   - the fraction of bytes the device wrote (store-interval log), which
+     bounds the copy-back an elision strategy cannot skip;
+   - whether the host image changed between release and re-map (digest),
+     which bounds the h2d an elision strategy cannot skip.
+
+   A cold buffer (no history) is decided by the static cost model alone:
+   transfers are latency-dominated on the Nano (15 µs per cuMemcpy), so
+   small and medium buffers usually pin zero-copy first, and history
+   then moves compute-hot buffers to a resident copy once their access
+   volume shows the uncached-bandwidth penalty outweighs the copies it
+   saves.
+
+   Soundness over speed: zero-copy is only chosen where it is provably
+   bit-identical to the copying semantics — tofrom always; from always,
+   because the copying runtime gives a from-mapped buffer a zero-filled
+   device image (cuMemAlloc semantics here) and overwrites the full host
+   extent on the final release, so pinning the range and zeroing it in
+   place reproduces that image exactly; to only once history shows the
+   kernel reading the buffer without ever storing into it (a store to a
+   [to]-mapped buffer is discarded by the copying runtime but would
+   leak into host memory in place, and a cycle with no observed
+   accesses proves nothing); and never for alloc (no copy-back ever
+   happens, so stores leaking into host memory would change the final
+   host image).
+   [map(always,...)] and ranges with queued stream work force a real
+   copy. *)
+
+open Gpusim
+
+type mode = Copy | Elide | Zerocopy [@@deriving show { with_path = false }, eq]
+
+type sel = Auto | Forced of mode [@@deriving show { with_path = false }, eq]
+
+let mode_name = function Copy -> "copy" | Elide -> "elide" | Zerocopy -> "zerocopy"
+
+let sel_of_string = function
+  | "auto" -> Some Auto
+  | "copy" -> Some (Forced Copy)
+  | "elide" -> Some (Forced Elide)
+  | "zerocopy" -> Some (Forced Zerocopy)
+  | _ -> None
+
+let sel_name = function Auto -> "auto" | Forced m -> mode_name m
+
+(* Exponentially-weighted running history of one buffer.  [alpha] = 0.5
+   adapts within a couple of cycles, which matters at bench scale where
+   a buffer lives for only a handful of offloads. *)
+type hist = {
+  mutable h_cycles : int; (* completed map→unmap cycles *)
+  mutable h_loads : float; (* device loads per cycle (EWMA) *)
+  mutable h_stores : float; (* device stores per cycle (EWMA) *)
+  mutable h_dev_dirty : float; (* fraction of bytes the device wrote (EWMA) *)
+  mutable h_host_dirty : float; (* fraction of re-maps with a changed host image (EWMA) *)
+  mutable h_last_digest : Digest.t option; (* host image at last release *)
+}
+
+type decision = {
+  d_mode : mode;
+  d_reason : string; (* "forced" | "cold" | "history" | "always" | "async_pending" *)
+  d_seq : int; (* per-buffer ordinal: this is the buffer's d_seq-th decision *)
+  d_est_copy_ns : float;
+  d_est_elide_ns : float;
+  d_est_zerocopy_ns : float;
+}
+
+type t = {
+  spec : Spec.t;
+  tbl : ((int * int), hist) Hashtbl.t; (* host (off, bytes) -> history *)
+  seqs : ((int * int), int) Hashtbl.t; (* decisions made per buffer *)
+  (* per-buffer tally of chosen modes, for the [mem:] summary *)
+  counts : ((int * int), int array) Hashtbl.t; (* [copy; elide; zerocopy] *)
+}
+
+let create (spec : Spec.t) : t =
+  { spec; tbl = Hashtbl.create 16; seqs = Hashtbl.create 16; counts = Hashtbl.create 16 }
+
+let alpha = 0.5
+
+let ewma prev x = (alpha *. x) +. ((1.0 -. alpha) *. prev)
+
+let hist t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_cycles = 0;
+        h_loads = 0.0;
+        h_stores = 0.0;
+        h_dev_dirty = 0.0;
+        h_host_dirty = 0.0;
+        h_last_digest = None;
+      }
+    in
+    Hashtbl.replace t.tbl key h;
+    h
+
+(* Record a decision: bump the per-buffer ordinal and the mode tally. *)
+let note t key (m : mode) : int =
+  let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt t.seqs key) in
+  Hashtbl.replace t.seqs key seq;
+  let c =
+    match Hashtbl.find_opt t.counts key with
+    | Some c -> c
+    | None ->
+      let c = [| 0; 0; 0 |] in
+      Hashtbl.replace t.counts key c;
+      c
+  in
+  let i = match m with Copy -> 0 | Elide -> 1 | Zerocopy -> 2 in
+  c.(i) <- c.(i) + 1;
+  seq
+
+(* ------------------------------ cost model ------------------------------ *)
+
+(* One cuMemcpy of [len] bytes, in ns (same formula the driver charges). *)
+let transfer_ns spec len =
+  (len /. spec.Spec.memcpy_bandwidth *. 1e9) +. (spec.Spec.memcpy_latency_us *. 1e3)
+
+(* cuMemHostRegister walks and locks the pages; cuMemHostUnregister is a
+   flat cost (mirrors the driver's charges). *)
+let pin_ns bytes = ((5.0 +. (bytes /. 4096.0 *. 0.4)) *. 1e3) +. 2000.0
+
+(* Extra time of one 4-byte kernel access served uncached from pinned
+   host memory instead of from device DRAM behind the L2. *)
+let zerocopy_penalty_ns spec =
+  (4.0 /. spec.Spec.zerocopy_bandwidth *. 1e9)
+  -. ((1.0 -. spec.Spec.l2_hit_fraction) *. 4.0 /. spec.Spec.mem_bandwidth *. 1e9)
+
+type inputs = {
+  i_bytes : int;
+  i_needs_h2d : bool; (* to / tofrom *)
+  i_needs_d2h : bool; (* from / tofrom *)
+  i_always : bool;
+  i_pending : bool; (* queued stream work overlaps the range *)
+  i_async : bool; (* mapping from inside a stream task *)
+  i_zerocopy_safe : bool; (* tofrom / from (see header); [to] proves safety via history *)
+  i_can_zerocopy_if_readonly : bool; (* to-mapped: safe once stores are provably 0 *)
+  i_revivable : bool; (* a parked resident buffer covers the range *)
+  i_host_digest : Digest.t Lazy.t; (* current host image (for the host-dirty signal) *)
+}
+
+let decide t ~(key : int * int) (i : inputs) : decision =
+  let bytes = float_of_int i.i_bytes in
+  let tc = transfer_ns t.spec in
+  let est_copy =
+    (if i.i_needs_h2d then tc bytes else 0.0) +. if i.i_needs_d2h then tc bytes else 0.0
+  in
+  let h = Hashtbl.find_opt t.tbl key in
+  (* Fold the host-side observation in now: did the host image change
+     since this buffer was last released? *)
+  (match h with
+  | Some h -> (
+    match h.h_last_digest with
+    | Some d ->
+      let dirty = if Digest.equal d (Lazy.force i.i_host_digest) then 0.0 else 1.0 in
+      h.h_host_dirty <- ewma h.h_host_dirty dirty;
+      h.h_last_digest <- None (* consumed; re-armed at the next release *)
+    | None -> ())
+  | None -> ());
+  let est_elide, est_zerocopy, reason =
+    match h with
+    | Some h when h.h_cycles > 0 ->
+      (* dirty fraction neither side can skip: host changes must go down,
+         device writes must come back, and each poisons the other side's
+         page cleanliness too *)
+      let u = Float.min 1.0 (h.h_host_dirty +. h.h_dev_dirty) in
+      let dirty_cost = if u <= 0.0 then 0.0 else tc (u *. bytes) in
+      let e_h2d =
+        if not i.i_needs_h2d then 0.0
+        else if not i.i_revivable then tc bytes (* evicted: the first h2d is full *)
+        else dirty_cost
+      in
+      let e_d2h = if i.i_needs_d2h then dirty_cost else 0.0 in
+      let accesses = h.h_loads +. h.h_stores in
+      (* the read-only proof needs positive evidence: a cycle where the
+         kernel never touched the buffer (no loads either) shows nothing
+         about whether the next launch will store into it *)
+      let zc_ok =
+        i.i_zerocopy_safe
+        || (i.i_can_zerocopy_if_readonly && h.h_stores <= 0.0 && h.h_loads > 0.0)
+      in
+      let e_zc =
+        if zc_ok then pin_ns bytes +. (accesses *. zerocopy_penalty_ns t.spec) else infinity
+      in
+      (e_h2d +. e_d2h, e_zc, "history")
+    | _ ->
+      (* cold: elision cannot beat a copy on its first cycle, and only a
+         provably-safe map type may pin; assume one touch per word *)
+      let e_zc =
+        if i.i_zerocopy_safe then pin_ns bytes +. (bytes /. 4.0 *. zerocopy_penalty_ns t.spec)
+        else infinity
+      in
+      (est_copy +. 1.0, e_zc, "cold")
+  in
+  let est_elide = if i.i_async then infinity else est_elide in
+  let pick, reason =
+    if i.i_always then (Copy, "always")
+    else if i.i_pending then (Copy, "async_pending")
+    else begin
+      (* strict-min with Copy first, so exact ties stay with the least
+         surprising mode *)
+      let best = ref (Copy, est_copy) in
+      if est_elide < snd !best then best := (Elide, est_elide);
+      if est_zerocopy < snd !best then best := (Zerocopy, est_zerocopy);
+      (fst !best, reason)
+    end
+  in
+  let seq = note t key pick in
+  {
+    d_mode = pick;
+    d_reason = reason;
+    d_seq = seq;
+    d_est_copy_ns = est_copy;
+    d_est_elide_ns = est_elide;
+    d_est_zerocopy_ns = est_zerocopy;
+  }
+
+(* A forced-mode cold map still records a decision (ordinal + tally), so
+   summaries and the trace-consistency check are uniform across modes. *)
+let forced t ~(key : int * int) (m : mode) : decision =
+  let seq = note t key m in
+  {
+    d_mode = m;
+    d_reason = "forced";
+    d_seq = seq;
+    d_est_copy_ns = 0.0;
+    d_est_elide_ns = 0.0;
+    d_est_zerocopy_ns = 0.0;
+  }
+
+(* Fold in the device-side observations of one completed map→unmap
+   cycle.  [dev_dirty] is the fraction of the buffer's bytes the device
+   wrote; [digest] is the host image at release (compared against the
+   image seen at the next map to detect host mutation). *)
+let observe t ~(key : int * int) ~(loads : int) ~(stores : int) ~(dev_dirty : float)
+    ~(digest : Digest.t option) : unit =
+  let h = hist t key in
+  if h.h_cycles = 0 then begin
+    h.h_loads <- float_of_int loads;
+    h.h_stores <- float_of_int stores;
+    h.h_dev_dirty <- dev_dirty
+  end
+  else begin
+    h.h_loads <- ewma h.h_loads (float_of_int loads);
+    h.h_stores <- ewma h.h_stores (float_of_int stores);
+    h.h_dev_dirty <- ewma h.h_dev_dirty dev_dirty
+  end;
+  h.h_cycles <- h.h_cycles + 1;
+  h.h_last_digest <- digest
+
+(* Per-buffer tally of chosen modes, sorted by buffer offset:
+   ((off, bytes), [(mode_name, count); ...]) with zero counts omitted. *)
+let decisions t : ((int * int) * (string * int) list) list =
+  Hashtbl.fold
+    (fun key (c : int array) acc ->
+      let row =
+        List.filter_map
+          (fun (m, n) -> if n > 0 then Some (mode_name m, n) else None)
+          [ (Copy, c.(0)); (Elide, c.(1)); (Zerocopy, c.(2)) ]
+      in
+      (key, row) :: acc)
+    t.counts []
+  |> List.sort (fun ((o1, _), _) ((o2, _), _) -> compare o1 o2)
+
+(* Distinct modes this policy has chosen across all buffers. *)
+let modes_used t : mode list =
+  let used = [| false; false; false |] in
+  Hashtbl.iter
+    (fun _ (c : int array) -> Array.iteri (fun i n -> if n > 0 then used.(i) <- true) c)
+    t.counts;
+  List.filteri (fun i _ -> used.(i)) [ Copy; Elide; Zerocopy ]

@@ -90,10 +90,15 @@ let create ?(binary_mode = Nvcc.Cubin) ?(spec = Spec.jetson_nano_2gb) ?(streams 
     let dataenv = Dataenv.create ~host:host_mem ~driver in
     let async = Async.create ~streams driver in
     (* The data environment must refuse to unmap ranges with queued stream
-       work and sync ranges before a `target update`; it learns about
-       in-flight work through these closures (keeps Dataenv independent of
+       work, sync ranges before a `target update`, and advertise zero-copy
+       pinned ranges so overlapping stream tasks serialize; it talks to
+       the tracker through these closures (keeps Dataenv independent of
        Async). *)
     Dataenv.set_async_hooks dataenv
+      ~register_pinned:(fun haddr ~bytes ->
+        Async.register_pinned async (Async.range_of_addr haddr ~bytes))
+      ~unregister_pinned:(fun haddr ~bytes ->
+        Async.unregister_pinned async (Async.range_of_addr haddr ~bytes))
       ~pending:(fun haddr ~bytes -> Async.pending_on async (Async.range_of_addr haddr ~bytes) <> [])
       ~sync_range:(fun haddr ~bytes -> Async.sync_range async (Async.range_of_addr haddr ~bytes));
     {
@@ -147,6 +152,11 @@ let set_zerocopy t (on : bool) : unit =
 
 let set_elide t (on : bool) : unit =
   Array.iter (fun d -> Dataenv.set_elide d.dev_dataenv on) t.devices
+
+(* The --mem-policy knob: per-buffer auto policy or one forced mode, on
+   every device (each keeps its own buffer histories). *)
+let set_mem_mode t (sel : Mempolicy.sel) : unit =
+  Array.iter (fun d -> Dataenv.set_mem_mode d.dev_dataenv sel) t.devices
 
 (* Closure-JIT knob (the --no-jit CLI escape hatch disables it). *)
 let set_jit t (on : bool) : unit = Array.iter (fun d -> Driver.set_jit d.dev_driver on) t.devices

@@ -100,6 +100,12 @@ val set_zerocopy : t -> bool -> unit
 (** Enable transfer elision on every device (see {!Dataenv.set_elide}). *)
 val set_elide : t -> bool -> unit
 
+(** Select the memory-mode policy on every device (the [--mem-policy]
+    CLI knob): [Auto] decides per buffer via {!Mempolicy}, with each
+    device keeping its own buffer histories; [Forced m] behaves like the
+    corresponding run-level flag. *)
+val set_mem_mode : t -> Mempolicy.sel -> unit
+
 (** Enable/disable the closure JIT on every device (see
     {!Gpusim.Driver.set_jit}; the [--no-jit] CLI escape hatch). *)
 val set_jit : t -> bool -> unit

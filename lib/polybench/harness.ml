@@ -66,11 +66,17 @@ let set_zerocopy ctx (on : bool) : unit = Hostrt.Rt.set_zerocopy ctx.rt on
 
 let set_elide ctx (on : bool) : unit = Hostrt.Rt.set_elide ctx.rt on
 
+let set_mem_mode ctx (sel : Hostrt.Mempolicy.sel) : unit = Hostrt.Rt.set_mem_mode ctx.rt sel
+
 (* Closure-JIT knob: the differential tests and the jit bench run the
    same app with it on and off and require identical results. *)
 let set_jit ctx (on : bool) : unit = Hostrt.Rt.set_jit ctx.rt on
 
 let mem_stats ctx : Hostrt.Dataenv.stats = Hostrt.Dataenv.stats (dataenv ctx)
+
+let policy_decisions ctx = Hostrt.Dataenv.policy_decisions (dataenv ctx)
+
+let policy_modes_used ctx = Hostrt.Dataenv.policy_modes_used (dataenv ctx)
 
 let set_sampling ctx max_blocks = ctx.rt.Hostrt.Rt.sample_max_blocks <- max_blocks
 

@@ -65,6 +65,10 @@ val set_zerocopy : ctx -> bool -> unit
     {!Hostrt.Dataenv.set_elide}). *)
 val set_elide : ctx -> bool -> unit
 
+(** Select the memory-mode policy on every device (see
+    {!Hostrt.Rt.set_mem_mode}). *)
+val set_mem_mode : ctx -> Hostrt.Mempolicy.sel -> unit
+
 (** Enable/disable the closure JIT on this harness's devices (see
     {!Gpusim.Driver.set_jit}); the differential tests and the jit bench
     run the same app both ways and require identical results. *)
@@ -72,6 +76,12 @@ val set_jit : ctx -> bool -> unit
 
 (** Elision/zero-copy counters for device 0's data environment. *)
 val mem_stats : ctx -> Hostrt.Dataenv.stats
+
+(** Per-buffer tally of cold-map mode decisions on device 0 (see
+    {!Hostrt.Dataenv.policy_decisions}). *)
+val policy_decisions : ctx -> ((int * int) * (string * int) list) list
+
+val policy_modes_used : ctx -> Hostrt.Mempolicy.mode list
 
 val set_sampling : ctx -> int option -> unit
 

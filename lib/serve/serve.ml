@@ -50,6 +50,8 @@ type config = {
   cf_generations : int;
   cf_seed : int;
   cf_elide : bool;
+  cf_mem_policy : Hostrt.Mempolicy.sel option;
+  (* per-buffer memory-mode policy; None keeps the cf_elide legacy knob *)
   cf_resident_cap_bytes : int option;
   cf_faults : Hostrt.Faults.rule list;
   cf_fault_seed : int;
@@ -65,6 +67,7 @@ let default_config =
     cf_generations = 2;
     cf_seed = 42;
     cf_elide = true;
+    cf_mem_policy = None;
     cf_resident_cap_bytes = None;
     cf_faults = [];
     cf_fault_seed = 7;
@@ -234,6 +237,9 @@ type report = {
   rp_open_elisions : int;
   rp_elided_h2d : int;
   rp_elided_d2h : int;
+  rp_elided_pages : int; (* clean pages skipped by partial transfers, summed over devices *)
+  rp_policy : (int * ((int * int) * (string * int) list) list) list;
+  (* per device: per-buffer tally of cold-map mode decisions *)
   rp_resident_buffers_end : int;
   rp_faults_injected : int;
   rp_device_dead : bool;
@@ -270,6 +276,7 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
   H.set_sampling ctx None;
   H.set_streams ctx cfg.cf_streams;
   H.set_elide ctx cfg.cf_elide;
+  Option.iter (Hostrt.Rt.set_mem_mode rt) cfg.cf_mem_policy;
   (match cfg.cf_resident_cap_bytes with
   | Some cap ->
     Array.iter
@@ -589,6 +596,8 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
           s with
           Hostrt.Dataenv.elided_h2d = acc.Hostrt.Dataenv.elided_h2d + s.Hostrt.Dataenv.elided_h2d;
           elided_d2h = acc.Hostrt.Dataenv.elided_d2h + s.Hostrt.Dataenv.elided_d2h;
+          elided_h2d_pages = acc.Hostrt.Dataenv.elided_h2d_pages + s.Hostrt.Dataenv.elided_h2d_pages;
+          elided_d2h_pages = acc.Hostrt.Dataenv.elided_d2h_pages + s.Hostrt.Dataenv.elided_d2h_pages;
         })
       (Hostrt.Dataenv.stats (env_of 0))
       (Array.sub rt.Hostrt.Rt.devices 1 (Array.length rt.Hostrt.Rt.devices - 1))
@@ -614,6 +623,12 @@ let run (cfg : config) (specs : session_spec list) : report * Trace.t option =
       rp_open_elisions = !open_elisions;
       rp_elided_h2d = stats.Hostrt.Dataenv.elided_h2d;
       rp_elided_d2h = stats.Hostrt.Dataenv.elided_d2h;
+      rp_elided_pages = stats.Hostrt.Dataenv.elided_h2d_pages + stats.Hostrt.Dataenv.elided_d2h_pages;
+      rp_policy =
+        Array.to_list rt.Hostrt.Rt.devices
+        |> List.map (fun (d : Hostrt.Rt.device) ->
+               (d.Hostrt.Rt.dev_id, Hostrt.Dataenv.policy_decisions d.Hostrt.Rt.dev_dataenv))
+        |> List.filter (fun (_, rows) -> rows <> []);
       rp_resident_buffers_end =
         Array.fold_left
           (fun acc (d : Hostrt.Rt.device) ->

@@ -70,6 +70,10 @@ type config = {
           against the resident cache *)
   cf_seed : int;  (** arrival-process seed *)
   cf_elide : bool;
+  cf_mem_policy : Hostrt.Mempolicy.sel option;
+      (** per-buffer memory-mode policy applied to every device (see
+          {!Hostrt.Rt.set_mem_mode}); [None] keeps the [cf_elide] legacy
+          knob *)
   cf_resident_cap_bytes : int option;  (** resident-cache byte budget override *)
   cf_faults : Hostrt.Faults.rule list;
   cf_fault_seed : int;
@@ -114,6 +118,12 @@ type report = {
           re-opens in generation ≥ 2) *)
   rp_elided_h2d : int;  (** total, summed over every device's data environment *)
   rp_elided_d2h : int;
+  rp_elided_pages : int;
+      (** clean pages skipped by partial transfers (h2d + d2h), summed
+          over devices *)
+  rp_policy : (int * ((int * int) * (string * int) list) list) list;
+      (** per device: per-buffer tally of cold-map mode decisions
+          (devices with no decisions omitted) *)
   rp_resident_buffers_end : int;  (** summed over devices *)
   rp_faults_injected : int;
   rp_device_dead : bool;  (** true when any device of the farm is dead *)

@@ -26,6 +26,7 @@ let base_cfg =
     cf_generations = 2;
     cf_seed = 42;
     cf_elide = true;
+    cf_mem_policy = None;
     cf_resident_cap_bytes = None;
     cf_faults = [];
     cf_fault_seed = 7;
